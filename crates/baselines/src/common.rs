@@ -1,0 +1,357 @@
+//! Shared harness contract and path-enumeration skeleton for the baselines.
+//!
+//! Every baseline decomposes the query graph with the same minimum-cost
+//! pivot logic as SGQ (so comparisons isolate the *matching* behaviour),
+//! enumerates sub-query matches by bounded DFS, and joins them at the pivot
+//! match. What differs per method is captured by two knobs:
+//!
+//! * [`NodeMode`] — whether query nodes match through the transformation
+//!   library (Table II "Node similarity") or only by identical labels;
+//! * [`SegmentScorer`] — whether a query edge may map to an n-hop path
+//!   (Table II "E-to-P mapping"), whether predicates constrain the mapping
+//!   (Table II "GQ w/ predicates"), and how a mapping is scored.
+
+use kgraph::{KnowledgeGraph, NodeId, PredicateId};
+use lexicon::{NodeMatcher, TransformationLibrary};
+use sgq::decompose::decompose;
+use sgq::query::QueryGraph;
+use sgq::semgraph::NodeConstraint;
+use sgq::PivotStrategy;
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// One ranked answer of a baseline: a pivot entity and a method-specific
+/// score (only the ordering is comparable across methods).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MethodAnswer {
+    /// The discovered pivot entity.
+    pub node: NodeId,
+    /// Method-specific score, higher is better.
+    pub score: f64,
+}
+
+/// The Table II capability row of a method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Features {
+    /// Supports synonym/abbreviation node matching.
+    pub node_similarity: bool,
+    /// Supports mapping a query edge to an n-hop path.
+    pub edge_to_path: bool,
+    /// Respects predicates on query edges.
+    pub predicates: bool,
+    /// One-line description of the method's main idea (Table II).
+    pub idea: &'static str,
+}
+
+/// The harness contract every comparator implements.
+pub trait GraphQueryMethod: Send + Sync {
+    /// Display name as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Table II capability row.
+    fn features(&self) -> Features;
+
+    /// Runs the method, returning up to `k` ranked answers.
+    fn query(
+        &self,
+        graph: &KnowledgeGraph,
+        library: &TransformationLibrary,
+        query: &QueryGraph,
+        k: usize,
+    ) -> Vec<MethodAnswer>;
+}
+
+/// Node-matching behaviour (Table II column 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeMode {
+    /// Identical labels only (after normalisation) — no library lookups.
+    Exact,
+    /// φ through the transformation library (identical/synonym/abbreviation).
+    Similar,
+}
+
+/// How a method maps one query edge onto a knowledge-graph path.
+pub trait SegmentScorer {
+    /// Maximum knowledge-graph hops one query edge may map to (1 = no
+    /// edge-to-path support).
+    fn max_hops(&self) -> usize;
+
+    /// Scores a candidate mapping of query edge `query_pred` onto the path
+    /// with predicate sequence `preds`; `None` rejects the mapping. Scores
+    /// must lie in (0, 1] so sub-match scores average meaningfully.
+    fn score(
+        &self,
+        graph: &KnowledgeGraph,
+        query_pred: &str,
+        preds: &[PredicateId],
+    ) -> Option<f64>;
+}
+
+/// Hard cap on DFS expansions per sub-query — keeps pathological baselines
+/// from dominating benchmark wall-clock.
+const MAX_EXPANSIONS: usize = 2_000_000;
+
+/// Runs the shared decompose → enumerate → join pipeline for one method.
+pub fn run_baseline(
+    graph: &KnowledgeGraph,
+    library: &TransformationLibrary,
+    query: &QueryGraph,
+    k: usize,
+    mode: NodeMode,
+    scorer: &dyn SegmentScorer,
+) -> Vec<MethodAnswer> {
+    static EMPTY: std::sync::OnceLock<TransformationLibrary> = std::sync::OnceLock::new();
+    let effective_library = match mode {
+        NodeMode::Similar => library,
+        NodeMode::Exact => EMPTY.get_or_init(TransformationLibrary::new),
+    };
+    let matcher = NodeMatcher::new(graph, effective_library);
+
+    let avg_degree = kgraph::GraphStats::of(graph).avg_degree;
+    let Ok(decomp) = decompose(query, PivotStrategy::MinCost, avg_degree, scorer.max_hops())
+    else {
+        return Vec::new();
+    };
+
+    // Per sub-query: pivot match → best score.
+    let mut per_sub: Vec<FxHashMap<NodeId, f64>> = Vec::with_capacity(decomp.subqueries.len());
+    for sub in &decomp.subqueries {
+        let sources = match query.node(sub.source()).name() {
+            Some(name) => matcher.match_name(name),
+            None => matcher.match_nodes_by_type(query.node(sub.source()).type_label()),
+        };
+        let constraints: Vec<NodeConstraint> = sub.nodes[1..]
+            .iter()
+            .map(|&qn| {
+                let node = query.node(qn);
+                match node.name() {
+                    Some(name) => {
+                        NodeConstraint::Nodes(matcher.match_name(name).into_iter().collect())
+                    }
+                    None => NodeConstraint::TypeMask(matcher.type_mask(node.type_label())),
+                }
+            })
+            .collect();
+        let predicates: Vec<&str> = sub
+            .edges
+            .iter()
+            .map(|&e| query.edge(e).predicate.as_str())
+            .collect();
+
+        let mut best: FxHashMap<NodeId, f64> = FxHashMap::default();
+        let mut budget = MAX_EXPANSIONS;
+        for source in sources {
+            let mut path = vec![source];
+            let mut seg_scores = Vec::new();
+            let mut seg_preds = Vec::new();
+            dfs(
+                graph,
+                scorer,
+                &constraints,
+                &predicates,
+                &mut path,
+                &mut seg_preds,
+                0,
+                &mut seg_scores,
+                &mut best,
+                &mut budget,
+            );
+        }
+        per_sub.push(best);
+    }
+
+    // Join at the pivot: every sub-query must contribute (Eq. 2 analogue).
+    let mut joined: FxHashMap<NodeId, (f64, usize)> = FxHashMap::default();
+    for sub in &per_sub {
+        for (&pivot, &score) in sub {
+            let e = joined.entry(pivot).or_insert((0.0, 0));
+            e.0 += score;
+            e.1 += 1;
+        }
+    }
+    let mut answers: Vec<MethodAnswer> = joined
+        .into_iter()
+        .filter(|(_, (_, cnt))| *cnt == per_sub.len())
+        .map(|(node, (score, _))| MethodAnswer { node, score })
+        .collect();
+    answers.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.node.cmp(&b.node)));
+    answers.truncate(k);
+    answers
+}
+
+/// Depth-first enumeration of one sub-query's matches. `seg` is the index of
+/// the query edge currently being mapped; `seg_preds` the predicates of the
+/// partial knowledge-graph path for that edge.
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    graph: &KnowledgeGraph,
+    scorer: &dyn SegmentScorer,
+    constraints: &[NodeConstraint],
+    predicates: &[&str],
+    path: &mut Vec<NodeId>,
+    seg_preds: &mut Vec<PredicateId>,
+    seg: usize,
+    seg_scores: &mut Vec<f64>,
+    best: &mut FxHashMap<NodeId, f64>,
+    budget: &mut usize,
+) {
+    if *budget == 0 {
+        return;
+    }
+    *budget -= 1;
+    let here = *path.last().expect("non-empty path");
+    for nb in graph.neighbors(here) {
+        if path.contains(&nb.node) {
+            continue; // simple paths only
+        }
+        if seg_preds.len() >= scorer.max_hops() {
+            break; // cannot extend this segment further
+        }
+        seg_preds.push(nb.predicate);
+        path.push(nb.node);
+
+        // Try to close the current segment here.
+        if constraints[seg].admits(graph, nb.node) {
+            if let Some(score) = scorer.score(graph, predicates[seg], seg_preds) {
+                seg_scores.push(score);
+                if seg + 1 == predicates.len() {
+                    // Sub-query complete: average segment scores.
+                    let total: f64 =
+                        seg_scores.iter().sum::<f64>() / seg_scores.len() as f64;
+                    let entry = best.entry(nb.node).or_insert(0.0);
+                    if total > *entry {
+                        *entry = total;
+                    }
+                } else {
+                    let mut next_preds = Vec::new();
+                    std::mem::swap(seg_preds, &mut next_preds);
+                    dfs(
+                        graph,
+                        scorer,
+                        constraints,
+                        predicates,
+                        path,
+                        seg_preds,
+                        seg + 1,
+                        seg_scores,
+                        best,
+                        budget,
+                    );
+                    std::mem::swap(seg_preds, &mut next_preds);
+                }
+                seg_scores.pop();
+            }
+        }
+
+        // Continue extending the current segment (edge-to-path methods).
+        dfs(
+            graph,
+            scorer,
+            constraints,
+            predicates,
+            path,
+            seg_preds,
+            seg,
+            seg_scores,
+            best,
+            budget,
+        );
+
+        path.pop();
+        seg_preds.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::GraphBuilder;
+
+    /// 1-hop-exact scorer used to exercise the skeleton.
+    struct ExactOneHop;
+    impl SegmentScorer for ExactOneHop {
+        fn max_hops(&self) -> usize {
+            1
+        }
+        fn score(
+            &self,
+            graph: &KnowledgeGraph,
+            query_pred: &str,
+            preds: &[PredicateId],
+        ) -> Option<f64> {
+            (preds.len() == 1 && graph.predicate_name(preds[0]) == query_pred).then_some(1.0)
+        }
+    }
+
+    fn graph() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let a1 = b.add_node("A1", "Auto");
+        let a2 = b.add_node("A2", "Auto");
+        let de = b.add_node("Germany", "Country");
+        let city = b.add_node("Munich", "City");
+        b.add_edge(a1, de, "assembly");
+        b.add_edge(a2, city, "assembly");
+        b.add_edge(city, de, "country");
+        b.finish()
+    }
+
+    fn q117() -> QueryGraph {
+        let mut q = QueryGraph::new();
+        let auto = q.add_target("Auto");
+        let de = q.add_specific("Germany", "Country");
+        q.add_edge(auto, "assembly", de);
+        q
+    }
+
+    #[test]
+    fn one_hop_exact_finds_direct_schema_only() {
+        let g = graph();
+        let lib = TransformationLibrary::new();
+        let answers = run_baseline(&g, &lib, &q117(), 10, NodeMode::Exact, &ExactOneHop);
+        assert_eq!(answers.len(), 1);
+        assert_eq!(g.node_name(answers[0].node), "A1");
+    }
+
+    /// Any-predicate 2-hop scorer: structural methods' behaviour.
+    struct AnyTwoHop;
+    impl SegmentScorer for AnyTwoHop {
+        fn max_hops(&self) -> usize {
+            2
+        }
+        fn score(&self, _: &KnowledgeGraph, _: &str, preds: &[PredicateId]) -> Option<f64> {
+            Some(1.0 / preds.len() as f64)
+        }
+    }
+
+    #[test]
+    fn multi_hop_scorer_reaches_indirect_schema() {
+        let g = graph();
+        let lib = TransformationLibrary::new();
+        let answers = run_baseline(&g, &lib, &q117(), 10, NodeMode::Exact, &AnyTwoHop);
+        let names: Vec<&str> = answers.iter().map(|a| g.node_name(a.node)).collect();
+        assert_eq!(names, vec!["A1", "A2"], "direct hop outranks 2-hop");
+    }
+
+    #[test]
+    fn similar_mode_uses_library() {
+        let g = graph();
+        let mut lib = TransformationLibrary::new();
+        lib.add_synonym_row("Auto", &["Car"]);
+        let mut q = QueryGraph::new();
+        let auto = q.add_target("Car");
+        let de = q.add_specific("Germany", "Country");
+        q.add_edge(auto, "assembly", de);
+        assert!(run_baseline(&g, &lib, &q, 10, NodeMode::Exact, &ExactOneHop).is_empty());
+        let found = run_baseline(&g, &lib, &q, 10, NodeMode::Similar, &ExactOneHop);
+        assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn k_truncation_and_ordering() {
+        let g = graph();
+        let lib = TransformationLibrary::new();
+        let answers = run_baseline(&g, &lib, &q117(), 1, NodeMode::Exact, &AnyTwoHop);
+        assert_eq!(answers.len(), 1);
+        assert_eq!(g.node_name(answers[0].node), "A1");
+    }
+}

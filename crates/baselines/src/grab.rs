@@ -1,0 +1,102 @@
+//! GraB (Jin et al., WWW 2015) — querying web-scale information networks
+//! through bounding matching scores.
+//!
+//! GraB supports edge-to-path mapping with a score upper-bound pruning
+//! strategy, but requires exact query-node labels and ignores predicates.
+//! Scoring is the structural proximity `1/h` the bounding framework ranks
+//! by; without node similarity it fails the paper's G¹/G² query variants
+//! outright (Table I).
+
+use crate::common::{run_baseline, Features, GraphQueryMethod, MethodAnswer, NodeMode, SegmentScorer};
+use kgraph::{KnowledgeGraph, PredicateId};
+use lexicon::TransformationLibrary;
+use sgq::query::QueryGraph;
+
+/// The GraB comparator.
+#[derive(Debug, Clone, Copy)]
+pub struct GraB {
+    max_hops: usize,
+}
+
+impl GraB {
+    /// `max_hops` bounds the edge-to-path mapping.
+    pub fn new(max_hops: usize) -> Self {
+        Self {
+            max_hops: max_hops.max(1),
+        }
+    }
+}
+
+struct Proximity {
+    max_hops: usize,
+}
+
+impl SegmentScorer for Proximity {
+    fn max_hops(&self) -> usize {
+        self.max_hops
+    }
+    fn score(&self, _: &KnowledgeGraph, _: &str, preds: &[PredicateId]) -> Option<f64> {
+        Some(1.0 / preds.len() as f64)
+    }
+}
+
+impl GraphQueryMethod for GraB {
+    fn name(&self) -> &'static str {
+        "GraB"
+    }
+
+    fn features(&self) -> Features {
+        Features {
+            node_similarity: false,
+            edge_to_path: true,
+            predicates: false,
+            idea: "bounding matching scores",
+        }
+    }
+
+    fn query(
+        &self,
+        graph: &KnowledgeGraph,
+        library: &TransformationLibrary,
+        query: &QueryGraph,
+        k: usize,
+    ) -> Vec<MethodAnswer> {
+        run_baseline(
+            graph,
+            library,
+            query,
+            k,
+            NodeMode::Exact,
+            &Proximity {
+                max_hops: self.max_hops,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::GraphBuilder;
+
+    #[test]
+    fn no_node_similarity() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("A", "Automobile");
+        let de = b.add_node("Germany", "Country");
+        b.add_edge(a, de, "assembly");
+        let g = b.finish();
+        let mut lib = TransformationLibrary::new();
+        lib.add_synonym_row("Automobile", &["Car"]);
+        let mut q = QueryGraph::new();
+        let auto = q.add_target("Car");
+        let de_q = q.add_specific("Germany", "Country");
+        q.add_edge(auto, "assembly", de_q);
+        assert!(GraB::new(4).query(&g, &lib, &q, 10).is_empty());
+        let mut q2 = QueryGraph::new();
+        let auto2 = q2.add_target("Automobile");
+        let de2 = q2.add_specific("Germany", "Country");
+        q2.add_edge(auto2, "made", de2);
+        assert_eq!(GraB::new(4).query(&g, &lib, &q2, 10).len(), 1);
+    }
+}

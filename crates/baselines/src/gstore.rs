@@ -1,0 +1,114 @@
+//! gStore (Zou et al., PVLDB 2011) — subgraph-isomorphism SPARQL matching.
+//!
+//! Exact matching end to end: query nodes must match graph nodes by
+//! identical label, and every query edge must map to exactly one graph edge
+//! carrying the identical predicate. No transformation library, no
+//! edge-to-path mapping — which is why it only retrieves the answers of the
+//! directly-materialised schema in the paper's Table I (234 of 596) and
+//! fails entirely on query variants with synonym/abbreviation labels.
+
+use crate::common::{run_baseline, Features, GraphQueryMethod, MethodAnswer, NodeMode, SegmentScorer};
+use kgraph::{KnowledgeGraph, PredicateId};
+use lexicon::TransformationLibrary;
+use sgq::query::QueryGraph;
+
+/// The gStore comparator.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GStore;
+
+impl GStore {
+    /// Creates the method.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+struct ExactEdge;
+
+impl SegmentScorer for ExactEdge {
+    fn max_hops(&self) -> usize {
+        1
+    }
+    fn score(&self, graph: &KnowledgeGraph, query_pred: &str, preds: &[PredicateId]) -> Option<f64> {
+        (preds.len() == 1 && graph.predicate_name(preds[0]) == query_pred).then_some(1.0)
+    }
+}
+
+impl GraphQueryMethod for GStore {
+    fn name(&self) -> &'static str {
+        "gStore"
+    }
+
+    fn features(&self) -> Features {
+        Features {
+            node_similarity: false,
+            edge_to_path: false,
+            predicates: true,
+            idea: "graph isomorphism",
+        }
+    }
+
+    fn query(
+        &self,
+        graph: &KnowledgeGraph,
+        library: &TransformationLibrary,
+        query: &QueryGraph,
+        k: usize,
+    ) -> Vec<MethodAnswer> {
+        run_baseline(graph, library, query, k, NodeMode::Exact, &ExactEdge)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::GraphBuilder;
+
+    fn graph() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let a1 = b.add_node("A1", "Automobile");
+        let a2 = b.add_node("A2", "Automobile");
+        let de = b.add_node("Germany", "Country");
+        let city = b.add_node("Munich", "City");
+        b.add_edge(a1, de, "assembly");
+        b.add_edge(a2, city, "assembly");
+        b.add_edge(city, de, "country");
+        b.finish()
+    }
+
+    #[test]
+    fn exact_schema_only() {
+        let g = graph();
+        let lib = TransformationLibrary::new();
+        let mut q = QueryGraph::new();
+        let auto = q.add_target("Automobile");
+        let de = q.add_specific("Germany", "Country");
+        q.add_edge(auto, "assembly", de);
+        let ans = GStore::new().query(&g, &lib, &q, 10);
+        assert_eq!(ans.len(), 1);
+        assert_eq!(g.node_name(ans[0].node), "A1");
+    }
+
+    #[test]
+    fn fails_on_synonym_type_like_fig1_g1q() {
+        let g = graph();
+        let mut lib = TransformationLibrary::new();
+        lib.add_synonym_row("Automobile", &["Car"]);
+        let mut q = QueryGraph::new();
+        let auto = q.add_target("Car");
+        let de = q.add_specific("Germany", "Country");
+        q.add_edge(auto, "assembly", de);
+        assert!(GStore::new().query(&g, &lib, &q, 10).is_empty());
+    }
+
+    #[test]
+    fn fails_on_wrong_predicate() {
+        let g = graph();
+        let lib = TransformationLibrary::new();
+        let mut q = QueryGraph::new();
+        let auto = q.add_target("Automobile");
+        let de = q.add_specific("Germany", "Country");
+        q.add_edge(auto, "product", de);
+        assert!(GStore::new().query(&g, &lib, &q, 10).is_empty());
+    }
+}

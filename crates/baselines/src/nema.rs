@@ -1,0 +1,125 @@
+//! NeMa (Khan et al., PVLDB 2013) — neighborhood-based structural
+//! similarity search.
+//!
+//! NeMa matches query nodes through label similarity and allows a query
+//! edge to map to a path of up to `h` hops, scored by structural proximity
+//! (closer is better). Predicates are *not* considered during the path
+//! mapping — the paper's Table I shows this costs precision: semantically
+//! wrong paths of the right shape are returned.
+
+use crate::common::{run_baseline, Features, GraphQueryMethod, MethodAnswer, NodeMode, SegmentScorer};
+use kgraph::{KnowledgeGraph, PredicateId};
+use lexicon::TransformationLibrary;
+use sgq::query::QueryGraph;
+
+/// The NeMa comparator.
+#[derive(Debug, Clone, Copy)]
+pub struct NeMa {
+    max_hops: usize,
+}
+
+impl NeMa {
+    /// `max_hops` mirrors NeMa's neighborhood radius `h`.
+    pub fn new(max_hops: usize) -> Self {
+        Self {
+            max_hops: max_hops.max(1),
+        }
+    }
+}
+
+/// Structural proximity: a mapping onto an `h`-hop path scores `1/h`.
+struct Proximity {
+    max_hops: usize,
+}
+
+impl SegmentScorer for Proximity {
+    fn max_hops(&self) -> usize {
+        self.max_hops
+    }
+    fn score(&self, _: &KnowledgeGraph, _: &str, preds: &[PredicateId]) -> Option<f64> {
+        Some(1.0 / preds.len() as f64)
+    }
+}
+
+impl GraphQueryMethod for NeMa {
+    fn name(&self) -> &'static str {
+        "NeMa"
+    }
+
+    fn features(&self) -> Features {
+        Features {
+            node_similarity: true,
+            edge_to_path: true,
+            predicates: false,
+            idea: "structural similarity",
+        }
+    }
+
+    fn query(
+        &self,
+        graph: &KnowledgeGraph,
+        library: &TransformationLibrary,
+        query: &QueryGraph,
+        k: usize,
+    ) -> Vec<MethodAnswer> {
+        run_baseline(
+            graph,
+            library,
+            query,
+            k,
+            NodeMode::Similar,
+            &Proximity {
+                max_hops: self.max_hops,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::GraphBuilder;
+
+    #[test]
+    fn finds_paths_regardless_of_predicate() {
+        let mut b = GraphBuilder::new();
+        let a1 = b.add_node("A1", "Automobile");
+        let a2 = b.add_node("A2", "Automobile");
+        let p = b.add_node("Peter", "Person");
+        let de = b.add_node("Germany", "Country");
+        b.add_edge(a1, de, "assembly"); // semantically right
+        b.add_edge(p, a2, "designer"); // semantically wrong route
+        b.add_edge(p, de, "nationality");
+        let g = b.finish();
+        let lib = TransformationLibrary::new();
+        let mut q = QueryGraph::new();
+        let auto = q.add_target("Automobile");
+        let de_q = q.add_specific("Germany", "Country");
+        q.add_edge(auto, "assembly", de_q);
+        let ans = NeMa::new(4).query(&g, &lib, &q, 10);
+        // Both are found (no predicate awareness); the 1-hop one ranks first.
+        assert_eq!(ans.len(), 2);
+        assert_eq!(g.node_name(ans[0].node), "A1");
+        assert!(ans[0].score > ans[1].score);
+    }
+
+    #[test]
+    fn hop_radius_limits_reach() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("A", "Automobile");
+        let x = b.add_node("X", "T");
+        let y = b.add_node("Y", "T");
+        let de = b.add_node("Germany", "Country");
+        b.add_edge(de, x, "p");
+        b.add_edge(x, y, "p");
+        b.add_edge(y, a, "p");
+        let g = b.finish();
+        let lib = TransformationLibrary::new();
+        let mut q = QueryGraph::new();
+        let auto = q.add_target("Automobile");
+        let de_q = q.add_specific("Germany", "Country");
+        q.add_edge(auto, "made", de_q);
+        assert!(NeMa::new(2).query(&g, &lib, &q, 10).is_empty());
+        assert_eq!(NeMa::new(3).query(&g, &lib, &q, 10).len(), 1);
+    }
+}

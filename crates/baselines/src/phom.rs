@@ -1,0 +1,109 @@
+//! p-homomorphism (Fan et al., PVLDB 2010) — graph homomorphism revisited
+//! for graph matching.
+//!
+//! p-hom relaxes subgraph isomorphism: query nodes map through label
+//! similarity and a query edge may map to any bounded path, with a
+//! length-decaying score. Like NeMa and GraB it ignores predicate
+//! semantics; its geometric decay (rather than NeMa's harmonic decay)
+//! weighs long detours slightly differently, but both admit semantically
+//! wrong routes — Table I reports the lowest accuracy of the cohort.
+
+use crate::common::{run_baseline, Features, GraphQueryMethod, MethodAnswer, NodeMode, SegmentScorer};
+use kgraph::{KnowledgeGraph, PredicateId};
+use lexicon::TransformationLibrary;
+use sgq::query::QueryGraph;
+
+/// The p-hom comparator.
+#[derive(Debug, Clone, Copy)]
+pub struct PHom {
+    max_hops: usize,
+    decay: f64,
+}
+
+impl PHom {
+    /// `max_hops` bounds the edge-to-path mapping; decay is fixed at 0.8.
+    pub fn new(max_hops: usize) -> Self {
+        Self {
+            max_hops: max_hops.max(1),
+            decay: 0.8,
+        }
+    }
+}
+
+struct GeometricDecay {
+    max_hops: usize,
+    decay: f64,
+}
+
+impl SegmentScorer for GeometricDecay {
+    fn max_hops(&self) -> usize {
+        self.max_hops
+    }
+    fn score(&self, _: &KnowledgeGraph, _: &str, preds: &[PredicateId]) -> Option<f64> {
+        Some(self.decay.powi(preds.len() as i32 - 1))
+    }
+}
+
+impl GraphQueryMethod for PHom {
+    fn name(&self) -> &'static str {
+        "p-hom"
+    }
+
+    fn features(&self) -> Features {
+        Features {
+            node_similarity: true,
+            edge_to_path: true,
+            predicates: false,
+            idea: "p-homomorphism",
+        }
+    }
+
+    fn query(
+        &self,
+        graph: &KnowledgeGraph,
+        library: &TransformationLibrary,
+        query: &QueryGraph,
+        k: usize,
+    ) -> Vec<MethodAnswer> {
+        run_baseline(
+            graph,
+            library,
+            query,
+            k,
+            NodeMode::Similar,
+            &GeometricDecay {
+                max_hops: self.max_hops,
+                decay: self.decay,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::GraphBuilder;
+
+    #[test]
+    fn geometric_decay_ranks_short_paths_first() {
+        let mut b = GraphBuilder::new();
+        let a1 = b.add_node("A1", "Automobile");
+        let a2 = b.add_node("A2", "Automobile");
+        let mid = b.add_node("M", "City");
+        let de = b.add_node("Germany", "Country");
+        b.add_edge(a1, de, "x");
+        b.add_edge(a2, mid, "y");
+        b.add_edge(mid, de, "z");
+        let g = b.finish();
+        let lib = TransformationLibrary::new();
+        let mut q = QueryGraph::new();
+        let auto = q.add_target("Automobile");
+        let de_q = q.add_specific("Germany", "Country");
+        q.add_edge(auto, "assembly", de_q);
+        let ans = PHom::new(3).query(&g, &lib, &q, 10);
+        assert_eq!(ans.len(), 2);
+        assert_eq!(g.node_name(ans[0].node), "A1");
+        assert!((ans[0].score - 1.0).abs() < 1e-12);
+        assert!((ans[1].score - 0.8).abs() < 1e-12);
+    }
+}

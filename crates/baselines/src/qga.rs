@@ -1,0 +1,89 @@
+//! QGA (Han et al., CIKM 2017) — keyword search on RDF graphs via query
+//! graph assembly.
+//!
+//! QGA assembles keywords into a query graph and evaluates it as a SPARQL
+//! expression: node keywords resolve through entity linking (synonyms and
+//! abbreviations are handled), but edges are evaluated verbatim by the
+//! SPARQL engine — exact predicates, one hop. Like SLQ it recovers only the
+//! directly-materialised schema (Table I: P 1.0 / R 0.39).
+
+use crate::common::{run_baseline, Features, GraphQueryMethod, MethodAnswer, NodeMode, SegmentScorer};
+use kgraph::{KnowledgeGraph, PredicateId};
+use lexicon::TransformationLibrary;
+use sgq::query::QueryGraph;
+
+/// The QGA comparator.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Qga;
+
+impl Qga {
+    /// Creates the method.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+struct SparqlEdge;
+
+impl SegmentScorer for SparqlEdge {
+    fn max_hops(&self) -> usize {
+        1
+    }
+    fn score(&self, graph: &KnowledgeGraph, query_pred: &str, preds: &[PredicateId]) -> Option<f64> {
+        (preds.len() == 1 && graph.predicate_name(preds[0]) == query_pred).then_some(1.0)
+    }
+}
+
+impl GraphQueryMethod for Qga {
+    fn name(&self) -> &'static str {
+        "QGA"
+    }
+
+    fn features(&self) -> Features {
+        Features {
+            node_similarity: true,
+            edge_to_path: false,
+            predicates: true,
+            idea: "keyword-based query graph assembly",
+        }
+    }
+
+    fn query(
+        &self,
+        graph: &KnowledgeGraph,
+        library: &TransformationLibrary,
+        query: &QueryGraph,
+        k: usize,
+    ) -> Vec<MethodAnswer> {
+        run_baseline(graph, library, query, k, NodeMode::Similar, &SparqlEdge)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::GraphBuilder;
+
+    #[test]
+    fn node_similarity_but_exact_predicates() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("A", "Automobile");
+        let de = b.add_node("Germany", "Country");
+        b.add_edge(a, de, "assembly");
+        let g = b.finish();
+        let mut lib = TransformationLibrary::new();
+        lib.add_abbreviation_row("Germany", &["GER"]);
+        // GER resolves through entity linking…
+        let mut q = QueryGraph::new();
+        let auto = q.add_target("Automobile");
+        let ger = q.add_specific("GER", "Country");
+        q.add_edge(auto, "assembly", ger);
+        assert_eq!(Qga::new().query(&g, &lib, &q, 10).len(), 1);
+        // …but a paraphrased predicate fails (exact SPARQL evaluation).
+        let mut q2 = QueryGraph::new();
+        let auto2 = q2.add_target("Automobile");
+        let ger2 = q2.add_specific("GER", "Country");
+        q2.add_edge(auto2, "product", ger2);
+        assert!(Qga::new().query(&g, &lib, &q2, 10).is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! SLQ (Yang et al., PVLDB 2014) — schemaless querying through a
+//! transformation library.
+//!
+//! SLQ's signature capability is its library of node *and* edge
+//! transformations (synonym, abbreviation, ontology) — it is the only
+//! comparator that handles both the `<Car>` and `GER` mismatches of the
+//! paper's Fig. 1. It does not map edges to longer paths, so recall stays at
+//! the directly-materialised schema (Table I: P 1.0 / R 0.39 on all four
+//! query variants).
+
+use crate::common::{run_baseline, Features, GraphQueryMethod, MethodAnswer, NodeMode, SegmentScorer};
+use kgraph::{KnowledgeGraph, PredicateId};
+use lexicon::TransformationLibrary;
+use sgq::query::QueryGraph;
+
+/// The SLQ comparator.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Slq;
+
+impl Slq {
+    /// Creates the method.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+/// One hop; predicate accepted when identical or related via the library
+/// (SLQ edge transformations).
+struct LibraryEdge<'l> {
+    library: &'l TransformationLibrary,
+}
+
+impl SegmentScorer for LibraryEdge<'_> {
+    fn max_hops(&self) -> usize {
+        1
+    }
+    fn score(&self, graph: &KnowledgeGraph, query_pred: &str, preds: &[PredicateId]) -> Option<f64> {
+        if preds.len() != 1 {
+            return None;
+        }
+        let label = graph.predicate_name(preds[0]);
+        if label == query_pred || self.library.matches(query_pred, label) {
+            Some(1.0)
+        } else {
+            None
+        }
+    }
+}
+
+impl GraphQueryMethod for Slq {
+    fn name(&self) -> &'static str {
+        "SLQ"
+    }
+
+    fn features(&self) -> Features {
+        Features {
+            node_similarity: true,
+            edge_to_path: false,
+            predicates: false,
+            idea: "transformation library",
+        }
+    }
+
+    fn query(
+        &self,
+        graph: &KnowledgeGraph,
+        library: &TransformationLibrary,
+        query: &QueryGraph,
+        k: usize,
+    ) -> Vec<MethodAnswer> {
+        run_baseline(
+            graph,
+            library,
+            query,
+            k,
+            NodeMode::Similar,
+            &LibraryEdge { library },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::GraphBuilder;
+
+    fn setup() -> (KnowledgeGraph, TransformationLibrary) {
+        let mut b = GraphBuilder::new();
+        let a1 = b.add_node("A1", "Automobile");
+        let de = b.add_node("Germany", "Country");
+        b.add_edge(a1, de, "assembly");
+        let g = b.finish();
+        let mut lib = TransformationLibrary::new();
+        lib.add_synonym_row("Automobile", &["Car"]);
+        lib.add_abbreviation_row("Germany", &["GER"]);
+        lib.add_synonym_row("assembly", &["product"]);
+        (g, lib)
+    }
+
+    #[test]
+    fn handles_synonym_type_and_abbreviated_name() {
+        let (g, lib) = setup();
+        // Fig. 1 G¹_Q: <Car> type.
+        let mut q1 = QueryGraph::new();
+        let car = q1.add_target("Car");
+        let de = q1.add_specific("Germany", "Country");
+        q1.add_edge(car, "assembly", de);
+        assert_eq!(Slq::new().query(&g, &lib, &q1, 10).len(), 1);
+        // Fig. 1 G²_Q: GER name.
+        let mut q2 = QueryGraph::new();
+        let auto = q2.add_target("Automobile");
+        let ger = q2.add_specific("GER", "Country");
+        q2.add_edge(auto, "assembly", ger);
+        assert_eq!(Slq::new().query(&g, &lib, &q2, 10).len(), 1);
+    }
+
+    #[test]
+    fn edge_transformation_through_library() {
+        let (g, lib) = setup();
+        let mut q = QueryGraph::new();
+        let auto = q.add_target("Automobile");
+        let de = q.add_specific("Germany", "Country");
+        q.add_edge(auto, "product", de); // library: product → assembly
+        assert_eq!(Slq::new().query(&g, &lib, &q, 10).len(), 1);
+    }
+
+    #[test]
+    fn no_edge_to_path() {
+        let mut b = GraphBuilder::new();
+        let a2 = b.add_node("A2", "Automobile");
+        let city = b.add_node("Munich", "City");
+        let de = b.add_node("Germany", "Country");
+        b.add_edge(a2, city, "assembly");
+        b.add_edge(city, de, "country");
+        let g = b.finish();
+        let lib = TransformationLibrary::new();
+        let mut q = QueryGraph::new();
+        let auto = q.add_target("Automobile");
+        let de_q = q.add_specific("Germany", "Country");
+        q.add_edge(auto, "assembly", de_q);
+        assert!(Slq::new().query(&g, &lib, &q, 10).is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! TA assembly cost vs stream length (paper §V-C / the `t` calibrated by
+//! Algorithm 3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kgraph::{EdgeId, NodeId};
+use sgq::answer::SubMatch;
+use sgq::ta::assemble;
+use std::hint::black_box;
+
+fn streams(len: u32, n: usize) -> Vec<Vec<SubMatch>> {
+    (0..n)
+        .map(|s| {
+            (0..len)
+                .map(|i| SubMatch {
+                    source: NodeId::new(100_000 + i),
+                    pivot: NodeId::new((i * 13 + s as u32) % (len / 2 + 1)),
+                    pss: 1.0 - f64::from(i) / f64::from(len + 1),
+                    nodes: vec![NodeId::new(100_000 + i), NodeId::new(i)],
+                    edges: vec![EdgeId::new(i)],
+                    bindings: Vec::new(),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_assembly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ta_assembly");
+    group.sample_size(30);
+    for len in [64u32, 512, 4096] {
+        let s = streams(len, 3);
+        let exhausted = vec![true; 3];
+        group.bench_function(format!("assemble_3x{len}_k16"), |b| {
+            b.iter(|| black_box(assemble(&s, &exhausted, 16).matches.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assembly);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! A\* semantic search latency (the micro view behind Figs. 12–14(d)):
+//! single-edge and multi-segment sub-queries at several k.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::dataset::DatasetSpec;
+use datagen::workload::{chain_query, produced_workload};
+use sgq::{SgqConfig, SgqEngine};
+use std::hint::black_box;
+
+fn bench_astar(c: &mut Criterion) {
+    let ds = DatasetSpec::dbpedia_like(3.0).build();
+    let space = ds.oracle_space();
+    let workload = produced_workload(&ds);
+    let chain = chain_query(&ds, 0);
+
+    let mut group = c.benchmark_group("astar");
+    group.sample_size(20);
+    for k in [20usize, 100] {
+        let engine = SgqEngine::new(
+            &ds.graph,
+            &space,
+            &ds.library,
+            SgqConfig { k, ..SgqConfig::default() },
+        );
+        group.bench_function(format!("sgq_single_edge_k{k}"), |b| {
+            b.iter(|| black_box(engine.query(&workload[0].graph).unwrap().matches.len()))
+        });
+    }
+    let engine = SgqEngine::new(
+        &ds.graph,
+        &space,
+        &ds.library,
+        SgqConfig { k: 20, ..SgqConfig::default() },
+    );
+    group.bench_function("sgq_chain_two_subqueries_k20", |b| {
+        b.iter(|| black_box(engine.query(&chain.graph).unwrap().matches.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_astar);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! SGQ vs each baseline on the same query/graph — the latency comparison
+//! behind Figs. 12–14(d).
+
+use baselines::all_baselines;
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::dataset::DatasetSpec;
+use datagen::workload::produced_workload;
+use sgq::{SgqConfig, SgqEngine};
+use std::hint::black_box;
+
+fn bench_methods(c: &mut Criterion) {
+    let ds = DatasetSpec::dbpedia_like(1.5).build();
+    let space = ds.oracle_space();
+    let q = &produced_workload(&ds)[0];
+    let k = 40;
+    let mut group = c.benchmark_group("method_cmp");
+    group.sample_size(15);
+    let engine = SgqEngine::new(
+        &ds.graph,
+        &space,
+        &ds.library,
+        SgqConfig { k, ..SgqConfig::default() },
+    );
+    group.bench_function("SGQ", |b| {
+        b.iter(|| black_box(engine.query(&q.graph).unwrap().matches.len()))
+    });
+    for m in all_baselines() {
+        group.bench_function(m.name(), |b| {
+            b.iter(|| black_box(m.query(&ds.graph, &ds.library, &q.graph, k).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Decomposition (pivot DP) cost on the Fig. 16 complex query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::dataset::DatasetSpec;
+use datagen::workload::soccer_query;
+use sgq::decompose::decompose;
+use sgq::PivotStrategy;
+use std::hint::black_box;
+
+fn bench_decompose(c: &mut Criterion) {
+    let ds = DatasetSpec::tiny().build();
+    let (q, _, _) = soccer_query(&ds, 0);
+    let mut group = c.benchmark_group("decompose");
+    group.bench_function("soccer_query_min_cost", |b| {
+        b.iter(|| black_box(decompose(&q.graph, PivotStrategy::MinCost, 24.0, 4).unwrap().cost))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decompose);
+criterion_main!(benches);

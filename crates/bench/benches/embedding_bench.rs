@@ -1,0 +1,29 @@
+//! Embedding substrate throughput: one TransE training epoch and the
+//! cosine-similarity row materialisation used per query edge.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::dataset::DatasetSpec;
+use embedding::{train, PredicateSpace, TrainConfig, TransE};
+use std::hint::black_box;
+
+fn bench_embedding(c: &mut Criterion) {
+    let ds = DatasetSpec::dbpedia_like(1.0).build();
+    let mut group = c.benchmark_group("embedding");
+    group.sample_size(10);
+    group.bench_function("transe_10_epochs_dim32", |b| {
+        let cfg = TrainConfig { dim: 32, epochs: 10, ..TrainConfig::default() };
+        b.iter(|| black_box(train::<TransE>(&ds.graph, &cfg).1.final_loss()))
+    });
+    let space: PredicateSpace = ds.oracle_space();
+    group.bench_function("sim_row_all_predicates", |b| {
+        b.iter(|| {
+            for p in 0..space.len() as u32 {
+                black_box(space.sim_row(kgraph::PredicateId::new(p)));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_embedding);
+criterion_main!(benches);

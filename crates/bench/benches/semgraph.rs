@@ -1,0 +1,36 @@
+//! On-the-fly semantic-graph materialisation: sub-query plan construction
+//! (similarity rows + φ candidate sets), the per-query fixed cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::dataset::DatasetSpec;
+use datagen::workload::produced_workload;
+use lexicon::NodeMatcher;
+use sgq::decompose::decompose;
+use sgq::semgraph::SubQueryPlan;
+use sgq::PivotStrategy;
+use std::hint::black_box;
+
+fn bench_semgraph(c: &mut Criterion) {
+    let ds = DatasetSpec::dbpedia_like(3.0).build();
+    let space = ds.oracle_space();
+    let q = &produced_workload(&ds)[0];
+    let d = decompose(&q.graph, PivotStrategy::MinCost, 24.0, 4).unwrap();
+    let mut group = c.benchmark_group("semgraph");
+    group.bench_function("matcher_index_build", |b| {
+        b.iter(|| black_box(NodeMatcher::new(&ds.graph, &ds.library).match_name("Germany")))
+    });
+    let matcher = NodeMatcher::new(&ds.graph, &ds.library);
+    group.bench_function("subquery_plan_build", |b| {
+        b.iter(|| {
+            black_box(
+                SubQueryPlan::build(&ds.graph, &space, &matcher, &q.graph, &d.subqueries[0], 4, 0.8)
+                    .sources
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_semgraph);
+criterion_main!(benches);

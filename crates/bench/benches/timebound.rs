@@ -1,0 +1,36 @@
+//! TBQ overhead at several bounds (the Fig. 15 micro view) plus the TA-cost
+//! calibration itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::dataset::DatasetSpec;
+use datagen::workload::produced_workload;
+use sgq::{SgqConfig, SgqEngine, TimeBoundConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_timebound(c: &mut Criterion) {
+    let ds = DatasetSpec::dbpedia_like(2.0).build();
+    let space = ds.oracle_space();
+    let q = &produced_workload(&ds)[0];
+    let engine = SgqEngine::new(
+        &ds.graph,
+        &space,
+        &ds.library,
+        SgqConfig { k: 100, tau: 0.3, ..SgqConfig::default() },
+    );
+    let mut group = c.benchmark_group("tbq");
+    group.sample_size(15);
+    for bound_us in [500u64, 5_000, 50_000] {
+        let tb = TimeBoundConfig::with_bound(Duration::from_micros(bound_us));
+        group.bench_function(format!("tbq_bound_{bound_us}us"), |b| {
+            b.iter(|| black_box(engine.query_time_bounded(&q.graph, &tb).unwrap().matches.len()))
+        });
+    }
+    group.bench_function("calibrate_ta_cost", |b| {
+        b.iter(|| black_box(sgq::timebound::calibrate_ta_cost()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_timebound);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro -- all                 # every experiment
+//! repro -- table1 fig12       # a subset
+//! repro -- --scale 0.5 all    # scale dataset cardinalities
+//! repro -- --list             # registry
+//! ```
+
+use sgq_bench::{run_experiment, EXPERIMENTS};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1.0f64;
+    if let Some(pos) = args.iter().position(|a| a == "--scale") {
+        if pos + 1 < args.len() {
+            scale = args[pos + 1].parse().unwrap_or(1.0);
+            args.drain(pos..=pos + 1);
+        } else {
+            args.remove(pos);
+        }
+    }
+    if args.is_empty() || args.iter().any(|a| a == "--list" || a == "-l" || a == "--help") {
+        eprintln!("usage: repro [--scale S] <experiment…|all>\n\nexperiments:");
+        for (name, desc) in EXPERIMENTS {
+            eprintln!("  {name:<8} {desc}");
+        }
+        return;
+    }
+    let selected: Vec<&str> = if args.iter().any(|a| a == "all") {
+        EXPERIMENTS.iter().map(|(n, _)| *n).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for name in selected {
+        match run_experiment(name, scale) {
+            Some(output) => {
+                println!("================================================================");
+                println!("{output}");
+            }
+            None => eprintln!("unknown experiment `{name}` (try --list)"),
+        }
+    }
+}

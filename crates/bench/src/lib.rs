@@ -1,0 +1,17 @@
+//! # sgq-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's §VII evaluation over
+//! the synthetic datasets (see DESIGN.md §5 for the experiment index):
+//!
+//! ```text
+//! cargo run -p sgq-bench --release --bin repro -- all
+//! cargo run -p sgq-bench --release --bin repro -- table1 fig12 fig15 …
+//! ```
+//!
+//! Criterion micro-benchmarks live under `benches/` and cover the latency
+//! panels (Figs. 12–14(d)) plus the engine's building blocks.
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{run_experiment, EXPERIMENTS};

@@ -1,0 +1,77 @@
+//! Minimal fixed-width text tables for experiment output.
+
+/// Renders rows as a fixed-width table with a header rule, e.g.
+///
+/// ```text
+/// Method  P     R     F1
+/// ------  ----  ----  ----
+/// SGQ     0.96  0.48  0.64
+/// ```
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+            .trim_end()
+            .to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&fmt_row(&rule, &widths));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats an f64 with 2 decimals, or "–" for NaN (method not applicable).
+pub fn cell(v: f64) -> String {
+    if v.is_nan() {
+        "–".to_string()
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let out = render(
+            &["Method", "P"],
+            &[
+                vec!["SGQ".into(), "0.96".into()],
+                vec!["gStore-long".into(), "1.00".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Method"));
+        assert!(lines[1].starts_with("------"));
+        assert!(lines[3].starts_with("gStore-long"));
+    }
+
+    #[test]
+    fn cell_formats() {
+        assert_eq!(cell(0.5), "0.50");
+        assert_eq!(cell(f64::NAN), "–");
+    }
+}

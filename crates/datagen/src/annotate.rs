@@ -1,0 +1,202 @@
+//! Simulated user study (paper §VII-D, Table VII).
+//!
+//! The paper crowd-sources pairwise answer preferences (20 queries × 30
+//! pairs × 10 annotators) and reports the Pearson correlation between SGQ's
+//! rank differences and the annotators' preference differences. Humans are
+//! substituted by stochastic annotators that prefer the answer with higher
+//! ground-truth quality with probability [`UserStudyConfig::fidelity`]
+//! (and otherwise answer randomly), preserving the *protocol* exactly:
+//! group by match score, sample cross-group pairs, collect 10 opinions per
+//! pair, correlate.
+
+use crate::metrics::pearson;
+use kgraph::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rustc_hash::FxHashSet;
+
+/// Parameters of the simulated study.
+#[derive(Debug, Clone, Copy)]
+pub struct UserStudyConfig {
+    /// Random answer pairs evaluated per query (paper: 30).
+    pub pairs: usize,
+    /// Annotators per pair (paper: 10).
+    pub annotators: usize,
+    /// Probability an annotator prefers the objectively better answer.
+    pub fidelity: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UserStudyConfig {
+    fn default() -> Self {
+        Self {
+            pairs: 30,
+            annotators: 10,
+            fidelity: 0.85,
+            seed: 0x05ED,
+        }
+    }
+}
+
+/// A ranked answer presented to the annotators.
+#[derive(Debug, Clone, Copy)]
+pub struct RankedAnswer {
+    /// The answer entity.
+    pub node: NodeId,
+    /// Its match score (Eq. 2).
+    pub score: f64,
+}
+
+/// Runs the simulated study for one query. Returns `None` when fewer than
+/// two distinct score groups exist (the paper only selects queries whose
+/// answers span multiple schemas/groups).
+pub fn simulated_pcc(
+    answers: &[RankedAnswer],
+    truth: &[NodeId],
+    cfg: &UserStudyConfig,
+) -> Option<f64> {
+    // Group answers by (quantised) match score, mirroring "we divided them
+    // into several groups according to the match scores".
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut last_score = f64::NAN;
+    for (rank, a) in answers.iter().enumerate() {
+        let q = (a.score * 1e6).round();
+        if (q - last_score).abs() > 0.5 || groups.is_empty() {
+            groups.push(Vec::new());
+            last_score = q;
+        }
+        groups.last_mut().expect("pushed").push(rank);
+    }
+    if groups.len() < 2 {
+        return None;
+    }
+
+    let truth_set: FxHashSet<NodeId> = truth.iter().copied().collect();
+    let quality = |rank: usize| -> f64 {
+        let a = &answers[rank];
+        // Ground-truth membership dominates; score breaks ties smoothly.
+        f64::from(u8::from(truth_set.contains(&a.node))) + a.score * 0.01
+    };
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut xs = Vec::with_capacity(cfg.pairs);
+    let mut ys = Vec::with_capacity(cfg.pairs);
+    for _ in 0..cfg.pairs {
+        // Sample two answers from different groups ("to avoid evaluating
+        // two answers with the same match score").
+        let ga = rng.random_range(0..groups.len());
+        let gb = loop {
+            let g = rng.random_range(0..groups.len());
+            if g != ga {
+                break g;
+            }
+        };
+        let a = groups[ga][rng.random_range(0..groups[ga].len())];
+        let b = groups[gb][rng.random_range(0..groups[gb].len())];
+
+        // X: difference of SGQ ranks (positive when `a` is ranked better).
+        xs.push(b as f64 - a as f64);
+        // Y: difference of annotator counts preferring each answer.
+        let better_is_a = quality(a) >= quality(b);
+        let mut prefer_a = 0i64;
+        for _ in 0..cfg.annotators {
+            let follows_quality = rng.random_bool(cfg.fidelity.clamp(0.0, 1.0));
+            let prefers_a = if follows_quality {
+                better_is_a
+            } else {
+                rng.random_bool(0.5)
+            };
+            if prefers_a {
+                prefer_a += 1;
+            }
+        }
+        ys.push((2 * prefer_a - cfg.annotators as i64) as f64);
+    }
+    pearson(&xs, &ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn answers_with_truth_prefix(n: usize, truthful: usize) -> (Vec<RankedAnswer>, Vec<NodeId>) {
+        let answers: Vec<RankedAnswer> = (0..n)
+            .map(|i| RankedAnswer {
+                node: NodeId::new(i as u32),
+                score: 1.0 - i as f64 * 0.07,
+            })
+            .collect();
+        let truth: Vec<NodeId> = (0..truthful as u32).map(NodeId::new).collect();
+        (answers, truth)
+    }
+
+    #[test]
+    fn good_ranking_yields_strong_positive_pcc() {
+        // SGQ ranks all truthful answers first → annotators agree → strong
+        // positive correlation (paper: PCC ≥ 0.5 on 16 of 20 queries).
+        let (answers, truth) = answers_with_truth_prefix(12, 6);
+        let pcc = simulated_pcc(&answers, &truth, &UserStudyConfig::default()).unwrap();
+        assert!(pcc > 0.5, "expected strong correlation, got {pcc}");
+    }
+
+    #[test]
+    fn inverted_ranking_yields_negative_pcc() {
+        let (mut answers, truth) = answers_with_truth_prefix(12, 6);
+        answers.reverse(); // SGQ now ranks the wrong answers first
+        // Re-assign descending scores so grouping still works.
+        for (i, a) in answers.iter_mut().enumerate() {
+            a.score = 1.0 - i as f64 * 0.07;
+        }
+        let pcc = simulated_pcc(&answers, &truth, &UserStudyConfig::default()).unwrap();
+        assert!(pcc < 0.0, "inverted ranking must anti-correlate, got {pcc}");
+    }
+
+    #[test]
+    fn single_group_returns_none() {
+        let answers: Vec<RankedAnswer> = (0..5)
+            .map(|i| RankedAnswer {
+                node: NodeId::new(i),
+                score: 0.9, // identical scores → one group
+            })
+            .collect();
+        let truth = vec![NodeId::new(0)];
+        assert!(simulated_pcc(&answers, &truth, &UserStudyConfig::default()).is_none());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (answers, truth) = answers_with_truth_prefix(10, 5);
+        let cfg = UserStudyConfig::default();
+        let a = simulated_pcc(&answers, &truth, &cfg);
+        let b = simulated_pcc(&answers, &truth, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lower_fidelity_weakens_correlation() {
+        let (answers, truth) = answers_with_truth_prefix(12, 6);
+        let strong = simulated_pcc(
+            &answers,
+            &truth,
+            &UserStudyConfig {
+                fidelity: 0.95,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let weak = simulated_pcc(
+            &answers,
+            &truth,
+            &UserStudyConfig {
+                fidelity: 0.55,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            strong > weak,
+            "fidelity 0.95 ⇒ pcc {strong} should exceed fidelity 0.55 ⇒ {weak}"
+        );
+    }
+}

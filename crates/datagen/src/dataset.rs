@@ -1,0 +1,537 @@
+//! Schema-driven synthetic knowledge-graph generation.
+//!
+//! Each generated dataset reproduces the *situation* of the paper's Fig. 1:
+//! one query intent ("cars produced in X") is materialised through several
+//! paraphrase schemas with controlled cardinalities — a direct `assembly`
+//! edge, a 2-hop city route, 2-hop company routes — plus "reasonable but
+//! not validated" schemas (the paper's §VII-B table shows SGQ finding
+//! those) and semantically-wrong distractor routes of the right shape
+//! (designer/nationality), which punish structure-only baselines. Ground
+//! truth is recorded during generation, never recomputed.
+
+use crate::workload::country_abbreviation;
+use kgraph::{GraphBuilder, KnowledgeGraph, NodeId};
+use lexicon::TransformationLibrary;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rustc_hash::FxHashMap;
+
+/// Answer cardinalities per country for the "produced in" intent
+/// (Fig. 1's right-hand side, scaled).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaCounts {
+    /// `Auto —assembly→ Country` (correct; Fig. 1's 234-answer schema).
+    pub direct_assembly: usize,
+    /// `Auto —product→ Country` (correct).
+    pub direct_product: usize,
+    /// `Auto —assembly→ City —country→ Country` (correct; the 133 schema).
+    pub via_city: usize,
+    /// `Auto —assembly→ City —federalState→ Region —country→ Country`
+    /// (correct, 3-hop; the Fig. 8 `federalState` route — only reachable
+    /// with n̂ ≥ 3, which drives the Table X sensitivity).
+    pub via_city_state: usize,
+    /// `Auto —manufacturer→ Company —location→ Country` (correct; 53).
+    pub via_company_location: usize,
+    /// `Auto —manufacturer→ Company —locationCountry→ Country` (correct; 44).
+    pub via_company_loc_country: usize,
+    /// `Auto —assembly→ Company —location→ Country` (reasonable, **not** in
+    /// the validation set — found by SGQ in the paper's §VII-B table).
+    pub assembly_company: usize,
+    /// `Auto —designCompany→ Company —location→ Country` (reasonable, not
+    /// validated).
+    pub design_company: usize,
+    /// `Auto ←designer— Person —nationality→ Country` (semantically wrong:
+    /// designed by a national, not produced there).
+    pub designer_distractor: usize,
+    /// `Auto —popularIn→ Country` (semantically wrong but structurally
+    /// *identical* to the correct 1-hop schema — sold there, not produced
+    /// there; punishes predicate-blind methods precisely as the paper's
+    /// Table I shows for NeMa/p-hom/GraB).
+    pub popular_distractor: usize,
+}
+
+impl SchemaCounts {
+    fn scaled(&self, s: f64) -> Self {
+        let f = |x: usize| ((x as f64 * s).round() as usize).max(1);
+        Self {
+            direct_assembly: f(self.direct_assembly),
+            direct_product: f(self.direct_product),
+            via_city: f(self.via_city),
+            via_city_state: f(self.via_city_state),
+            via_company_location: f(self.via_company_location),
+            via_company_loc_country: f(self.via_company_loc_country),
+            assembly_company: f(self.assembly_company),
+            design_company: f(self.design_company),
+            designer_distractor: f(self.designer_distractor),
+            popular_distractor: f(self.popular_distractor),
+        }
+    }
+
+    /// Size of the validation set per country.
+    pub fn validated(&self) -> usize {
+        self.direct_assembly
+            + self.direct_product
+            + self.via_city
+            + self.via_city_state
+            + self.via_company_location
+            + self.via_company_loc_country
+    }
+}
+
+/// Specification of one synthetic dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Dataset display name (Table IV style).
+    pub name: String,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Number of countries (each gets its own answer sets).
+    pub countries: usize,
+    /// Per-country schema cardinalities.
+    pub counts: SchemaCounts,
+    /// Per country-pair: autos assembled in cᵢ with an engine from cᵢ₊₁
+    /// (`Auto —engine→ Device —manufacturer→ Country`, the Fig. 3(a) chain).
+    pub engines_per_pair: usize,
+    /// Soccer domain: clubs per country (`Club —ground→ City —country→
+    /// Country`) for the Fig. 16 complex query.
+    pub clubs_per_country: usize,
+    /// Players per club (`Person —team→ Club`, `Person —nationality→
+    /// Country`).
+    pub players_per_club: usize,
+    /// Entities attached through the `misc` cluster (languages etc.).
+    pub misc_entities: usize,
+    /// Uniform random `related` edges (graph noise / hub degree).
+    pub noise_edges: usize,
+    /// Extra low-population entity types (Freebase's type-count profile).
+    pub extra_type_variety: usize,
+}
+
+impl DatasetSpec {
+    /// DBpedia-like profile (few types, production schemas dominate).
+    pub fn dbpedia_like(scale: f64) -> Self {
+        Self {
+            name: "DBpedia-like".into(),
+            seed: 0xDB,
+            countries: 8,
+            counts: SchemaCounts {
+                direct_assembly: 23,
+                direct_product: 8,
+                via_city: 13,
+                via_city_state: 6,
+                via_company_location: 5,
+                via_company_loc_country: 4,
+                assembly_company: 4,
+                design_company: 3,
+                designer_distractor: 10,
+                popular_distractor: 25,
+            }
+            .scaled(scale),
+            engines_per_pair: ((8.0 * scale).round() as usize).max(1),
+            clubs_per_country: 3,
+            players_per_club: ((6.0 * scale).round() as usize).max(2),
+            misc_entities: ((120.0 * scale).round() as usize).max(10),
+            noise_edges: ((400.0 * scale).round() as usize).max(20),
+            extra_type_variety: 12,
+        }
+    }
+
+    /// Freebase-like profile (many entity types, denser).
+    pub fn freebase_like(scale: f64) -> Self {
+        Self {
+            name: "Freebase-like".into(),
+            seed: 0xFB,
+            countries: 10,
+            extra_type_variety: 60,
+            noise_edges: ((800.0 * scale).round() as usize).max(40),
+            ..Self::dbpedia_like(scale)
+        }
+    }
+
+    /// YAGO2-like profile (more entities, leaner predicate use).
+    pub fn yago2_like(scale: f64) -> Self {
+        Self {
+            name: "YAGO2-like".into(),
+            seed: 0x7A,
+            countries: 12,
+            misc_entities: ((300.0 * scale).round() as usize).max(20),
+            extra_type_variety: 30,
+            ..Self::dbpedia_like(scale)
+        }
+    }
+
+    /// A miniature profile for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            name: "Tiny".into(),
+            seed: 42,
+            countries: 3,
+            counts: SchemaCounts {
+                direct_assembly: 4,
+                direct_product: 2,
+                via_city: 3,
+                via_city_state: 2,
+                via_company_location: 2,
+                via_company_loc_country: 2,
+                assembly_company: 1,
+                design_company: 1,
+                designer_distractor: 3,
+                popular_distractor: 3,
+            },
+            engines_per_pair: 2,
+            clubs_per_country: 2,
+            players_per_club: 2,
+            misc_entities: 5,
+            noise_edges: 10,
+            extra_type_variety: 2,
+        }
+    }
+
+    /// Generates the dataset.
+    pub fn build(&self) -> BenchDataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut b = GraphBuilder::new();
+
+        let country_names: Vec<String> = REAL_COUNTRIES
+            .iter()
+            .map(|s| s.to_string())
+            .chain((REAL_COUNTRIES.len()..self.countries).map(|i| format!("Country_{i}")))
+            .take(self.countries)
+            .collect();
+        let countries: Vec<NodeId> = country_names
+            .iter()
+            .map(|n| b.add_node(n, "Country"))
+            .collect();
+
+        let mut produced_truth: FxHashMap<String, Vec<NodeId>> = FxHashMap::default();
+        let mut assembled_truth: FxHashMap<String, Vec<NodeId>> = FxHashMap::default();
+        let mut reasonable: FxHashMap<String, Vec<NodeId>> = FxHashMap::default();
+        let mut distractors: FxHashMap<String, Vec<NodeId>> = FxHashMap::default();
+        let mut engine_truth: FxHashMap<(String, String), Vec<NodeId>> = FxHashMap::default();
+        let mut players_truth: FxHashMap<String, Vec<NodeId>> = FxHashMap::default();
+
+        // ------------------------------------------------------- production
+        for (ci, cname) in country_names.iter().enumerate() {
+            let c = countries[ci];
+            let mut car_no = 0usize;
+            let new_car = |b: &mut GraphBuilder, tag: &str, n: &mut usize| {
+                let id = b.add_node(&format!("{cname}_{tag}_Car_{n}"), "Automobile");
+                *n += 1;
+                id
+            };
+            let truth = produced_truth.entry(cname.clone()).or_default();
+            let assembled = assembled_truth.entry(cname.clone()).or_default();
+            for _ in 0..self.counts.direct_assembly {
+                let car = new_car(&mut b, "asm", &mut car_no);
+                b.add_edge(car, c, "assembly");
+                truth.push(car);
+                assembled.push(car);
+            }
+            for _ in 0..self.counts.direct_product {
+                let car = new_car(&mut b, "prod", &mut car_no);
+                b.add_edge(car, c, "product");
+                truth.push(car);
+            }
+            for i in 0..self.counts.via_city {
+                let car = new_car(&mut b, "city", &mut car_no);
+                let city = b.add_node(&format!("{cname}_City_{}", i % 5), "City");
+                b.add_edge(car, city, "assembly");
+                b.add_edge(city, c, "country");
+                truth.push(car);
+                assembled.push(car);
+            }
+            for i in 0..self.counts.via_city_state {
+                let car = new_car(&mut b, "cityState", &mut car_no);
+                let city = b.add_node(&format!("{cname}_RegCity_{}", i % 3), "City");
+                let region = b.add_node(&format!("{cname}_Region_{}", i % 2), "Region");
+                b.add_edge(car, city, "assembly");
+                b.add_edge(city, region, "federalState");
+                b.add_edge(region, c, "country");
+                truth.push(car);
+                assembled.push(car);
+            }
+            for i in 0..self.counts.via_company_location {
+                let car = new_car(&mut b, "coL", &mut car_no);
+                let co = b.add_node(&format!("{cname}_Co_{}", i % 4), "Company");
+                b.add_edge(car, co, "manufacturer");
+                b.add_edge(co, c, "location");
+                truth.push(car);
+            }
+            for i in 0..self.counts.via_company_loc_country {
+                let car = new_car(&mut b, "coLC", &mut car_no);
+                let co = b.add_node(&format!("{cname}_CoLC_{}", i % 4), "Company");
+                b.add_edge(car, co, "manufacturer");
+                b.add_edge(co, c, "locationCountry");
+                truth.push(car);
+            }
+            let reas = reasonable.entry(cname.clone()).or_default();
+            for i in 0..self.counts.assembly_company {
+                let car = new_car(&mut b, "asmCo", &mut car_no);
+                let co = b.add_node(&format!("{cname}_AsmCo_{}", i % 3), "Company");
+                b.add_edge(car, co, "assembly");
+                b.add_edge(co, c, "location");
+                reas.push(car);
+            }
+            for i in 0..self.counts.design_company {
+                let car = new_car(&mut b, "dsgCo", &mut car_no);
+                let co = b.add_node(&format!("{cname}_DsgCo_{}", i % 3), "Company");
+                b.add_edge(car, co, "designCompany");
+                b.add_edge(co, c, "location");
+                reas.push(car);
+            }
+            let dis = distractors.entry(cname.clone()).or_default();
+            for i in 0..self.counts.popular_distractor {
+                let car = new_car(&mut b, "pop", &mut car_no);
+                b.add_edge(car, c, if i % 2 == 0 { "popularIn" } else { "soldIn" });
+                dis.push(car);
+            }
+            for i in 0..self.counts.designer_distractor {
+                let car = new_car(&mut b, "dsgnr", &mut car_no);
+                let person = b.add_node(&format!("{cname}_Designer_{i}"), "Person");
+                b.add_edge(person, car, "designer");
+                b.add_edge(person, c, "nationality");
+                dis.push(car);
+            }
+        }
+
+        // ----------------------------------------------- engines (Fig. 3a)
+        for ci in 0..self.countries {
+            let cj = (ci + 1) % self.countries;
+            let (ca, ce) = (&country_names[ci], &country_names[cj]);
+            let entry = engine_truth.entry((ca.clone(), ce.clone())).or_default();
+            for i in 0..self.engines_per_pair {
+                let car = b.add_node(&format!("{ca}_{ce}_EngCar_{i}"), "Automobile");
+                b.add_edge(car, countries[ci], "assembly");
+                let dev = b.add_node(&format!("{ce}_Engine_{i}"), "Device");
+                b.add_edge(car, dev, "engine");
+                b.add_edge(dev, countries[cj], "manufacturer");
+                produced_truth.get_mut(ca).expect("seen").push(car);
+                assembled_truth.get_mut(ca).expect("seen").push(car);
+                entry.push(car);
+            }
+        }
+
+        // ------------------------------------------------- soccer (Fig. 16)
+        for (ci, cname) in country_names.iter().enumerate() {
+            let c = countries[ci];
+            let foreign = (ci + 1) % self.countries;
+            let mut clubs = Vec::new();
+            for i in 0..self.clubs_per_country {
+                let club = b.add_node(&format!("{cname}_Club_{i}"), "SoccerClub");
+                let city = b.add_node(&format!("{cname}_StadiumCity_{i}"), "City");
+                b.add_edge(club, city, "ground");
+                b.add_edge(city, c, "country");
+                clubs.push(club);
+            }
+            for (i, &club) in clubs.iter().enumerate() {
+                for j in 0..self.players_per_club {
+                    let p = b.add_node(&format!("{cname}_Player_{i}_{j}"), "Person");
+                    b.add_edge(p, club, "team");
+                    b.add_edge(p, c, "nationality");
+                    // Half the players also played for a club of the next
+                    // country — these satisfy the Fig. 16 complex query
+                    // (nationality cᵢ, team grounded in cᵢ, team grounded
+                    // in cᵢ₊₁).
+                    if j % 2 == 0 {
+                        let fclub = b.add_node(
+                            &format!("{}_Club_{}", country_names[foreign], i % self.clubs_per_country),
+                            "SoccerClub",
+                        );
+                        b.add_edge(p, fclub, "team");
+                        players_truth.entry(cname.clone()).or_default().push(p);
+                    }
+                }
+            }
+        }
+
+        // --------------------------------------------------- misc + noise
+        for (ci, &c) in countries.iter().enumerate() {
+            let lang = b.add_node(&format!("Language_{ci}"), "Language");
+            b.add_edge(c, lang, "language");
+            let cur = b.add_node(&format!("Currency_{ci}"), "Currency");
+            b.add_edge(c, cur, "currency");
+        }
+        for i in 0..self.misc_entities {
+            let m = b.add_node(&format!("Misc_{i}"), "Thing");
+            let c = countries[rng.random_range(0..countries.len())];
+            b.add_edge(m, c, "knownFor");
+        }
+        for t in 0..self.extra_type_variety {
+            for i in 0..3 {
+                let e = b.add_node(&format!("Rare_{t}_{i}"), &format!("RareType_{t}"));
+                let c = countries[rng.random_range(0..countries.len())];
+                b.add_edge(e, c, "related");
+            }
+        }
+        let total_nodes = b.node_count() as u32;
+        for _ in 0..self.noise_edges {
+            let x = NodeId::new(rng.random_range(0..total_nodes));
+            let y = NodeId::new(rng.random_range(0..total_nodes));
+            if x != y {
+                b.add_edge(x, y, "related");
+            }
+        }
+
+        let graph = b.finish();
+        let library = build_library(&country_names);
+        BenchDataset {
+            name: self.name.clone(),
+            spec: self.clone(),
+            graph,
+            library,
+            countries: country_names,
+            produced_truth,
+            assembled_truth,
+            reasonable,
+            distractors,
+            engine_truth,
+            players_truth,
+        }
+    }
+}
+
+/// Real country names for readable examples; more are generated on demand.
+const REAL_COUNTRIES: &[&str] = &[
+    "Germany", "China", "Korea", "France", "Japan", "Spain", "England", "Italy", "USA", "India",
+    "Brazil", "Canada",
+];
+
+/// The Table III transformation library covering the generated vocabulary.
+fn build_library(countries: &[String]) -> TransformationLibrary {
+    let mut lib = TransformationLibrary::new();
+    lib.add_synonym_row("Automobile", &["Car", "Motorcar", "Auto", "Vehicle"]);
+    lib.add_synonym_row("Person", &["Human", "Individual"]);
+    lib.add_synonym_row("SoccerClub", &["FootballClub", "Football Team"]);
+    lib.add_synonym_row("Company", &["Firm", "Corporation"]);
+    lib.add_synonym_row("Device", &["Machine", "Apparatus"]);
+    lib.add_synonym_row("Country", &["Nation", "State"]);
+    lib.add_synonym_row("product", &["produced", "produce"]);
+    for c in countries {
+        lib.add_abbreviation_row(c, &[&country_abbreviation(c)]);
+    }
+    lib
+}
+
+/// A generated dataset with its exact ground truth.
+#[derive(Debug, Clone)]
+pub struct BenchDataset {
+    /// Display name.
+    pub name: String,
+    /// The spec that produced it.
+    pub spec: DatasetSpec,
+    /// The knowledge graph.
+    pub graph: KnowledgeGraph,
+    /// Transformation library covering the vocabulary.
+    pub library: TransformationLibrary,
+    /// Country names in id order.
+    pub countries: Vec<String>,
+    /// Validation set of "cars produced in c" (the correct schemas).
+    pub produced_truth: FxHashMap<String, Vec<NodeId>>,
+    /// Cars *assembled* in c (assembly schemas only).
+    pub assembled_truth: FxHashMap<String, Vec<NodeId>>,
+    /// Reasonable-but-not-validated answers per country (§VII-B table).
+    pub reasonable: FxHashMap<String, Vec<NodeId>>,
+    /// Semantically wrong same-shape answers per country.
+    pub distractors: FxHashMap<String, Vec<NodeId>>,
+    /// Cars assembled in `pair.0` with an engine manufactured in `pair.1`.
+    pub engine_truth: FxHashMap<(String, String), Vec<NodeId>>,
+    /// Fig. 16 players per home country.
+    pub players_truth: FxHashMap<String, Vec<NodeId>>,
+}
+
+impl BenchDataset {
+    /// The oracle predicate space for this dataset (see [`crate::schema`]).
+    pub fn oracle_space(&self) -> embedding::PredicateSpace {
+        crate::schema::oracle_space(&self.graph, self.spec.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::GraphStats;
+
+    #[test]
+    fn tiny_dataset_builds_with_expected_truth_sizes() {
+        let ds = DatasetSpec::tiny().build();
+        assert_eq!(ds.countries.len(), 3);
+        let truth = &ds.produced_truth["Germany"];
+        // validated() + engine cars assembled in Germany.
+        assert_eq!(
+            truth.len(),
+            ds.spec.counts.validated() + ds.spec.engines_per_pair
+        );
+        assert_eq!(ds.reasonable["Germany"].len(), 2);
+        assert_eq!(ds.distractors["Germany"].len(), 6);
+        assert!(!ds.engine_truth[&("Germany".into(), "China".into())].is_empty());
+    }
+
+    #[test]
+    fn truth_nodes_have_the_right_type() {
+        let ds = DatasetSpec::tiny().build();
+        for cars in ds.produced_truth.values() {
+            for &car in cars {
+                assert_eq!(ds.graph.node_type_name(car), "Automobile");
+            }
+        }
+        for players in ds.players_truth.values() {
+            for &p in players {
+                assert_eq!(ds.graph.node_type_name(p), "Person");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DatasetSpec::tiny().build();
+        let b = DatasetSpec::tiny().build();
+        assert_eq!(a.graph.node_count(), b.graph.node_count());
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        assert_eq!(a.produced_truth["China"], b.produced_truth["China"]);
+    }
+
+    #[test]
+    fn profiles_differ_as_designed() {
+        let db = DatasetSpec::dbpedia_like(0.2).build();
+        let fb = DatasetSpec::freebase_like(0.2).build();
+        let yg = DatasetSpec::yago2_like(0.2).build();
+        let (sdb, sfb, syg) = (
+            GraphStats::of(&db.graph),
+            GraphStats::of(&fb.graph),
+            GraphStats::of(&yg.graph),
+        );
+        assert!(sfb.entity_types > sdb.entity_types, "Freebase has more types");
+        assert!(syg.entities > sdb.entities, "YAGO has more entities");
+        assert!(sdb.relations > 0 && sfb.relations > 0 && syg.relations > 0);
+    }
+
+    #[test]
+    fn library_covers_fig1_mismatches() {
+        let ds = DatasetSpec::tiny().build();
+        assert!(ds.library.matches("Car", "Automobile"));
+        assert!(ds.library.matches("GER", "Germany"));
+    }
+
+    #[test]
+    fn scaling_multiplies_cardinalities() {
+        let small = DatasetSpec::dbpedia_like(0.5);
+        let big = DatasetSpec::dbpedia_like(2.0);
+        assert!(big.counts.direct_assembly > small.counts.direct_assembly);
+        let g_small = small.build().graph;
+        let g_big = big.build().graph;
+        assert!(g_big.edge_count() > g_small.edge_count() * 2);
+    }
+
+    #[test]
+    fn oracle_space_covers_all_predicates() {
+        let ds = DatasetSpec::tiny().build();
+        let space = ds.oracle_space();
+        assert_eq!(space.len(), ds.graph.predicate_count());
+        let p = |l: &str| ds.graph.predicate_id(l).unwrap();
+        assert!(space.sim(p("product"), p("assembly")) > 0.85);
+        // designer sits at the paper's moderate affinity (~0.85), clearly
+        // below the within-cluster band.
+        let designer = space.sim(p("product"), p("designer"));
+        assert!(designer < space.sim(p("product"), p("assembly")));
+        assert!((0.7..0.95).contains(&designer));
+    }
+}

@@ -1,0 +1,220 @@
+//! Evaluation metrics of §VII-A: precision, recall, F1, Jaccard (Eq. 12),
+//! and the Pearson correlation coefficient used by the user study
+//! (Table VII).
+
+use kgraph::NodeId;
+use rustc_hash::FxHashSet;
+use serde::{Deserialize, Serialize};
+
+/// Precision and recall of `answers` against a validation set (§VII-A:
+/// precision = correct ∩ answers / answers; recall = correct ∩ answers /
+/// correct). Empty denominators yield 0.
+pub fn precision_recall(answers: &[NodeId], truth: &[NodeId]) -> (f64, f64) {
+    if answers.is_empty() || truth.is_empty() {
+        return (0.0, 0.0);
+    }
+    let truth_set: FxHashSet<NodeId> = truth.iter().copied().collect();
+    let answer_set: FxHashSet<NodeId> = answers.iter().copied().collect();
+    let hits = answer_set.intersection(&truth_set).count() as f64;
+    (hits / answer_set.len() as f64, hits / truth_set.len() as f64)
+}
+
+/// Harmonic mean `F1 = 2 / (1/P + 1/R)`; 0 when either is 0.
+pub fn f1_score(precision: f64, recall: f64) -> f64 {
+    if precision <= 0.0 || recall <= 0.0 {
+        0.0
+    } else {
+        2.0 / (1.0 / precision + 1.0 / recall)
+    }
+}
+
+/// Jaccard similarity `|A ∩ B| / |A ∪ B|` (paper Eq. 12, the approximation
+/// degree of TBQ answers). Two empty sets are identical (1.0).
+pub fn jaccard(a: &[NodeId], b: &[NodeId]) -> f64 {
+    let sa: FxHashSet<NodeId> = a.iter().copied().collect();
+    let sb: FxHashSet<NodeId> = b.iter().copied().collect();
+    let union = sa.union(&sb).count();
+    if union == 0 {
+        return 1.0;
+    }
+    sa.intersection(&sb).count() as f64 / union as f64
+}
+
+/// Pearson correlation coefficient of two paired samples; `None` when
+/// either sample is degenerate (fewer than 2 points or zero variance).
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "pearson requires paired samples");
+    let n = x.len();
+    if n < 2 {
+        return None;
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (mx, my) = (mean(x), mean(y));
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mx;
+        let dy = y[i] - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return None;
+    }
+    Some(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+/// One row of an effectiveness/efficiency table (the per-method per-k cells
+/// of Figs. 12–14).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EffReport {
+    /// Mean precision.
+    pub precision: f64,
+    /// Mean recall.
+    pub recall: f64,
+    /// Mean F1.
+    pub f1: f64,
+    /// Mean response time in milliseconds.
+    pub time_ms: f64,
+}
+
+impl EffReport {
+    /// Averages a set of per-query reports.
+    pub fn mean(reports: &[EffReport]) -> EffReport {
+        if reports.is_empty() {
+            return EffReport::default();
+        }
+        let n = reports.len() as f64;
+        EffReport {
+            precision: reports.iter().map(|r| r.precision).sum::<f64>() / n,
+            recall: reports.iter().map(|r| r.recall).sum::<f64>() / n,
+            f1: reports.iter().map(|r| r.f1).sum::<f64>() / n,
+            time_ms: reports.iter().map(|r| r.time_ms).sum::<f64>() / n,
+        }
+    }
+
+    /// Builds a report from answers, truth and elapsed time.
+    pub fn from_answers(answers: &[NodeId], truth: &[NodeId], time_ms: f64) -> EffReport {
+        let (p, r) = precision_recall(answers, truth);
+        EffReport {
+            precision: p,
+            recall: r,
+            f1: f1_score(p, r),
+            time_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ids(v: &[u32]) -> Vec<NodeId> {
+        v.iter().map(|&i| NodeId::new(i)).collect()
+    }
+
+    #[test]
+    fn precision_recall_basic() {
+        let answers = ids(&[1, 2, 3, 4]);
+        let truth = ids(&[3, 4, 5, 6, 7, 8, 9, 10]);
+        let (p, r) = precision_recall(&answers, &truth);
+        assert_eq!(p, 0.5);
+        assert_eq!(r, 0.25);
+    }
+
+    #[test]
+    fn table1_style_numbers() {
+        // gStore on Q117: finds 234 of 596, all correct → P 1.0, R 0.39.
+        let truth: Vec<NodeId> = (0..596).map(NodeId::new).collect();
+        let answers: Vec<NodeId> = (0..234).map(NodeId::new).collect();
+        let (p, r) = precision_recall(&answers, &truth);
+        assert_eq!(p, 1.0);
+        assert!((r - 0.39).abs() < 0.01);
+    }
+
+    #[test]
+    fn f1_harmonic_mean() {
+        assert!((f1_score(1.0, 0.39) - 0.561).abs() < 1e-3);
+        assert_eq!(f1_score(0.0, 0.5), 0.0);
+        assert_eq!(f1_score(1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(precision_recall(&[], &ids(&[1])), (0.0, 0.0));
+        assert_eq!(precision_recall(&ids(&[1]), &[]), (0.0, 0.0));
+        assert_eq!(jaccard(&[], &[]), 1.0);
+        assert_eq!(jaccard(&ids(&[1]), &[]), 0.0);
+    }
+
+    #[test]
+    fn jaccard_eq12() {
+        // Eq. 12 with k = 4, k∩ = 2: 2 / (8 − 2) = 1/3.
+        let a = ids(&[1, 2, 3, 4]);
+        let b = ids(&[3, 4, 5, 6]);
+        assert!((jaccard(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(jaccard(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn pearson_perfect_correlations() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let up: Vec<f64> = x.iter().map(|v| 2.0 * v + 1.0).collect();
+        let down: Vec<f64> = x.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &down).unwrap() + 1.0).abs() < 1e-12);
+        assert!(pearson(&x, &[5.0, 5.0, 5.0, 5.0]).is_none());
+        assert!(pearson(&[1.0], &[2.0]).is_none());
+    }
+
+    #[test]
+    fn report_mean() {
+        let a = EffReport { precision: 1.0, recall: 0.5, f1: 0.66, time_ms: 10.0 };
+        let b = EffReport { precision: 0.0, recall: 0.5, f1: 0.0, time_ms: 30.0 };
+        let m = EffReport::mean(&[a, b]);
+        assert_eq!(m.precision, 0.5);
+        assert_eq!(m.time_ms, 20.0);
+        assert_eq!(EffReport::mean(&[]), EffReport::default());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_metric_ranges(
+            answers in proptest::collection::vec(0u32..50, 0..30),
+            truth in proptest::collection::vec(0u32..50, 0..30),
+        ) {
+            let a = ids(&answers);
+            let t = ids(&truth);
+            let (p, r) = precision_recall(&a, &t);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!((0.0..=1.0).contains(&r));
+            let f1 = f1_score(p, r);
+            prop_assert!((0.0..=1.0).contains(&f1));
+            let j = jaccard(&a, &t);
+            prop_assert!((0.0..=1.0).contains(&j));
+        }
+
+        #[test]
+        fn prop_jaccard_symmetric(
+            a in proptest::collection::vec(0u32..30, 0..20),
+            b in proptest::collection::vec(0u32..30, 0..20),
+        ) {
+            let (av, bv) = (ids(&a), ids(&b));
+            prop_assert_eq!(jaccard(&av, &bv), jaccard(&bv, &av));
+        }
+
+        #[test]
+        fn prop_pearson_bounded(
+            pairs in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 2..20),
+        ) {
+            let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            if let Some(r) = pearson(&x, &y) {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            }
+        }
+    }
+}

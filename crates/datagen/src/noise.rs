@@ -1,0 +1,205 @@
+//! Query-noise injection (paper §VII-E, Fig. 17 / Table VIII).
+//!
+//! * **Node noise** — a query node's name or type is replaced "with a
+//!   randomly selected synonym or abbreviation". We draw from the
+//!   transformation library's alias pool most of the time (the engine can
+//!   still resolve those through φ) and occasionally emit an out-of-library
+//!   corruption — the paper's library likewise does not cover every alias
+//!   its noise dictionary produces, which is what degrades effectiveness.
+//! * **Edge noise** — a query edge's predicate is replaced "with one of its
+//!   top-10 semantically similar predicates in the predicate semantic
+//!   space E". The paper observes this hurts more: an almost-right
+//!   predicate redirects the semantic guidance itself.
+
+use embedding::PredicateSpace;
+use kgraph::KnowledgeGraph;
+use lexicon::TransformationLibrary;
+use rand::rngs::StdRng;
+use rand::Rng;
+use sgq::query::{QueryGraph, QueryNodeKind};
+
+/// Fraction of node-noise replacements drawn from *outside* the library.
+const OUT_OF_LIBRARY: f64 = 0.3;
+
+/// Replaces one random query node's label with an alias. Returns the noisy
+/// copy (the original is untouched).
+pub fn add_node_noise(
+    query: &QueryGraph,
+    library: &TransformationLibrary,
+    rng: &mut StdRng,
+) -> QueryGraph {
+    let noisy = query.clone();
+    if noisy.nodes().is_empty() {
+        return noisy;
+    }
+    let idx = rng.random_range(0..noisy.nodes().len());
+    let node = &noisy.nodes()[idx];
+    let (label, is_name) = match &node.kind {
+        QueryNodeKind::Specific { name, .. } => (name.clone(), true),
+        QueryNodeKind::Target { ty } => (ty.clone(), false),
+    };
+    let replacement = if rng.random_bool(OUT_OF_LIBRARY) {
+        format!("{label}_zz") // unknown token: φ cannot resolve it
+    } else {
+        let aliases = library.aliases_of(&label);
+        if aliases.is_empty() {
+            format!("{label}_zz")
+        } else {
+            aliases[rng.random_range(0..aliases.len())].clone()
+        }
+    };
+    // Rebuild the query with the replaced label (QueryGraph is append-only).
+    let mut out = QueryGraph::new();
+    for (i, n) in noisy.nodes().iter().enumerate() {
+        match &n.kind {
+            QueryNodeKind::Specific { name, ty } => {
+                if i == idx && is_name {
+                    out.add_specific(&replacement, ty);
+                } else {
+                    out.add_specific(name, ty);
+                }
+            }
+            QueryNodeKind::Target { ty } => {
+                if i == idx && !is_name {
+                    out.add_target(&replacement);
+                } else {
+                    out.add_target(ty);
+                }
+            }
+        }
+    }
+    for e in noisy.edges() {
+        out.add_edge(e.from, &e.predicate, e.to);
+    }
+    out
+}
+
+/// Replaces one random query edge's predicate with one of its top-10 most
+/// similar predicates in the space.
+pub fn add_edge_noise(
+    query: &QueryGraph,
+    graph: &KnowledgeGraph,
+    space: &PredicateSpace,
+    rng: &mut StdRng,
+) -> QueryGraph {
+    if query.edges().is_empty() {
+        return query.clone();
+    }
+    let idx = rng.random_range(0..query.edges().len());
+    let original = &query.edges()[idx].predicate;
+    let replacement = graph
+        .predicate_id(original)
+        .map(|pid| {
+            let top = space.top_k_similar(pid, 10);
+            if top.is_empty() {
+                original.clone()
+            } else {
+                let (p, _) = top[rng.random_range(0..top.len())];
+                graph.predicate_name(p).to_string()
+            }
+        })
+        .unwrap_or_else(|| original.clone());
+
+    let mut out = QueryGraph::new();
+    for n in query.nodes() {
+        match &n.kind {
+            QueryNodeKind::Specific { name, ty } => {
+                out.add_specific(name, ty);
+            }
+            QueryNodeKind::Target { ty } => {
+                out.add_target(ty);
+            }
+        }
+    }
+    for (i, e) in query.edges().iter().enumerate() {
+        let pred = if i == idx { &replacement } else { &e.predicate };
+        out.add_edge(e.from, pred, e.to);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetSpec;
+    use rand::SeedableRng;
+
+    fn q117(ds: &crate::dataset::BenchDataset) -> QueryGraph {
+        let mut q = QueryGraph::new();
+        let auto = q.add_target("Automobile");
+        let de = q.add_specific(&ds.countries[0], "Country");
+        q.add_edge(auto, "assembly", de);
+        q
+    }
+
+    #[test]
+    fn node_noise_changes_exactly_one_label() {
+        let ds = DatasetSpec::tiny().build();
+        let q = q117(&ds);
+        let mut rng = StdRng::seed_from_u64(5);
+        let noisy = add_node_noise(&q, &ds.library, &mut rng);
+        assert_eq!(noisy.nodes().len(), q.nodes().len());
+        assert_eq!(noisy.edges().len(), q.edges().len());
+        let changed = q
+            .nodes()
+            .iter()
+            .zip(noisy.nodes())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(changed, 1);
+        // Structure is preserved.
+        assert_eq!(noisy.edges()[0].from, q.edges()[0].from);
+        assert_eq!(noisy.edges()[0].predicate, "assembly");
+    }
+
+    #[test]
+    fn edge_noise_swaps_to_similar_predicate() {
+        let ds = DatasetSpec::tiny().build();
+        let space = ds.oracle_space();
+        let q = q117(&ds);
+        let mut rng = StdRng::seed_from_u64(5);
+        let noisy = add_edge_noise(&q, &ds.graph, &space, &mut rng);
+        let new_pred = &noisy.edges()[0].predicate;
+        assert_ne!(new_pred, "assembly");
+        // The replacement exists in the graph vocabulary and ranks among
+        // assembly's top-10 similar predicates.
+        let pid = ds.graph.predicate_id(new_pred).expect("in vocabulary");
+        let asm = ds.graph.predicate_id("assembly").unwrap();
+        assert!(space
+            .top_k_similar(asm, 10)
+            .iter()
+            .any(|&(p, _)| p == pid));
+        // Nodes untouched.
+        assert_eq!(noisy.nodes(), q.nodes());
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let ds = DatasetSpec::tiny().build();
+        let q = q117(&ds);
+        let a = add_node_noise(&q, &ds.library, &mut StdRng::seed_from_u64(9));
+        let b = add_node_noise(&q, &ds.library, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn out_of_library_corruption_happens() {
+        let ds = DatasetSpec::tiny().build();
+        let q = q117(&ds);
+        let mut saw_unknown = false;
+        for seed in 0..40 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let noisy = add_node_noise(&q, &ds.library, &mut rng);
+            for n in noisy.nodes() {
+                let label = match &n.kind {
+                    QueryNodeKind::Specific { name, .. } => name,
+                    QueryNodeKind::Target { ty } => ty,
+                };
+                if label.ends_with("_zz") {
+                    saw_unknown = true;
+                }
+            }
+        }
+        assert!(saw_unknown, "30% of replacements should be out-of-library");
+    }
+}

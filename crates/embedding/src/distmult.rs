@@ -1,0 +1,136 @@
+//! DistMult — a bilinear-diagonal model included as a non-translational
+//! member of the embedding family surveyed in the paper's §IV-A.
+//!
+//! Plausibility is the trilinear product `score(h,r,t) = Σᵢ hᵢ·rᵢ·tᵢ`.
+//! Training maximises the margin between positive and corrupted triples.
+
+use crate::model::{row, row_mut, xavier_init, IdxTriple, KgeModel};
+use crate::vector;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// DistMult parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DistMult {
+    dim: usize,
+    entities: Vec<f32>,
+    relations: Vec<f32>,
+}
+
+impl DistMult {
+    fn entity_count(&self) -> usize {
+        self.entities.len() / self.dim
+    }
+}
+
+impl KgeModel for DistMult {
+    fn init(n_entities: usize, n_relations: usize, dim: usize, rng: &mut StdRng) -> Self {
+        Self {
+            dim,
+            entities: xavier_init(dim, n_entities * dim, rng),
+            relations: xavier_init(dim, n_relations * dim, rng),
+        }
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn score(&self, (h, r, t): IdxTriple) -> f32 {
+        let hv = row(&self.entities, self.dim, h);
+        let rv = row(&self.relations, self.dim, r);
+        let tv = row(&self.entities, self.dim, t);
+        (0..self.dim).map(|i| hv[i] * rv[i] * tv[i]).sum()
+    }
+
+    fn sgd_step(&mut self, pos: IdxTriple, neg: IdxTriple, lr: f32, margin: f32) -> f32 {
+        let loss = margin - self.score(pos) + self.score(neg);
+        if loss <= 0.0 {
+            return 0.0;
+        }
+        // ∂score/∂h = r⊙t etc.; ascend on pos, descend on neg.
+        for (sign, (h, r, t)) in [(1.0f32, pos), (-1.0f32, neg)] {
+            let hv = row(&self.entities, self.dim, h).to_vec();
+            let rv = row(&self.relations, self.dim, r).to_vec();
+            let tv = row(&self.entities, self.dim, t).to_vec();
+            let gh: Vec<f32> = (0..self.dim).map(|i| rv[i] * tv[i]).collect();
+            let gr: Vec<f32> = (0..self.dim).map(|i| hv[i] * tv[i]).collect();
+            let gt: Vec<f32> = (0..self.dim).map(|i| hv[i] * rv[i]).collect();
+            vector::axpy(row_mut(&mut self.entities, self.dim, h), sign * lr, &gh);
+            vector::axpy(row_mut(&mut self.relations, self.dim, r), sign * lr, &gr);
+            vector::axpy(row_mut(&mut self.entities, self.dim, t), sign * lr, &gt);
+        }
+        loss
+    }
+
+    fn constrain(&mut self) {
+        // DistMult constrains entities to the unit sphere to stop scores from
+        // growing without bound.
+        for e in 0..self.entity_count() {
+            vector::normalize(row_mut(&mut self.entities, self.dim, e));
+        }
+    }
+
+    fn relation_embedding(&self, r: usize) -> &[f32] {
+        row(&self.relations, self.dim, r)
+    }
+
+    fn entity_embedding(&self, e: usize) -> &[f32] {
+        row(&self.entities, self.dim, e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn model() -> DistMult {
+        let mut rng = StdRng::seed_from_u64(3);
+        DistMult::init(5, 2, 8, &mut rng)
+    }
+
+    #[test]
+    fn score_is_symmetric_in_h_t() {
+        // DistMult's well-known property: score(h,r,t) == score(t,r,h).
+        let m = model();
+        assert!((m.score((0, 1, 2)) - m.score((2, 1, 0))).abs() < 1e-6);
+    }
+
+    #[test]
+    fn training_raises_positive_score_margin() {
+        let mut m = model();
+        m.constrain(); // measure from the constrained manifold
+        let pos = (0, 0, 1);
+        let neg = (0, 0, 3);
+        let before = m.score(pos) - m.score(neg);
+        for _ in 0..100 {
+            m.sgd_step(pos, neg, 0.05, 4.0);
+            m.constrain();
+        }
+        let after = m.score(pos) - m.score(neg);
+        assert!(after > before, "{before} -> {after}");
+    }
+
+    #[test]
+    fn constrain_normalizes_entities() {
+        let mut m = model();
+        m.constrain();
+        for e in 0..5 {
+            assert!((vector::norm(m.entity_embedding(e)) - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn zero_loss_skips_update() {
+        let mut m = model();
+        for _ in 0..200 {
+            m.sgd_step((0, 0, 1), (0, 0, 3), 0.05, 0.2);
+            m.constrain();
+        }
+        let snap = m.relations.clone();
+        let loss = m.sgd_step((0, 0, 1), (0, 0, 3), 0.05, 0.2);
+        assert_eq!(loss, 0.0);
+        assert_eq!(m.relations, snap);
+    }
+}

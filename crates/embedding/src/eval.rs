@@ -1,0 +1,159 @@
+//! Link-prediction evaluation of embedding quality.
+//!
+//! The standard TransE evaluation protocol: for each held-out triple, rank
+//! the true tail among all entities by model score (and likewise the head),
+//! then report **mean rank** and **hits@k**. The experiment harness uses this
+//! to sanity-check that the offline embedding phase (paper Table IX) learned
+//! something before the online query phase relies on it.
+
+use crate::model::{IdxTriple, KgeModel};
+use serde::{Deserialize, Serialize};
+
+/// Aggregated link-prediction metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkPredictionReport {
+    /// Mean rank of the true entity (1 is best).
+    pub mean_rank: f64,
+    /// Fraction of test triples whose true entity ranked in the top `k`.
+    pub hits_at_k: f64,
+    /// The `k` used for `hits_at_k`.
+    pub k: usize,
+    /// Number of ranking trials (2 per test triple: head and tail).
+    pub trials: usize,
+}
+
+/// Ranks each test triple's head and tail against all `n_entities`
+/// candidates. `O(|test| · n_entities)` — intended for validation-sized
+/// samples, not full graphs.
+pub fn evaluate_link_prediction<M: KgeModel>(
+    model: &M,
+    test: &[IdxTriple],
+    n_entities: usize,
+    k: usize,
+) -> LinkPredictionReport {
+    let mut rank_sum = 0usize;
+    let mut hits = 0usize;
+    let mut trials = 0usize;
+    for &(h, r, t) in test {
+        for (fixed_head, true_entity) in [(true, t), (false, h)] {
+            let true_score = model.score((h, r, t));
+            // Rank = 1 + number of candidates scoring strictly better.
+            let mut rank = 1usize;
+            for e in 0..n_entities {
+                if e == true_entity {
+                    continue;
+                }
+                let candidate = if fixed_head { (h, r, e) } else { (e, r, t) };
+                if model.score(candidate) > true_score {
+                    rank += 1;
+                }
+            }
+            rank_sum += rank;
+            if rank <= k {
+                hits += 1;
+            }
+            trials += 1;
+        }
+    }
+    LinkPredictionReport {
+        mean_rank: if trials == 0 {
+            0.0
+        } else {
+            rank_sum as f64 / trials as f64
+        },
+        hits_at_k: if trials == 0 {
+            0.0
+        } else {
+            hits as f64 / trials as f64
+        },
+        k,
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{index_triples, train, TrainConfig};
+    use crate::transe::TransE;
+    use kgraph::GraphBuilder;
+
+    #[test]
+    fn empty_test_set() {
+        use crate::model::KgeModel;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let m = TransE::init(3, 1, 4, &mut rng);
+        let r = evaluate_link_prediction(&m, &[], 3, 10);
+        assert_eq!(r.trials, 0);
+        assert_eq!(r.mean_rank, 0.0);
+    }
+
+    #[test]
+    fn trained_model_beats_chance() {
+        // Bipartite pattern: car_i --made_in--> country_{i%3}.
+        let mut b = GraphBuilder::new();
+        let countries: Vec<_> = (0..3)
+            .map(|i| b.add_node(&format!("C{i}"), "Country"))
+            .collect();
+        for i in 0..30 {
+            let car = b.add_node(&format!("Car{i}"), "Auto");
+            b.add_edge(car, countries[i % 3], "made_in");
+        }
+        let g = b.finish();
+        let cfg = TrainConfig {
+            dim: 16,
+            epochs: 80,
+            learning_rate: 0.05,
+            ..TrainConfig::default()
+        };
+        let (model, _) = train::<TransE>(&g, &cfg);
+        let triples = index_triples(&g);
+        let report = evaluate_link_prediction(&model, &triples[..10], g.node_count(), 10);
+        // Chance mean rank would be ~ n/2 = 16.5; trained should be far better.
+        assert!(
+            report.mean_rank < 10.0,
+            "mean rank {} should beat chance",
+            report.mean_rank
+        );
+        assert!(report.hits_at_k > 0.5);
+        assert_eq!(report.trials, 20);
+    }
+
+    #[test]
+    fn rank_is_one_for_perfect_model() {
+        // A hand-built model where entity 1 = entity 0 + relation 0 exactly.
+        #[derive(Clone)]
+        struct Perfect;
+        impl crate::model::KgeModel for Perfect {
+            fn init(_: usize, _: usize, _: usize, _: &mut rand::rngs::StdRng) -> Self {
+                Perfect
+            }
+            fn dim(&self) -> usize {
+                1
+            }
+            fn score(&self, (h, _, t): IdxTriple) -> f32 {
+                if t == h + 1 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            fn sgd_step(&mut self, _: IdxTriple, _: IdxTriple, _: f32, _: f32) -> f32 {
+                0.0
+            }
+            fn constrain(&mut self) {}
+            fn relation_embedding(&self, _: usize) -> &[f32] {
+                &[]
+            }
+            fn entity_embedding(&self, _: usize) -> &[f32] {
+                &[]
+            }
+        }
+        let report = evaluate_link_prediction(&Perfect, &[(0, 0, 1)], 5, 1);
+        // Tail trial: rank 1 (only t=h+1 scores 1). Head trial: h=0 is the
+        // only head with t=h+1 ⇒ also rank 1.
+        assert_eq!(report.mean_rank, 1.0);
+        assert_eq!(report.hits_at_k, 1.0);
+    }
+}

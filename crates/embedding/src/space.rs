@@ -1,0 +1,218 @@
+//! The predicate semantic space `E = {e₁…eₙ}` (paper §IV-A).
+//!
+//! The space holds one unit-normalised vector per predicate of the knowledge
+//! graph. The semantic similarity between two predicates (paper Eq. 5) is
+//! then a plain dot product. Because the query engine evaluates
+//! `sim(L_Q(e), L(e'))` for every traversed edge, vectors are pre-normalised
+//! once so the hot path is a single fused dot product.
+
+use crate::model::KgeModel;
+use crate::vector;
+use kgraph::{KnowledgeGraph, PredicateId};
+use serde::{Deserialize, Serialize};
+
+/// Predicate → semantic vector map with cosine-similarity queries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PredicateSpace {
+    dim: usize,
+    /// Unit-normalised vectors, row-major by `PredicateId`.
+    vectors: Vec<f32>,
+    /// Predicate labels for diagnostics / experiment output.
+    labels: Vec<String>,
+}
+
+impl PredicateSpace {
+    /// Extracts predicate vectors from a trained model.
+    pub fn from_model<M: KgeModel>(graph: &KnowledgeGraph, model: &M) -> Self {
+        let dim = model.dim();
+        let mut vectors = Vec::with_capacity(graph.predicate_count() * dim);
+        let mut labels = Vec::with_capacity(graph.predicate_count());
+        for (pid, label) in graph.predicates() {
+            let mut v = model.relation_embedding(pid.index()).to_vec();
+            vector::normalize(&mut v);
+            vectors.extend_from_slice(&v);
+            labels.push(label.to_string());
+        }
+        Self {
+            dim,
+            vectors,
+            labels,
+        }
+    }
+
+    /// Builds a space directly from raw vectors (used by tests and by the
+    /// synthetic "oracle" space in the data generator).
+    pub fn from_raw(vectors: Vec<Vec<f32>>, labels: Vec<String>) -> Self {
+        assert_eq!(vectors.len(), labels.len());
+        let dim = vectors.first().map_or(0, Vec::len);
+        let mut flat = Vec::with_capacity(vectors.len() * dim);
+        for mut v in vectors {
+            assert_eq!(v.len(), dim, "all predicate vectors must share a dim");
+            vector::normalize(&mut v);
+            flat.extend_from_slice(&v);
+        }
+        Self {
+            dim,
+            vectors: flat,
+            labels,
+        }
+    }
+
+    /// Number of predicates in the space.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The unit vector of predicate `p`.
+    pub fn vector(&self, p: PredicateId) -> &[f32] {
+        &self.vectors[p.index() * self.dim..(p.index() + 1) * self.dim]
+    }
+
+    /// The label of predicate `p`.
+    pub fn label(&self, p: PredicateId) -> &str {
+        &self.labels[p.index()]
+    }
+
+    /// Cosine similarity between two predicates (paper Eq. 5). Since vectors
+    /// are unit-normalised this is a dot product, clamped to `[-1, 1]`.
+    #[inline]
+    pub fn sim(&self, a: PredicateId, b: PredicateId) -> f32 {
+        if a == b {
+            return 1.0;
+        }
+        vector::dot(self.vector(a), self.vector(b)).clamp(-1.0, 1.0)
+    }
+
+    /// The `k` predicates most similar to `p` (excluding `p`), best first.
+    /// Used by the edge-noise experiment (§VII-E: "replace the predicate
+    /// with one of its top-10 semantically similar predicates in E").
+    pub fn top_k_similar(&self, p: PredicateId, k: usize) -> Vec<(PredicateId, f32)> {
+        let mut sims: Vec<(PredicateId, f32)> = (0..self.len() as u32)
+            .map(PredicateId::new)
+            .filter(|&q| q != p)
+            .map(|q| (q, self.sim(p, q)))
+            .collect();
+        sims.sort_by(|a, b| b.1.total_cmp(&a.1));
+        sims.truncate(k);
+        sims
+    }
+
+    /// Full similarity row of `p` against every predicate, indexable by
+    /// `PredicateId` — precomputed once per query edge by the engine so the
+    /// per-KG-edge cost during search is one array load.
+    pub fn sim_row(&self, p: PredicateId) -> Vec<f32> {
+        (0..self.len() as u32)
+            .map(|q| self.sim(p, PredicateId::new(q)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> PredicateSpace {
+        PredicateSpace::from_raw(
+            vec![
+                vec![1.0, 0.0],  // product
+                vec![0.9, 0.1],  // assembly (close to product)
+                vec![0.0, 1.0],  // language (orthogonal)
+                vec![-1.0, 0.0], // opposite
+            ],
+            vec![
+                "product".into(),
+                "assembly".into(),
+                "language".into(),
+                "opposite".into(),
+            ],
+        )
+    }
+
+    #[test]
+    fn self_similarity_is_one() {
+        let s = space();
+        for p in 0..4 {
+            assert_eq!(s.sim(PredicateId::new(p), PredicateId::new(p)), 1.0);
+        }
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_ordered() {
+        let s = space();
+        let product = PredicateId::new(0);
+        let assembly = PredicateId::new(1);
+        let language = PredicateId::new(2);
+        assert!((s.sim(product, assembly) - s.sim(assembly, product)).abs() < 1e-6);
+        assert!(s.sim(product, assembly) > s.sim(product, language));
+    }
+
+    #[test]
+    fn top_k_excludes_self_and_sorts() {
+        let s = space();
+        let top = s.top_k_similar(PredicateId::new(0), 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, PredicateId::new(1)); // assembly first
+        assert!(top[0].1 >= top[1].1);
+        assert!(top.iter().all(|&(p, _)| p != PredicateId::new(0)));
+    }
+
+    #[test]
+    fn sim_row_matches_pointwise() {
+        let s = space();
+        let row = s.sim_row(PredicateId::new(1));
+        for q in 0..4u32 {
+            assert!(
+                (row[q as usize] - s.sim(PredicateId::new(1), PredicateId::new(q))).abs() < 1e-6
+            );
+        }
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        let s = space();
+        assert_eq!(s.label(PredicateId::new(2)), "language");
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.dim(), 2);
+    }
+
+    #[test]
+    fn vectors_are_normalised() {
+        let s = PredicateSpace::from_raw(vec![vec![3.0, 4.0]], vec!["p".into()]);
+        let v = s.vector(PredicateId::new(0));
+        assert!((crate::vector::norm(v) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn from_model_preserves_count() {
+        use crate::trainer::{train_transe, TrainConfig};
+        use kgraph::GraphBuilder;
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("A", "T");
+        let c = b.add_node("B", "T");
+        b.add_edge(a, c, "p");
+        b.add_edge(c, a, "q");
+        let g = b.finish();
+        let model = train_transe(
+            &g,
+            &TrainConfig {
+                dim: 8,
+                epochs: 3,
+                ..TrainConfig::default()
+            },
+        );
+        let s = PredicateSpace::from_model(&g, &model);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.dim(), 8);
+        assert_eq!(s.label(g.predicate_id("q").unwrap()), "q");
+    }
+}

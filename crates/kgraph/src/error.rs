@@ -1,0 +1,105 @@
+//! Error type shared by the graph substrate.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, KgError>;
+
+/// Errors produced while constructing, loading, or querying a knowledge graph.
+#[derive(Debug)]
+pub enum KgError {
+    /// A node id was out of range for this graph.
+    NodeOutOfRange {
+        /// Offending id value.
+        id: u32,
+        /// Number of nodes in the graph.
+        len: usize,
+    },
+    /// An edge id was out of range for this graph.
+    EdgeOutOfRange {
+        /// Offending id value.
+        id: u32,
+        /// Number of edges in the graph.
+        len: usize,
+    },
+    /// Two distinct nodes were registered under the same unique name.
+    DuplicateName(String),
+    /// A triple line could not be parsed.
+    ParseTriple {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Serialization failure.
+    Serde(String),
+}
+
+impl fmt::Display for KgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KgError::NodeOutOfRange { id, len } => {
+                write!(f, "node id {id} out of range (graph has {len} nodes)")
+            }
+            KgError::EdgeOutOfRange { id, len } => {
+                write!(f, "edge id {id} out of range (graph has {len} edges)")
+            }
+            KgError::DuplicateName(name) => {
+                write!(f, "duplicate unique node name {name:?}")
+            }
+            KgError::ParseTriple { line, reason } => {
+                write!(f, "malformed triple at line {line}: {reason}")
+            }
+            KgError::Io(e) => write!(f, "i/o error: {e}"),
+            KgError::Serde(e) => write!(f, "serialization error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KgError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for KgError {
+    fn from(e: std::io::Error) -> Self {
+        KgError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for KgError {
+    fn from(e: serde_json::Error) -> Self {
+        KgError::Serde(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = KgError::NodeOutOfRange { id: 9, len: 3 };
+        assert!(e.to_string().contains("node id 9"));
+        let e = KgError::DuplicateName("Audi_TT".into());
+        assert!(e.to_string().contains("Audi_TT"));
+        let e = KgError::ParseTriple {
+            line: 2,
+            reason: "expected 3 fields".into(),
+        };
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        use std::error::Error;
+        let e = KgError::from(std::io::Error::other("boom"));
+        assert!(e.source().is_some());
+    }
+}

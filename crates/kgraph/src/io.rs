@@ -1,0 +1,150 @@
+//! Loading and saving knowledge graphs.
+//!
+//! Two formats are supported:
+//! * 5-column TSV triples (see [`crate::triple`]) — the interchange format,
+//! * JSON snapshots of the frozen [`KnowledgeGraph`] — faster to reload since
+//!   CSR rows are not rebuilt from scratch.
+
+use crate::error::Result;
+use crate::graph::{GraphBuilder, KnowledgeGraph};
+use crate::triple::Triple;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Reads triples from a TSV reader, one per line; blank lines and lines
+/// starting with `#` are skipped.
+pub fn read_triples<R: std::io::Read>(reader: R) -> Result<Vec<Triple>> {
+    let reader = BufReader::new(reader);
+    let mut triples = Vec::new();
+    // Workhorse-String loop (perf guide: avoids per-line allocation of
+    // `lines()`).
+    let mut buf = String::new();
+    let mut reader = reader;
+    let mut line_no = 0usize;
+    loop {
+        buf.clear();
+        if reader.read_line(&mut buf)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let line = buf.trim_end_matches(['\n', '\r']);
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        triples.push(Triple::from_tsv(line, line_no)?);
+    }
+    Ok(triples)
+}
+
+/// Writes triples as TSV.
+pub fn write_triples<W: Write>(writer: W, triples: impl IntoIterator<Item = Triple>) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    for t in triples {
+        writeln!(w, "{}", t.to_tsv())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Builds a graph from an iterator of triples.
+pub fn graph_from_triples(triples: impl IntoIterator<Item = Triple>) -> KnowledgeGraph {
+    let mut b = GraphBuilder::new();
+    for t in triples {
+        b.add_triple((&t.head, &t.head_type), &t.predicate, (&t.tail, &t.tail_type));
+    }
+    b.finish()
+}
+
+/// Loads a graph from a TSV triples file.
+pub fn load_tsv(path: impl AsRef<Path>) -> Result<KnowledgeGraph> {
+    let file = std::fs::File::open(path)?;
+    Ok(graph_from_triples(read_triples(file)?))
+}
+
+/// Saves a graph as a TSV triples file.
+pub fn save_tsv(graph: &KnowledgeGraph, path: impl AsRef<Path>) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_triples(file, graph.triples())
+}
+
+/// Saves a frozen graph as a JSON snapshot.
+pub fn save_snapshot(graph: &KnowledgeGraph, path: impl AsRef<Path>) -> Result<()> {
+    let file = BufWriter::new(std::fs::File::create(path)?);
+    serde_json::to_writer(file, graph)?;
+    Ok(())
+}
+
+/// Loads a JSON snapshot, rebuilding in-memory lookup tables.
+pub fn load_snapshot(path: impl AsRef<Path>) -> Result<KnowledgeGraph> {
+    let file = BufReader::new(std::fs::File::open(path)?);
+    let mut graph: KnowledgeGraph = serde_json::from_reader(file)?;
+    graph.rebuild_after_deserialize();
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Triple> {
+        vec![
+            Triple::new("Audi_TT", "Automobile", "assembly", "Germany", "Country"),
+            Triple::new("Volkswagen", "Company", "product", "Audi_TT", "Automobile"),
+        ]
+    }
+
+    #[test]
+    fn triple_stream_roundtrip() {
+        let mut buf = Vec::new();
+        write_triples(&mut buf, sample()).unwrap();
+        let back = read_triples(buf.as_slice()).unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "# header\n\nAudi_TT\tAutomobile\tassembly\tGermany\tCountry\n";
+        let triples = read_triples(text.as_bytes()).unwrap();
+        assert_eq!(triples.len(), 1);
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let text = "# ok\nbroken line\n";
+        let err = read_triples(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn graph_from_triples_merges_nodes() {
+        let g = graph_from_triples(sample());
+        assert_eq!(g.node_count(), 3); // Audi_TT shared between the two triples
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn tsv_file_roundtrip() {
+        let dir = std::env::temp_dir().join("kgraph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.tsv");
+        let g = graph_from_triples(sample());
+        save_tsv(&g, &path).unwrap();
+        let back = load_tsv(&path).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        assert!(back.node_by_name("Volkswagen").is_some());
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let dir = std::env::temp_dir().join("kgraph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.json");
+        let g = graph_from_triples(sample());
+        save_snapshot(&g, &path).unwrap();
+        let back = load_snapshot(&path).unwrap();
+        assert_eq!(back.edge_count(), 2);
+        let audi = back.node_by_name("Audi_TT").unwrap();
+        assert_eq!(back.degree(audi), 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Typed triples and their text representation.
+//!
+//! The on-disk format is a 5-column TSV:
+//! `head \t head_type \t predicate \t tail \t tail_type`
+//! — a lightweight stand-in for the N-Triples dumps the paper loads from
+//! DBpedia / Freebase / YAGO2, keeping the type annotations the engine needs.
+
+use crate::error::KgError;
+use serde::{Deserialize, Serialize};
+
+/// A fully-labelled knowledge-graph triple `<head, predicate, tail>` with
+/// entity types attached (paper Definition 1 assumes every node carries a
+/// type and a unique name).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Triple {
+    /// Head entity name.
+    pub head: String,
+    /// Head entity type.
+    pub head_type: String,
+    /// Predicate label.
+    pub predicate: String,
+    /// Tail entity name.
+    pub tail: String,
+    /// Tail entity type.
+    pub tail_type: String,
+}
+
+impl Triple {
+    /// Builds a triple from borrowed parts.
+    pub fn new(head: &str, head_type: &str, predicate: &str, tail: &str, tail_type: &str) -> Self {
+        Self {
+            head: head.into(),
+            head_type: head_type.into(),
+            predicate: predicate.into(),
+            tail: tail.into(),
+            tail_type: tail_type.into(),
+        }
+    }
+
+    /// Serializes to one TSV line (no trailing newline).
+    pub fn to_tsv(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{}",
+            self.head, self.head_type, self.predicate, self.tail, self.tail_type
+        )
+    }
+
+    /// Parses one TSV line; `line_no` is used for error reporting only.
+    pub fn from_tsv(line: &str, line_no: usize) -> Result<Self, KgError> {
+        let mut fields = line.split('\t');
+        let mut next = |what: &str| {
+            fields.next().ok_or_else(|| KgError::ParseTriple {
+                line: line_no,
+                reason: format!("missing field `{what}`"),
+            })
+        };
+        let head = next("head")?;
+        let head_type = next("head_type")?;
+        let predicate = next("predicate")?;
+        let tail = next("tail")?;
+        let tail_type = next("tail_type")?;
+        if fields.next().is_some() {
+            return Err(KgError::ParseTriple {
+                line: line_no,
+                reason: "too many fields (expected 5)".into(),
+            });
+        }
+        if head.is_empty() || predicate.is_empty() || tail.is_empty() {
+            return Err(KgError::ParseTriple {
+                line: line_no,
+                reason: "empty head/predicate/tail".into(),
+            });
+        }
+        Ok(Self::new(head, head_type, predicate, tail, tail_type))
+    }
+}
+
+impl std::fmt::Display for Triple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "<{}, {}, {}>", self.head, self.predicate, self.tail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tsv_roundtrip() {
+        let t = Triple::new("BMW_320", "Automobile", "assembly", "Germany", "Country");
+        let line = t.to_tsv();
+        let back = Triple::from_tsv(&line, 1).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let t = Triple::new("Germany", "Country", "product", "BMW_X6", "Automobile");
+        assert_eq!(t.to_string(), "<Germany, product, BMW_X6>");
+    }
+
+    #[test]
+    fn rejects_short_lines() {
+        let err = Triple::from_tsv("a\tb\tc", 3).unwrap_err();
+        assert!(err.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn rejects_long_lines() {
+        assert!(Triple::from_tsv("a\tT\tp\tb\tT\textra", 1).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_core_fields() {
+        assert!(Triple::from_tsv("\tT\tp\tb\tT", 1).is_err());
+        assert!(Triple::from_tsv("a\tT\t\tb\tT", 1).is_err());
+        assert!(Triple::from_tsv("a\tT\tp\t\tT", 1).is_err());
+        // Empty types are tolerated (typing pass can fill them in).
+        assert!(Triple::from_tsv("a\t\tp\tb\t", 1).is_ok());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(
+            head in "[A-Za-z0-9_]{1,12}",
+            ht in "[A-Za-z0-9_]{0,8}",
+            pred in "[a-z]{1,10}",
+            tail in "[A-Za-z0-9_]{1,12}",
+            tt in "[A-Za-z0-9_]{0,8}",
+        ) {
+            let t = Triple::new(&head, &ht, &pred, &tail, &tt);
+            prop_assert_eq!(Triple::from_tsv(&t.to_tsv(), 0).unwrap(), t);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Probabilistic entity typing.
+//!
+//! Paper Example 1: *"If the type of a node in G is unknown, we employ a
+//! probabilistic model-based entity typing method to assign a type on it"*
+//! (citing Nakashole et al., ACL 2013). We implement the same idea as a
+//! naive-Bayes classifier over the incident predicate/direction pattern of a
+//! node: `P(type | evidence) ∝ P(type) · ∏ P(predicate, direction | type)`,
+//! with add-one smoothing, trained on the typed portion of the graph.
+
+use crate::graph::KnowledgeGraph;
+use crate::ids::{NodeId, TypeId};
+use rustc_hash::FxHashMap;
+
+/// The sentinel type label carried by untyped nodes.
+pub const UNKNOWN_TYPE: &str = "?";
+
+/// A trained typing model: per-type priors and per-type conditional
+/// likelihoods of observing `(predicate, direction)` evidence.
+#[derive(Debug, Clone)]
+pub struct TypingModel {
+    /// Log prior per type id.
+    log_prior: Vec<f64>,
+    /// `(type, predicate, outgoing)` → log likelihood.
+    log_like: FxHashMap<(u32, u32, bool), f64>,
+    /// Fallback log likelihood per type (unseen evidence, smoothed).
+    log_unseen: Vec<f64>,
+    /// Types the model can emit (excludes the unknown sentinel).
+    candidate_types: Vec<TypeId>,
+}
+
+impl TypingModel {
+    /// Trains the model on all nodes of `graph` whose type is known.
+    pub fn train(graph: &KnowledgeGraph) -> Self {
+        let unknown = graph.type_id(UNKNOWN_TYPE);
+        let type_count = graph.type_count();
+        let mut type_nodes = vec![0usize; type_count];
+        let mut evidence_counts: FxHashMap<(u32, u32, bool), usize> = FxHashMap::default();
+        let mut evidence_total = vec![0usize; type_count];
+
+        for node in graph.nodes() {
+            let ty = graph.node_type(node);
+            if Some(ty) == unknown {
+                continue;
+            }
+            type_nodes[ty.index()] += 1;
+            for nb in graph.neighbors(node) {
+                *evidence_counts
+                    .entry((ty.0, nb.predicate.0, nb.outgoing))
+                    .or_insert(0) += 1;
+                evidence_total[ty.index()] += 1;
+            }
+        }
+
+        let typed_nodes: usize = type_nodes.iter().sum();
+        let vocab = (graph.predicate_count() * 2).max(1); // smoothing vocabulary
+        let mut log_prior = vec![f64::NEG_INFINITY; type_count];
+        let mut log_unseen = vec![f64::NEG_INFINITY; type_count];
+        let mut candidate_types = Vec::new();
+        for ty in 0..type_count {
+            if type_nodes[ty] == 0 {
+                continue;
+            }
+            candidate_types.push(TypeId::new(ty as u32));
+            log_prior[ty] = ((type_nodes[ty] as f64 + 1.0)
+                / (typed_nodes as f64 + type_count as f64))
+                .ln();
+            log_unseen[ty] = (1.0 / (evidence_total[ty] as f64 + vocab as f64)).ln();
+        }
+        let log_like = evidence_counts
+            .into_iter()
+            .map(|((ty, pred, dir), count)| {
+                let denom = evidence_total[ty as usize] as f64 + vocab as f64;
+                ((ty, pred, dir), ((count as f64 + 1.0) / denom).ln())
+            })
+            .collect();
+
+        Self {
+            log_prior,
+            log_like,
+            log_unseen,
+            candidate_types,
+        }
+    }
+
+    /// Scores `node`'s evidence against every candidate type and returns the
+    /// argmax with its log posterior (unnormalised). `None` when the model
+    /// has no candidate types or the node has no evidence.
+    pub fn classify(&self, graph: &KnowledgeGraph, node: NodeId) -> Option<(TypeId, f64)> {
+        if self.candidate_types.is_empty() {
+            return None;
+        }
+        let evidence: Vec<(u32, bool)> = graph
+            .neighbors(node)
+            .map(|nb| (nb.predicate.0, nb.outgoing))
+            .collect();
+        if evidence.is_empty() {
+            return None;
+        }
+        let mut best: Option<(TypeId, f64)> = None;
+        for &ty in &self.candidate_types {
+            let mut score = self.log_prior[ty.index()];
+            for &(pred, dir) in &evidence {
+                score += self
+                    .log_like
+                    .get(&(ty.0, pred, dir))
+                    .copied()
+                    .unwrap_or(self.log_unseen[ty.index()]);
+            }
+            if best.is_none_or(|(_, s)| score > s) {
+                best = Some((ty, score));
+            }
+        }
+        best
+    }
+}
+
+/// Assigns a type to every `UNKNOWN_TYPE` node of `graph` using a model
+/// trained on the typed remainder. Returns the number of nodes retyped.
+pub fn assign_unknown_types(graph: &mut KnowledgeGraph) -> usize {
+    let Some(unknown) = graph.type_id(UNKNOWN_TYPE) else {
+        return 0;
+    };
+    let model = TypingModel::train(graph);
+    let untyped: Vec<NodeId> = graph.nodes_with_type(unknown).to_vec();
+    let mut assigned = 0;
+    for node in untyped {
+        if let Some((ty, _)) = model.classify(graph, node) {
+            graph.retype_node(node, ty);
+            assigned += 1;
+        }
+    }
+    assigned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// Cars point at countries with `assembly`; people point at countries
+    /// with `nationality`. An untyped node with an `assembly` out-edge should
+    /// be classified as a car.
+    fn build() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let de = b.add_node("Germany", "Country");
+        for i in 0..5 {
+            let car = b.add_node(&format!("Car{i}"), "Automobile");
+            b.add_edge(car, de, "assembly");
+        }
+        for i in 0..5 {
+            let p = b.add_node(&format!("Person{i}"), "Person");
+            b.add_edge(p, de, "nationality");
+        }
+        let mystery = b.add_untyped_node("Mystery");
+        b.add_edge(mystery, de, "assembly");
+        let loner = b.add_untyped_node("Loner"); // no edges at all
+        let _ = loner;
+        b.finish()
+    }
+
+    #[test]
+    fn classifies_by_predicate_pattern() {
+        let g = build();
+        let model = TypingModel::train(&g);
+        let mystery = g.node_by_name("Mystery").unwrap();
+        let (ty, _) = model.classify(&g, mystery).unwrap();
+        assert_eq!(g.type_name(ty), "Automobile");
+    }
+
+    #[test]
+    fn direction_matters() {
+        // `assembly` arrives *at* countries, so a node with an incoming
+        // assembly edge looks like a Country, not an Automobile.
+        let mut b = GraphBuilder::new();
+        let de = b.add_node("Germany", "Country");
+        let fr = b.add_node("France", "Country");
+        for i in 0..4 {
+            let car = b.add_node(&format!("Car{i}"), "Automobile");
+            b.add_edge(car, if i % 2 == 0 { de } else { fr }, "assembly");
+        }
+        let mystery = b.add_untyped_node("Mystery");
+        let car0 = b.node_by_name("Car0").unwrap();
+        b.add_edge(car0, mystery, "assembly");
+        let g = {
+            let mut g = b.finish();
+            assign_unknown_types(&mut g);
+            g
+        };
+        let mystery = g.node_by_name("Mystery").unwrap();
+        assert_eq!(g.node_type_name(mystery), "Country");
+    }
+
+    #[test]
+    fn assign_unknown_types_counts() {
+        let mut g = build();
+        let n = assign_unknown_types(&mut g);
+        assert_eq!(n, 1, "only the evidence-bearing node is classified");
+        let mystery = g.node_by_name("Mystery").unwrap();
+        assert_eq!(g.node_type_name(mystery), "Automobile");
+        let loner = g.node_by_name("Loner").unwrap();
+        assert_eq!(g.node_type_name(loner), UNKNOWN_TYPE);
+    }
+
+    #[test]
+    fn no_unknowns_is_a_noop() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("A", "T");
+        let c = b.add_node("B", "T");
+        b.add_edge(a, c, "p");
+        let mut g = b.finish();
+        assert_eq!(assign_unknown_types(&mut g), 0);
+    }
+
+    #[test]
+    fn classify_none_without_candidates() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_untyped_node("A");
+        let c = b.add_untyped_node("B");
+        b.add_edge(a, c, "p");
+        let g = b.finish();
+        let model = TypingModel::train(&g);
+        assert!(model.classify(&g, a).is_none());
+    }
+}

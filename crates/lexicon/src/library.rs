@@ -1,0 +1,192 @@
+//! The transformation library (paper Table III).
+//!
+//! A bidirectional dictionary of synonym and abbreviation records keyed by
+//! normalised labels. Records connect *alias* labels (as they appear in
+//! query graphs) to *canonical* labels (as they appear in the knowledge
+//! graph), e.g. synonyms `Car, Motorcar, Auto, Vehicle → Automobile` and
+//! abbreviations `GER, FRG → Germany`.
+
+use crate::normalize::normalize_label;
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// How an alias relates to its canonical label (paper Definition 3 cases
+/// 2 and 3; case 1 — identical — needs no library record).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransformKind {
+    /// The alias is a synonym of the canonical label.
+    Synonym,
+    /// The alias is an abbreviation of the canonical label.
+    Abbreviation,
+}
+
+/// A synonym/abbreviation dictionary over normalised labels.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TransformationLibrary {
+    /// normalised alias → [(canonical label, kind)]
+    forward: FxHashMap<String, Vec<(String, TransformKind)>>,
+    /// normalised canonical → [alias labels] (for noise injection, which
+    /// needs to pick a random alias of a label).
+    reverse: FxHashMap<String, Vec<String>>,
+}
+
+impl TransformationLibrary {
+    /// Creates an empty library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `alias` as a synonym or abbreviation of `canonical`.
+    /// Duplicate registrations are ignored.
+    pub fn add(&mut self, alias: &str, canonical: &str, kind: TransformKind) {
+        let a = normalize_label(alias);
+        let c = normalize_label(canonical);
+        if a.is_empty() || c.is_empty() || a == c {
+            return;
+        }
+        let entry = self.forward.entry(a.clone()).or_default();
+        if !entry.iter().any(|(canon, k)| *canon == c && *k == kind) {
+            entry.push((c.clone(), kind));
+        }
+        let rev = self.reverse.entry(c).or_default();
+        if !rev.contains(&a) {
+            rev.push(a);
+        }
+    }
+
+    /// Registers a whole synonym row (paper Table III style): every alias
+    /// maps to the canonical label, and aliases map to each other through it.
+    pub fn add_synonym_row(&mut self, canonical: &str, aliases: &[&str]) {
+        for alias in aliases {
+            self.add(alias, canonical, TransformKind::Synonym);
+        }
+    }
+
+    /// Registers abbreviations of a canonical label.
+    pub fn add_abbreviation_row(&mut self, canonical: &str, abbreviations: &[&str]) {
+        for abbr in abbreviations {
+            self.add(abbr, canonical, TransformKind::Abbreviation);
+        }
+    }
+
+    /// Canonical labels reachable from `alias` (not including the identical
+    /// case), with the transform kind that connects them.
+    pub fn canonical_of(&self, alias: &str) -> &[(String, TransformKind)] {
+        self.forward
+            .get(&normalize_label(alias))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Aliases registered for a canonical label.
+    pub fn aliases_of(&self, canonical: &str) -> &[String] {
+        self.reverse
+            .get(&normalize_label(canonical))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// True when `a` can stand for `b`: identical after normalisation, or a
+    /// registered alias of it.
+    pub fn matches(&self, a: &str, b: &str) -> bool {
+        let na = normalize_label(a);
+        let nb = normalize_label(b);
+        if na == nb {
+            return true;
+        }
+        self.forward
+            .get(&na)
+            .is_some_and(|cs| cs.iter().any(|(c, _)| *c == nb))
+    }
+
+    /// Number of distinct alias entries.
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// True when no records are registered.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table3() -> TransformationLibrary {
+        let mut lib = TransformationLibrary::new();
+        lib.add_synonym_row("Automobile", &["Car", "Motorcar", "Auto", "Vehicle"]);
+        lib.add_abbreviation_row("Germany", &["GER", "FRG", "Federal Republic of Germany"]);
+        lib
+    }
+
+    #[test]
+    fn synonym_lookup() {
+        let lib = table3();
+        let canon = lib.canonical_of("Car");
+        assert_eq!(canon.len(), 1);
+        assert_eq!(canon[0].0, "automobile");
+        assert_eq!(canon[0].1, TransformKind::Synonym);
+    }
+
+    #[test]
+    fn abbreviation_lookup() {
+        let lib = table3();
+        let canon = lib.canonical_of("GER");
+        assert_eq!(canon[0].0, "germany");
+        assert_eq!(canon[0].1, TransformKind::Abbreviation);
+    }
+
+    #[test]
+    fn matches_covers_all_three_cases() {
+        let lib = table3();
+        assert!(lib.matches("Automobile", "Automobile")); // identical
+        assert!(lib.matches("Car", "Automobile")); // synonym
+        assert!(lib.matches("GER", "Germany")); // abbreviation
+        assert!(!lib.matches("Boat", "Automobile"));
+        assert!(!lib.matches("Automobile", "Car"), "aliasing is directed");
+    }
+
+    #[test]
+    fn normalisation_applies_to_lookups() {
+        let lib = table3();
+        assert!(lib.matches("car", "AUTOMOBILE"));
+        assert!(lib.matches("federal_republic_of_germany", "Germany"));
+    }
+
+    #[test]
+    fn reverse_lookup_lists_aliases() {
+        let lib = table3();
+        let aliases = lib.aliases_of("Germany");
+        assert_eq!(aliases.len(), 3);
+        assert!(aliases.contains(&"ger".to_string()));
+    }
+
+    #[test]
+    fn duplicates_and_degenerate_records_ignored() {
+        let mut lib = TransformationLibrary::new();
+        lib.add("Car", "Automobile", TransformKind::Synonym);
+        lib.add("Car", "Automobile", TransformKind::Synonym);
+        lib.add("", "Automobile", TransformKind::Synonym);
+        lib.add("Same", "same", TransformKind::Synonym); // identical after norm
+        assert_eq!(lib.len(), 1);
+        assert_eq!(lib.canonical_of("Car").len(), 1);
+    }
+
+    #[test]
+    fn one_alias_many_canonicals() {
+        let mut lib = TransformationLibrary::new();
+        lib.add("US", "United States", TransformKind::Abbreviation);
+        lib.add("US", "Us Magazine", TransformKind::Abbreviation);
+        assert_eq!(lib.canonical_of("US").len(), 2);
+        assert!(lib.matches("US", "United_States"));
+        assert!(lib.matches("US", "us magazine"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let lib = table3();
+        let json = serde_json::to_string(&lib).unwrap();
+        let back: TransformationLibrary = serde_json::from_str(&json).unwrap();
+        assert!(back.matches("Car", "Automobile"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Label normalisation.
+//!
+//! Library lookups are case-insensitive and whitespace/underscore-agnostic
+//! so that `"audi tt"`, `"Audi_TT"` and `"AUDI TT"` all address the same
+//! record — mirroring how entity labels vary between query formulations and
+//! knowledge-graph dumps.
+
+/// Normalises a label: lowercase, underscores → spaces, collapsed internal
+/// whitespace, trimmed.
+pub fn normalize_label(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    let mut last_space = true; // suppress leading space
+    for ch in label.chars() {
+        let ch = if ch == '_' { ' ' } else { ch };
+        if ch.is_whitespace() {
+            if !last_space {
+                out.push(' ');
+                last_space = true;
+            }
+        } else {
+            for lower in ch.to_lowercase() {
+                out.push(lower);
+            }
+            last_space = false;
+        }
+    }
+    if out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_forms_collapse() {
+        assert_eq!(normalize_label("Audi_TT"), "audi tt");
+        assert_eq!(normalize_label("audi tt"), "audi tt");
+        assert_eq!(normalize_label("  AUDI   TT  "), "audi tt");
+    }
+
+    #[test]
+    fn empty_and_space_only() {
+        assert_eq!(normalize_label(""), "");
+        assert_eq!(normalize_label("   "), "");
+        assert_eq!(normalize_label("___"), "");
+    }
+
+    #[test]
+    fn unicode_lowercase() {
+        assert_eq!(normalize_label("MÜNCHEN"), "münchen");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_idempotent(s in ".{0,30}") {
+            let once = normalize_label(&s);
+            prop_assert_eq!(normalize_label(&once), once);
+        }
+
+        #[test]
+        fn prop_no_leading_trailing_space(s in ".{0,30}") {
+            let n = normalize_label(&s);
+            prop_assert!(!n.starts_with(' '));
+            prop_assert!(!n.ends_with(' '));
+        }
+    }
+}

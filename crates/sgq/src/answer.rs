@@ -1,0 +1,196 @@
+//! Answer types: sub-query matches, assembled final matches, and query
+//! statistics.
+
+use kgraph::{EdgeId, KnowledgeGraph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A match of one sub-query graph: a path `u_s ⇝ u_p` in the semantic graph
+/// (paper Definition 7) together with its path semantic similarity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubMatch {
+    /// Match of the sub-query's specific source node.
+    pub source: NodeId,
+    /// Match of the pivot (the path's endpoint, the TA join key).
+    pub pivot: NodeId,
+    /// Exact path semantic similarity ψ (Eq. 6).
+    pub pss: f64,
+    /// Node sequence from source to pivot (length = `edges.len() + 1`).
+    pub nodes: Vec<NodeId>,
+    /// Edge sequence traversed (ignoring direction).
+    pub edges: Vec<EdgeId>,
+    /// Binding of each *query* node on the sub-query path: `(raw QNodeId,
+    /// matched KG node)`, source first, pivot last. Lets callers read the
+    /// match of any target node — essential when the pivot is not the node
+    /// the user asked about (paper Table V forces different pivots).
+    #[serde(default)]
+    pub bindings: Vec<(u32, NodeId)>,
+}
+
+impl SubMatch {
+    /// Number of knowledge-graph hops.
+    pub fn hops(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Renders the match as a schema string in the style of the paper's
+    /// §VII-B table, e.g. `Automobile–assembly–Country`. The pivot end is
+    /// printed first as the entity type; intermediate nodes print their
+    /// types; the source prints its name.
+    pub fn schema(&self, graph: &KnowledgeGraph) -> String {
+        let mut out = String::new();
+        // Walk from pivot back to source so the target type leads.
+        for (i, node) in self.nodes.iter().rev().enumerate() {
+            if i > 0 {
+                let edge = self.edges[self.edges.len() - i];
+                out.push('–');
+                out.push_str(graph.predicate_name(graph.edge(edge).predicate));
+                out.push('–');
+            }
+            if i == self.nodes.len() - 1 {
+                out.push_str(graph.node_name(*node));
+            } else {
+                out.push_str(graph.node_type_name(*node));
+            }
+        }
+        out
+    }
+}
+
+/// A final match of the whole query graph: sub-query matches joined at a
+/// shared pivot match (paper Eq. 2, Fig. 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FinalMatch {
+    /// The pivot node match `u^p` — the discovered entity.
+    pub pivot: NodeId,
+    /// Match score `S_m(u^p) = Σᵢ ψᵢ` (Eq. 2).
+    pub score: f64,
+    /// One sub-match per sub-query graph, in decomposition order.
+    pub parts: Vec<SubMatch>,
+}
+
+/// Execution statistics of one query.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueryStats {
+    /// Wall-clock microseconds of the whole query.
+    pub elapsed_us: u64,
+    /// A\* frontier pops across all sub-query searches.
+    pub popped: usize,
+    /// States pushed across all sub-query searches.
+    pub pushed: usize,
+    /// States pruned by the τ threshold.
+    pub tau_pruned: usize,
+    /// Sorted accesses performed by the TA assembly.
+    pub ta_accesses: usize,
+    /// True when the TA assembly terminated early with a certified top-k
+    /// (L_k ≥ U_max before exhausting the match lists).
+    pub ta_certified: bool,
+    /// Number of sub-query graphs after decomposition.
+    pub subqueries: usize,
+    /// Per-sub-query search microseconds (max over these is the paper's
+    /// `max{T_A*}`).
+    pub per_subquery_us: Vec<u64>,
+    /// True when a TBQ run stopped because of the time bound rather than
+    /// search exhaustion.
+    pub time_bound_hit: bool,
+}
+
+/// The result of a query: ranked final matches plus statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueryResult {
+    /// Top-k final matches, best first.
+    pub matches: Vec<FinalMatch>,
+    /// Execution statistics.
+    pub stats: QueryStats,
+}
+
+impl QueryResult {
+    /// The discovered pivot entities, best first — the "answers" compared
+    /// against a validation set in the paper's experiments.
+    pub fn answer_nodes(&self) -> Vec<NodeId> {
+        self.matches.iter().map(|m| m.pivot).collect()
+    }
+
+    /// The entities bound to query node `qnode` across the final matches,
+    /// best match first, deduplicated. Use this to read a target node other
+    /// than the pivot (e.g. Table V evaluates the Person target while
+    /// forcing a SoccerClub pivot).
+    pub fn bindings_for(&self, qnode: crate::query::QNodeId) -> Vec<NodeId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for m in &self.matches {
+            for part in &m.parts {
+                for &(q, node) in &part.bindings {
+                    if q == qnode.0 && seen.insert(node) {
+                        out.push(node);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::GraphBuilder;
+
+    #[test]
+    fn schema_rendering_matches_paper_style() {
+        let mut b = GraphBuilder::new();
+        let audi = b.add_node("Audi_TT", "Automobile");
+        let regensburg = b.add_node("Regensburg", "City");
+        let de = b.add_node("Germany", "Country");
+        let e0 = b.add_edge(audi, regensburg, "assembly");
+        let e1 = b.add_edge(regensburg, de, "country");
+        let g = b.finish();
+        let m = SubMatch {
+            source: de,
+            pivot: audi,
+            pss: 0.9,
+            nodes: vec![de, regensburg, audi],
+            edges: vec![e1, e0],
+            bindings: vec![(0, de), (1, audi)],
+        };
+        assert_eq!(m.schema(&g), "Automobile–assembly–City–country–Germany");
+        assert_eq!(m.hops(), 2);
+    }
+
+    #[test]
+    fn single_hop_schema() {
+        let mut b = GraphBuilder::new();
+        let audi = b.add_node("Audi_TT", "Automobile");
+        let de = b.add_node("Germany", "Country");
+        let e = b.add_edge(audi, de, "assembly");
+        let g = b.finish();
+        let m = SubMatch {
+            source: de,
+            pivot: audi,
+            pss: 0.98,
+            nodes: vec![de, audi],
+            edges: vec![e],
+            bindings: vec![(0, de), (1, audi)],
+        };
+        assert_eq!(m.schema(&g), "Automobile–assembly–Germany");
+    }
+
+    #[test]
+    fn answer_nodes_in_rank_order() {
+        let r = QueryResult {
+            matches: vec![
+                FinalMatch {
+                    pivot: NodeId::new(4),
+                    score: 1.8,
+                    parts: vec![],
+                },
+                FinalMatch {
+                    pivot: NodeId::new(2),
+                    score: 1.2,
+                    parts: vec![],
+                },
+            ],
+            stats: QueryStats::default(),
+        };
+        assert_eq!(r.answer_nodes(), vec![NodeId::new(4), NodeId::new(2)]);
+    }
+}

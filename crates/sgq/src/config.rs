@@ -1,0 +1,122 @@
+//! Engine configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// How the decomposition chooses the pivot node (paper §VII-C, Table VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PivotStrategy {
+    /// Dynamic-programming minimum search-space cost (paper Eq. 1) — the
+    /// paper's `minCost` strategy.
+    #[default]
+    MinCost,
+    /// Uniformly random target node (the paper's `Random` comparison
+    /// strategy); seeded for reproducibility.
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Force a particular target node as pivot (paper Table V compares
+    /// pivot v1 against pivot v2 on the same query).
+    Forced {
+        /// Query-node id to use as pivot.
+        node: u32,
+    },
+}
+
+/// Parameters of the SGQ engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SgqConfig {
+    /// Number of final matches requested (top-k).
+    pub k: usize,
+    /// Path-semantic-similarity threshold τ below which partial paths are
+    /// pruned (paper Definition 7; default 0.8 per §VII-A).
+    pub tau: f64,
+    /// User-desired path length n̂: the maximum number of knowledge-graph
+    /// hops a single query edge may map to (edge-to-path mapping bound;
+    /// default 4 per §VII-A).
+    pub n_hat: usize,
+    /// How the pivot node is selected.
+    pub pivot: PivotStrategy,
+    /// Matches fetched per sub-query per round before (re)trying the TA
+    /// assembly; the engine doubles this until TA certifies top-k or all
+    /// searches are exhausted (§V-B Remark 2: "we usually need more than k
+    /// matches collected for each gᵢ").
+    pub batch: usize,
+    /// Hard cap on matches collected per sub-query, bounding worst-case work
+    /// on pathological graphs. 0 = unbounded.
+    pub max_matches_per_subquery: usize,
+}
+
+impl Default for SgqConfig {
+    fn default() -> Self {
+        Self {
+            k: 10,
+            tau: 0.8,
+            n_hat: 4,
+            pivot: PivotStrategy::MinCost,
+            batch: 0, // 0 → derived from k at query time
+            max_matches_per_subquery: 100_000,
+        }
+    }
+}
+
+impl SgqConfig {
+    /// Validates parameter consistency.
+    pub fn validate(&self) -> Result<(), crate::error::SgqError> {
+        use crate::error::SgqError::InvalidConfig;
+        if self.k == 0 {
+            return Err(InvalidConfig("k must be at least 1".into()));
+        }
+        if self.n_hat == 0 {
+            return Err(InvalidConfig("n_hat must be at least 1".into()));
+        }
+        if !(0.0..=1.0).contains(&self.tau) {
+            return Err(InvalidConfig(format!(
+                "tau must lie in [0,1], got {}",
+                self.tau
+            )));
+        }
+        Ok(())
+    }
+
+    /// Effective per-round batch size (defaults to `2k`).
+    pub fn effective_batch(&self) -> usize {
+        if self.batch == 0 {
+            (self.k * 2).max(8)
+        } else {
+            self.batch
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_settings() {
+        let c = SgqConfig::default();
+        assert_eq!(c.tau, 0.8);
+        assert_eq!(c.n_hat, 4);
+        assert_eq!(c.pivot, PivotStrategy::MinCost);
+    }
+
+    #[test]
+    fn validation_rejects_bad_params() {
+        assert!(SgqConfig { k: 0, ..Default::default() }.validate().is_err());
+        assert!(SgqConfig { n_hat: 0, ..Default::default() }.validate().is_err());
+        assert!(SgqConfig { tau: 1.5, ..Default::default() }.validate().is_err());
+        assert!(SgqConfig { tau: -0.1, ..Default::default() }.validate().is_err());
+        assert!(SgqConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn effective_batch_derivation() {
+        let c = SgqConfig { k: 10, batch: 0, ..Default::default() };
+        assert_eq!(c.effective_batch(), 20);
+        let c = SgqConfig { k: 1, batch: 0, ..Default::default() };
+        assert_eq!(c.effective_batch(), 8);
+        let c = SgqConfig { batch: 5, ..Default::default() };
+        assert_eq!(c.effective_batch(), 5);
+    }
+}

@@ -1,0 +1,465 @@
+//! Query-graph decomposition (paper Definition 6, Eq. 1, §VII-C).
+//!
+//! A general query graph is decomposed into **sub-query graphs**: path
+//! graphs running from a *specific* node to the shared **pivot** node (a
+//! target node where all sub-queries intersect), such that together they
+//! cover every query edge. Final answers are assembled by joining sub-query
+//! matches at the pivot's match.
+//!
+//! The objective (Eq. 1) is to minimise the summed *search-space cost* of
+//! the sub-queries: a sub-query of `L` query edges may expand to `L·n̂`
+//! knowledge-graph hops, so its A\*-search frontier is bounded by
+//! `d^(L·n̂)` where `d` is the graph's average degree (the paper's §V
+//! back-of-envelope: "average degree in DBpedia is nearly 24, a 3-hop match
+//! has 24³ candidate paths"). We solve the minimum-cost edge cover over the
+//! enumerated specific→pivot simple paths exactly with a bitmask dynamic
+//! program — query graphs are tiny (≤ 16 edges), so `O(2^|E_Q|·paths)` is
+//! immaterial.
+
+use crate::config::PivotStrategy;
+use crate::error::{Result, SgqError};
+use crate::query::{QEdgeId, QNodeId, QueryGraph};
+use serde::{Deserialize, Serialize};
+
+/// A path-shaped sub-query graph `gᵢ = v^s ⇝ v^t` (Definition 6).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubQuery {
+    /// Node sequence from the specific source to the pivot:
+    /// `[v_s, v₁, …, v_p]`.
+    pub nodes: Vec<QNodeId>,
+    /// Edge sequence; `edges[i]` connects `nodes[i]` and `nodes[i+1]`.
+    pub edges: Vec<QEdgeId>,
+}
+
+impl SubQuery {
+    /// The specific node the search anchors on.
+    pub fn source(&self) -> QNodeId {
+        self.nodes[0]
+    }
+
+    /// The pivot node the search must reach.
+    pub fn pivot(&self) -> QNodeId {
+        *self.nodes.last().expect("sub-query has at least one node")
+    }
+
+    /// Number of query edges (the paper's "L-hop sub-query").
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when the sub-query has no edges (never produced by
+    /// [`decompose`], but part of the contract).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// The result of decomposing a query graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Decomposition {
+    /// The pivot (target) node all sub-queries end at.
+    pub pivot: QNodeId,
+    /// The covering sub-queries.
+    pub subqueries: Vec<SubQuery>,
+    /// Total search-space cost (Eq. 1 objective value).
+    pub cost: f64,
+}
+
+/// Search-space cost of a sub-query with `edges` query edges (Eq. 1's
+/// `cost(gᵢ)`): `d^(edges·n̂)`, clamped to avoid `inf` on huge degrees.
+pub fn subquery_cost(edges: usize, avg_degree: f64, n_hat: usize) -> f64 {
+    let d = avg_degree.max(2.0);
+    let exponent = (edges * n_hat) as f64;
+    // Work in log-space and cap: beyond ~1e300 relative order is unaffected.
+    (exponent * d.ln()).min(690.0).exp()
+}
+
+/// Decomposes `query` into specific→pivot path sub-queries covering all
+/// edges, choosing the pivot per `strategy`.
+///
+/// `avg_degree` parameterises the cost model (take it from
+/// [`kgraph::GraphStats`]); `n_hat` is the per-edge hop bound.
+pub fn decompose(
+    query: &QueryGraph,
+    strategy: PivotStrategy,
+    avg_degree: f64,
+    n_hat: usize,
+) -> Result<Decomposition> {
+    query.validate()?;
+    let targets = query.target_nodes();
+    let candidates: Vec<QNodeId> = match strategy {
+        PivotStrategy::MinCost => targets,
+        PivotStrategy::Random { seed } => {
+            // Deterministic pseudo-random pick among decomposable targets.
+            let decomposable: Vec<QNodeId> = targets
+                .iter()
+                .copied()
+                .filter(|&p| best_cover_for_pivot(query, p, avg_degree, n_hat).is_some())
+                .collect();
+            if decomposable.is_empty() {
+                return Err(SgqError::UndecomposableQuery);
+            }
+            let idx = (splitmix64(seed) as usize) % decomposable.len();
+            vec![decomposable[idx]]
+        }
+        PivotStrategy::Forced { node } => {
+            let p = QNodeId(node);
+            if !targets.contains(&p) {
+                return Err(SgqError::InvalidPivot { node });
+            }
+            vec![p]
+        }
+    };
+
+    let mut best: Option<Decomposition> = None;
+    for pivot in candidates {
+        if let Some(d) = best_cover_for_pivot(query, pivot, avg_degree, n_hat) {
+            if best.as_ref().is_none_or(|b| d.cost < b.cost) {
+                best = Some(d);
+            }
+        }
+    }
+    best.ok_or(SgqError::UndecomposableQuery)
+}
+
+/// SplitMix64 — a tiny deterministic hash for the Random strategy, keeping
+/// `rand` out of this crate's runtime dependencies.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Minimum-cost cover of all query edges by simple specific→pivot paths.
+fn best_cover_for_pivot(
+    query: &QueryGraph,
+    pivot: QNodeId,
+    avg_degree: f64,
+    n_hat: usize,
+) -> Option<Decomposition> {
+    let m = query.edges().len();
+    if m > 20 {
+        return None; // bitmask DP domain bound; queries are tiny in practice
+    }
+    let paths = enumerate_paths(query, pivot);
+    if paths.is_empty() {
+        return None;
+    }
+    let full: u32 = if m == 32 { u32::MAX } else { (1u32 << m) - 1 };
+    let costs: Vec<f64> = paths
+        .iter()
+        .map(|p| subquery_cost(p.edges.len(), avg_degree, n_hat))
+        .collect();
+    let masks: Vec<u32> = paths
+        .iter()
+        .map(|p| p.edges.iter().fold(0u32, |acc, e| acc | (1 << e.0)))
+        .collect();
+
+    // Set-cover DP over edge bitmasks.
+    let mut dp: Vec<f64> = vec![f64::INFINITY; (full as usize) + 1];
+    let mut choice: Vec<Option<(usize, u32)>> = vec![None; (full as usize) + 1];
+    dp[0] = 0.0;
+    for mask in 0..=full {
+        if dp[mask as usize].is_infinite() {
+            continue;
+        }
+        for (i, &pm) in masks.iter().enumerate() {
+            let next = mask | pm;
+            if next == mask {
+                continue;
+            }
+            let c = dp[mask as usize] + costs[i];
+            if c < dp[next as usize] {
+                dp[next as usize] = c;
+                choice[next as usize] = Some((i, mask));
+            }
+        }
+    }
+    if dp[full as usize].is_infinite() {
+        return None;
+    }
+    let mut subqueries = Vec::new();
+    let mut cursor = full;
+    while cursor != 0 {
+        let (i, prev) = choice[cursor as usize].expect("reachable state has a choice");
+        subqueries.push(paths[i].clone());
+        cursor = prev;
+    }
+    subqueries.reverse();
+    Some(Decomposition {
+        pivot,
+        subqueries,
+        cost: dp[full as usize],
+    })
+}
+
+/// Enumerates all simple paths from any specific node to `pivot`.
+fn enumerate_paths(query: &QueryGraph, pivot: QNodeId) -> Vec<SubQuery> {
+    let mut out = Vec::new();
+    for source in query.specific_nodes() {
+        let mut nodes = vec![source];
+        let mut edges = Vec::new();
+        dfs_paths(query, pivot, &mut nodes, &mut edges, &mut out);
+    }
+    out
+}
+
+fn dfs_paths(
+    query: &QueryGraph,
+    pivot: QNodeId,
+    nodes: &mut Vec<QNodeId>,
+    edges: &mut Vec<QEdgeId>,
+    out: &mut Vec<SubQuery>,
+) {
+    let here = *nodes.last().expect("path non-empty");
+    if here == pivot && !edges.is_empty() {
+        out.push(SubQuery {
+            nodes: nodes.clone(),
+            edges: edges.clone(),
+        });
+        return; // paths end at the pivot (sub-queries are specific→pivot)
+    }
+    for eid in query.incident_edges(here) {
+        if edges.contains(&eid) {
+            continue;
+        }
+        let next = query.edge(eid).other(here).expect("incident edge");
+        if nodes.contains(&next) {
+            continue; // keep paths simple
+        }
+        nodes.push(next);
+        edges.push(eid);
+        dfs_paths(query, pivot, nodes, edges, out);
+        nodes.pop();
+        edges.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 3(a): China --e0-- ?auto --e1-- ?device --e2-- Germany.
+    fn chain() -> QueryGraph {
+        let mut q = QueryGraph::new();
+        let v2 = q.add_specific("China", "Country"); // QNodeId(0)
+        let v1 = q.add_target("Automobile"); // QNodeId(1)
+        let v3 = q.add_target("Device"); // QNodeId(2)
+        let v4 = q.add_specific("Germany", "Country"); // QNodeId(3)
+        q.add_edge(v1, "assembly", v2);
+        q.add_edge(v1, "engine", v3);
+        q.add_edge(v3, "manufacturer", v4);
+        q
+    }
+
+    /// Fig. 3(c): triangle ?auto/?person/Germany.
+    fn triangle() -> QueryGraph {
+        let mut q = QueryGraph::new();
+        let v1 = q.add_target("Automobile"); // 0
+        let v2 = q.add_target("Person"); // 1
+        let v3 = q.add_specific("Germany", "Country"); // 2
+        q.add_edge(v1, "assembly", v3); // e0
+        q.add_edge(v2, "nationality", v3); // e1
+        q.add_edge(v1, "designer", v2); // e2
+        q
+    }
+
+    #[test]
+    fn chain_decomposes_like_example2() {
+        // Paper Example 2: pivot v1 (the automobile) yields g1 = <v2-e1-v1>
+        // and g2 = <v4-e3-v3-e2-v1>.
+        let d = decompose(&chain(), PivotStrategy::Forced { node: 1 }, 24.0, 4).unwrap();
+        assert_eq!(d.pivot, QNodeId(1));
+        assert_eq!(d.subqueries.len(), 2);
+        let mut lens: Vec<usize> = d.subqueries.iter().map(SubQuery::len).collect();
+        lens.sort_unstable();
+        assert_eq!(lens, vec![1, 2]);
+        // Every edge covered.
+        let covered: std::collections::HashSet<QEdgeId> = d
+            .subqueries
+            .iter()
+            .flat_map(|s| s.edges.iter().copied())
+            .collect();
+        assert_eq!(covered.len(), 3);
+        // Each sub-query runs specific → pivot.
+        for s in &d.subqueries {
+            assert!(chain().node(s.source()).is_specific());
+            assert_eq!(s.pivot(), d.pivot);
+        }
+    }
+
+    #[test]
+    fn min_cost_prefers_balanced_pivot() {
+        // For the chain, pivot v1 gives paths of length 1+2; pivot v3 (the
+        // device) gives 2+1 — symmetric cost; pivot must be a target either
+        // way and cost must equal d^(1·n̂) + d^(2·n̂).
+        let d = decompose(&chain(), PivotStrategy::MinCost, 24.0, 4).unwrap();
+        let expected = subquery_cost(1, 24.0, 4) + subquery_cost(2, 24.0, 4);
+        assert!((d.cost - expected).abs() / expected < 1e-12);
+        assert!(matches!(d.pivot, QNodeId(1) | QNodeId(2)));
+    }
+
+    #[test]
+    fn triangle_covers_cycle_with_two_paths() {
+        // Pivot v1: g1 = Germany -e0- v1 and g2 = Germany -e1- v2 -e2- v1.
+        let d = decompose(&triangle(), PivotStrategy::Forced { node: 0 }, 24.0, 4).unwrap();
+        assert_eq!(d.subqueries.len(), 2);
+        let covered: std::collections::HashSet<QEdgeId> = d
+            .subqueries
+            .iter()
+            .flat_map(|s| s.edges.iter().copied())
+            .collect();
+        assert_eq!(covered.len(), 3, "cycle edges all covered");
+    }
+
+    #[test]
+    fn forced_pivot_must_be_target() {
+        let err = decompose(&chain(), PivotStrategy::Forced { node: 0 }, 24.0, 4).unwrap_err();
+        assert_eq!(err, SgqError::InvalidPivot { node: 0 });
+    }
+
+    #[test]
+    fn random_pivot_is_deterministic_per_seed() {
+        let a = decompose(&chain(), PivotStrategy::Random { seed: 1 }, 24.0, 4).unwrap();
+        let b = decompose(&chain(), PivotStrategy::Random { seed: 1 }, 24.0, 4).unwrap();
+        assert_eq!(a.pivot, b.pivot);
+    }
+
+    #[test]
+    fn random_pivot_varies_with_seed() {
+        let pivots: std::collections::HashSet<u32> = (0..32)
+            .map(|s| {
+                decompose(&chain(), PivotStrategy::Random { seed: s }, 24.0, 4)
+                    .unwrap()
+                    .pivot
+                    .0
+            })
+            .collect();
+        assert!(pivots.len() > 1, "32 seeds should hit both targets");
+    }
+
+    #[test]
+    fn single_edge_query() {
+        let mut q = QueryGraph::new();
+        let car = q.add_target("Automobile");
+        let de = q.add_specific("Germany", "Country");
+        q.add_edge(car, "product", de);
+        let d = decompose(&q, PivotStrategy::MinCost, 24.0, 4).unwrap();
+        assert_eq!(d.pivot, car);
+        assert_eq!(d.subqueries.len(), 1);
+        assert_eq!(d.subqueries[0].source(), de);
+        assert_eq!(d.subqueries[0].len(), 1);
+    }
+
+    #[test]
+    fn star_query_one_path_per_arm() {
+        // Fig. 3(b) style: center ?auto with three specific arms.
+        let mut q = QueryGraph::new();
+        let center = q.add_target("Automobile");
+        let cn = q.add_specific("China", "Country");
+        let kr = q.add_specific("Korea", "Country");
+        let de = q.add_specific("Germany", "Country");
+        q.add_edge(center, "assembly", cn);
+        q.add_edge(center, "assembly", kr);
+        q.add_edge(center, "designer", de);
+        let d = decompose(&q, PivotStrategy::MinCost, 24.0, 4).unwrap();
+        assert_eq!(d.pivot, center);
+        assert_eq!(d.subqueries.len(), 3);
+        assert!(d.subqueries.iter().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn cost_is_monotone_in_length() {
+        assert!(subquery_cost(2, 24.0, 4) > subquery_cost(1, 24.0, 4));
+        assert!(subquery_cost(1, 24.0, 5) > subquery_cost(1, 24.0, 4));
+        assert!(subquery_cost(50, 1e9, 50).is_finite(), "cost is clamped");
+    }
+
+    #[test]
+    fn undecomposable_when_pivot_unreachable_by_paths() {
+        // Specific -- target1, and pivot target2 hangs off target1:
+        // path from specific to target2 exists (covers both edges), but
+        // forcing pivot target1 leaves edge e1 uncoverable by any
+        // specific→pivot simple path.
+        let mut q = QueryGraph::new();
+        let s = q.add_specific("A", "T");
+        let t1 = q.add_target("T");
+        let t2 = q.add_target("T");
+        q.add_edge(s, "p", t1);
+        q.add_edge(t1, "q", t2);
+        let err = decompose(&q, PivotStrategy::Forced { node: t1.0 }, 10.0, 2).unwrap_err();
+        assert_eq!(err, SgqError::UndecomposableQuery);
+        // MinCost finds the workable pivot t2.
+        let d = decompose(&q, PivotStrategy::MinCost, 10.0, 2).unwrap();
+        assert_eq!(d.pivot, t2);
+    }
+
+    #[test]
+    fn subquery_accessors() {
+        let d = decompose(&chain(), PivotStrategy::Forced { node: 1 }, 24.0, 4).unwrap();
+        for s in &d.subqueries {
+            assert!(!s.is_empty());
+            assert_eq!(s.nodes.len(), s.edges.len() + 1);
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
+        /// Definition 6 invariants on random connected query graphs: every
+        /// sub-query is a simple specific→pivot path, consecutive entries
+        /// are truly incident, and the union of sub-query edges covers E_Q.
+        #[test]
+        fn prop_decomposition_invariants(
+            n_nodes in 2usize..7,
+            specific_mask in 1u32..64,
+            extra_edges in proptest::collection::vec((0usize..7, 0usize..7), 0..4),
+            seed in 0u64..500,
+        ) {
+            use proptest::prelude::prop_assert;
+            let mut q = QueryGraph::new();
+            let mut any_specific = false;
+            let mut any_target = false;
+            for i in 0..n_nodes {
+                if specific_mask & (1 << i) != 0 {
+                    q.add_specific(&format!("S{i}"), "T");
+                    any_specific = true;
+                } else {
+                    q.add_target("T");
+                    any_target = true;
+                }
+            }
+            if !any_specific || !any_target {
+                return Ok(()); // decompose rejects those by validation
+            }
+            // Spanning chain keeps the graph connected; extras may add cycles.
+            for i in 1..n_nodes {
+                q.add_edge(QNodeId(i as u32 - 1), "p", QNodeId(i as u32));
+            }
+            for &(a, b) in &extra_edges {
+                let (a, b) = (a % n_nodes, b % n_nodes);
+                if a != b {
+                    q.add_edge(QNodeId(a as u32), "p", QNodeId(b as u32));
+                }
+            }
+            let Ok(d) = decompose(&q, PivotStrategy::Random { seed }, 10.0, 3) else {
+                return Ok(()); // some shapes are genuinely undecomposable
+            };
+            let mut covered = std::collections::HashSet::new();
+            for s in &d.subqueries {
+                prop_assert!(q.node(s.source()).is_specific());
+                prop_assert!(q.node(d.pivot).is_target());
+                prop_assert!(s.pivot() == d.pivot);
+                // Simple path: no repeated nodes, edges incident pairwise.
+                let unique: std::collections::HashSet<_> = s.nodes.iter().collect();
+                prop_assert!(unique.len() == s.nodes.len());
+                for (i, &e) in s.edges.iter().enumerate() {
+                    let edge = q.edge(e);
+                    prop_assert!(edge.other(s.nodes[i]) == Some(s.nodes[i + 1]));
+                    covered.insert(e);
+                }
+            }
+            prop_assert!(covered.len() == q.edges().len(), "all edges covered");
+        }
+    }
+}

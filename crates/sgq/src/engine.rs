@@ -1,0 +1,490 @@
+//! The query-engine facade.
+//!
+//! [`SgqEngine`] wires the pipeline of the paper's Fig. 5 together:
+//! decomposition → per-sub-query A\* semantic search (one thread per
+//! sub-query graph, §V-B Remarks) → TA assembly; plus the TBQ time-bounded
+//! variant (§VI). The engine borrows the knowledge graph, the offline-
+//! trained predicate space and the transformation library — all immutable —
+//! so engines are cheap to create and safe to share across threads.
+
+use crate::answer::{QueryResult, QueryStats};
+use crate::astar::AStarSearch;
+use crate::config::SgqConfig;
+use crate::decompose::{decompose, Decomposition};
+use crate::error::Result;
+use crate::query::QueryGraph;
+use crate::semgraph::SubQueryPlan;
+use crate::ta;
+use crate::timebound::{self, TimeBoundConfig};
+use embedding::PredicateSpace;
+use kgraph::{GraphStats, KnowledgeGraph};
+use lexicon::{NodeMatcher, TransformationLibrary};
+use std::time::Instant;
+
+/// The semantic-guided query engine (SGQ), with the time-bounded variant
+/// (TBQ) as [`SgqEngine::query_time_bounded`].
+pub struct SgqEngine<'a> {
+    graph: &'a KnowledgeGraph,
+    space: &'a PredicateSpace,
+    matcher: NodeMatcher<'a>,
+    config: SgqConfig,
+    avg_degree: f64,
+}
+
+impl<'a> SgqEngine<'a> {
+    /// Builds an engine over an embedded knowledge graph.
+    pub fn new(
+        graph: &'a KnowledgeGraph,
+        space: &'a PredicateSpace,
+        library: &'a TransformationLibrary,
+        config: SgqConfig,
+    ) -> Self {
+        let avg_degree = GraphStats::of(graph).avg_degree;
+        Self {
+            graph,
+            space,
+            matcher: NodeMatcher::new(graph, library),
+            config,
+            avg_degree,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &SgqConfig {
+        &self.config
+    }
+
+    /// Replaces the configuration (e.g. for parameter sweeps).
+    pub fn set_config(&mut self, config: SgqConfig) {
+        self.config = config;
+    }
+
+    /// The underlying knowledge graph.
+    pub fn graph(&self) -> &'a KnowledgeGraph {
+        self.graph
+    }
+
+    /// Decomposes a query with the engine's pivot strategy and cost model
+    /// (exposed for the pivot-selection experiments, paper Tables V–VI).
+    pub fn decompose_query(&self, query: &QueryGraph) -> Result<Decomposition> {
+        decompose(query, self.config.pivot, self.avg_degree, self.config.n_hat)
+    }
+
+    fn build_plans(&self, query: &QueryGraph, decomp: &Decomposition) -> Vec<SubQueryPlan> {
+        decomp
+            .subqueries
+            .iter()
+            .map(|sq| {
+                SubQueryPlan::build(
+                    self.graph,
+                    self.space,
+                    &self.matcher,
+                    query,
+                    sq,
+                    self.config.n_hat,
+                    self.config.tau,
+                )
+            })
+            .collect()
+    }
+
+    /// SGQ: exact top-k query (paper Problem 1, §V).
+    ///
+    /// Sub-query searches run on one thread each and are resumed in
+    /// doubling batches until the TA assembly certifies the global top-k
+    /// (`L_k ≥ U_max`) or every search is exhausted.
+    pub fn query(&self, query: &QueryGraph) -> Result<QueryResult> {
+        self.config.validate()?;
+        let start = Instant::now();
+        let decomp = self.decompose_query(query)?;
+        let plans = self.build_plans(query, &decomp);
+        let n = plans.len();
+        let cap = self.config.max_matches_per_subquery;
+
+        let mut searches: Vec<AStarSearch<'_>> = plans
+            .iter()
+            .map(|p| AStarSearch::new(self.graph, p))
+            .collect();
+        let mut streams: Vec<Vec<crate::answer::SubMatch>> = vec![Vec::new(); n];
+        let mut per_subquery_us = vec![0u64; n];
+        let mut batch = self.config.effective_batch();
+
+        let outcome = loop {
+            // One parallel round: each sub-query search fetches up to
+            // `batch` further matches (§V-B Remark 1: one thread per gᵢ).
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = searches
+                    .iter_mut()
+                    .zip(streams.iter_mut())
+                    .zip(per_subquery_us.iter_mut())
+                    .map(|((search, stream), us)| {
+                        scope.spawn(move || {
+                            let t0 = Instant::now();
+                            for _ in 0..batch {
+                                if cap > 0 && stream.len() >= cap {
+                                    break;
+                                }
+                                match search.next_match() {
+                                    Some(m) => stream.push(m),
+                                    None => break,
+                                }
+                            }
+                            *us += t0.elapsed().as_micros() as u64;
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().expect("sub-query search thread panicked");
+                }
+            });
+
+            let exhausted: Vec<bool> = searches
+                .iter()
+                .zip(&streams)
+                .map(|(s, st)| s.is_exhausted() || (cap > 0 && st.len() >= cap))
+                .collect();
+            let outcome = ta::assemble(&streams, &exhausted, self.config.k);
+            if outcome.certified || exhausted.iter().all(|&e| e) {
+                break outcome;
+            }
+            batch = batch.saturating_mul(2);
+        };
+
+        let mut stats = QueryStats {
+            elapsed_us: start.elapsed().as_micros() as u64,
+            ta_accesses: outcome.accesses,
+            ta_certified: outcome.certified,
+            subqueries: n,
+            per_subquery_us,
+            time_bound_hit: false,
+            ..QueryStats::default()
+        };
+        for s in &searches {
+            stats.popped += s.stats.popped;
+            stats.pushed += s.stats.pushed;
+            stats.tau_pruned += s.stats.tau_pruned;
+        }
+        Ok(QueryResult {
+            matches: outcome.matches,
+            stats,
+        })
+    }
+
+    /// TBQ: approximate top-k within a response-time bound (paper Problem 2,
+    /// §VI). More time ⇒ better answers; a generous bound converges to
+    /// [`SgqEngine::query`]'s result (Theorem 4).
+    pub fn query_time_bounded(
+        &self,
+        query: &QueryGraph,
+        tb: &TimeBoundConfig,
+    ) -> Result<QueryResult> {
+        self.config.validate()?;
+        let start = Instant::now();
+        let decomp = self.decompose_query(query)?;
+        let plans = self.build_plans(query, &decomp);
+        let outcome = timebound::run_anytime(
+            self.graph,
+            &plans,
+            self.config.max_matches_per_subquery,
+            tb,
+        );
+        let ta_out = ta::assemble(&outcome.streams, &outcome.exhausted, self.config.k);
+        Ok(QueryResult {
+            matches: ta_out.matches,
+            stats: QueryStats {
+                elapsed_us: start.elapsed().as_micros() as u64,
+                popped: outcome.stats.popped,
+                pushed: outcome.stats.pushed,
+                tau_pruned: outcome.stats.tau_pruned,
+                ta_accesses: ta_out.accesses,
+                ta_certified: ta_out.certified,
+                subqueries: plans.len(),
+                per_subquery_us: outcome.per_subquery_us,
+                time_bound_hit: outcome.bound_hit,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PivotStrategy;
+    use crate::query::QueryGraph;
+    use embedding::PredicateSpace;
+    use kgraph::GraphBuilder;
+    use std::time::Duration;
+
+    /// Fig. 2's knowledge graph, complete.
+    fn fig2_graph() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let audi = b.add_node("Audi_TT", "Automobile");
+        let lamando = b.add_node("Lamando", "Automobile");
+        let kia = b.add_node("KIA_K5", "Automobile");
+        let engine = b.add_node("EA211_l4_TSI", "Device");
+        let vw = b.add_node("Volkswagen", "Company");
+        let peter = b.add_node("Peter_Schreyer", "Person");
+        let de = b.add_node("Germany", "Country");
+        b.add_edge(audi, de, "assembly");
+        b.add_edge(lamando, engine, "engine");
+        b.add_edge(engine, vw, "designCompany");
+        b.add_edge(vw, de, "location");
+        b.add_edge(peter, kia, "designer");
+        b.add_edge(peter, de, "nationality");
+        b.add_edge(vw, audi, "product");
+        b.finish()
+    }
+
+    /// Predicate space mirroring Fig. 2's similarities to `product`:
+    /// assembly 0.98, designer 0.85, nationality 0.81, …
+    fn fig2_space(g: &KnowledgeGraph) -> PredicateSpace {
+        let sim_to_product = |label: &str| -> f32 {
+            match label {
+                "product" => 1.0,
+                "assembly" => 0.98,
+                "designer" => 0.85,
+                "nationality" => 0.81,
+                "engine" => 0.91,
+                "designCompany" => 0.84,
+                "location" => 0.81,
+                _ => 0.1,
+            }
+        };
+        let (vecs, labels): (Vec<Vec<f32>>, Vec<String>) = g
+            .predicates()
+            .map(|(_, l)| {
+                let s = sim_to_product(l);
+                (vec![s, (1.0 - s * s).max(0.0).sqrt()], l.to_string())
+            })
+            .unzip();
+        PredicateSpace::from_raw(vecs, labels)
+    }
+
+    fn product_query() -> QueryGraph {
+        let mut q = QueryGraph::new();
+        let auto = q.add_target("Automobile");
+        let de = q.add_specific("Germany", "Country");
+        q.add_edge(auto, "product", de);
+        q
+    }
+
+    fn engine_with<'a>(
+        g: &'a KnowledgeGraph,
+        s: &'a PredicateSpace,
+        lib: &'a TransformationLibrary,
+        k: usize,
+        tau: f64,
+    ) -> SgqEngine<'a> {
+        SgqEngine::new(
+            g,
+            s,
+            lib,
+            SgqConfig {
+                k,
+                tau,
+                n_hat: 4,
+                ..SgqConfig::default()
+            },
+        )
+    }
+
+    /// The running example: Audi_TT via <assembly> (pss 0.98) must beat
+    /// Lamando via <engine, designCompany, location> (pss ≈ 0.853) and
+    /// KIA_K5 via <designer, nationality> (pss ≈ 0.829).
+    #[test]
+    fn figure2_ranking() {
+        let g = fig2_graph();
+        let s = fig2_space(&g);
+        let lib = TransformationLibrary::new();
+        let engine = engine_with(&g, &s, &lib, 3, 0.5);
+        let r = engine.query(&product_query()).unwrap();
+        let names: Vec<&str> = r.answer_nodes().iter().map(|&n| g.node_name(n)).collect();
+        assert_eq!(names, vec!["Audi_TT", "Lamando", "KIA_K5"]);
+        assert!((r.matches[0].score - 0.98).abs() < 1e-6);
+        // Lamando: (0.91 · 0.84 · 0.81)^(1/3)
+        let expected = (0.91f64 * 0.84 * 0.81).powf(1.0 / 3.0);
+        assert!((r.matches[1].score - expected).abs() < 1e-4);
+        assert!(r.stats.ta_certified);
+        assert_eq!(r.stats.subqueries, 1);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let g = fig2_graph();
+        let s = fig2_space(&g);
+        let lib = TransformationLibrary::new();
+        let engine = engine_with(&g, &s, &lib, 1, 0.5);
+        let r = engine.query(&product_query()).unwrap();
+        assert_eq!(r.matches.len(), 1);
+        assert_eq!(g.node_name(r.matches[0].pivot), "Audi_TT");
+    }
+
+    #[test]
+    fn tau_filters_answers() {
+        let g = fig2_graph();
+        let s = fig2_space(&g);
+        let lib = TransformationLibrary::new();
+        let engine = engine_with(&g, &s, &lib, 10, 0.9);
+        let r = engine.query(&product_query()).unwrap();
+        // Only Audi_TT (0.98) survives τ = 0.9.
+        assert_eq!(r.matches.len(), 1);
+    }
+
+    /// Fig. 3(a)-style multi-sub-query join: two sub-queries must agree on
+    /// the pivot automobile.
+    #[test]
+    fn multi_subquery_join_at_pivot() {
+        let mut b = GraphBuilder::new();
+        let lamando = b.add_node("Lamando", "Automobile");
+        let other = b.add_node("OtherCar", "Automobile");
+        let cn = b.add_node("China", "Country");
+        let de = b.add_node("Germany", "Country");
+        let eng = b.add_node("EA211", "Device");
+        b.add_edge(lamando, cn, "assembly");
+        b.add_edge(lamando, eng, "engine");
+        b.add_edge(eng, de, "manufacturer");
+        b.add_edge(other, cn, "assembly"); // matches g1 but not g2
+        let g = b.finish();
+        let (vecs, labels): (Vec<Vec<f32>>, Vec<String>) = g
+            .predicates()
+            .map(|(_, l)| (vec![1.0, 0.0], l.to_string()))
+            .unzip();
+        // Identity space: every predicate similar to every other — rely on
+        // exact labels. Give each its own direction instead:
+        let n = vecs.len();
+        let vecs: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                let mut v = vec![0.0; n];
+                v[i] = 1.0;
+                v
+            })
+            .collect();
+        let space = PredicateSpace::from_raw(vecs, labels);
+        let lib = TransformationLibrary::new();
+        let mut q = QueryGraph::new();
+        let auto = q.add_target("Automobile");
+        let cn_q = q.add_specific("China", "Country");
+        let dev = q.add_target("Device");
+        let de_q = q.add_specific("Germany", "Country");
+        q.add_edge(auto, "assembly", cn_q);
+        q.add_edge(auto, "engine", dev);
+        q.add_edge(dev, "manufacturer", de_q);
+        let engine = SgqEngine::new(
+            &g,
+            &space,
+            &lib,
+            SgqConfig {
+                k: 5,
+                tau: 0.5,
+                n_hat: 2,
+                pivot: PivotStrategy::Forced { node: auto.0 },
+                ..SgqConfig::default()
+            },
+        );
+        let r = engine.query(&q).unwrap();
+        assert_eq!(r.stats.subqueries, 2);
+        assert_eq!(r.matches.len(), 1, "only Lamando joins both sub-queries");
+        assert_eq!(g.node_name(r.matches[0].pivot), "Lamando");
+        assert!((r.matches[0].score - 2.0).abs() < 1e-6); // two exact parts
+        assert_eq!(r.matches[0].parts.len(), 2);
+    }
+
+    #[test]
+    fn tbq_converges_to_sgq_with_generous_bound() {
+        let g = fig2_graph();
+        let s = fig2_space(&g);
+        let lib = TransformationLibrary::new();
+        let engine = engine_with(&g, &s, &lib, 3, 0.5);
+        let exact = engine.query(&product_query()).unwrap();
+        let tb = TimeBoundConfig::with_bound(Duration::from_secs(5));
+        let approx = engine.query_time_bounded(&product_query(), &tb).unwrap();
+        assert_eq!(approx.answer_nodes(), exact.answer_nodes());
+        assert!(!approx.stats.time_bound_hit, "tiny graph finishes early");
+    }
+
+    #[test]
+    fn tbq_respects_tiny_bound() {
+        let g = fig2_graph();
+        let s = fig2_space(&g);
+        let lib = TransformationLibrary::new();
+        let engine = engine_with(&g, &s, &lib, 3, 0.5);
+        let tb = TimeBoundConfig::with_bound(Duration::from_nanos(1));
+        let r = engine.query_time_bounded(&product_query(), &tb).unwrap();
+        // With a 1 ns bound the controller fires immediately; whatever was
+        // discovered (possibly nothing) is returned without panicking.
+        assert!(r.matches.len() <= 3);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let g = fig2_graph();
+        let s = fig2_space(&g);
+        let lib = TransformationLibrary::new();
+        let engine = engine_with(&g, &s, &lib, 0, 0.5);
+        assert!(engine.query(&product_query()).is_err());
+    }
+
+    #[test]
+    fn invalid_query_is_rejected() {
+        let g = fig2_graph();
+        let s = fig2_space(&g);
+        let lib = TransformationLibrary::new();
+        let engine = engine_with(&g, &s, &lib, 3, 0.5);
+        let mut q = QueryGraph::new();
+        q.add_specific("Germany", "Country");
+        assert!(engine.query(&q).is_err());
+    }
+
+    #[test]
+    fn no_matches_when_source_absent() {
+        let g = fig2_graph();
+        let s = fig2_space(&g);
+        let lib = TransformationLibrary::new();
+        let engine = engine_with(&g, &s, &lib, 3, 0.5);
+        let mut q = QueryGraph::new();
+        let auto = q.add_target("Automobile");
+        let nowhere = q.add_specific("Atlantis", "Country");
+        q.add_edge(auto, "product", nowhere);
+        let r = engine.query(&q).unwrap();
+        assert!(r.matches.is_empty());
+    }
+
+    #[test]
+    fn bindings_expose_every_query_node_match() {
+        let g = fig2_graph();
+        let s = fig2_space(&g);
+        let lib = TransformationLibrary::new();
+        let engine = engine_with(&g, &s, &lib, 3, 0.5);
+        let r = engine.query(&product_query()).unwrap();
+        for m in &r.matches {
+            for part in &m.parts {
+                // Source (query node 1, Germany) and pivot (query node 0)
+                // are both bound.
+                assert_eq!(part.bindings.len(), 2);
+                assert_eq!(part.bindings[0].0, 1);
+                assert_eq!(g.node_name(part.bindings[0].1), "Germany");
+                assert_eq!(part.bindings[1].0, 0);
+                assert_eq!(part.bindings[1].1, m.pivot);
+            }
+        }
+        // bindings_for collects the pivot-side bindings in rank order.
+        let bound = r.bindings_for(crate::query::QNodeId(0));
+        assert_eq!(bound, r.answer_nodes());
+    }
+
+    #[test]
+    fn synonym_query_node_matches_through_library() {
+        // Fig. 1 G¹_Q: type <Car> resolves to Automobile via the library.
+        let g = fig2_graph();
+        let s = fig2_space(&g);
+        let mut lib = TransformationLibrary::new();
+        lib.add_synonym_row("Automobile", &["Car"]);
+        let engine = engine_with(&g, &s, &lib, 3, 0.5);
+        let mut q = QueryGraph::new();
+        let car = q.add_target("Car");
+        let de = q.add_specific("Germany", "Country");
+        q.add_edge(car, "product", de);
+        let r = engine.query(&q).unwrap();
+        assert_eq!(g.node_name(r.matches[0].pivot), "Audi_TT");
+    }
+}

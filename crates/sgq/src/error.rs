@@ -1,0 +1,67 @@
+//! Error type of the query engine.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, SgqError>;
+
+/// Errors surfaced by query validation, decomposition, or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SgqError {
+    /// The query graph has no target node — nothing to search for.
+    NoTargetNode,
+    /// The query graph has no specific node — no anchor to search from
+    /// (every sub-query graph starts at a specific node, Definition 6).
+    NoSpecificNode,
+    /// The query graph is not connected, so no pivot joins all sub-queries.
+    DisconnectedQuery,
+    /// The query graph has an edge endpoint that was never declared.
+    DanglingEdge {
+        /// Index of the offending query edge.
+        edge: u32,
+    },
+    /// No decomposition covers every query edge with specific→pivot paths.
+    UndecomposableQuery,
+    /// A forced pivot node id is not a target node of the query.
+    InvalidPivot {
+        /// The offending node id.
+        node: u32,
+    },
+    /// The engine configuration is inconsistent (e.g. `k == 0`).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SgqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgqError::NoTargetNode => write!(f, "query graph has no target node"),
+            SgqError::NoSpecificNode => write!(f, "query graph has no specific node"),
+            SgqError::DisconnectedQuery => write!(f, "query graph is not connected"),
+            SgqError::DanglingEdge { edge } => {
+                write!(f, "query edge {edge} references an undeclared node")
+            }
+            SgqError::UndecomposableQuery => write!(
+                f,
+                "no pivot admits a decomposition into specific-to-pivot paths covering all edges"
+            ),
+            SgqError::InvalidPivot { node } => {
+                write!(f, "forced pivot {node} is not a target node of the query")
+            }
+            SgqError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SgqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SgqError::NoTargetNode.to_string().contains("target"));
+        assert!(SgqError::DanglingEdge { edge: 3 }.to_string().contains('3'));
+        assert!(SgqError::InvalidConfig("k".into()).to_string().contains('k'));
+    }
+}

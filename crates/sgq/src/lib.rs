@@ -1,0 +1,71 @@
+//! # sgq — semantic guided & response-time-bounded top-k graph query
+//!
+//! The core contribution of Wang et al., *Semantic Guided and Response Times
+//! Bounded Top-k Similarity Search over Knowledge Graphs* (ICDE 2020):
+//!
+//! * **Query graphs** with *specific* (known name) and *target* (known type
+//!   only) nodes — [`query::QueryGraph`] (paper Definition 2, Fig. 3);
+//! * **Decomposition** of a general query graph into path-shaped sub-query
+//!   graphs intersecting at a pivot node, with a search-space cost model and
+//!   a minimum-cost pivot chooser (Definition 6, Eq. 1) — [`decompose`];
+//! * **Semantic graph** weights computed on the fly from the predicate
+//!   semantic space (Definition 5, §IV-B "a lightweight way") — [`semgraph`];
+//! * **Path semantic similarity** and its admissible heuristic upper bound
+//!   (Eqs. 6–7, Theorem 1) — [`pss`];
+//! * **A\* semantic search** returning sub-query matches in non-increasing
+//!   pss order (Algorithm 1, Theorem 2) — [`astar`];
+//! * **Threshold-algorithm assembly** of sub-query matches into final top-k
+//!   answers (Eqs. 8–11, Theorem 3) — [`ta`];
+//! * **Time-bounded approximate optimisation** (TBQ; Algorithms 2–3,
+//!   Theorem 4) — [`timebound`];
+//! * the [`engine::SgqEngine`] facade tying everything together with one
+//!   search thread per sub-query graph (§V-B Remarks).
+//!
+//! ```
+//! use kgraph::GraphBuilder;
+//! use embedding::{train_transe, PredicateSpace, TrainConfig};
+//! use lexicon::TransformationLibrary;
+//! use sgq::{QueryGraph, SgqConfig, SgqEngine};
+//!
+//! // Fig. 2's running example, miniaturised.
+//! let mut b = GraphBuilder::new();
+//! let audi = b.add_node("Audi_TT", "Automobile");
+//! let de = b.add_node("Germany", "Country");
+//! b.add_edge(audi, de, "assembly");
+//! let g = b.finish();
+//!
+//! let model = train_transe(&g, &TrainConfig { dim: 8, epochs: 5, ..Default::default() });
+//! let space = PredicateSpace::from_model(&g, &model);
+//! let lib = TransformationLibrary::new();
+//!
+//! // ?automobile --product--> Germany
+//! let mut q = QueryGraph::new();
+//! let car = q.add_target("Automobile");
+//! let country = q.add_specific("Germany", "Country");
+//! q.add_edge(car, "product", country);
+//!
+//! let engine = SgqEngine::new(&g, &space, &lib, SgqConfig { k: 5, tau: 0.0, ..Default::default() });
+//! let result = engine.query(&q).unwrap();
+//! assert_eq!(result.matches.len(), 1);
+//! assert_eq!(g.node_name(result.matches[0].pivot), "Audi_TT");
+//! ```
+
+pub mod answer;
+pub mod astar;
+pub mod config;
+pub mod decompose;
+pub mod engine;
+pub mod error;
+pub mod pss;
+pub mod query;
+pub mod semgraph;
+pub mod ta;
+pub mod timebound;
+
+pub use answer::{FinalMatch, QueryResult, QueryStats, SubMatch};
+pub use config::{PivotStrategy, SgqConfig};
+pub use decompose::{Decomposition, SubQuery};
+pub use engine::SgqEngine;
+pub use error::{Result, SgqError};
+pub use query::{QEdgeId, QNodeId, QueryEdge, QueryGraph, QueryNode, QueryNodeKind};
+pub use timebound::TimeBoundConfig;

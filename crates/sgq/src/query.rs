@@ -1,0 +1,366 @@
+//! Query graphs (paper Definition 2, Fig. 3).
+//!
+//! A query graph `G_Q = (V_Q, E_Q, L_Q)` contains *specific* nodes `V^s`
+//! (known entities: both name and type given) and *target* nodes `V^t`
+//! (unknown entities: only the type given). Every edge carries a predicate.
+//! Chain-, star- and triangle-shaped graphs (Fig. 3) are all built with the
+//! same three calls: [`QueryGraph::add_specific`], [`QueryGraph::add_target`]
+//! and [`QueryGraph::add_edge`].
+
+use serde::{Deserialize, Serialize};
+
+/// Dense id of a query node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct QNodeId(pub u32);
+
+/// Dense id of a query edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct QEdgeId(pub u32);
+
+impl QNodeId {
+    /// Raw index for slice addressing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl QEdgeId {
+    /// Raw index for slice addressing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What is known about a query node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryNodeKind {
+    /// A known entity (`V^s`): name and type are both given, e.g.
+    /// `Germany <Country>`.
+    Specific {
+        /// Entity name (matched through the transformation library).
+        name: String,
+        /// Entity type label.
+        ty: String,
+    },
+    /// An unknown entity (`V^t`): only the type is given, e.g.
+    /// `? <Automobile>`.
+    Target {
+        /// Entity type label.
+        ty: String,
+    },
+}
+
+/// A node of the query graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryNode {
+    /// Node id.
+    pub id: QNodeId,
+    /// Specific vs target.
+    pub kind: QueryNodeKind,
+}
+
+impl QueryNode {
+    /// True for target (unknown) nodes.
+    pub fn is_target(&self) -> bool {
+        matches!(self.kind, QueryNodeKind::Target { .. })
+    }
+
+    /// True for specific (known) nodes.
+    pub fn is_specific(&self) -> bool {
+        !self.is_target()
+    }
+
+    /// The node's type label.
+    pub fn type_label(&self) -> &str {
+        match &self.kind {
+            QueryNodeKind::Specific { ty, .. } | QueryNodeKind::Target { ty } => ty,
+        }
+    }
+
+    /// The node's name for specific nodes, `None` for targets.
+    pub fn name(&self) -> Option<&str> {
+        match &self.kind {
+            QueryNodeKind::Specific { name, .. } => Some(name),
+            QueryNodeKind::Target { .. } => None,
+        }
+    }
+}
+
+/// An edge of the query graph, carrying a predicate label.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryEdge {
+    /// Edge id.
+    pub id: QEdgeId,
+    /// Source query node.
+    pub from: QNodeId,
+    /// Destination query node.
+    pub to: QNodeId,
+    /// Predicate label, e.g. `product`.
+    pub predicate: String,
+}
+
+impl QueryEdge {
+    /// The endpoint opposite to `n`, or `None` when `n` is not an endpoint.
+    pub fn other(&self, n: QNodeId) -> Option<QNodeId> {
+        if self.from == n {
+            Some(self.to)
+        } else if self.to == n {
+            Some(self.from)
+        } else {
+            None
+        }
+    }
+}
+
+/// A query graph `G_Q = (V_Q, E_Q, L_Q)`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueryGraph {
+    nodes: Vec<QueryNode>,
+    edges: Vec<QueryEdge>,
+}
+
+impl QueryGraph {
+    /// Creates an empty query graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a specific node (known name and type), returning its id.
+    pub fn add_specific(&mut self, name: &str, ty: &str) -> QNodeId {
+        let id = QNodeId(self.nodes.len() as u32);
+        self.nodes.push(QueryNode {
+            id,
+            kind: QueryNodeKind::Specific {
+                name: name.into(),
+                ty: ty.into(),
+            },
+        });
+        id
+    }
+
+    /// Adds a target node (known type only), returning its id.
+    pub fn add_target(&mut self, ty: &str) -> QNodeId {
+        let id = QNodeId(self.nodes.len() as u32);
+        self.nodes.push(QueryNode {
+            id,
+            kind: QueryNodeKind::Target { ty: ty.into() },
+        });
+        id
+    }
+
+    /// Adds an edge `from --predicate--> to`, returning its id.
+    pub fn add_edge(&mut self, from: QNodeId, predicate: &str, to: QNodeId) -> QEdgeId {
+        let id = QEdgeId(self.edges.len() as u32);
+        self.edges.push(QueryEdge {
+            id,
+            from,
+            to,
+            predicate: predicate.into(),
+        });
+        id
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[QueryNode] {
+        &self.nodes
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[QueryEdge] {
+        &self.edges
+    }
+
+    /// Node by id.
+    pub fn node(&self, id: QNodeId) -> &QueryNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Edge by id.
+    pub fn edge(&self, id: QEdgeId) -> &QueryEdge {
+        &self.edges[id.index()]
+    }
+
+    /// Ids of the target nodes `V^t`.
+    pub fn target_nodes(&self) -> Vec<QNodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_target())
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Ids of the specific nodes `V^s`.
+    pub fn specific_nodes(&self) -> Vec<QNodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_specific())
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Edges incident to `n` (query graphs are tiny, a scan is fine).
+    pub fn incident_edges(&self, n: QNodeId) -> Vec<QEdgeId> {
+        self.edges
+            .iter()
+            .filter(|e| e.from == n || e.to == n)
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// Undirected degree of `n`.
+    pub fn degree(&self, n: QNodeId) -> usize {
+        self.incident_edges(n).len()
+    }
+
+    /// Validates structural soundness: endpoints declared, at least one
+    /// target, at least one specific, and connectivity.
+    pub fn validate(&self) -> crate::error::Result<()> {
+        use crate::error::SgqError;
+        for e in &self.edges {
+            if e.from.index() >= self.nodes.len() || e.to.index() >= self.nodes.len() {
+                return Err(SgqError::DanglingEdge { edge: e.id.0 });
+            }
+        }
+        if self.target_nodes().is_empty() {
+            return Err(SgqError::NoTargetNode);
+        }
+        if self.specific_nodes().is_empty() {
+            return Err(SgqError::NoSpecificNode);
+        }
+        if !self.is_connected() {
+            return Err(SgqError::DisconnectedQuery);
+        }
+        Ok(())
+    }
+
+    /// True when all nodes are reachable from node 0 ignoring direction.
+    pub fn is_connected(&self) -> bool {
+        if self.nodes.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![QNodeId(0)];
+        seen[0] = true;
+        while let Some(n) = stack.pop() {
+            for eid in self.incident_edges(n) {
+                let other = self.edge(eid).other(n).expect("incident");
+                if !seen[other.index()] {
+                    seen[other.index()] = true;
+                    stack.push(other);
+                }
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 3(a): chain query — China --e1--> ?auto --e2--> ?device --e3--> Germany.
+    pub(crate) fn chain() -> QueryGraph {
+        let mut q = QueryGraph::new();
+        let v2 = q.add_specific("China", "Country");
+        let v1 = q.add_target("Automobile");
+        let v3 = q.add_target("Device");
+        let v4 = q.add_specific("Germany", "Country");
+        q.add_edge(v1, "assembly", v2);
+        q.add_edge(v1, "engine", v3);
+        q.add_edge(v3, "manufacturer", v4);
+        q
+    }
+
+    #[test]
+    fn build_and_access() {
+        let q = chain();
+        assert_eq!(q.nodes().len(), 4);
+        assert_eq!(q.edges().len(), 3);
+        assert_eq!(q.node(QNodeId(0)).name(), Some("China"));
+        assert_eq!(q.node(QNodeId(1)).type_label(), "Automobile");
+        assert!(q.node(QNodeId(1)).is_target());
+        assert!(q.node(QNodeId(3)).is_specific());
+        assert_eq!(q.edge(QEdgeId(1)).predicate, "engine");
+    }
+
+    #[test]
+    fn node_partition() {
+        let q = chain();
+        assert_eq!(q.target_nodes(), vec![QNodeId(1), QNodeId(2)]);
+        assert_eq!(q.specific_nodes(), vec![QNodeId(0), QNodeId(3)]);
+    }
+
+    #[test]
+    fn incident_edges_and_degree() {
+        let q = chain();
+        assert_eq!(q.degree(QNodeId(1)), 2); // the automobile target
+        assert_eq!(q.degree(QNodeId(0)), 1);
+        assert_eq!(q.incident_edges(QNodeId(2)), vec![QEdgeId(1), QEdgeId(2)]);
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let q = chain();
+        let e = q.edge(QEdgeId(0));
+        assert_eq!(e.other(e.from), Some(e.to));
+        assert_eq!(e.other(e.to), Some(e.from));
+        assert_eq!(e.other(QNodeId(2)), None);
+    }
+
+    #[test]
+    fn validation_passes_on_chain() {
+        assert!(chain().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_no_target() {
+        let mut q = QueryGraph::new();
+        let a = q.add_specific("A", "T");
+        let b = q.add_specific("B", "T");
+        q.add_edge(a, "p", b);
+        assert_eq!(q.validate(), Err(crate::error::SgqError::NoTargetNode));
+    }
+
+    #[test]
+    fn validation_rejects_no_specific() {
+        let mut q = QueryGraph::new();
+        let a = q.add_target("T");
+        let b = q.add_target("T");
+        q.add_edge(a, "p", b);
+        assert_eq!(q.validate(), Err(crate::error::SgqError::NoSpecificNode));
+    }
+
+    #[test]
+    fn validation_rejects_disconnected() {
+        let mut q = QueryGraph::new();
+        let a = q.add_specific("A", "T");
+        let b = q.add_target("T");
+        q.add_edge(a, "p", b);
+        q.add_target("Orphan");
+        assert_eq!(q.validate(), Err(crate::error::SgqError::DisconnectedQuery));
+    }
+
+    #[test]
+    fn triangle_is_connected() {
+        // Fig. 3(c).
+        let mut q = QueryGraph::new();
+        let v1 = q.add_target("Automobile");
+        let v2 = q.add_target("Person");
+        let v3 = q.add_specific("Germany", "Country");
+        q.add_edge(v1, "assembly", v3);
+        q.add_edge(v2, "nationality", v3);
+        q.add_edge(v1, "designer", v2);
+        assert!(q.is_connected());
+        assert!(q.validate().is_ok());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let q = chain();
+        let json = serde_json::to_string(&q).unwrap();
+        let back: QueryGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, q);
+    }
+}

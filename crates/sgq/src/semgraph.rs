@@ -1,0 +1,367 @@
+//! The partially-materialised semantic graph (paper Definition 5, §IV-B).
+//!
+//! The paper deliberately avoids building the complete weighted semantic
+//! graph `SG_Q` up front ("high traversal cost", "redundant operations");
+//! instead the weights are produced *during* search. [`SubQueryPlan`]
+//! precomputes exactly the cheap, query-sized artefacts that make the
+//! on-the-fly weighting O(1) per traversed edge:
+//!
+//! * per query edge (segment), the full similarity row of its predicate
+//!   against every knowledge-graph predicate (Eq. 5) — one array load per
+//!   KG edge during search;
+//! * per segment, the element-wise max over the *remaining* segments' rows,
+//!   which yields `m(u)` (Lemma 1's unexplored-weight bound) with one pass
+//!   over a node's adjacency;
+//! * φ-resolved candidate sets for the source node and constraint tests for
+//!   every later query node on the sub-query path.
+
+use crate::decompose::SubQuery;
+use crate::pss::{clamp_weight, PssEstimator, MIN_WEIGHT};
+use crate::query::QueryGraph;
+use embedding::PredicateSpace;
+use kgraph::{KnowledgeGraph, NodeId, PredicateId};
+use lexicon::NodeMatcher;
+use rustc_hash::FxHashSet;
+
+/// A membership test for one query node of the sub-query path.
+#[derive(Debug, Clone)]
+pub enum NodeConstraint {
+    /// Target query node: the KG node's type must be in the mask
+    /// (indexed by `TypeId`).
+    TypeMask(Vec<bool>),
+    /// Specific query node: the KG node must be one of the φ name matches.
+    Nodes(FxHashSet<NodeId>),
+}
+
+impl NodeConstraint {
+    /// Does `node` satisfy the constraint?
+    #[inline]
+    pub fn admits(&self, graph: &KnowledgeGraph, node: NodeId) -> bool {
+        match self {
+            NodeConstraint::TypeMask(mask) => mask
+                .get(graph.node_type(node).index())
+                .copied()
+                .unwrap_or(false),
+            NodeConstraint::Nodes(set) => set.contains(&node),
+        }
+    }
+
+    /// True when no knowledge-graph node can ever satisfy the constraint.
+    pub fn is_unsatisfiable(&self) -> bool {
+        match self {
+            NodeConstraint::TypeMask(mask) => !mask.iter().any(|&b| b),
+            NodeConstraint::Nodes(set) => set.is_empty(),
+        }
+    }
+}
+
+/// Everything the A\* search needs about one sub-query, resolved against a
+/// concrete graph + predicate space + transformation library.
+#[derive(Debug, Clone)]
+pub struct SubQueryPlan {
+    /// `seg_weights[s][p]` = clamped semantic weight of KG predicate `p`
+    /// when matching query edge `s` (Eq. 5 through [`clamp_weight`]).
+    pub seg_weights: Vec<Vec<f64>>,
+    /// `remaining_max[s][p]` = max over segments `s' ≥ s` of
+    /// `seg_weights[s'][p]`; drives `m(u)`.
+    pub remaining_max: Vec<Vec<f64>>,
+    /// φ(v_s): candidate source nodes.
+    pub sources: Vec<NodeId>,
+    /// `constraints[s]` applies to the KG node that *completes* segment `s`
+    /// (the match of query node `nodes[s+1]`); the last entry is the pivot
+    /// constraint.
+    pub constraints: Vec<NodeConstraint>,
+    /// The admissible ψ̂ estimator for this sub-query.
+    pub estimator: PssEstimator,
+    /// Per-query-edge hop bound n̂.
+    pub n_hat: usize,
+    /// pss pruning threshold τ.
+    pub tau: f64,
+    /// Raw `QNodeId`s of the sub-query path, source first, pivot last
+    /// (parallel to `constraints` shifted by one) — recorded into each
+    /// match's bindings.
+    pub query_nodes: Vec<u32>,
+}
+
+impl SubQueryPlan {
+    /// Resolves `subquery` (a path in `query`) against the graph.
+    pub fn build(
+        graph: &KnowledgeGraph,
+        space: &PredicateSpace,
+        matcher: &NodeMatcher<'_>,
+        query: &QueryGraph,
+        subquery: &SubQuery,
+        n_hat: usize,
+        tau: f64,
+    ) -> Self {
+        let segments = subquery.edges.len();
+        let mut seg_weights = Vec::with_capacity(segments);
+        for &eid in &subquery.edges {
+            let label = &query.edge(eid).predicate;
+            seg_weights.push(weight_row(graph, space, matcher, label));
+        }
+        // Suffix max across segments for m(u).
+        let mut remaining_max = seg_weights.clone();
+        for s in (0..segments.saturating_sub(1)).rev() {
+            for p in 0..remaining_max[s].len() {
+                remaining_max[s][p] = remaining_max[s][p].max(remaining_max[s + 1][p]);
+            }
+        }
+
+        let source_node = query.node(subquery.source());
+        let sources = match source_node.name() {
+            Some(name) => matcher.match_name(name),
+            // Source should be specific by construction; fall back to type
+            // candidates for robustness.
+            None => matcher.match_nodes_by_type(source_node.type_label()),
+        };
+
+        let mut constraints = Vec::with_capacity(segments);
+        for &qn in &subquery.nodes[1..] {
+            let node = query.node(qn);
+            constraints.push(match node.name() {
+                Some(name) => NodeConstraint::Nodes(matcher.match_name(name).into_iter().collect()),
+                None => NodeConstraint::TypeMask(matcher.type_mask(node.type_label())),
+            });
+        }
+
+        Self {
+            seg_weights,
+            remaining_max,
+            sources,
+            constraints,
+            estimator: PssEstimator::new(n_hat, segments.max(1)),
+            n_hat,
+            tau,
+            query_nodes: subquery.nodes.iter().map(|n| n.0).collect(),
+        }
+    }
+
+    /// Number of query edges.
+    pub fn segments(&self) -> usize {
+        self.seg_weights.len()
+    }
+
+    /// The semantic weight of KG predicate `p` for segment `s` — the
+    /// on-the-fly materialisation of an `SG_Q` edge weight.
+    #[inline]
+    pub fn weight(&self, seg: usize, p: PredicateId) -> f64 {
+        self.seg_weights[seg][p.index()]
+    }
+
+    /// `m(u)` (Lemma 1): the maximum weight among `u`'s incident edges,
+    /// taken over all *remaining* segments `≥ seg` — an upper bound on the
+    /// unexplored weight product of any match continuing from `u`.
+    pub fn max_adjacent_weight(&self, graph: &KnowledgeGraph, u: NodeId, seg: usize) -> f64 {
+        let row = &self.remaining_max[seg.min(self.segments() - 1)];
+        let mut m = MIN_WEIGHT;
+        for nb in graph.neighbors(u) {
+            let w = row[nb.predicate.index()];
+            if w > m {
+                m = w;
+            }
+        }
+        m
+    }
+
+    /// True when the plan can produce no match at all (no sources, or some
+    /// constraint admits no node).
+    pub fn is_trivially_empty(&self) -> bool {
+        self.sources.is_empty()
+            || self.constraints.iter().any(NodeConstraint::is_unsatisfiable)
+            || self.segments() == 0
+    }
+}
+
+/// The Eq. 5 similarity row of a query predicate label against every KG
+/// predicate, clamped into the weight domain.
+///
+/// A query predicate absent from the graph's vocabulary is first pushed
+/// through the transformation library (synonym/abbreviation → canonical
+/// label); if still unresolved, the row degenerates to [`MIN_WEIGHT`] — no
+/// semantic guidance is available, and τ-pruning will reject such paths
+/// (documented substitution for out-of-vocabulary predicates).
+fn weight_row(
+    graph: &KnowledgeGraph,
+    space: &PredicateSpace,
+    matcher: &NodeMatcher<'_>,
+    label: &str,
+) -> Vec<f64> {
+    let resolve = |l: &str| graph.predicate_id(l);
+    let qp = resolve(label).or_else(|| {
+        matcher
+            .library()
+            .canonical_of(label)
+            .iter()
+            .find_map(|(canonical, _)| resolve(canonical))
+    });
+    match qp {
+        Some(qp) => space
+            .sim_row(qp)
+            .into_iter()
+            .map(|s| clamp_weight(s as f64))
+            .collect(),
+        None => vec![MIN_WEIGHT; graph.predicate_count()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PivotStrategy;
+    use crate::decompose::decompose;
+    use embedding::PredicateSpace;
+    use kgraph::GraphBuilder;
+    use lexicon::TransformationLibrary;
+
+    fn graph() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let audi = b.add_node("Audi_TT", "Automobile");
+        let de = b.add_node("Germany", "Country");
+        let vw = b.add_node("Volkswagen", "Company");
+        b.add_edge(audi, de, "assembly"); // pred 0
+        b.add_edge(vw, audi, "product"); // pred 1
+        b.add_edge(vw, de, "location"); // pred 2
+        b.finish()
+    }
+
+    fn space() -> PredicateSpace {
+        PredicateSpace::from_raw(
+            vec![vec![1.0, 0.05], vec![0.95, 0.1], vec![0.1, 1.0]],
+            vec!["assembly".into(), "product".into(), "location".into()],
+        )
+    }
+
+    fn single_edge_query() -> QueryGraph {
+        let mut q = QueryGraph::new();
+        let car = q.add_target("Automobile");
+        let de = q.add_specific("Germany", "Country");
+        q.add_edge(car, "product", de);
+        q
+    }
+
+    fn plan_for(q: &QueryGraph, lib: &TransformationLibrary) -> SubQueryPlan {
+        let g = graph();
+        let s = space();
+        let matcher = NodeMatcher::new(&g, lib);
+        let d = decompose(q, PivotStrategy::MinCost, 4.0, 4).unwrap();
+        SubQueryPlan::build(&g, &s, &matcher, q, &d.subqueries[0], 4, 0.5)
+    }
+
+    #[test]
+    fn weight_row_follows_space() {
+        let lib = TransformationLibrary::new();
+        let q = single_edge_query();
+        let plan = plan_for(&q, &lib);
+        let g = graph();
+        let product = g.predicate_id("product").unwrap();
+        let assembly = g.predicate_id("assembly").unwrap();
+        let location = g.predicate_id("location").unwrap();
+        assert_eq!(plan.weight(0, product), 1.0); // identical predicate
+        assert!(plan.weight(0, assembly) > 0.9); // semantically close
+        assert!(plan.weight(0, location) < 0.3); // semantically far
+    }
+
+    #[test]
+    fn sources_resolved_via_phi() {
+        let lib = TransformationLibrary::new();
+        let q = single_edge_query();
+        let plan = plan_for(&q, &lib);
+        let g = graph();
+        assert_eq!(plan.sources.len(), 1);
+        assert_eq!(g.node_name(plan.sources[0]), "Germany");
+    }
+
+    #[test]
+    fn pivot_constraint_is_type_mask() {
+        let lib = TransformationLibrary::new();
+        let q = single_edge_query();
+        let plan = plan_for(&q, &lib);
+        let g = graph();
+        let audi = g.node_by_name("Audi_TT").unwrap();
+        let vw = g.node_by_name("Volkswagen").unwrap();
+        assert!(plan.constraints[0].admits(&g, audi));
+        assert!(!plan.constraints[0].admits(&g, vw));
+    }
+
+    #[test]
+    fn max_adjacent_weight_bounds_each_edge() {
+        let lib = TransformationLibrary::new();
+        let q = single_edge_query();
+        let plan = plan_for(&q, &lib);
+        let g = graph();
+        for node in g.nodes() {
+            let m = plan.max_adjacent_weight(&g, node, 0);
+            for nb in g.neighbors(node) {
+                assert!(m >= plan.weight(0, nb.predicate));
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_predicate_degenerates_to_min_weight() {
+        let lib = TransformationLibrary::new();
+        let mut q = QueryGraph::new();
+        let car = q.add_target("Automobile");
+        let de = q.add_specific("Germany", "Country");
+        q.add_edge(car, "zorblify", de);
+        let plan = plan_for(&q, &lib);
+        let g = graph();
+        for p in 0..g.predicate_count() as u32 {
+            assert_eq!(plan.weight(0, PredicateId::new(p)), MIN_WEIGHT);
+        }
+    }
+
+    #[test]
+    fn unknown_predicate_resolves_through_library() {
+        let mut lib = TransformationLibrary::new();
+        lib.add_synonym_row("product", &["produced"]);
+        let mut q = QueryGraph::new();
+        let car = q.add_target("Automobile");
+        let de = q.add_specific("Germany", "Country");
+        q.add_edge(car, "produced", de);
+        let plan = plan_for(&q, &lib);
+        let g = graph();
+        assert_eq!(plan.weight(0, g.predicate_id("product").unwrap()), 1.0);
+    }
+
+    #[test]
+    fn trivially_empty_detection() {
+        let lib = TransformationLibrary::new();
+        let mut q = QueryGraph::new();
+        let car = q.add_target("Spaceship"); // no such type in graph
+        let de = q.add_specific("Germany", "Country");
+        q.add_edge(car, "product", de);
+        let plan = plan_for(&q, &lib);
+        assert!(plan.is_trivially_empty());
+
+        let q2 = single_edge_query();
+        assert!(!plan_for(&q2, &lib).is_trivially_empty());
+    }
+
+    #[test]
+    fn remaining_max_is_suffix_max() {
+        // Two-segment sub-query: China -assembly- ?auto -product- pivot.
+        let lib = TransformationLibrary::new();
+        let g = graph();
+        let s = space();
+        let matcher = NodeMatcher::new(&g, &lib);
+        let mut q = QueryGraph::new();
+        let de = q.add_specific("Germany", "Country");
+        let auto = q.add_target("Automobile");
+        let co = q.add_target("Company");
+        q.add_edge(auto, "assembly", de);
+        q.add_edge(co, "product", auto);
+        let d = decompose(&q, PivotStrategy::Forced { node: co.0 }, 4.0, 4).unwrap();
+        let plan = SubQueryPlan::build(&g, &s, &matcher, &q, &d.subqueries[0], 4, 0.5);
+        assert_eq!(plan.segments(), 2);
+        for p in 0..g.predicate_count() {
+            let pid = PredicateId::new(p as u32);
+            assert!(
+                (plan.remaining_max[0][p] - plan.weight(0, pid).max(plan.weight(1, pid))).abs()
+                    < 1e-12
+            );
+            assert_eq!(plan.remaining_max[1][p], plan.weight(1, pid));
+        }
+    }
+}

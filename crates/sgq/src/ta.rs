@@ -1,0 +1,336 @@
+//! Threshold-algorithm (TA) assembly of final matches (paper §V-C).
+//!
+//! Sub-query match lists — each sorted by pss descending, exactly what the
+//! A\* search emits — are consumed by **sorted access**, one match per list
+//! per round (Fagin's TA). Matches sharing a pivot node match `u^p` join
+//! into a final match `fm(u^p)` whose score is the sum of its parts'
+//! pss values (Eq. 2). Each round maintains, per candidate:
+//!
+//! * a **lower bound** `S̲_m(u^p)` — seen parts contribute their pss,
+//!   unseen parts contribute 0 (Eqs. 8–9, Lemma 4);
+//! * an **upper bound** `S̄_m(u^p)` — unseen parts contribute the list's
+//!   current pss frontier `ψ_cur` (Eqs. 10–11, Lemma 5).
+//!
+//! Assembly stops as soon as the k-th best lower bound `L_k` dominates the
+//! best upper bound `U_max` among all other (actual or still unseen)
+//! candidates (Theorem 3) — usually long before the lists are drained.
+
+use crate::answer::{FinalMatch, SubMatch};
+use kgraph::NodeId;
+use rustc_hash::FxHashMap;
+
+/// Result of one TA assembly pass.
+#[derive(Debug, Clone)]
+pub struct TaOutcome {
+    /// Top-k complete final matches, best score first.
+    pub matches: Vec<FinalMatch>,
+    /// Number of sorted accesses performed.
+    pub accesses: usize,
+    /// True when the top-k is *certified* global-optimal given the streams:
+    /// either the `L_k ≥ U_max` condition fired, or every stream was fully
+    /// consumed **and** marked exhausted.
+    pub certified: bool,
+}
+
+/// Assembles final matches from per-sub-query match lists.
+///
+/// `streams[i]` must be sorted by pss descending. `exhausted[i]` marks that
+/// the i-th A\* search can produce no further matches beyond its list; a
+/// non-exhausted stream keeps its last pss as the bound for future matches,
+/// which blocks certification (the engine then fetches more and retries).
+pub fn assemble(streams: &[Vec<SubMatch>], exhausted: &[bool], k: usize) -> TaOutcome {
+    let n = streams.len();
+    assert_eq!(n, exhausted.len());
+    debug_assert!(streams
+        .iter()
+        .all(|s| s.windows(2).all(|w| w[0].pss >= w[1].pss - 1e-12)));
+
+    // Per-pivot candidate: best match index per stream (first occurrence in
+    // sorted order is the best; A* emits one match per pivot anyway).
+    let mut candidates: FxHashMap<NodeId, Vec<Option<usize>>> = FxHashMap::default();
+    let mut pos = vec![0usize; n];
+    let mut psi_cur = vec![1.0f64; n]; // pss is bounded by 1 before any access
+    let mut accesses = 0usize;
+    let certified;
+
+    loop {
+        // One round of sorted access (Fig. 10's row-by-row popping).
+        let mut any = false;
+        for i in 0..n {
+            if pos[i] >= streams[i].len() {
+                continue;
+            }
+            let m = &streams[i][pos[i]];
+            psi_cur[i] = m.pss;
+            let slots = candidates.entry(m.pivot).or_insert_with(|| vec![None; n]);
+            if slots[i].is_none() {
+                slots[i] = Some(pos[i]);
+            }
+            pos[i] += 1;
+            accesses += 1;
+            any = true;
+        }
+
+        // Future-contribution bound per stream (Eq. 11's ψ_cur, or 0 once a
+        // stream is provably dry — Lemma 5 keeps this non-increasing).
+        let bound: Vec<f64> = (0..n)
+            .map(|i| {
+                if pos[i] >= streams[i].len() && exhausted[i] {
+                    0.0
+                } else {
+                    psi_cur[i]
+                }
+            })
+            .collect();
+
+        // Bounds per candidate.
+        let mut complete: Vec<(NodeId, f64)> = Vec::new();
+        let mut uppers: Vec<(NodeId, f64)> = Vec::new();
+        for (&pivot, slots) in &candidates {
+            let mut lower = 0.0;
+            let mut upper = 0.0;
+            let mut full = true;
+            for i in 0..n {
+                match slots[i] {
+                    Some(idx) => {
+                        let pss = streams[i][idx].pss;
+                        lower += pss;
+                        upper += pss;
+                    }
+                    None => {
+                        full = false;
+                        upper += bound[i];
+                    }
+                }
+            }
+            if full {
+                complete.push((pivot, lower));
+            }
+            uppers.push((pivot, upper));
+        }
+
+        // Termination check (Theorem 3).
+        if complete.len() >= k {
+            complete.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            let top: Vec<NodeId> = complete[..k].iter().map(|c| c.0).collect();
+            let l_k = complete[k - 1].1;
+            // U_max over candidates outside the provisional top-k, plus a
+            // virtual still-unseen pivot bounded by the full frontier.
+            let unseen: f64 = bound.iter().sum();
+            let u_max = uppers
+                .iter()
+                .filter(|(p, _)| !top.contains(p))
+                .map(|(_, u)| *u)
+                .fold(unseen, f64::max);
+            if l_k >= u_max {
+                certified = true;
+                break;
+            }
+        }
+
+        if !any {
+            // Streams fully consumed; certification only if truly exhausted.
+            certified = exhausted.iter().all(|&e| e);
+            break;
+        }
+    }
+
+    // Materialise complete candidates, best score first.
+    let mut finals: Vec<FinalMatch> = candidates
+        .into_iter()
+        .filter_map(|(pivot, slots)| {
+            let parts: Option<Vec<SubMatch>> = slots
+                .iter()
+                .enumerate()
+                .map(|(i, s)| s.map(|idx| streams[i][idx].clone()))
+                .collect();
+            parts.map(|parts| FinalMatch {
+                pivot,
+                score: parts.iter().map(|p| p.pss).sum(),
+                parts,
+            })
+        })
+        .collect();
+    finals.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.pivot.cmp(&b.pivot)));
+    finals.truncate(k);
+    TaOutcome {
+        matches: finals,
+        accesses,
+        certified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn m(pivot: u32, pss: f64) -> SubMatch {
+        SubMatch {
+            source: NodeId::new(1000 + pivot),
+            pivot: NodeId::new(pivot),
+            pss,
+            nodes: vec![NodeId::new(1000 + pivot), NodeId::new(pivot)],
+            edges: vec![kgraph::EdgeId::new(0)],
+            bindings: Vec::new(),
+        }
+    }
+
+    /// Paper Fig. 4: M1 = {Auto1 .9, Auto2 .8, Auto3 .7},
+    /// M2 = {Auto2 .8, Auto3 .75, Auto1 .5} → top-2 are Auto2 (1.6) and
+    /// Auto3 (1.45).
+    #[test]
+    fn figure4_example() {
+        let m1 = vec![m(1, 0.9), m(2, 0.8), m(3, 0.7)];
+        let m2 = vec![m(2, 0.8), m(3, 0.75), m(1, 0.5)];
+        let out = assemble(&[m1, m2], &[true, true], 2);
+        assert_eq!(out.matches.len(), 2);
+        assert_eq!(out.matches[0].pivot, NodeId::new(2));
+        assert!((out.matches[0].score - 1.6).abs() < 1e-12);
+        assert_eq!(out.matches[1].pivot, NodeId::new(3));
+        assert!((out.matches[1].score - 1.45).abs() < 1e-12);
+        assert!(out.certified);
+    }
+
+    /// Early termination in the spirit of Fig. 10: a huge gap between the
+    /// top candidates and the tail means TA must stop well before draining.
+    #[test]
+    fn early_termination_before_draining() {
+        let s1 = vec![m(1, 0.99), m(2, 0.98), m(3, 0.10), m(4, 0.09), m(5, 0.08)];
+        let s2 = vec![m(2, 0.99), m(1, 0.98), m(3, 0.10), m(4, 0.09), m(5, 0.08)];
+        let out = assemble(&[s1, s2], &[true, true], 2);
+        assert!(out.certified);
+        assert!(
+            out.accesses < 10,
+            "must stop before draining both lists (got {} accesses)",
+            out.accesses
+        );
+        let pivots: Vec<u32> = out.matches.iter().map(|f| f.pivot.0).collect();
+        assert_eq!(pivots, vec![1, 2]);
+    }
+
+    #[test]
+    fn incomplete_joins_never_returned() {
+        let s1 = vec![m(1, 0.9), m(2, 0.8)];
+        let s2 = vec![m(2, 0.7)]; // pivot 1 never appears in stream 2
+        let out = assemble(&[s1, s2], &[true, true], 5);
+        assert_eq!(out.matches.len(), 1);
+        assert_eq!(out.matches[0].pivot, NodeId::new(2));
+        assert!((out.matches[0].score - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_stream_passthrough() {
+        let s = vec![m(1, 0.9), m(2, 0.8), m(3, 0.7)];
+        let out = assemble(&[s], &[true], 2);
+        assert_eq!(out.matches.len(), 2);
+        assert_eq!(out.matches[0].pivot, NodeId::new(1));
+        assert!(out.certified);
+    }
+
+    #[test]
+    fn non_exhausted_streams_block_certification() {
+        // Pivot 2 tops stream 1 but never shows in the short stream 2; a
+        // future stream-2 match (bounded by its frontier 0.7) could complete
+        // fm(2) with 0.9 + 0.7 = 1.6 > 1.3, so certification must wait.
+        let s1 = vec![m(2, 0.9), m(1, 0.6)];
+        let s2 = vec![m(1, 0.7)];
+        let out = assemble(&[s1.clone(), s2.clone()], &[true, false], 1);
+        assert!(!out.certified);
+        assert_eq!(out.matches.len(), 1, "best-effort answer still returned");
+        // Once stream 2 is exhausted, fm(2) can never complete → certified.
+        let out = assemble(&[s1, s2], &[true, true], 1);
+        assert!(out.certified);
+        assert_eq!(out.matches[0].pivot, NodeId::new(1));
+    }
+
+    #[test]
+    fn empty_streams() {
+        let out = assemble(&[vec![], vec![]], &[true, true], 3);
+        assert!(out.matches.is_empty());
+        assert!(out.certified);
+        assert_eq!(out.accesses, 0);
+        let out = assemble(&[vec![], vec![]], &[false, true], 3);
+        assert!(!out.certified);
+    }
+
+    #[test]
+    fn k_larger_than_candidates() {
+        let s1 = vec![m(1, 0.9)];
+        let s2 = vec![m(1, 0.8)];
+        let out = assemble(&[s1, s2], &[true, true], 10);
+        assert_eq!(out.matches.len(), 1);
+        assert!(out.certified);
+    }
+
+    /// Reference implementation: full nested-loop join + sort.
+    fn naive(streams: &[Vec<SubMatch>], k: usize) -> Vec<(u32, f64)> {
+        let mut per_pivot: FxHashMap<u32, Vec<Option<f64>>> = FxHashMap::default();
+        for (i, s) in streams.iter().enumerate() {
+            for sm in s {
+                let e = per_pivot
+                    .entry(sm.pivot.0)
+                    .or_insert_with(|| vec![None; streams.len()]);
+                let slot = &mut e[i];
+                if slot.is_none_or(|v| sm.pss > v) {
+                    *slot = Some(sm.pss);
+                }
+            }
+        }
+        let mut finals: Vec<(u32, f64)> = per_pivot
+            .into_iter()
+            .filter_map(|(p, slots)| {
+                slots
+                    .into_iter()
+                    .sum::<Option<f64>>()
+                    .map(|score| (p, score))
+            })
+            .collect();
+        finals.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        finals.truncate(k);
+        finals
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        /// TA equals the naive full join on exhausted random streams
+        /// (Theorem 3 correctness).
+        #[test]
+        fn prop_ta_equals_naive_join(
+            raw in proptest::collection::vec(
+                proptest::collection::vec((0u32..12, 0.0f64..1.0), 0..12),
+                1..4,
+            ),
+            k in 1usize..6,
+        ) {
+            // Deduplicate pivots within a stream (A* emits unique pivots)
+            // and sort descending.
+            let streams: Vec<Vec<SubMatch>> = raw
+                .iter()
+                .map(|s| {
+                    let mut best: FxHashMap<u32, f64> = FxHashMap::default();
+                    for &(p, pss) in s {
+                        let e = best.entry(p).or_insert(pss);
+                        if pss > *e {
+                            *e = pss;
+                        }
+                    }
+                    let mut v: Vec<SubMatch> =
+                        best.into_iter().map(|(p, pss)| m(p, pss)).collect();
+                    v.sort_by(|a, b| b.pss.total_cmp(&a.pss));
+                    v
+                })
+                .collect();
+            let exhausted = vec![true; streams.len()];
+            let out = assemble(&streams, &exhausted, k);
+            prop_assert!(out.certified);
+            let reference = naive(&streams, k);
+            prop_assert_eq!(out.matches.len(), reference.len());
+            for (got, want) in out.matches.iter().zip(&reference) {
+                // Scores must agree; pivots may differ only among ties.
+                prop_assert!((got.score - want.1).abs() < 1e-9,
+                    "score mismatch: {} vs {}", got.score, want.1);
+            }
+        }
+    }
+}

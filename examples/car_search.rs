@@ -1,0 +1,64 @@
+//! The paper's motivating example (Fig. 1 / Table I): "find all cars
+//! produced in Germany", asked through four different query-graph variants
+//! — a synonym type (<Car>), an abbreviated name (GER), a paraphrased
+//! predicate (product), and the canonical formulation — over a DBpedia-like
+//! synthetic knowledge graph.
+//!
+//! SGQ answers all four with the same high accuracy because node mismatches
+//! resolve through the transformation library and edge mismatches resolve
+//! through the predicate semantic space; exact-match systems fail outright
+//! on the first two.
+//!
+//! Run with `cargo run --release --example car_search`.
+
+use semkg::datagen::metrics::{f1_score, precision_recall};
+use semkg::datagen::workload::q117_variants;
+use semkg::prelude::*;
+
+fn main() {
+    let ds = DatasetSpec::dbpedia_like(2.0).build();
+    let space = ds.oracle_space();
+    println!("dataset: {} — {}", ds.name, GraphStats::of(&ds.graph));
+
+    let variants = q117_variants(&ds, "Germany");
+    let k = variants[0].truth.len();
+    println!("validation set: {k} correct answers\n");
+
+    let engine = SgqEngine::new(
+        &ds.graph,
+        &space,
+        &ds.library,
+        SgqConfig {
+            k,
+            ..SgqConfig::default()
+        },
+    );
+    for v in &variants {
+        let result = engine.query(&v.graph).expect("valid query");
+        let answers = result.answer_nodes();
+        let (p, r) = precision_recall(&answers, &v.truth);
+        println!(
+            "{:<18} precision={:.2} recall={:.2} F1={:.2}  ({} answers, {} ms)",
+            v.id,
+            p,
+            r,
+            f1_score(p, r),
+            answers.len(),
+            result.stats.elapsed_us as f64 / 1e3,
+        );
+    }
+
+    // Show the schemas behind the canonical variant, like the paper's
+    // §VII-B listing.
+    let result = engine.query(&variants[3].graph).expect("valid query");
+    let mut schemas: std::collections::BTreeMap<String, usize> = Default::default();
+    for m in &result.matches {
+        *schemas.entry(m.parts[0].schema(&ds.graph)).or_insert(0) += 1;
+    }
+    println!("\nanswer schemas found (count · schema):");
+    let mut rows: Vec<_> = schemas.into_iter().collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1));
+    for (schema, n) in rows {
+        println!("  {n:>4} · {schema}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Cross-crate behaviour checks: the Table I / Table II story must emerge
+//! from the implementations on a generated dataset.
+
+use semkg::baselines::all_baselines;
+use semkg::datagen::metrics::precision_recall;
+use semkg::datagen::workload::q117_variants;
+use semkg::prelude::*;
+
+#[test]
+fn feature_gaps_show_up_in_answers() {
+    let ds = DatasetSpec::dbpedia_like(1.0).build();
+    let space = ds.oracle_space();
+    let variants = q117_variants(&ds, "Germany");
+    let k = variants[0].truth.len();
+
+    let methods = all_baselines();
+    let by_name = |name: &str| methods.iter().find(|m| m.name() == name).unwrap();
+
+    // gStore: no node similarity → fails the synonym-type variant G1.
+    assert!(by_name("gStore")
+        .query(&ds.graph, &ds.library, &variants[0].graph, k)
+        .is_empty());
+    // …but answers the canonical variant G4 with perfect precision.
+    let g4 = by_name("gStore").query(&ds.graph, &ds.library, &variants[3].graph, k);
+    let answers: Vec<NodeId> = g4.iter().map(|a| a.node).collect();
+    let (p, r) = precision_recall(&answers, &variants[3].truth);
+    assert!(p > 0.99, "gStore precision must be 1.0, got {p}");
+    assert!(r < 0.8, "gStore recall stops at the direct schema, got {r}");
+
+    // SLQ: node transformations → answers G1 and G2 equally.
+    for v in &variants[..2] {
+        assert!(
+            !by_name("SLQ")
+                .query(&ds.graph, &ds.library, &v.graph, k)
+                .is_empty(),
+            "SLQ must bridge node mismatches ({})",
+            v.id
+        );
+    }
+
+    // SGQ outperforms every baseline on mean F1 across the four variants.
+    let engine = SgqEngine::new(
+        &ds.graph,
+        &space,
+        &ds.library,
+        SgqConfig {
+            k,
+            ..SgqConfig::default()
+        },
+    );
+    let mean_f1 = |answers_per_variant: Vec<Vec<NodeId>>| -> f64 {
+        answers_per_variant
+            .iter()
+            .zip(&variants)
+            .map(|(a, v)| {
+                let (p, r) = precision_recall(a, &v.truth);
+                semkg::datagen::metrics::f1_score(p, r)
+            })
+            .sum::<f64>()
+            / variants.len() as f64
+    };
+    let sgq_f1 = mean_f1(
+        variants
+            .iter()
+            .map(|v| engine.query(&v.graph).unwrap().answer_nodes())
+            .collect(),
+    );
+    for m in &methods {
+        let method_f1 = mean_f1(
+            variants
+                .iter()
+                .map(|v| {
+                    m.query(&ds.graph, &ds.library, &v.graph, k)
+                        .into_iter()
+                        .map(|a| a.node)
+                        .collect()
+                })
+                .collect(),
+        );
+        assert!(
+            sgq_f1 > method_f1,
+            "SGQ ({sgq_f1:.3}) must beat {} ({method_f1:.3}) on mean F1",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn structure_only_methods_admit_distractors() {
+    let ds = DatasetSpec::dbpedia_like(1.0).build();
+    let variants = q117_variants(&ds, "Germany");
+    let k = variants[3].truth.len();
+    let methods = all_baselines();
+    let nema = methods.iter().find(|m| m.name() == "NeMa").unwrap();
+    let answers: Vec<NodeId> = nema
+        .query(&ds.graph, &ds.library, &variants[3].graph, k)
+        .into_iter()
+        .map(|a| a.node)
+        .collect();
+    let distractors = &ds.distractors["Germany"];
+    assert!(
+        answers.iter().any(|n| distractors.contains(n)),
+        "predicate-blind NeMa must pick up same-shape wrong answers"
+    );
+}

@@ -1,0 +1,66 @@
+//! Reproducibility: the multithreaded engine must return identical results
+//! across runs for fixed seeds — a requirement for every experiment table.
+
+use semkg::datagen::workload::{chain_query, produced_workload};
+use semkg::prelude::*;
+
+#[test]
+fn sgq_queries_are_deterministic_across_runs() {
+    let ds = DatasetSpec::dbpedia_like(1.0).build();
+    let space = ds.oracle_space();
+    let queries = produced_workload(&ds);
+    let run = || -> Vec<Vec<NodeId>> {
+        let engine = SgqEngine::new(
+            &ds.graph,
+            &space,
+            &ds.library,
+            SgqConfig {
+                k: 30,
+                ..SgqConfig::default()
+            },
+        );
+        queries
+            .iter()
+            .map(|q| engine.query(&q.graph).unwrap().answer_nodes())
+            .collect()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn multi_subquery_joins_are_deterministic() {
+    let ds = DatasetSpec::dbpedia_like(1.0).build();
+    let space = ds.oracle_space();
+    let q = chain_query(&ds, 2);
+    let run = || {
+        let engine = SgqEngine::new(
+            &ds.graph,
+            &space,
+            &ds.library,
+            SgqConfig {
+                k: 10,
+                ..SgqConfig::default()
+            },
+        );
+        let r = engine.query(&q.graph).unwrap();
+        (r.answer_nodes(), r.matches.iter().map(|m| m.score).collect::<Vec<_>>())
+    };
+    let (a1, s1) = run();
+    let (a2, s2) = run();
+    assert_eq!(a1, a2);
+    assert_eq!(s1, s2);
+}
+
+#[test]
+fn dataset_and_workload_generation_reproducible() {
+    let a = DatasetSpec::freebase_like(0.5).build();
+    let b = DatasetSpec::freebase_like(0.5).build();
+    assert_eq!(a.graph.node_count(), b.graph.node_count());
+    assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+    let qa = produced_workload(&a);
+    let qb = produced_workload(&b);
+    assert_eq!(qa.len(), qb.len());
+    for (x, y) in qa.iter().zip(&qb) {
+        assert_eq!(x.truth, y.truth);
+    }
+}

@@ -1,0 +1,136 @@
+//! End-to-end integration: generate → embed → query → evaluate.
+
+use semkg::datagen::metrics::{f1_score, precision_recall};
+use semkg::datagen::workload::{produced_workload, q117_variants};
+use semkg::prelude::*;
+
+fn engine<'a>(
+    ds: &'a BenchDataset,
+    space: &'a PredicateSpace,
+    k: usize,
+) -> SgqEngine<'a> {
+    SgqEngine::new(
+        &ds.graph,
+        space,
+        &ds.library,
+        SgqConfig {
+            k,
+            ..SgqConfig::default()
+        },
+    )
+}
+
+#[test]
+fn oracle_space_pipeline_beats_half_f1() {
+    let ds = DatasetSpec::dbpedia_like(1.0).build();
+    let space = ds.oracle_space();
+    let workload = produced_workload(&ds);
+    let mut f1s = Vec::new();
+    for q in &workload {
+        let e = engine(&ds, &space, q.truth.len());
+        let result = e.query(&q.graph).unwrap();
+        let (p, r) = precision_recall(&result.answer_nodes(), &q.truth);
+        f1s.push(f1_score(p, r));
+    }
+    let mean = f1s.iter().sum::<f64>() / f1s.len() as f64;
+    assert!(
+        mean > 0.6,
+        "semantic-guided query should recover most paraphrase schemas, got F1 {mean}"
+    );
+}
+
+#[test]
+fn trained_transe_pipeline_finds_direct_and_paraphrase_answers() {
+    // The full paper pipeline with a *real* embedding instead of the oracle
+    // space: train TransE on the generated graph, then query.
+    let ds = DatasetSpec::tiny().build();
+    let cfg = TrainConfig {
+        dim: 32,
+        epochs: 60,
+        learning_rate: 0.05,
+        ..TrainConfig::default()
+    };
+    let model = train_transe(&ds.graph, &cfg);
+    let space = PredicateSpace::from_model(&ds.graph, &model);
+    let q = &produced_workload(&ds)[0];
+    // Trained absolute cosines differ from the oracle design, so τ is
+    // relaxed — the *ranking* is what the embedding must get right.
+    let e = SgqEngine::new(
+        &ds.graph,
+        &space,
+        &ds.library,
+        SgqConfig {
+            k: q.truth.len(),
+            tau: 0.0,
+            ..SgqConfig::default()
+        },
+    );
+    let result = e.query(&q.graph).unwrap();
+    let (p, _r) = precision_recall(&result.answer_nodes(), &q.truth);
+    assert!(
+        p > 0.5,
+        "trained-TransE pipeline should rank mostly correct answers first, got P {p}"
+    );
+    // The direct-schema answers must be found.
+    let direct = &ds.assembled_truth[&ds.countries[0]];
+    let found = result
+        .answer_nodes()
+        .iter()
+        .filter(|n| direct.contains(n))
+        .count();
+    assert!(found > 0, "no direct-schema answers found");
+}
+
+#[test]
+fn all_four_q117_variants_answered() {
+    let ds = DatasetSpec::dbpedia_like(1.0).build();
+    let space = ds.oracle_space();
+    for v in q117_variants(&ds, "Germany") {
+        let e = engine(&ds, &space, v.truth.len());
+        let result = e.query(&v.graph).unwrap();
+        let (p, r) = precision_recall(&result.answer_nodes(), &v.truth);
+        assert!(
+            p > 0.6 && r > 0.6,
+            "{}: expected both mismatches bridged, got P={p:.2} R={r:.2}",
+            v.id
+        );
+    }
+}
+
+#[test]
+fn sgq_subsumes_gstore_on_exact_queries() {
+    use semkg::baselines::{GStore, GraphQueryMethod};
+    let ds = DatasetSpec::dbpedia_like(1.0).build();
+    let space = ds.oracle_space();
+    let q = &produced_workload(&ds)[0];
+    let k = q.truth.len();
+    let gstore: Vec<NodeId> = GStore::new()
+        .query(&ds.graph, &ds.library, &q.graph, k)
+        .into_iter()
+        .map(|a| a.node)
+        .collect();
+    let e = engine(&ds, &space, k);
+    let sgq_answers = e.query(&q.graph).unwrap().answer_nodes();
+    for n in &gstore {
+        assert!(
+            sgq_answers.contains(n),
+            "SGQ must contain every exact-match answer ({} missing)",
+            ds.graph.node_name(*n)
+        );
+    }
+    assert!(sgq_answers.len() >= gstore.len());
+}
+
+#[test]
+fn query_stats_are_populated() {
+    let ds = DatasetSpec::tiny().build();
+    let space = ds.oracle_space();
+    let q = &produced_workload(&ds)[0];
+    let e = engine(&ds, &space, 5);
+    let result = e.query(&q.graph).unwrap();
+    assert!(result.stats.popped > 0);
+    assert!(result.stats.pushed > 0);
+    assert!(result.stats.ta_accesses > 0);
+    assert_eq!(result.stats.subqueries, 1);
+    assert_eq!(result.stats.per_subquery_us.len(), 1);
+}
