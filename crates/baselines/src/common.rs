@@ -13,12 +13,12 @@
 
 use kgraph::{KnowledgeGraph, NodeId, PredicateId};
 use lexicon::{NodeMatcher, TransformationLibrary};
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
 use sgq::decompose::decompose;
 use sgq::query::QueryGraph;
 use sgq::semgraph::NodeConstraint;
 use sgq::PivotStrategy;
-use rustc_hash::FxHashMap;
-use serde::{Deserialize, Serialize};
 
 /// One ranked answer of a baseline: a pivot entity and a method-specific
 /// score (only the ordering is comparable across methods).
@@ -79,12 +79,8 @@ pub trait SegmentScorer {
     /// Scores a candidate mapping of query edge `query_pred` onto the path
     /// with predicate sequence `preds`; `None` rejects the mapping. Scores
     /// must lie in (0, 1] so sub-match scores average meaningfully.
-    fn score(
-        &self,
-        graph: &KnowledgeGraph,
-        query_pred: &str,
-        preds: &[PredicateId],
-    ) -> Option<f64>;
+    fn score(&self, graph: &KnowledgeGraph, query_pred: &str, preds: &[PredicateId])
+        -> Option<f64>;
 }
 
 /// Hard cap on DFS expansions per sub-query — keeps pathological baselines
@@ -108,8 +104,7 @@ pub fn run_baseline(
     let matcher = NodeMatcher::new(graph, effective_library);
 
     let avg_degree = kgraph::GraphStats::of(graph).avg_degree;
-    let Ok(decomp) = decompose(query, PivotStrategy::MinCost, avg_degree, scorer.max_hops())
-    else {
+    let Ok(decomp) = decompose(query, PivotStrategy::MinCost, avg_degree, scorer.max_hops()) else {
         return Vec::new();
     };
 
@@ -216,8 +211,7 @@ fn dfs(
                 seg_scores.push(score);
                 if seg + 1 == predicates.len() {
                     // Sub-query complete: average segment scores.
-                    let total: f64 =
-                        seg_scores.iter().sum::<f64>() / seg_scores.len() as f64;
+                    let total: f64 = seg_scores.iter().sum::<f64>() / seg_scores.len() as f64;
                     let entry = best.entry(nb.node).or_insert(0.0);
                     if total > *entry {
                         *entry = total;

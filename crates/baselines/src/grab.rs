@@ -7,7 +7,9 @@
 //! by; without node similarity it fails the paper's G¹/G² query variants
 //! outright (Table I).
 
-use crate::common::{run_baseline, Features, GraphQueryMethod, MethodAnswer, NodeMode, SegmentScorer};
+use crate::common::{
+    run_baseline, Features, GraphQueryMethod, MethodAnswer, NodeMode, SegmentScorer,
+};
 use kgraph::{KnowledgeGraph, PredicateId};
 use lexicon::TransformationLibrary;
 use sgq::query::QueryGraph;

@@ -7,7 +7,9 @@
 //! directly-materialised schema in the paper's Table I (234 of 596) and
 //! fails entirely on query variants with synonym/abbreviation labels.
 
-use crate::common::{run_baseline, Features, GraphQueryMethod, MethodAnswer, NodeMode, SegmentScorer};
+use crate::common::{
+    run_baseline, Features, GraphQueryMethod, MethodAnswer, NodeMode, SegmentScorer,
+};
 use kgraph::{KnowledgeGraph, PredicateId};
 use lexicon::TransformationLibrary;
 use sgq::query::QueryGraph;
@@ -29,7 +31,12 @@ impl SegmentScorer for ExactEdge {
     fn max_hops(&self) -> usize {
         1
     }
-    fn score(&self, graph: &KnowledgeGraph, query_pred: &str, preds: &[PredicateId]) -> Option<f64> {
+    fn score(
+        &self,
+        graph: &KnowledgeGraph,
+        query_pred: &str,
+        preds: &[PredicateId],
+    ) -> Option<f64> {
         (preds.len() == 1 && graph.predicate_name(preds[0]) == query_pred).then_some(1.0)
     }
 }

@@ -7,7 +7,9 @@
 //! mapping — the paper's Table I shows this costs precision: semantically
 //! wrong paths of the right shape are returned.
 
-use crate::common::{run_baseline, Features, GraphQueryMethod, MethodAnswer, NodeMode, SegmentScorer};
+use crate::common::{
+    run_baseline, Features, GraphQueryMethod, MethodAnswer, NodeMode, SegmentScorer,
+};
 use kgraph::{KnowledgeGraph, PredicateId};
 use lexicon::TransformationLibrary;
 use sgq::query::QueryGraph;

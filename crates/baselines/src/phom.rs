@@ -8,7 +8,9 @@
 //! weighs long detours slightly differently, but both admit semantically
 //! wrong routes — Table I reports the lowest accuracy of the cohort.
 
-use crate::common::{run_baseline, Features, GraphQueryMethod, MethodAnswer, NodeMode, SegmentScorer};
+use crate::common::{
+    run_baseline, Features, GraphQueryMethod, MethodAnswer, NodeMode, SegmentScorer,
+};
 use kgraph::{KnowledgeGraph, PredicateId};
 use lexicon::TransformationLibrary;
 use sgq::query::QueryGraph;

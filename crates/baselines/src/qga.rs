@@ -7,7 +7,9 @@
 //! SPARQL engine — exact predicates, one hop. Like SLQ it recovers only the
 //! directly-materialised schema (Table I: P 1.0 / R 0.39).
 
-use crate::common::{run_baseline, Features, GraphQueryMethod, MethodAnswer, NodeMode, SegmentScorer};
+use crate::common::{
+    run_baseline, Features, GraphQueryMethod, MethodAnswer, NodeMode, SegmentScorer,
+};
 use kgraph::{KnowledgeGraph, PredicateId};
 use lexicon::TransformationLibrary;
 use sgq::query::QueryGraph;
@@ -29,7 +31,12 @@ impl SegmentScorer for SparqlEdge {
     fn max_hops(&self) -> usize {
         1
     }
-    fn score(&self, graph: &KnowledgeGraph, query_pred: &str, preds: &[PredicateId]) -> Option<f64> {
+    fn score(
+        &self,
+        graph: &KnowledgeGraph,
+        query_pred: &str,
+        preds: &[PredicateId],
+    ) -> Option<f64> {
         (preds.len() == 1 && graph.predicate_name(preds[0]) == query_pred).then_some(1.0)
     }
 }

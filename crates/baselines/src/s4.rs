@@ -20,7 +20,9 @@
 //! confidence). The accuracy therefore depends entirely on the quality of
 //! the mined prior — exactly the sensitivity the paper highlights in §I.
 
-use crate::common::{run_baseline, Features, GraphQueryMethod, MethodAnswer, NodeMode, SegmentScorer};
+use crate::common::{
+    run_baseline, Features, GraphQueryMethod, MethodAnswer, NodeMode, SegmentScorer,
+};
 use kgraph::{KnowledgeGraph, NodeId, PredicateId};
 use lexicon::TransformationLibrary;
 use rustc_hash::FxHashMap;
@@ -149,7 +151,12 @@ impl SegmentScorer for PatternScorer<'_> {
     fn max_hops(&self) -> usize {
         self.s4.max_hops
     }
-    fn score(&self, graph: &KnowledgeGraph, query_pred: &str, preds: &[PredicateId]) -> Option<f64> {
+    fn score(
+        &self,
+        graph: &KnowledgeGraph,
+        query_pred: &str,
+        preds: &[PredicateId],
+    ) -> Option<f64> {
         if preds.len() == 1 && graph.predicate_name(preds[0]) == query_pred {
             return Some(1.0);
         }
@@ -237,7 +244,10 @@ mod tests {
         let lib = TransformationLibrary::new();
         let ans = S4::new(2).query(&g, &lib, &q117(), 20);
         let names: Vec<&str> = ans.iter().map(|a| g.node_name(a.node)).collect();
-        assert!(names.contains(&"Hidden"), "paraphrase answers found: {names:?}");
+        assert!(
+            names.contains(&"Hidden"),
+            "paraphrase answers found: {names:?}"
+        );
         assert!(
             !names.contains(&"Wrong"),
             "low-support detours rejected: {names:?}"

@@ -8,7 +8,9 @@
 //! the directly-materialised schema (Table I: P 1.0 / R 0.39 on all four
 //! query variants).
 
-use crate::common::{run_baseline, Features, GraphQueryMethod, MethodAnswer, NodeMode, SegmentScorer};
+use crate::common::{
+    run_baseline, Features, GraphQueryMethod, MethodAnswer, NodeMode, SegmentScorer,
+};
 use kgraph::{KnowledgeGraph, PredicateId};
 use lexicon::TransformationLibrary;
 use sgq::query::QueryGraph;
@@ -34,7 +36,12 @@ impl SegmentScorer for LibraryEdge<'_> {
     fn max_hops(&self) -> usize {
         1
     }
-    fn score(&self, graph: &KnowledgeGraph, query_pred: &str, preds: &[PredicateId]) -> Option<f64> {
+    fn score(
+        &self,
+        graph: &KnowledgeGraph,
+        query_pred: &str,
+        preds: &[PredicateId],
+    ) -> Option<f64> {
         if preds.len() != 1 {
             return None;
         }

@@ -20,7 +20,10 @@ fn bench_astar(c: &mut Criterion) {
             &ds.graph,
             &space,
             &ds.library,
-            SgqConfig { k, ..SgqConfig::default() },
+            SgqConfig {
+                k,
+                ..SgqConfig::default()
+            },
         );
         group.bench_function(format!("sgq_single_edge_k{k}"), |b| {
             b.iter(|| black_box(engine.query(&workload[0].graph).unwrap().matches.len()))
@@ -30,7 +33,10 @@ fn bench_astar(c: &mut Criterion) {
         &ds.graph,
         &space,
         &ds.library,
-        SgqConfig { k: 20, ..SgqConfig::default() },
+        SgqConfig {
+            k: 20,
+            ..SgqConfig::default()
+        },
     );
     group.bench_function("sgq_chain_two_subqueries_k20", |b| {
         b.iter(|| black_box(engine.query(&chain.graph).unwrap().matches.len()))

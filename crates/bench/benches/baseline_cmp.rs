@@ -19,7 +19,10 @@ fn bench_methods(c: &mut Criterion) {
         &ds.graph,
         &space,
         &ds.library,
-        SgqConfig { k, ..SgqConfig::default() },
+        SgqConfig {
+            k,
+            ..SgqConfig::default()
+        },
     );
     group.bench_function("SGQ", |b| {
         b.iter(|| black_box(engine.query(&q.graph).unwrap().matches.len()))

@@ -12,7 +12,13 @@ fn bench_decompose(c: &mut Criterion) {
     let (q, _, _) = soccer_query(&ds, 0);
     let mut group = c.benchmark_group("decompose");
     group.bench_function("soccer_query_min_cost", |b| {
-        b.iter(|| black_box(decompose(&q.graph, PivotStrategy::MinCost, 24.0, 4).unwrap().cost))
+        b.iter(|| {
+            black_box(
+                decompose(&q.graph, PivotStrategy::MinCost, 24.0, 4)
+                    .unwrap()
+                    .cost,
+            )
+        })
     });
     group.finish();
 }

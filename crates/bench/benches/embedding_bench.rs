@@ -11,7 +11,11 @@ fn bench_embedding(c: &mut Criterion) {
     let mut group = c.benchmark_group("embedding");
     group.sample_size(10);
     group.bench_function("transe_10_epochs_dim32", |b| {
-        let cfg = TrainConfig { dim: 32, epochs: 10, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            dim: 32,
+            epochs: 10,
+            ..TrainConfig::default()
+        };
         b.iter(|| black_box(train::<TransE>(&ds.graph, &cfg).1.final_loss()))
     });
     let space: PredicateSpace = ds.oracle_space();

@@ -23,9 +23,17 @@ fn bench_semgraph(c: &mut Criterion) {
     group.bench_function("subquery_plan_build", |b| {
         b.iter(|| {
             black_box(
-                SubQueryPlan::build(&ds.graph, &space, &matcher, &q.graph, &d.subqueries[0], 4, 0.8)
-                    .sources
-                    .len(),
+                SubQueryPlan::build(
+                    &ds.graph,
+                    &space,
+                    &matcher,
+                    &q.graph,
+                    &d.subqueries[0],
+                    4,
+                    0.8,
+                )
+                .sources
+                .len(),
             )
         })
     });

@@ -16,14 +16,26 @@ fn bench_timebound(c: &mut Criterion) {
         &ds.graph,
         &space,
         &ds.library,
-        SgqConfig { k: 100, tau: 0.3, ..SgqConfig::default() },
+        SgqConfig {
+            k: 100,
+            tau: 0.3,
+            ..SgqConfig::default()
+        },
     );
     let mut group = c.benchmark_group("tbq");
     group.sample_size(15);
     for bound_us in [500u64, 5_000, 50_000] {
         let tb = TimeBoundConfig::with_bound(Duration::from_micros(bound_us));
         group.bench_function(format!("tbq_bound_{bound_us}us"), |b| {
-            b.iter(|| black_box(engine.query_time_bounded(&q.graph, &tb).unwrap().matches.len()))
+            b.iter(|| {
+                black_box(
+                    engine
+                        .query_time_bounded(&q.graph, &tb)
+                        .unwrap()
+                        .matches
+                        .len(),
+                )
+            })
         });
     }
     group.bench_function("calibrate_ta_cost", |b| {

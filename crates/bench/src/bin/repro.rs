@@ -20,7 +20,11 @@ fn main() {
             args.remove(pos);
         }
     }
-    if args.is_empty() || args.iter().any(|a| a == "--list" || a == "-l" || a == "--help") {
+    if args.is_empty()
+        || args
+            .iter()
+            .any(|a| a == "--list" || a == "-l" || a == "--help")
+    {
         eprintln!("usage: repro [--scale S] <experiment…|all>\n\nexperiments:");
         for (name, desc) in EXPERIMENTS {
             eprintln!("  {name:<8} {desc}");

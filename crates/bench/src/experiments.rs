@@ -23,17 +23,47 @@ use std::time::{Duration, Instant};
 
 /// Registry of experiment ids with the paper artefact they regenerate.
 pub const EXPERIMENTS: &[(&str, &str)] = &[
-    ("table1", "Table I — P/R of all methods on Q117's four query graphs"),
-    ("table2", "Table II — feature matrix of the compared methods"),
-    ("fig12", "Fig. 12 — effectiveness & efficiency vs top-k (DBpedia-like)"),
-    ("fig13", "Fig. 13 — effectiveness & efficiency vs top-k (Freebase-like)"),
-    ("fig14", "Fig. 14 — effectiveness & efficiency vs top-k (YAGO2-like)"),
-    ("fig15", "Fig. 15 — TBQ accuracy/SRT vs time bound (k = 100)"),
-    ("table5", "Table V — forced pivot v1 vs v2 on the Fig. 16 complex query"),
+    (
+        "table1",
+        "Table I — P/R of all methods on Q117's four query graphs",
+    ),
+    (
+        "table2",
+        "Table II — feature matrix of the compared methods",
+    ),
+    (
+        "fig12",
+        "Fig. 12 — effectiveness & efficiency vs top-k (DBpedia-like)",
+    ),
+    (
+        "fig13",
+        "Fig. 13 — effectiveness & efficiency vs top-k (Freebase-like)",
+    ),
+    (
+        "fig14",
+        "Fig. 14 — effectiveness & efficiency vs top-k (YAGO2-like)",
+    ),
+    (
+        "fig15",
+        "Fig. 15 — TBQ accuracy/SRT vs time bound (k = 100)",
+    ),
+    (
+        "table5",
+        "Table V — forced pivot v1 vs v2 on the Fig. 16 complex query",
+    ),
     ("table6", "Table VI — minCost vs Random pivot selection"),
-    ("table7", "Table VII — PCC of the simulated user study (20 queries)"),
-    ("fig17", "Fig. 17 + Table VIII — robustness to node/edge noise"),
-    ("table9", "Table IX — scalability: online SRT + offline embedding cost"),
+    (
+        "table7",
+        "Table VII — PCC of the simulated user study (20 queries)",
+    ),
+    (
+        "fig17",
+        "Fig. 17 + Table VIII — robustness to node/edge noise",
+    ),
+    (
+        "table9",
+        "Table IX — scalability: online SRT + offline embedding cost",
+    ),
     ("table10", "Table X — sensitivity to n̂ and τ (k = 100)"),
 ];
 
@@ -43,8 +73,14 @@ pub fn run_experiment(name: &str, scale: f64) -> Option<String> {
     Some(match name {
         "table1" => table1(scale),
         "table2" => table2(),
-        "fig12" => fig_topk(DatasetSpec::dbpedia_like(3.0 * scale), "Fig. 12 (DBpedia-like)"),
-        "fig13" => fig_topk(DatasetSpec::freebase_like(3.0 * scale), "Fig. 13 (Freebase-like)"),
+        "fig12" => fig_topk(
+            DatasetSpec::dbpedia_like(3.0 * scale),
+            "Fig. 12 (DBpedia-like)",
+        ),
+        "fig13" => fig_topk(
+            DatasetSpec::freebase_like(3.0 * scale),
+            "Fig. 13 (Freebase-like)",
+        ),
         "fig14" => fig_topk(DatasetSpec::yago2_like(3.0 * scale), "Fig. 14 (YAGO2-like)"),
         "fig15" => fig15(scale),
         "table5" => table5(scale),
@@ -118,12 +154,7 @@ fn run_tbq(engine: &SgqEngine<'_>, q: &BenchQuery, bound: Duration) -> (Vec<Node
 }
 
 /// Runs a baseline method, returning (answers, elapsed ms).
-fn run_method(
-    m: &dyn GraphQueryMethod,
-    ctx: &Ctx,
-    q: &BenchQuery,
-    k: usize,
-) -> (Vec<NodeId>, f64) {
+fn run_method(m: &dyn GraphQueryMethod, ctx: &Ctx, q: &BenchQuery, k: usize) -> (Vec<NodeId>, f64) {
     let t0 = Instant::now();
     let answers = m.query(&ctx.ds.graph, &ctx.ds.library, &q.graph, k);
     (
@@ -192,7 +223,9 @@ fn table1(scale: f64) -> String {
         ctx.ds.name
     );
     out.push_str(&render(
-        &["Method", "G1 P", "G1 R", "G2 P", "G2 R", "G3 P", "G3 R", "G4 P", "G4 R"],
+        &[
+            "Method", "G1 P", "G1 R", "G2 P", "G2 R", "G3 P", "G3 R", "G4 P", "G4 R",
+        ],
         &rows,
     ));
     out.push_str("\n§VII-B — answer schemas found by SGQ (type-level, with counts):\n");
@@ -230,7 +263,13 @@ fn table2() -> String {
     format!(
         "Table II — feature comparison\n\n{}",
         render(
-            &["Method", "Node similarity", "E-to-P mapping", "GQ w/ predicates", "Main idea"],
+            &[
+                "Method",
+                "Node similarity",
+                "E-to-P mapping",
+                "GQ w/ predicates",
+                "Main idea"
+            ],
             &rows,
         )
     )
@@ -298,7 +337,10 @@ fn fig_topk(spec: DatasetSpec, title: &str) -> String {
             })
             .collect();
         let _ = writeln!(out, "\n{panel} vs top-k:");
-        out.push_str(&render(&["Method", "k=20", "k=40", "k=100", "k=200"], &rows));
+        out.push_str(&render(
+            &["Method", "k=20", "k=40", "k=100", "k=200"],
+            &rows,
+        ));
     }
     out
 }
@@ -452,7 +494,13 @@ fn table6(scale: f64) -> String {
     format!(
         "Table VI — pivot selection, k = |validation set| (paper reports P = R)\n\n{}",
         render(
-            &["Query type", "minCost P=R", "minCost ms", "Random P=R", "Random ms"],
+            &[
+                "Query type",
+                "minCost P=R",
+                "minCost ms",
+                "Random P=R",
+                "Random ms"
+            ],
             &rows,
         )
     )
@@ -461,7 +509,11 @@ fn table6(scale: f64) -> String {
 /// Table VII: simulated user study over 20 queries (6 D + 12 F + 2 Y).
 fn table7(scale: f64) -> String {
     let contexts = [
-        ("D", Ctx::new(DatasetSpec::dbpedia_like(2.0 * scale)), 6usize),
+        (
+            "D",
+            Ctx::new(DatasetSpec::dbpedia_like(2.0 * scale)),
+            6usize,
+        ),
         ("F", Ctx::new(DatasetSpec::freebase_like(2.0 * scale)), 12),
         ("Y", Ctx::new(DatasetSpec::yago2_like(2.0 * scale)), 2),
     ];
@@ -672,7 +724,10 @@ fn table10(scale: f64) -> String {
     format!(
         "Table X — parameter sensitivity over {} (k = {k} ≥ |validation set|)\n\n{}",
         ctx.ds.name,
-        render(&["Setting", "Precision", "Recall", "F1", "Time (ms)"], &rows)
+        render(
+            &["Setting", "Precision", "Recall", "F1", "Time (ms)"],
+            &rows
+        )
     )
 }
 
@@ -694,7 +749,9 @@ mod tests {
     #[test]
     fn table2_lists_all_methods_plus_ours() {
         let out = table2();
-        for m in ["gStore", "SLQ", "NeMa", "S4", "p-hom", "GraB", "QGA", "Ours"] {
+        for m in [
+            "gStore", "SLQ", "NeMa", "S4", "p-hom", "GraB", "QGA", "Ours",
+        ] {
             assert!(out.contains(m), "missing {m} in:\n{out}");
         }
     }

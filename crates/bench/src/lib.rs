@@ -4,12 +4,14 @@
 //! the synthetic datasets (see DESIGN.md §5 for the experiment index):
 //!
 //! ```text
-//! cargo run -p sgq-bench --release --bin repro -- all
-//! cargo run -p sgq-bench --release --bin repro -- table1 fig12 fig15 …
+//! cargo run -p bench --release --bin repro -- all
+//! cargo run -p bench --release --bin repro -- table1 fig12 fig15 …
 //! ```
 //!
 //! Criterion micro-benchmarks live under `benches/` and cover the latency
-//! panels (Figs. 12–14(d)) plus the engine's building blocks.
+//! panels (Figs. 12–14(d)), the engine's building blocks, and the
+//! concurrent-throughput bench over the shared runtime
+//! (`cargo bench -p bench --bench throughput`).
 
 pub mod experiments;
 pub mod table;

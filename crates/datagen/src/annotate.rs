@@ -144,7 +144,7 @@ mod tests {
     fn inverted_ranking_yields_negative_pcc() {
         let (mut answers, truth) = answers_with_truth_prefix(12, 6);
         answers.reverse(); // SGQ now ranks the wrong answers first
-        // Re-assign descending scores so grouping still works.
+                           // Re-assign descending scores so grouping still works.
         for (i, a) in answers.iter_mut().enumerate() {
             a.score = 1.0 - i as f64 * 0.07;
         }

@@ -333,7 +333,11 @@ impl DatasetSpec {
                     // in cᵢ₊₁).
                     if j % 2 == 0 {
                         let fclub = b.add_node(
-                            &format!("{}_Club_{}", country_names[foreign], i % self.clubs_per_country),
+                            &format!(
+                                "{}_Club_{}",
+                                country_names[foreign],
+                                i % self.clubs_per_country
+                            ),
                             "SoccerClub",
                         );
                         b.add_edge(p, fclub, "team");
@@ -499,7 +503,10 @@ mod tests {
             GraphStats::of(&fb.graph),
             GraphStats::of(&yg.graph),
         );
-        assert!(sfb.entity_types > sdb.entity_types, "Freebase has more types");
+        assert!(
+            sfb.entity_types > sdb.entity_types,
+            "Freebase has more types"
+        );
         assert!(syg.entities > sdb.entities, "YAGO has more entities");
         assert!(sdb.relations > 0 && sfb.relations > 0 && syg.relations > 0);
     }

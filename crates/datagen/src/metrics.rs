@@ -16,7 +16,10 @@ pub fn precision_recall(answers: &[NodeId], truth: &[NodeId]) -> (f64, f64) {
     let truth_set: FxHashSet<NodeId> = truth.iter().copied().collect();
     let answer_set: FxHashSet<NodeId> = answers.iter().copied().collect();
     let hits = answer_set.intersection(&truth_set).count() as f64;
-    (hits / answer_set.len() as f64, hits / truth_set.len() as f64)
+    (
+        hits / answer_set.len() as f64,
+        hits / truth_set.len() as f64,
+    )
 }
 
 /// Harmonic mean `F1 = 2 / (1/P + 1/R)`; 0 when either is 0.
@@ -172,8 +175,18 @@ mod tests {
 
     #[test]
     fn report_mean() {
-        let a = EffReport { precision: 1.0, recall: 0.5, f1: 0.66, time_ms: 10.0 };
-        let b = EffReport { precision: 0.0, recall: 0.5, f1: 0.0, time_ms: 30.0 };
+        let a = EffReport {
+            precision: 1.0,
+            recall: 0.5,
+            f1: 0.66,
+            time_ms: 10.0,
+        };
+        let b = EffReport {
+            precision: 0.0,
+            recall: 0.5,
+            f1: 0.0,
+            time_ms: 30.0,
+        };
         let m = EffReport::mean(&[a, b]);
         assert_eq!(m.precision, 0.5);
         assert_eq!(m.time_ms, 20.0);

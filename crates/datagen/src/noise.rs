@@ -165,10 +165,7 @@ mod tests {
         // assembly's top-10 similar predicates.
         let pid = ds.graph.predicate_id(new_pred).expect("in vocabulary");
         let asm = ds.graph.predicate_id("assembly").unwrap();
-        assert!(space
-            .top_k_similar(asm, 10)
-            .iter()
-            .any(|&(p, _)| p == pid));
+        assert!(space.top_k_similar(asm, 10).iter().any(|&(p, _)| p == pid));
         // Nodes untouched.
         assert_eq!(noisy.nodes(), q.nodes());
     }

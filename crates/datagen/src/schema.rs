@@ -54,7 +54,12 @@ pub fn predicate_clusters() -> Vec<PredicateCluster> {
         },
         PredicateCluster {
             name: "person",
-            predicates: &[("designer", 0.95), ("nationality", 0.92), ("team", 0.85), ("coach", 0.80)],
+            predicates: &[
+                ("designer", 0.95),
+                ("nationality", 0.92),
+                ("team", 0.85),
+                ("coach", 0.80),
+            ],
             production_affinity: 0.85,
         },
         PredicateCluster {
@@ -74,7 +79,12 @@ pub fn predicate_clusters() -> Vec<PredicateCluster> {
         },
         PredicateCluster {
             name: "misc",
-            predicates: &[("language", 0.90), ("currency", 0.90), ("related", 0.85), ("knownFor", 0.85)],
+            predicates: &[
+                ("language", 0.90),
+                ("currency", 0.90),
+                ("related", 0.85),
+                ("knownFor", 0.85),
+            ],
             production_affinity: 0.1,
         },
     ]
@@ -228,7 +238,10 @@ mod tests {
         let designer = space.sim(p("product"), p("designer"));
         assert!((0.7..0.95).contains(&designer), "got {designer}");
         let ground_country = space.sim(p("ground"), p("country"));
-        assert!((0.6..0.95).contains(&ground_country), "got {ground_country}");
+        assert!(
+            (0.6..0.95).contains(&ground_country),
+            "got {ground_country}"
+        );
         assert!(space.sim(p("product"), p("assembly")) > designer);
         assert!(designer > space.sim(p("product"), p("language")));
     }

@@ -126,11 +126,7 @@ pub fn chain_query(ds: &BenchDataset, i: usize) -> BenchQuery {
     BenchQuery {
         id: format!("chain@{ca}->{ce}"),
         graph: q,
-        truth: ds
-            .engine_truth
-            .get(&(ca, ce))
-            .cloned()
-            .unwrap_or_default(),
+        truth: ds.engine_truth.get(&(ca, ce)).cloned().unwrap_or_default(),
         complexity: 2,
         answer_node: auto.0,
     }

@@ -78,5 +78,4 @@ mod tests {
         let data = vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
         assert_eq!(row(&data, 3, 1), &[3.0, 4.0, 5.0]);
     }
-
 }

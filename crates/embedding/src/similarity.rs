@@ -1,0 +1,357 @@
+//! Cross-query similarity-row index.
+//!
+//! The query engine needs, per query edge, the full Eq. 5 similarity row of
+//! the query predicate against every knowledge-graph predicate, plus the
+//! element-wise max over the rows of the *remaining* segments (which drives
+//! the `m(u)` bound of Lemma 1). Before this index existed each
+//! `SubQueryPlan` materialised those rows as fresh `Vec<Vec<f64>>` per
+//! query — `O(segments · |predicates|)` work and allocation repeated for
+//! every query over the engine's lifetime, even though the rows depend only
+//! on the predicate and the (fixed) space.
+//!
+//! [`SimilarityIndex`] computes each transformed row **once** and hands out
+//! cheap `Arc<[f64]>` clones; combined (element-wise max) rows are cached by
+//! the *set* of participating rows, so every suffix a plan needs after the
+//! first query of a given shape is a cache hit. Hits and misses are counted
+//! (exposed via [`SimilarityIndex::stats`]) so callers — and the
+//! concurrency tests — can observe the sharing.
+//!
+//! The index is `Sync`: the caches sit behind a mutex, and the hot path
+//! (row already cached) is one lock + one `Arc` bump, far cheaper than the
+//! `space.len()`-sized recomputation it replaces.
+
+use crate::space::PredicateSpace;
+use kgraph::PredicateId;
+use rustc_hash::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Key of one cacheable row: a concrete predicate, or an out-of-vocabulary
+/// constant row (query predicates the space has never seen).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RowKey {
+    /// The transformed similarity row of this predicate.
+    Predicate(PredicateId),
+    /// A constant row of explicit length. The value is kept as its bit
+    /// pattern (hashable and `Eq` without touching NaN semantics); the
+    /// length is part of the key because the caller's predicate vocabulary
+    /// may exceed the space's (e.g. graph predicates added after training),
+    /// and search indexes rows by *graph* predicate id.
+    Constant {
+        /// `f64::to_bits` of the constant.
+        bits: u64,
+        /// Number of row elements.
+        len: u32,
+    },
+}
+
+impl RowKey {
+    /// Key for a constant row of `value` with `len` elements.
+    pub fn constant(value: f64, len: usize) -> Self {
+        RowKey::Constant {
+            bits: value.to_bits(),
+            len: u32::try_from(len).expect("constant row length fits u32"),
+        }
+    }
+}
+
+/// Cache counters (cumulative since construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimilarityIndexStats {
+    /// Row requests answered from the cache.
+    pub row_hits: u64,
+    /// Row requests that had to compute the row.
+    pub row_misses: u64,
+    /// Combined-max row requests answered from the cache.
+    pub max_row_hits: u64,
+    /// Combined-max row requests that had to compute the row.
+    pub max_row_misses: u64,
+}
+
+impl SimilarityIndexStats {
+    /// Total row requests of both kinds.
+    pub fn requests(&self) -> u64 {
+        self.row_hits + self.row_misses + self.max_row_hits + self.max_row_misses
+    }
+}
+
+/// Upper bound on cached combined-max rows. Per-predicate rows are bounded
+/// by the vocabulary, but `max_rows` is keyed by key *sets* — unbounded
+/// under adversarially diverse multi-segment queries. Past the cap,
+/// combined rows are computed per request (correct, just uncached) so a
+/// long-running service cannot grow without limit. At a 10k-predicate
+/// vocabulary this caps the combined-row cache near 4096 × 80 KB ≈ 330 MB;
+/// typical workloads stay far below both factors.
+const MAX_CACHED_COMBINED_ROWS: usize = 4096;
+
+/// Shared, engine-lifetime cache of transformed similarity rows.
+///
+/// `transform` maps a raw cosine similarity to the row's stored value —
+/// the query engine passes its weight clamp so rows land directly in the
+/// weight domain and the search never touches the space again.
+pub struct SimilarityIndex<'s> {
+    space: &'s PredicateSpace,
+    transform: fn(f32) -> f64,
+    rows: Mutex<FxHashMap<RowKey, Arc<[f64]>>>,
+    /// Combined rows keyed by the sorted, deduplicated set of inputs (max is
+    /// idempotent, so the multiset collapses to a set).
+    max_rows: Mutex<FxHashMap<Vec<RowKey>, Arc<[f64]>>>,
+    row_hits: AtomicU64,
+    row_misses: AtomicU64,
+    max_row_hits: AtomicU64,
+    max_row_misses: AtomicU64,
+}
+
+impl std::fmt::Debug for SimilarityIndex<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimilarityIndex")
+            .field("predicates", &self.space.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl<'s> SimilarityIndex<'s> {
+    /// An index storing raw cosine similarities.
+    pub fn new(space: &'s PredicateSpace) -> Self {
+        Self::with_transform(space, f64::from)
+    }
+
+    /// An index storing `transform(similarity)` per row element.
+    pub fn with_transform(space: &'s PredicateSpace, transform: fn(f32) -> f64) -> Self {
+        Self {
+            space,
+            transform,
+            rows: Mutex::new(FxHashMap::default()),
+            max_rows: Mutex::new(FxHashMap::default()),
+            row_hits: AtomicU64::new(0),
+            row_misses: AtomicU64::new(0),
+            max_row_hits: AtomicU64::new(0),
+            max_row_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying predicate space.
+    pub fn space(&self) -> &'s PredicateSpace {
+        self.space
+    }
+
+    /// Row length (= number of predicates in the space).
+    pub fn row_len(&self) -> usize {
+        self.space.len()
+    }
+
+    /// The transformed similarity row for `key`, computed at most once.
+    pub fn row(&self, key: RowKey) -> Arc<[f64]> {
+        if let Some(row) = self.rows.lock().unwrap().get(&key) {
+            self.row_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(row);
+        }
+        self.row_misses.fetch_add(1, Ordering::Relaxed);
+        let computed: Arc<[f64]> = match key {
+            RowKey::Predicate(p) => self
+                .space
+                .sim_row(p)
+                .into_iter()
+                .map(self.transform)
+                .collect(),
+            RowKey::Constant { bits, len } => {
+                std::iter::repeat_n(f64::from_bits(bits), len as usize).collect()
+            }
+        };
+        // Two racing computations of the same key both produce identical
+        // rows; keep whichever landed first so handles stay shared.
+        Arc::clone(self.rows.lock().unwrap().entry(key).or_insert(computed))
+    }
+
+    /// The element-wise maximum over the rows of `keys`, computed at most
+    /// once per distinct key set. Used for the suffix (remaining-segment)
+    /// rows behind Lemma 1's `m(u)` bound.
+    pub fn max_row(&self, keys: &[RowKey]) -> Arc<[f64]> {
+        assert!(!keys.is_empty(), "max_row needs at least one row key");
+        if keys.len() == 1 {
+            return self.row(keys[0]);
+        }
+        let mut set: Vec<RowKey> = keys.to_vec();
+        set.sort_unstable();
+        set.dedup();
+        if set.len() == 1 {
+            return self.row(set[0]);
+        }
+        if let Some(row) = self.max_rows.lock().unwrap().get(&set) {
+            self.max_row_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(row);
+        }
+        self.max_row_misses.fetch_add(1, Ordering::Relaxed);
+        let mut acc: Vec<f64> = self.row(set[0]).to_vec();
+        for key in &set[1..] {
+            let row = self.row(*key);
+            // Rows may differ in length (a constant row spans the caller's
+            // full vocabulary, predicate rows span the space's); the
+            // combined row must keep the longest tail.
+            if row.len() > acc.len() {
+                acc.extend_from_slice(&row[acc.len()..]);
+            }
+            for (a, &r) in acc.iter_mut().zip(row.iter()) {
+                if r > *a {
+                    *a = r;
+                }
+            }
+        }
+        let computed: Arc<[f64]> = acc.into();
+        let mut cache = self.max_rows.lock().unwrap();
+        if cache.len() >= MAX_CACHED_COMBINED_ROWS && !cache.contains_key(&set) {
+            // Cache full: serve the computed row uncached rather than grow.
+            return computed;
+        }
+        Arc::clone(cache.entry(set).or_insert(computed))
+    }
+
+    /// Per-segment rows plus the suffix-max rows a path-shaped plan needs:
+    /// `suffix[s] = max(rows[s..])` element-wise. One call covers everything
+    /// a `SubQueryPlan` previously recomputed per query.
+    #[allow(clippy::type_complexity)]
+    pub fn plan_rows(&self, keys: &[RowKey]) -> (Vec<Arc<[f64]>>, Vec<Arc<[f64]>>) {
+        let seg_rows: Vec<Arc<[f64]>> = keys.iter().map(|&k| self.row(k)).collect();
+        let suffix_rows: Vec<Arc<[f64]>> =
+            (0..keys.len()).map(|s| self.max_row(&keys[s..])).collect();
+        (seg_rows, suffix_rows)
+    }
+
+    /// Cumulative cache counters.
+    pub fn stats(&self) -> SimilarityIndexStats {
+        SimilarityIndexStats {
+            row_hits: self.row_hits.load(Ordering::Relaxed),
+            row_misses: self.row_misses.load(Ordering::Relaxed),
+            max_row_hits: self.max_row_hits.load(Ordering::Relaxed),
+            max_row_misses: self.max_row_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> PredicateSpace {
+        PredicateSpace::from_raw(
+            vec![
+                vec![1.0, 0.0],
+                vec![0.9, (1.0f32 - 0.81).sqrt()],
+                vec![0.0, 1.0],
+            ],
+            vec!["product".into(), "assembly".into(), "language".into()],
+        )
+    }
+
+    #[test]
+    fn rows_match_space_and_are_shared() {
+        let s = space();
+        let idx = SimilarityIndex::new(&s);
+        let p = PredicateId::new(0);
+        let a = idx.row(RowKey::Predicate(p));
+        let b = idx.row(RowKey::Predicate(p));
+        assert!(Arc::ptr_eq(&a, &b), "second request must share the row");
+        for (q, &v) in a.iter().enumerate() {
+            let expected = f64::from(s.sim(p, PredicateId::new(q as u32)));
+            assert!((v - expected).abs() < 1e-12);
+        }
+        let stats = idx.stats();
+        assert_eq!(stats.row_hits, 1);
+        assert_eq!(stats.row_misses, 1);
+    }
+
+    #[test]
+    fn transform_is_applied() {
+        let s = space();
+        let idx = SimilarityIndex::with_transform(&s, |sim| f64::from(sim).clamp(0.5, 1.0));
+        let row = idx.row(RowKey::Predicate(PredicateId::new(0)));
+        assert!(row.iter().all(|&v| (0.5..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn constant_rows_are_constant_and_sized_by_caller() {
+        let s = space();
+        let idx = SimilarityIndex::new(&s);
+        // A caller whose vocabulary (5) exceeds the space's (3) still gets
+        // a full-length row — the OOV fallback must cover every graph
+        // predicate id the search can index with.
+        let row = idx.row(RowKey::constant(1e-6, 5));
+        assert_eq!(row.len(), 5);
+        assert!(row.iter().all(|&v| v == 1e-6));
+    }
+
+    #[test]
+    fn max_row_keeps_the_longest_tail() {
+        let s = space();
+        let idx = SimilarityIndex::new(&s);
+        let keys = [
+            RowKey::Predicate(PredicateId::new(0)), // 3 elements
+            RowKey::constant(0.5, 5),               // 5 elements
+        ];
+        let m = idx.max_row(&keys);
+        assert_eq!(m.len(), 5);
+        assert_eq!(m[3], 0.5);
+        assert_eq!(m[4], 0.5);
+        let r0 = idx.row(keys[0]);
+        for i in 0..3 {
+            assert_eq!(m[i], r0[i].max(0.5));
+        }
+    }
+
+    #[test]
+    fn max_row_is_elementwise_max_and_cached() {
+        let s = space();
+        let idx = SimilarityIndex::new(&s);
+        let keys = [
+            RowKey::Predicate(PredicateId::new(0)),
+            RowKey::Predicate(PredicateId::new(2)),
+        ];
+        let m1 = idx.max_row(&keys);
+        let r0 = idx.row(keys[0]);
+        let r2 = idx.row(keys[1]);
+        for i in 0..3 {
+            assert_eq!(m1[i], r0[i].max(r2[i]));
+        }
+        // Order must not matter, and the reordered request must hit.
+        let m2 = idx.max_row(&[keys[1], keys[0]]);
+        assert!(Arc::ptr_eq(&m1, &m2));
+        assert_eq!(idx.stats().max_row_hits, 1);
+    }
+
+    #[test]
+    fn plan_rows_form_suffix_maxes() {
+        let s = space();
+        let idx = SimilarityIndex::new(&s);
+        let keys = [
+            RowKey::Predicate(PredicateId::new(0)),
+            RowKey::Predicate(PredicateId::new(1)),
+            RowKey::Predicate(PredicateId::new(2)),
+        ];
+        let (rows, suffix) = idx.plan_rows(&keys);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(suffix.len(), 3);
+        for i in 0..3 {
+            let expected = rows[0][i].max(rows[1][i]).max(rows[2][i]);
+            assert!((suffix[0][i] - expected).abs() < 1e-12);
+            assert_eq!(suffix[2][i], rows[2][i]);
+        }
+    }
+
+    #[test]
+    fn repeated_plans_are_pure_hits() {
+        let s = space();
+        let idx = SimilarityIndex::new(&s);
+        let keys = [
+            RowKey::Predicate(PredicateId::new(0)),
+            RowKey::Predicate(PredicateId::new(1)),
+        ];
+        let _ = idx.plan_rows(&keys);
+        let before = idx.stats();
+        let _ = idx.plan_rows(&keys);
+        let after = idx.stats();
+        assert_eq!(after.row_misses, before.row_misses);
+        assert_eq!(after.max_row_misses, before.max_row_misses);
+        assert!(after.row_hits > before.row_hits);
+    }
+}

@@ -101,7 +101,9 @@ pub fn train<M: KgeModel>(graph: &KnowledgeGraph, cfg: &TrainConfig) -> (M, Trai
             }
         }
         model.constrain();
-        report.epoch_loss.push((loss_sum / steps.max(1) as f64) as f32);
+        report
+            .epoch_loss
+            .push((loss_sum / steps.max(1) as f64) as f32);
     }
     report.seconds = start.elapsed().as_secs_f64();
     (model, report)
@@ -220,10 +222,7 @@ mod tests {
     #[test]
     fn training_is_deterministic() {
         let g = figure6_graph();
-        let c = TrainConfig {
-            epochs: 5,
-            ..cfg()
-        };
+        let c = TrainConfig { epochs: 5, ..cfg() };
         let (m1, _) = train::<TransE>(&g, &c);
         let (m2, _) = train::<TransE>(&g, &c);
         assert_eq!(m1.relation_embedding(0), m2.relation_embedding(0));

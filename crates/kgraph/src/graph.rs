@@ -52,6 +52,10 @@ pub struct GraphBuilder {
     node_type: Vec<TypeId>,
     name_to_node: FxHashMap<u32, NodeId>,
     edges: Vec<EdgeRecord>,
+    /// Exact-duplicate guard: real dumps repeat triples, and duplicate
+    /// `(src, predicate, dst)` edges would inflate CSR adjacency and skew
+    /// the decomposition cost model's `avg_degree`.
+    edge_ids: FxHashMap<EdgeRecord, EdgeId>,
 }
 
 impl GraphBuilder {
@@ -92,19 +96,34 @@ impl GraphBuilder {
     }
 
     /// Adds a directed edge `src --predicate--> dst`, returning its id.
+    ///
+    /// Exact duplicates (same `src`, `predicate` and `dst`) collapse onto
+    /// the first insertion and return its id, so repeated triples in a dump
+    /// cannot inflate adjacency or the cost model's average degree.
+    /// Parallel edges with *different* predicates are preserved.
     pub fn add_edge(&mut self, src: NodeId, dst: NodeId, predicate: &str) -> EdgeId {
         let pred = PredicateId::new(self.predicates.intern(predicate));
-        let edge = EdgeId::new(self.edges.len() as u32);
-        self.edges.push(EdgeRecord {
+        let record = EdgeRecord {
             src,
             dst,
             predicate: pred,
-        });
+        };
+        if let Some(&existing) = self.edge_ids.get(&record) {
+            return existing;
+        }
+        let edge = EdgeId::new(self.edges.len() as u32);
+        self.edges.push(record);
+        self.edge_ids.insert(record, edge);
         edge
     }
 
     /// Adds a triple, creating endpoint nodes as needed.
-    pub fn add_triple(&mut self, head: (&str, &str), predicate: &str, tail: (&str, &str)) -> EdgeId {
+    pub fn add_triple(
+        &mut self,
+        head: (&str, &str),
+        predicate: &str,
+        tail: (&str, &str),
+    ) -> EdgeId {
         let h = self.add_node(head.0, head.1);
         let t = self.add_node(tail.0, tail.1);
         self.add_edge(h, t, predicate)
@@ -349,7 +368,9 @@ impl KnowledgeGraph {
 
     /// Iterates interned predicate labels as `(PredicateId, label)`.
     pub fn predicates(&self) -> impl Iterator<Item = (PredicateId, &str)> {
-        self.predicates.iter().map(|(id, s)| (PredicateId::new(id), s))
+        self.predicates
+            .iter()
+            .map(|(id, s)| (PredicateId::new(id), s))
     }
 
     /// Re-assigns the type of a node (used by the probabilistic typing pass
@@ -525,6 +546,26 @@ mod tests {
         let g = b.finish();
         assert_eq!(g.out_edges(x).len(), 2);
         assert_eq!(g.in_edges(y).len(), 2);
+    }
+
+    #[test]
+    fn exact_duplicate_edges_collapse() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("X", "T");
+        let y = b.add_node("Y", "T");
+        let first = b.add_edge(x, y, "p");
+        let dup = b.add_edge(x, y, "p");
+        assert_eq!(first, dup, "duplicate insertion returns the original id");
+        b.add_edge(y, x, "p"); // reversed direction is a distinct edge
+        b.add_edge(x, y, "q"); // different predicate is a distinct edge
+        assert_eq!(b.edge_count(), 3);
+        let g = b.finish();
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.out_edges(x).len(), 2);
+        assert_eq!(g.degree(x), 3);
+        // avg_degree feeds the decomposition cost model: 3 edges, 2 nodes.
+        let stats = crate::stats::GraphStats::of(&g);
+        assert!((stats.avg_degree - 3.0).abs() < 1e-9);
     }
 
     #[test]

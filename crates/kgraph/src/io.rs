@@ -50,7 +50,11 @@ pub fn write_triples<W: Write>(writer: W, triples: impl IntoIterator<Item = Trip
 pub fn graph_from_triples(triples: impl IntoIterator<Item = Triple>) -> KnowledgeGraph {
     let mut b = GraphBuilder::new();
     for t in triples {
-        b.add_triple((&t.head, &t.head_type), &t.predicate, (&t.tail, &t.tail_type));
+        b.add_triple(
+            (&t.head, &t.head_type),
+            &t.predicate,
+            (&t.tail, &t.tail_type),
+        );
     }
     b.finish()
 }

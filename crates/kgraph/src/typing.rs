@@ -61,9 +61,8 @@ impl TypingModel {
                 continue;
             }
             candidate_types.push(TypeId::new(ty as u32));
-            log_prior[ty] = ((type_nodes[ty] as f64 + 1.0)
-                / (typed_nodes as f64 + type_count as f64))
-                .ln();
+            log_prior[ty] =
+                ((type_nodes[ty] as f64 + 1.0) / (typed_nodes as f64 + type_count as f64)).ln();
             log_unseen[ty] = (1.0 / (evidence_total[ty] as f64 + vocab as f64)).ln();
         }
         let log_like = evidence_counts

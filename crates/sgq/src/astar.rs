@@ -167,7 +167,10 @@ impl<'a> AStarSearch<'a> {
     /// `None` when the search space is exhausted. Successive calls return
     /// matches in non-increasing pss order (Theorem 2).
     pub fn next_match(&mut self) -> Option<SubMatch> {
-        debug_assert!(!self.anytime, "use step()/take_discovered() in anytime mode");
+        debug_assert!(
+            !self.anytime,
+            "use step()/take_discovered() in anytime mode"
+        );
         while let Some(Frontier { idx, .. }) = self.heap.pop() {
             self.stats.popped += 1;
             let state = self.arena[idx as usize];
@@ -503,9 +506,7 @@ mod tests {
         let ms = f.matches(1, 0.0, 10);
         assert_eq!(ms.len(), 4);
         assert!(ms.iter().all(|m| m.hops() == 1));
-        assert!(!ms
-            .iter()
-            .any(|m| f.graph.node_name(m.pivot) == "T4"));
+        assert!(!ms.iter().any(|m| f.graph.node_name(m.pivot) == "T4"));
     }
 
     #[test]
@@ -650,10 +651,7 @@ mod tests {
 
     /// Brute-force reference: enumerate all simple source→goal paths of
     /// ≤ n̂ hops and rank by geometric-mean weight.
-    fn brute_force_best(
-        graph: &KnowledgeGraph,
-        plan: &SubQueryPlan,
-    ) -> Option<f64> {
+    fn brute_force_best(graph: &KnowledgeGraph, plan: &SubQueryPlan) -> Option<f64> {
         fn dfs(
             graph: &KnowledgeGraph,
             plan: &SubQueryPlan,

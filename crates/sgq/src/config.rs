@@ -45,6 +45,12 @@ pub struct SgqConfig {
     /// Hard cap on matches collected per sub-query, bounding worst-case work
     /// on pathological graphs. 0 = unbounded.
     pub max_matches_per_subquery: usize,
+    /// Worker threads in the engine-lifetime pool running sub-query
+    /// searches. 0 = one per available core (capped at 16). Read once at
+    /// engine construction — changing it later via
+    /// [`crate::SgqEngine::set_config`] does *not* resize the pool.
+    #[serde(default)]
+    pub workers: usize,
 }
 
 impl Default for SgqConfig {
@@ -56,6 +62,7 @@ impl Default for SgqConfig {
             pivot: PivotStrategy::MinCost,
             batch: 0, // 0 → derived from k at query time
             max_matches_per_subquery: 100_000,
+            workers: 0, // 0 → available parallelism
         }
     }
 }
@@ -74,6 +81,12 @@ impl SgqConfig {
             return Err(InvalidConfig(format!(
                 "tau must lie in [0,1], got {}",
                 self.tau
+            )));
+        }
+        if self.workers > 1024 {
+            return Err(InvalidConfig(format!(
+                "workers must be at most 1024 (got {}); 0 selects available parallelism",
+                self.workers
             )));
         }
         Ok(())
@@ -103,20 +116,51 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_params() {
-        assert!(SgqConfig { k: 0, ..Default::default() }.validate().is_err());
-        assert!(SgqConfig { n_hat: 0, ..Default::default() }.validate().is_err());
-        assert!(SgqConfig { tau: 1.5, ..Default::default() }.validate().is_err());
-        assert!(SgqConfig { tau: -0.1, ..Default::default() }.validate().is_err());
+        assert!(SgqConfig {
+            k: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SgqConfig {
+            n_hat: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SgqConfig {
+            tau: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SgqConfig {
+            tau: -0.1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         assert!(SgqConfig::default().validate().is_ok());
     }
 
     #[test]
     fn effective_batch_derivation() {
-        let c = SgqConfig { k: 10, batch: 0, ..Default::default() };
+        let c = SgqConfig {
+            k: 10,
+            batch: 0,
+            ..Default::default()
+        };
         assert_eq!(c.effective_batch(), 20);
-        let c = SgqConfig { k: 1, batch: 0, ..Default::default() };
+        let c = SgqConfig {
+            k: 1,
+            batch: 0,
+            ..Default::default()
+        };
         assert_eq!(c.effective_batch(), 8);
-        let c = SgqConfig { batch: 5, ..Default::default() };
+        let c = SgqConfig {
+            batch: 5,
+            ..Default::default()
+        };
         assert_eq!(c.effective_batch(), 5);
     }
 }

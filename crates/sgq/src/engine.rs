@@ -1,11 +1,28 @@
-//! The query-engine facade.
+//! The query-engine facade and the shared query runtime.
 //!
 //! [`SgqEngine`] wires the pipeline of the paper's Fig. 5 together:
-//! decomposition → per-sub-query A\* semantic search (one thread per
+//! decomposition → per-sub-query A\* semantic search (one search per
 //! sub-query graph, §V-B Remarks) → TA assembly; plus the TBQ time-bounded
 //! variant (§VI). The engine borrows the knowledge graph, the offline-
 //! trained predicate space and the transformation library — all immutable —
-//! so engines are cheap to create and safe to share across threads.
+//! so engines are safe to share across client threads (`&self` queries).
+//!
+//! Two engine-lifetime resources make it a *runtime* rather than a per-call
+//! pipeline:
+//!
+//! * a [`SimilarityIndex`] caching every query predicate's Eq. 5 similarity
+//!   row (and the suffix-max rows behind Lemma 1's `m(u)`) as shared
+//!   `Arc<[f64]>` handles — repeated predicates across queries cost a cache
+//!   hit instead of an `O(|predicates|)` recomputation;
+//! * a [`crate::runtime::WorkerPool`] of persistent workers on which
+//!   sub-query searches are resumed — no per-round thread spawning on the
+//!   hot path.
+//!
+//! [`SgqEngine::prepare`] splits the per-query work further: decomposition
+//! and plan building happen once, the returned [`PreparedQuery`] executes
+//! any number of times ([`SgqEngine::execute`] /
+//! [`SgqEngine::execute_time_bounded`]) — parameter sweeps, SGQ-then-TBQ
+//! comparisons and repeated production traffic skip straight to the search.
 
 use crate::answer::{QueryResult, QueryStats};
 use crate::astar::AStarSearch;
@@ -13,13 +30,58 @@ use crate::config::SgqConfig;
 use crate::decompose::{decompose, Decomposition};
 use crate::error::Result;
 use crate::query::QueryGraph;
-use crate::semgraph::SubQueryPlan;
+use crate::runtime::WorkerPool;
+use crate::semgraph::{weight_transform, SubQueryPlan};
 use crate::ta;
 use crate::timebound::{self, TimeBoundConfig};
-use embedding::PredicateSpace;
+use embedding::{PredicateSpace, SimilarityIndex, SimilarityIndexStats};
 use kgraph::{GraphStats, KnowledgeGraph};
 use lexicon::{NodeMatcher, TransformationLibrary};
 use std::time::Instant;
+
+/// A query compiled against an engine: decomposition and per-sub-query
+/// plans are built once, execution can repeat. Plans hold `Arc` similarity
+/// rows and φ-resolved candidate sets — no borrows of the engine — so a
+/// prepared query is cheap to clone and free to outlive config changes.
+///
+/// Executing a prepared query on the engine that built it yields exactly
+/// the result of [`SgqEngine::query`] at preparation time (the engine
+/// config is snapshotted into the prepared query).
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    query: QueryGraph,
+    decomposition: Decomposition,
+    plans: Vec<SubQueryPlan>,
+    config: SgqConfig,
+    /// Id of the engine the plans were resolved against: plans carry
+    /// graph-specific node ids and row lengths, so executing them against
+    /// another graph would be silently wrong (or panic). A process-unique
+    /// counter value — not a pointer, which allocator reuse could make
+    /// collide. Checked by [`SgqEngine::execute`].
+    engine_id: u64,
+}
+
+impl PreparedQuery {
+    /// The source query graph.
+    pub fn query(&self) -> &QueryGraph {
+        &self.query
+    }
+
+    /// The chosen decomposition.
+    pub fn decomposition(&self) -> &Decomposition {
+        &self.decomposition
+    }
+
+    /// Number of sub-query plans.
+    pub fn subqueries(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// The engine configuration snapshotted at preparation time.
+    pub fn config(&self) -> &SgqConfig {
+        &self.config
+    }
+}
 
 /// The semantic-guided query engine (SGQ), with the time-bounded variant
 /// (TBQ) as [`SgqEngine::query_time_bounded`].
@@ -29,23 +91,45 @@ pub struct SgqEngine<'a> {
     matcher: NodeMatcher<'a>,
     config: SgqConfig,
     avg_degree: f64,
+    /// Engine-lifetime similarity-row cache shared by every query.
+    sim_index: SimilarityIndex<'a>,
+    /// Engine-lifetime worker pool running the sub-query searches.
+    pool: WorkerPool,
+    /// Process-unique id stamped into every [`PreparedQuery`] this engine
+    /// builds (see [`SgqEngine::execute`]).
+    engine_id: u64,
 }
 
 impl<'a> SgqEngine<'a> {
-    /// Builds an engine over an embedded knowledge graph.
+    /// Builds an engine over an embedded knowledge graph. Spawns the
+    /// engine-lifetime worker pool ([`SgqConfig::workers`]; `0` = one per
+    /// available core, capped at 16). An invalid configuration does not
+    /// fail construction — every query will return the validation error —
+    /// but it does get only a minimal placeholder pool, so a corrupt
+    /// config cannot tie up threads it will never use.
     pub fn new(
         graph: &'a KnowledgeGraph,
         space: &'a PredicateSpace,
         library: &'a TransformationLibrary,
         config: SgqConfig,
     ) -> Self {
+        static NEXT_ENGINE_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let avg_degree = GraphStats::of(graph).avg_degree;
+        let pool_size = if config.validate().is_ok() {
+            config.workers
+        } else {
+            1
+        };
+        let pool = WorkerPool::new(pool_size);
         Self {
             graph,
             space,
             matcher: NodeMatcher::new(graph, library),
             config,
             avg_degree,
+            sim_index: SimilarityIndex::with_transform(space, weight_transform),
+            pool,
+            engine_id: NEXT_ENGINE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
     }
 
@@ -64,20 +148,50 @@ impl<'a> SgqEngine<'a> {
         self.graph
     }
 
+    /// The predicate semantic space the engine queries against.
+    pub fn space(&self) -> &'a PredicateSpace {
+        self.space
+    }
+
+    /// Number of persistent worker threads in the engine's pool.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Cumulative similarity-row cache counters — observably non-zero hit
+    /// counts demonstrate cross-query row sharing.
+    pub fn similarity_stats(&self) -> SimilarityIndexStats {
+        self.sim_index.stats()
+    }
+
     /// Decomposes a query with the engine's pivot strategy and cost model
     /// (exposed for the pivot-selection experiments, paper Tables V–VI).
     pub fn decompose_query(&self, query: &QueryGraph) -> Result<Decomposition> {
         decompose(query, self.config.pivot, self.avg_degree, self.config.n_hat)
     }
 
-    fn build_plans(&self, query: &QueryGraph, decomp: &Decomposition) -> Vec<SubQueryPlan> {
-        decomp
+    /// Rejects prepared queries built by a different engine.
+    fn check_prepared(&self, prepared: &PreparedQuery) -> Result<()> {
+        if prepared.engine_id != self.engine_id {
+            return Err(crate::error::SgqError::ForeignPreparedQuery);
+        }
+        Ok(())
+    }
+
+    /// Validates, decomposes and resolves `query` into per-sub-query plans
+    /// — the shared front half of [`SgqEngine::prepare`] and the ad-hoc
+    /// query paths (which skip the `QueryGraph` clone a `PreparedQuery`
+    /// keeps).
+    fn plan(&self, query: &QueryGraph) -> Result<(Decomposition, Vec<SubQueryPlan>)> {
+        self.config.validate()?;
+        let decomposition = self.decompose_query(query)?;
+        let plans = decomposition
             .subqueries
             .iter()
             .map(|sq| {
-                SubQueryPlan::build(
+                SubQueryPlan::build_with_index(
                     self.graph,
-                    self.space,
+                    &self.sim_index,
                     &self.matcher,
                     query,
                     sq,
@@ -85,21 +199,48 @@ impl<'a> SgqEngine<'a> {
                     self.config.tau,
                 )
             })
-            .collect()
+            .collect();
+        Ok((decomposition, plans))
     }
 
-    /// SGQ: exact top-k query (paper Problem 1, §V).
-    ///
-    /// Sub-query searches run on one thread each and are resumed in
-    /// doubling batches until the TA assembly certifies the global top-k
-    /// (`L_k ≥ U_max`) or every search is exhausted.
+    /// Compiles `query` into a reusable [`PreparedQuery`]: validation,
+    /// decomposition and plan building happen here, once.
+    pub fn prepare(&self, query: &QueryGraph) -> Result<PreparedQuery> {
+        let (decomposition, plans) = self.plan(query)?;
+        Ok(PreparedQuery {
+            query: query.clone(),
+            decomposition,
+            plans,
+            config: self.config.clone(),
+            engine_id: self.engine_id,
+        })
+    }
+
+    /// SGQ: exact top-k query (paper Problem 1, §V). Behaves like
+    /// [`SgqEngine::prepare`] followed by [`SgqEngine::execute`], minus the
+    /// `QueryGraph` clone a kept `PreparedQuery` would need.
     pub fn query(&self, query: &QueryGraph) -> Result<QueryResult> {
-        self.config.validate()?;
+        let (_, plans) = self.plan(query)?;
+        self.run_exact(&plans, &self.config)
+    }
+
+    /// Executes a prepared query: sub-query searches run as jobs on the
+    /// engine's persistent worker pool and are resumed in doubling batches
+    /// until the TA assembly certifies the global top-k (`L_k ≥ U_max`) or
+    /// every search is exhausted. The prepared query must come from this
+    /// engine ([`crate::error::SgqError::ForeignPreparedQuery`] otherwise).
+    pub fn execute(&self, prepared: &PreparedQuery) -> Result<QueryResult> {
+        self.check_prepared(prepared)?;
+        self.run_exact(&prepared.plans, &prepared.config)
+    }
+
+    /// `config` has been validated upstream: by [`SgqEngine::plan`] on the
+    /// ad-hoc paths, by [`SgqEngine::prepare`] for prepared queries (whose
+    /// snapshot is immutable).
+    fn run_exact(&self, plans: &[SubQueryPlan], config: &SgqConfig) -> Result<QueryResult> {
         let start = Instant::now();
-        let decomp = self.decompose_query(query)?;
-        let plans = self.build_plans(query, &decomp);
         let n = plans.len();
-        let cap = self.config.max_matches_per_subquery;
+        let cap = config.max_matches_per_subquery;
 
         let mut searches: Vec<AStarSearch<'_>> = plans
             .iter()
@@ -107,34 +248,31 @@ impl<'a> SgqEngine<'a> {
             .collect();
         let mut streams: Vec<Vec<crate::answer::SubMatch>> = vec![Vec::new(); n];
         let mut per_subquery_us = vec![0u64; n];
-        let mut batch = self.config.effective_batch();
+        let mut batch = config.effective_batch();
 
         let outcome = loop {
             // One parallel round: each sub-query search fetches up to
-            // `batch` further matches (§V-B Remark 1: one thread per gᵢ).
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = searches
+            // `batch` further matches (§V-B Remark 1: one job per gᵢ),
+            // resumed on the persistent pool — no thread spawning here.
+            self.pool.scope(|scope| {
+                for ((search, stream), us) in searches
                     .iter_mut()
                     .zip(streams.iter_mut())
                     .zip(per_subquery_us.iter_mut())
-                    .map(|((search, stream), us)| {
-                        scope.spawn(move || {
-                            let t0 = Instant::now();
-                            for _ in 0..batch {
-                                if cap > 0 && stream.len() >= cap {
-                                    break;
-                                }
-                                match search.next_match() {
-                                    Some(m) => stream.push(m),
-                                    None => break,
-                                }
+                {
+                    scope.spawn(move || {
+                        let t0 = Instant::now();
+                        for _ in 0..batch {
+                            if cap > 0 && stream.len() >= cap {
+                                break;
                             }
-                            *us += t0.elapsed().as_micros() as u64;
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    h.join().expect("sub-query search thread panicked");
+                            match search.next_match() {
+                                Some(m) => stream.push(m),
+                                None => break,
+                            }
+                        }
+                        *us += t0.elapsed().as_micros() as u64;
+                    });
                 }
             });
 
@@ -143,7 +281,7 @@ impl<'a> SgqEngine<'a> {
                 .zip(&streams)
                 .map(|(s, st)| s.is_exhausted() || (cap > 0 && st.len() >= cap))
                 .collect();
-            let outcome = ta::assemble(&streams, &exhausted, self.config.k);
+            let outcome = ta::assemble(&streams, &exhausted, config.k);
             if outcome.certified || exhausted.iter().all(|&e| e) {
                 break outcome;
             }
@@ -172,23 +310,46 @@ impl<'a> SgqEngine<'a> {
 
     /// TBQ: approximate top-k within a response-time bound (paper Problem 2,
     /// §VI). More time ⇒ better answers; a generous bound converges to
-    /// [`SgqEngine::query`]'s result (Theorem 4).
+    /// [`SgqEngine::query`]'s result (Theorem 4). Behaves like
+    /// [`SgqEngine::prepare`] + [`SgqEngine::execute_time_bounded`], minus
+    /// the `QueryGraph` clone.
     pub fn query_time_bounded(
         &self,
         query: &QueryGraph,
         tb: &TimeBoundConfig,
     ) -> Result<QueryResult> {
-        self.config.validate()?;
+        let (_, plans) = self.plan(query)?;
+        self.run_time_bounded(&plans, &self.config, tb)
+    }
+
+    /// Executes a prepared query in anytime mode under the time bound, with
+    /// sub-query searches running as pooled jobs. The prepared query must
+    /// come from this engine.
+    pub fn execute_time_bounded(
+        &self,
+        prepared: &PreparedQuery,
+        tb: &TimeBoundConfig,
+    ) -> Result<QueryResult> {
+        self.check_prepared(prepared)?;
+        self.run_time_bounded(&prepared.plans, &prepared.config, tb)
+    }
+
+    /// `config` has been validated upstream (see [`SgqEngine::run_exact`]).
+    fn run_time_bounded(
+        &self,
+        plans: &[SubQueryPlan],
+        config: &SgqConfig,
+        tb: &TimeBoundConfig,
+    ) -> Result<QueryResult> {
         let start = Instant::now();
-        let decomp = self.decompose_query(query)?;
-        let plans = self.build_plans(query, &decomp);
         let outcome = timebound::run_anytime(
             self.graph,
-            &plans,
-            self.config.max_matches_per_subquery,
+            plans,
+            config.max_matches_per_subquery,
             tb,
+            &self.pool,
         );
-        let ta_out = ta::assemble(&outcome.streams, &outcome.exhausted, self.config.k);
+        let ta_out = ta::assemble(&outcome.streams, &outcome.exhausted, config.k);
         Ok(QueryResult {
             matches: ta_out.matches,
             stats: QueryStats {

@@ -29,6 +29,9 @@ pub enum SgqError {
     },
     /// The engine configuration is inconsistent (e.g. `k == 0`).
     InvalidConfig(String),
+    /// A prepared query was executed on an engine other than the one that
+    /// built it (plans carry graph-specific node ids and row lengths).
+    ForeignPreparedQuery,
 }
 
 impl fmt::Display for SgqError {
@@ -48,6 +51,10 @@ impl fmt::Display for SgqError {
                 write!(f, "forced pivot {node} is not a target node of the query")
             }
             SgqError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SgqError::ForeignPreparedQuery => write!(
+                f,
+                "prepared query was built by a different engine (over a different graph)"
+            ),
         }
     }
 }
@@ -62,6 +69,8 @@ mod tests {
     fn display_variants() {
         assert!(SgqError::NoTargetNode.to_string().contains("target"));
         assert!(SgqError::DanglingEdge { edge: 3 }.to_string().contains('3'));
-        assert!(SgqError::InvalidConfig("k".into()).to_string().contains('k'));
+        assert!(SgqError::InvalidConfig("k".into())
+            .to_string()
+            .contains('k'));
     }
 }

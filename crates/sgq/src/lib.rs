@@ -19,7 +19,22 @@
 //! * **Time-bounded approximate optimisation** (TBQ; Algorithms 2–3,
 //!   Theorem 4) — [`timebound`];
 //! * the [`engine::SgqEngine`] facade tying everything together with one
-//!   search thread per sub-query graph (§V-B Remarks).
+//!   search job per sub-query graph (§V-B Remarks).
+//!
+//! Beyond the paper, the crate provides a **shared query runtime** for
+//! serving production traffic:
+//!
+//! * [`runtime`] — an engine-lifetime [`runtime::WorkerPool`] on which
+//!   sub-query searches are resumed as jobs; the hot path spawns no
+//!   threads;
+//! * [`engine::PreparedQuery`] — decomposition + plans compiled once via
+//!   [`engine::SgqEngine::prepare`], executable any number of times with
+//!   bit-identical results;
+//! * a cross-query similarity-row cache ([`embedding::SimilarityIndex`])
+//!   handing plans shared `Arc` rows instead of per-query `Vec`s;
+//! * [`service`] — a [`service::QueryService`] front-end serving many
+//!   concurrent client threads over one engine with aggregated
+//!   [`service::ServiceStats`].
 //!
 //! ```
 //! use kgraph::GraphBuilder;
@@ -58,14 +73,18 @@ pub mod engine;
 pub mod error;
 pub mod pss;
 pub mod query;
+pub mod runtime;
 pub mod semgraph;
+pub mod service;
 pub mod ta;
 pub mod timebound;
 
 pub use answer::{FinalMatch, QueryResult, QueryStats, SubMatch};
 pub use config::{PivotStrategy, SgqConfig};
 pub use decompose::{Decomposition, SubQuery};
-pub use engine::SgqEngine;
+pub use engine::{PreparedQuery, SgqEngine};
 pub use error::{Result, SgqError};
 pub use query::{QEdgeId, QNodeId, QueryEdge, QueryGraph, QueryNode, QueryNodeKind};
+pub use runtime::WorkerPool;
+pub use service::{QueryService, ServiceStats};
 pub use timebound::TimeBoundConfig;

@@ -18,10 +18,18 @@
 use crate::decompose::SubQuery;
 use crate::pss::{clamp_weight, PssEstimator, MIN_WEIGHT};
 use crate::query::QueryGraph;
-use embedding::PredicateSpace;
+use embedding::{PredicateSpace, RowKey, SimilarityIndex};
 use kgraph::{KnowledgeGraph, NodeId, PredicateId};
 use lexicon::NodeMatcher;
 use rustc_hash::FxHashSet;
+use std::sync::Arc;
+
+/// Maps a raw cosine similarity into the weight domain — the row transform
+/// installed into the engine's [`SimilarityIndex`], so cached rows are
+/// already clamped and the search never touches the space again.
+pub(crate) fn weight_transform(sim: f32) -> f64 {
+    clamp_weight(f64::from(sim))
+}
 
 /// A membership test for one query node of the sub-query path.
 #[derive(Debug, Clone)]
@@ -61,10 +69,16 @@ impl NodeConstraint {
 pub struct SubQueryPlan {
     /// `seg_weights[s][p]` = clamped semantic weight of KG predicate `p`
     /// when matching query edge `s` (Eq. 5 through [`clamp_weight`]).
-    pub seg_weights: Vec<Vec<f64>>,
+    ///
+    /// Rows are shared `Arc` handles out of the engine's
+    /// [`SimilarityIndex`]: a repeated query predicate costs one cache
+    /// lookup instead of an `O(|predicates|)` recomputation, and cloning a
+    /// plan (e.g. for a [`crate::engine::PreparedQuery`]) is refcount bumps.
+    pub seg_weights: Vec<Arc<[f64]>>,
     /// `remaining_max[s][p]` = max over segments `s' ≥ s` of
-    /// `seg_weights[s'][p]`; drives `m(u)`.
-    pub remaining_max: Vec<Vec<f64>>,
+    /// `seg_weights[s'][p]`; drives `m(u)`. Shared handles like
+    /// [`SubQueryPlan::seg_weights`].
+    pub remaining_max: Vec<Arc<[f64]>>,
     /// φ(v_s): candidate source nodes.
     pub sources: Vec<NodeId>,
     /// `constraints[s]` applies to the KG node that *completes* segment `s`
@@ -84,7 +98,10 @@ pub struct SubQueryPlan {
 }
 
 impl SubQueryPlan {
-    /// Resolves `subquery` (a path in `query`) against the graph.
+    /// Resolves `subquery` (a path in `query`) against the graph, computing
+    /// similarity rows through a throwaway index. Prefer
+    /// [`SubQueryPlan::build_with_index`] when an engine-lifetime
+    /// [`SimilarityIndex`] exists — rows are then shared across queries.
     pub fn build(
         graph: &KnowledgeGraph,
         space: &PredicateSpace,
@@ -94,19 +111,29 @@ impl SubQueryPlan {
         n_hat: usize,
         tau: f64,
     ) -> Self {
+        let index = SimilarityIndex::with_transform(space, weight_transform);
+        Self::build_with_index(graph, &index, matcher, query, subquery, n_hat, tau)
+    }
+
+    /// Resolves `subquery` against the graph, borrowing similarity rows
+    /// from `index` (which must carry the [`weight_transform`] so rows live
+    /// in the clamped weight domain).
+    pub fn build_with_index(
+        graph: &KnowledgeGraph,
+        index: &SimilarityIndex<'_>,
+        matcher: &NodeMatcher<'_>,
+        query: &QueryGraph,
+        subquery: &SubQuery,
+        n_hat: usize,
+        tau: f64,
+    ) -> Self {
         let segments = subquery.edges.len();
-        let mut seg_weights = Vec::with_capacity(segments);
-        for &eid in &subquery.edges {
-            let label = &query.edge(eid).predicate;
-            seg_weights.push(weight_row(graph, space, matcher, label));
-        }
-        // Suffix max across segments for m(u).
-        let mut remaining_max = seg_weights.clone();
-        for s in (0..segments.saturating_sub(1)).rev() {
-            for p in 0..remaining_max[s].len() {
-                remaining_max[s][p] = remaining_max[s][p].max(remaining_max[s + 1][p]);
-            }
-        }
+        let keys: Vec<RowKey> = subquery
+            .edges
+            .iter()
+            .map(|&eid| row_key(graph, matcher, &query.edge(eid).predicate))
+            .collect();
+        let (seg_weights, remaining_max) = index.plan_rows(&keys);
 
         let source_node = query.node(subquery.source());
         let sources = match source_node.name() {
@@ -168,25 +195,23 @@ impl SubQueryPlan {
     /// constraint admits no node).
     pub fn is_trivially_empty(&self) -> bool {
         self.sources.is_empty()
-            || self.constraints.iter().any(NodeConstraint::is_unsatisfiable)
+            || self
+                .constraints
+                .iter()
+                .any(NodeConstraint::is_unsatisfiable)
             || self.segments() == 0
     }
 }
 
-/// The Eq. 5 similarity row of a query predicate label against every KG
-/// predicate, clamped into the weight domain.
+/// Resolves a query predicate label to its similarity-row cache key
+/// (Eq. 5 row of the resolved predicate).
 ///
 /// A query predicate absent from the graph's vocabulary is first pushed
 /// through the transformation library (synonym/abbreviation → canonical
 /// label); if still unresolved, the row degenerates to [`MIN_WEIGHT`] — no
 /// semantic guidance is available, and τ-pruning will reject such paths
 /// (documented substitution for out-of-vocabulary predicates).
-fn weight_row(
-    graph: &KnowledgeGraph,
-    space: &PredicateSpace,
-    matcher: &NodeMatcher<'_>,
-    label: &str,
-) -> Vec<f64> {
+fn row_key(graph: &KnowledgeGraph, matcher: &NodeMatcher<'_>, label: &str) -> RowKey {
     let resolve = |l: &str| graph.predicate_id(l);
     let qp = resolve(label).or_else(|| {
         matcher
@@ -196,12 +221,10 @@ fn weight_row(
             .find_map(|(canonical, _)| resolve(canonical))
     });
     match qp {
-        Some(qp) => space
-            .sim_row(qp)
-            .into_iter()
-            .map(|s| clamp_weight(s as f64))
-            .collect(),
-        None => vec![MIN_WEIGHT; graph.predicate_count()],
+        Some(qp) => RowKey::Predicate(qp),
+        // Sized by the *graph* vocabulary: the search indexes rows with
+        // graph predicate ids, which may outnumber the space's predicates.
+        None => RowKey::constant(MIN_WEIGHT, graph.predicate_count()),
     }
 }
 

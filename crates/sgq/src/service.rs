@@ -1,0 +1,272 @@
+//! Multi-client query service over one shared engine.
+//!
+//! [`QueryService`] is the layer a server embeds: many client threads issue
+//! `&self` queries against one [`SgqEngine`] — sharing its similarity-row
+//! cache and its persistent worker pool — while the service aggregates
+//! fleet-level statistics (query counts, error counts, certification and
+//! time-bound-hit rates, cumulative latency) with lock-free atomics.
+//!
+//! Prepared queries pass straight through: a hot query can be
+//! [`QueryService::prepare`]d once and [`QueryService::execute`]d per
+//! request, skipping decomposition and plan building on the request path.
+
+use crate::answer::QueryResult;
+use crate::config::SgqConfig;
+use crate::engine::{PreparedQuery, SgqEngine};
+use crate::error::Result;
+use crate::query::QueryGraph;
+use crate::timebound::TimeBoundConfig;
+use embedding::{PredicateSpace, SimilarityIndexStats};
+use kgraph::KnowledgeGraph;
+use lexicon::TransformationLibrary;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Aggregated service counters (a consistent-enough snapshot; counters are
+/// updated independently, so ratios across fields can be off by in-flight
+/// queries).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Successfully answered queries (exact + time-bounded).
+    pub queries: u64,
+    /// Queries that returned an error.
+    pub errors: u64,
+    /// Of the successful queries, how many ran the time-bounded path.
+    pub time_bounded: u64,
+    /// Successful queries whose TA assembly certified the top-k.
+    pub certified: u64,
+    /// Time-bounded queries stopped by the bound (rather than exhaustion).
+    pub time_bound_hits: u64,
+    /// Summed wall-clock microseconds across successful queries.
+    pub total_elapsed_us: u64,
+    /// Summed final matches returned across successful queries.
+    pub total_matches: u64,
+}
+
+impl ServiceStats {
+    /// Mean per-query latency in microseconds over successful queries.
+    pub fn mean_latency_us(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.total_elapsed_us as f64 / self.queries as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    queries: AtomicU64,
+    errors: AtomicU64,
+    time_bounded: AtomicU64,
+    certified: AtomicU64,
+    time_bound_hits: AtomicU64,
+    total_elapsed_us: AtomicU64,
+    total_matches: AtomicU64,
+}
+
+/// A query front-end serving many concurrent clients over one engine.
+pub struct QueryService<'a> {
+    engine: SgqEngine<'a>,
+    counters: Counters,
+}
+
+impl<'a> QueryService<'a> {
+    /// Wraps an existing engine.
+    pub fn new(engine: SgqEngine<'a>) -> Self {
+        Self {
+            engine,
+            counters: Counters::default(),
+        }
+    }
+
+    /// Builds the engine and the service in one step.
+    pub fn build(
+        graph: &'a KnowledgeGraph,
+        space: &'a PredicateSpace,
+        library: &'a TransformationLibrary,
+        config: SgqConfig,
+    ) -> Self {
+        Self::new(SgqEngine::new(graph, space, library, config))
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &SgqEngine<'a> {
+        &self.engine
+    }
+
+    /// Compiles a query for repeated execution.
+    pub fn prepare(&self, query: &QueryGraph) -> Result<PreparedQuery> {
+        self.engine.prepare(query)
+    }
+
+    /// Exact top-k query (SGQ).
+    pub fn query(&self, query: &QueryGraph) -> Result<QueryResult> {
+        self.record(self.engine.query(query), false)
+    }
+
+    /// Executes a prepared query (exact).
+    pub fn execute(&self, prepared: &PreparedQuery) -> Result<QueryResult> {
+        self.record(self.engine.execute(prepared), false)
+    }
+
+    /// Time-bounded approximate query (TBQ).
+    pub fn query_time_bounded(
+        &self,
+        query: &QueryGraph,
+        tb: &TimeBoundConfig,
+    ) -> Result<QueryResult> {
+        self.record(self.engine.query_time_bounded(query, tb), true)
+    }
+
+    /// Executes a prepared query under a time bound.
+    pub fn execute_time_bounded(
+        &self,
+        prepared: &PreparedQuery,
+        tb: &TimeBoundConfig,
+    ) -> Result<QueryResult> {
+        self.record(self.engine.execute_time_bounded(prepared, tb), true)
+    }
+
+    fn record(&self, result: Result<QueryResult>, time_bounded: bool) -> Result<QueryResult> {
+        match &result {
+            Ok(r) => {
+                let c = &self.counters;
+                c.queries.fetch_add(1, Ordering::Relaxed);
+                if time_bounded {
+                    c.time_bounded.fetch_add(1, Ordering::Relaxed);
+                }
+                if r.stats.ta_certified {
+                    c.certified.fetch_add(1, Ordering::Relaxed);
+                }
+                if r.stats.time_bound_hit {
+                    c.time_bound_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                c.total_elapsed_us
+                    .fetch_add(r.stats.elapsed_us, Ordering::Relaxed);
+                c.total_matches
+                    .fetch_add(r.matches.len() as u64, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        result
+    }
+
+    /// Snapshot of the aggregated counters.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.counters;
+        ServiceStats {
+            queries: c.queries.load(Ordering::Relaxed),
+            errors: c.errors.load(Ordering::Relaxed),
+            time_bounded: c.time_bounded.load(Ordering::Relaxed),
+            certified: c.certified.load(Ordering::Relaxed),
+            time_bound_hits: c.time_bound_hits.load(Ordering::Relaxed),
+            total_elapsed_us: c.total_elapsed_us.load(Ordering::Relaxed),
+            total_matches: c.total_matches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Similarity-row cache counters of the shared engine.
+    pub fn similarity_stats(&self) -> SimilarityIndexStats {
+        self.engine.similarity_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::GraphBuilder;
+
+    fn fixture() -> (KnowledgeGraph, PredicateSpace, TransformationLibrary) {
+        let mut b = GraphBuilder::new();
+        let audi = b.add_node("Audi_TT", "Automobile");
+        let bmw = b.add_node("BMW_320", "Automobile");
+        let de = b.add_node("Germany", "Country");
+        b.add_edge(audi, de, "assembly");
+        b.add_edge(bmw, de, "product");
+        let g = b.finish();
+        let (vecs, labels): (Vec<Vec<f32>>, Vec<String>) = g
+            .predicates()
+            .map(|(_, l)| (vec![1.0f32, 0.0], l.to_string()))
+            .unzip();
+        let space = PredicateSpace::from_raw(vecs, labels);
+        (g, space, TransformationLibrary::new())
+    }
+
+    fn product_query() -> QueryGraph {
+        let mut q = QueryGraph::new();
+        let auto = q.add_target("Automobile");
+        let de = q.add_specific("Germany", "Country");
+        q.add_edge(auto, "product", de);
+        q
+    }
+
+    #[test]
+    fn service_counts_queries_and_matches() {
+        let (g, space, lib) = fixture();
+        let service = QueryService::build(
+            &g,
+            &space,
+            &lib,
+            SgqConfig {
+                k: 5,
+                tau: 0.0,
+                ..SgqConfig::default()
+            },
+        );
+        let q = product_query();
+        for _ in 0..3 {
+            let r = service.query(&q).unwrap();
+            assert_eq!(r.matches.len(), 2);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.queries, 3);
+        assert_eq!(stats.errors, 0);
+        assert_eq!(stats.total_matches, 6);
+        assert_eq!(stats.certified, 3);
+        assert!(stats.mean_latency_us() > 0.0);
+    }
+
+    #[test]
+    fn service_counts_errors() {
+        let (g, space, lib) = fixture();
+        let service = QueryService::build(
+            &g,
+            &space,
+            &lib,
+            SgqConfig {
+                k: 0, // invalid
+                ..SgqConfig::default()
+            },
+        );
+        assert!(service.query(&product_query()).is_err());
+        let stats = service.stats();
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.queries, 0);
+    }
+
+    #[test]
+    fn prepared_execution_shares_cached_rows() {
+        let (g, space, lib) = fixture();
+        let service = QueryService::build(
+            &g,
+            &space,
+            &lib,
+            SgqConfig {
+                k: 5,
+                tau: 0.0,
+                ..SgqConfig::default()
+            },
+        );
+        let prepared = service.prepare(&product_query()).unwrap();
+        let fresh = service.query(&product_query()).unwrap();
+        let replay = service.execute(&prepared).unwrap();
+        assert_eq!(replay.matches, fresh.matches);
+        let sim = service.similarity_stats();
+        assert!(
+            sim.row_hits >= 1,
+            "second preparation of the same predicate must hit the row cache: {sim:?}"
+        );
+    }
+}

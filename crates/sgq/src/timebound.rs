@@ -13,12 +13,21 @@
 //! * the per-match assembly cost `t` is measured empirically by a
 //!   *simulated* TA run ([`calibrate_ta_cost`]), as in the paper.
 //!
+//! The searches run as jobs on the engine's persistent
+//! [`WorkerPool`] — no threads are spawned per query. Algorithm 3's
+//! estimator is decentralised: instead of a dedicated controller thread,
+//! every search job re-evaluates `T̂` against the shared discovered-match
+//! counter every few steps and raises the shared stop flag when the alert
+//! threshold is crossed; the shared wall clock and shared counter make this
+//! exactly the paper's synchronised check, minus one idle thread.
+//!
 //! Lemmas 6–7 / Theorem 4 carry over: the collected `M̂ᵢ` grow monotonically
 //! with `T`, and with a generous bound the result converges to the exact
 //! SGQ answer (verified by integration tests).
 
 use crate::answer::SubMatch;
 use crate::astar::{AStarSearch, SearchStats};
+use crate::runtime::WorkerPool;
 use crate::semgraph::SubQueryPlan;
 use crate::ta;
 use kgraph::{KnowledgeGraph, NodeId};
@@ -108,106 +117,108 @@ pub(crate) struct AnytimeOutcome {
     pub bound_hit: bool,
 }
 
-/// Runs Algorithm 2 on every plan concurrently under Algorithm 3's
-/// synchronised time estimation.
+/// Runs Algorithm 2 on every plan concurrently (as pooled jobs) under
+/// Algorithm 3's synchronised time estimation.
 pub(crate) fn run_anytime(
     graph: &KnowledgeGraph,
     plans: &[SubQueryPlan],
     max_matches_per_subquery: usize,
     tb: &TimeBoundConfig,
+    pool: &WorkerPool,
 ) -> AnytimeOutcome {
     let n = plans.len();
     let stop = AtomicBool::new(false);
-    let discovered_counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
-    let done = AtomicUsize::new(0);
+    let bound_hit_flag = AtomicBool::new(false);
+    // Σ|M̂ᵢ| across all sub-queries, updated incrementally by every job.
+    let total_collected = AtomicUsize::new(0);
     let start = Instant::now();
     let deadline = tb.bound.mul_f64(tb.alert_ratio.clamp(0.0, 1.0));
+    let per_match = tb.per_match_ta_cost;
     let cap = if max_matches_per_subquery == 0 {
         usize::MAX
     } else {
         max_matches_per_subquery
     };
 
-    let mut streams = Vec::with_capacity(n);
-    let mut exhausted = Vec::with_capacity(n);
-    let mut per_subquery_us = Vec::with_capacity(n);
-    let mut stats = SearchStats::default();
-    let mut bound_hit = false;
+    type JobOutput = (Vec<SubMatch>, bool, Duration, SearchStats);
+    let mut slots: Vec<Option<JobOutput>> = (0..n).map(|_| None).collect();
 
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(n);
-        for (i, plan) in plans.iter().enumerate() {
+    pool.scope(|scope| {
+        for (plan, slot) in plans.iter().zip(slots.iter_mut()) {
             let stop = &stop;
-            let done = &done;
-            let counts = &discovered_counts;
-            handles.push(scope.spawn(move || {
+            let bound_hit_flag = &bound_hit_flag;
+            let total_collected = &total_collected;
+            scope.spawn(move || {
                 let t0 = Instant::now();
                 let mut search = AStarSearch::new_anytime(graph, plan);
                 let mut drained = false;
                 let mut tick = 0u32;
+                let mut reported = 0usize;
                 loop {
                     if search.discovered_len() >= cap {
                         break;
+                    }
+                    // Algorithm 3, decentralised: every 16 next-hop
+                    // selections (and once before the first), publish the
+                    // local |M̂ᵢ| delta and test T̂ = elapsed + Σ|M̂ᵢ|·t
+                    // against the alert threshold.
+                    if tick.is_multiple_of(16) {
+                        let found = search.discovered_len();
+                        if found > reported {
+                            total_collected.fetch_add(found - reported, Ordering::Relaxed);
+                            reported = found;
+                        }
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let collected = total_collected.load(Ordering::Relaxed);
+                        let t_hat = start.elapsed() + per_match.saturating_mul(collected as u32);
+                        if t_hat >= deadline {
+                            stop.store(true, Ordering::Relaxed);
+                            bound_hit_flag.store(true, Ordering::Relaxed);
+                            break;
+                        }
                     }
                     if !search.step() {
                         drained = true;
                         break;
                     }
                     tick = tick.wrapping_add(1);
-                    if tick.is_multiple_of(16) {
-                        counts[i].store(search.discovered_len(), Ordering::Relaxed);
-                        if stop.load(Ordering::Relaxed) {
-                            break;
-                        }
-                    }
                 }
-                counts[i].store(search.discovered_len(), Ordering::Relaxed);
-                done.fetch_add(1, Ordering::Relaxed);
+                let found = search.discovered_len();
+                if found > reported {
+                    total_collected.fetch_add(found - reported, Ordering::Relaxed);
+                }
                 let mut matches = search.take_discovered();
                 // M̂ᵢ is kept as a max-heap in the paper; sorted order is
                 // what the TA sorted access needs.
                 matches.sort_by(|a, b| b.pss.total_cmp(&a.pss));
-                (matches, drained, t0.elapsed(), search.stats)
-            }));
-        }
-
-        // Algorithm 3: the synchronised execution-time check.
-        loop {
-            if done.load(Ordering::Relaxed) == n {
-                break;
-            }
-            let elapsed = start.elapsed();
-            let collected: usize = discovered_counts
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .sum();
-            let t_ta = tb.per_match_ta_cost.saturating_mul(collected as u32);
-            let t_hat = elapsed + t_ta; // max{T_A*} ≈ shared wall clock
-            if t_hat >= deadline {
-                stop.store(true, Ordering::Relaxed);
-                bound_hit = true;
-                break;
-            }
-            std::thread::sleep(Duration::from_micros(20));
-        }
-
-        for h in handles {
-            let (matches, drained, elapsed, s) = h.join().expect("search thread panicked");
-            streams.push(matches);
-            exhausted.push(drained);
-            per_subquery_us.push(elapsed.as_micros() as u64);
-            stats.popped += s.popped;
-            stats.pushed += s.pushed;
-            stats.tau_pruned += s.tau_pruned;
+                *slot = Some((matches, drained, t0.elapsed(), search.stats));
+            });
         }
     });
+
+    let mut streams = Vec::with_capacity(n);
+    let mut exhausted = Vec::with_capacity(n);
+    let mut per_subquery_us = Vec::with_capacity(n);
+    let mut stats = SearchStats::default();
+    for slot in slots {
+        let (matches, drained, elapsed, s) =
+            slot.expect("pooled search job did not report its outcome");
+        streams.push(matches);
+        exhausted.push(drained);
+        per_subquery_us.push(elapsed.as_micros() as u64);
+        stats.popped += s.popped;
+        stats.pushed += s.pushed;
+        stats.tau_pruned += s.tau_pruned;
+    }
 
     AnytimeOutcome {
         streams,
         exhausted,
         per_subquery_us,
         stats,
-        bound_hit,
+        bound_hit: bound_hit_flag.load(Ordering::Relaxed),
     }
 }
 

@@ -57,7 +57,7 @@ fn main() {
     }
     println!("\nanswer schemas found (count · schema):");
     let mut rows: Vec<_> = schemas.into_iter().collect();
-    rows.sort_by(|a, b| b.1.cmp(&a.1));
+    rows.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
     for (schema, n) in rows {
         println!("  {n:>4} · {schema}");
     }

@@ -21,7 +21,11 @@ fn main() {
 
     // ------------------------------------------------- chain (Fig. 3a)
     let chain = chain_query(&ds, 0);
-    println!("chain query {} (|truth| = {}):", chain.id, chain.truth.len());
+    println!(
+        "chain query {} (|truth| = {}):",
+        chain.id,
+        chain.truth.len()
+    );
     let engine = SgqEngine::new(
         &ds.graph,
         &space,
@@ -48,7 +52,11 @@ fn main() {
 
     // ------------------------------------------- complex (Fig. 16)
     let (soccer, v1, v2) = soccer_query(&ds, 5);
-    println!("complex query {} (|truth| = {}):", soccer.id, soccer.truth.len());
+    println!(
+        "complex query {} (|truth| = {}):",
+        soccer.id,
+        soccer.truth.len()
+    );
     for (label, pivot) in [("pivot v1 (Person)", v1), ("pivot v2 (SoccerClub)", v2)] {
         let engine = SgqEngine::new(
             &ds.graph,

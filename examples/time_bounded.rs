@@ -34,8 +34,14 @@ fn main() {
     let exact = engine.query(&q.graph).expect("valid query");
     let exact_ms = t0.elapsed().as_secs_f64() * 1e3;
     let exact_answers = exact.answer_nodes();
-    println!("exact SGQ: {} answers in {exact_ms:.2} ms", exact_answers.len());
-    println!("{:<12} {:>6} {:>6} {:>9} {:>10} {:>10}", "bound", "P", "R", "Jaccard", "answers", "SRT ms");
+    println!(
+        "exact SGQ: {} answers in {exact_ms:.2} ms",
+        exact_answers.len()
+    );
+    println!(
+        "{:<12} {:>6} {:>6} {:>9} {:>10} {:>10}",
+        "bound", "P", "R", "Jaccard", "answers", "SRT ms"
+    );
 
     for fraction in [0.05, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5] {
         let bound = Duration::from_secs_f64((exact_ms * fraction / 1e3).max(1e-4));
@@ -52,5 +58,7 @@ fn main() {
             answers.len(),
         );
     }
-    println!("\nwith a generous bound the TBQ answer converges to the exact SGQ answer (Theorem 4).");
+    println!(
+        "\nwith a generous bound the TBQ answer converges to the exact SGQ answer (Theorem 4)."
+    );
 }

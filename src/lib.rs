@@ -63,7 +63,8 @@ pub mod prelude {
     pub use kgraph::{GraphBuilder, GraphStats, KnowledgeGraph, NodeId};
     pub use lexicon::{NodeMatcher, TransformationLibrary};
     pub use sgq::{
-        FinalMatch, PivotStrategy, QueryGraph, QueryResult, SgqConfig, SgqEngine, TimeBoundConfig,
+        FinalMatch, PivotStrategy, PreparedQuery, QueryGraph, QueryResult, QueryService,
+        ServiceStats, SgqConfig, SgqEngine, TimeBoundConfig,
     };
 }
 

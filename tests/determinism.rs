@@ -43,7 +43,10 @@ fn multi_subquery_joins_are_deterministic() {
             },
         );
         let r = engine.query(&q.graph).unwrap();
-        (r.answer_nodes(), r.matches.iter().map(|m| m.score).collect::<Vec<_>>())
+        (
+            r.answer_nodes(),
+            r.matches.iter().map(|m| m.score).collect::<Vec<_>>(),
+        )
     };
     let (a1, s1) = run();
     let (a2, s2) = run();

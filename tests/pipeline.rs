@@ -4,11 +4,7 @@ use semkg::datagen::metrics::{f1_score, precision_recall};
 use semkg::datagen::workload::{produced_workload, q117_variants};
 use semkg::prelude::*;
 
-fn engine<'a>(
-    ds: &'a BenchDataset,
-    space: &'a PredicateSpace,
-    k: usize,
-) -> SgqEngine<'a> {
+fn engine<'a>(ds: &'a BenchDataset, space: &'a PredicateSpace, k: usize) -> SgqEngine<'a> {
     SgqEngine::new(
         &ds.graph,
         space,

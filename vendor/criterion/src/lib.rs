@@ -1,0 +1,171 @@
+//! Minimal offline shim of `criterion`.
+//!
+//! Provides the macro/API surface the workspace's benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion::benchmark_group`],
+//! `sample_size`, `bench_function`, `finish`, `Bencher::iter` — backed by a
+//! plain wall-clock sampler: per benchmark it warms up, picks an iteration
+//! count targeting a fixed sample duration, takes `sample_size` samples and
+//! prints min/median/mean nanoseconds per iteration. No statistics beyond
+//! that, no plots, no baselines; enough to compare hot paths offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock spent per sample measurement.
+const TARGET_SAMPLE: Duration = Duration::from_millis(25);
+/// Hard per-benchmark budget so `cargo bench` stays bounded.
+const BENCH_BUDGET: Duration = Duration::from_secs(3);
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single benchmark outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        run_bench(&id.into(), 10, &mut f);
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Measures one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let id = format!("{}/{}", self.name, id.into());
+        run_bench(&id, self.sample_size, &mut f);
+    }
+
+    /// Ends the group (upstream writes reports here; the shim prints as it
+    /// goes, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// routine under test.
+pub struct Bencher {
+    /// Nanoseconds per iteration of each collected sample.
+    samples_ns: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `routine`, collecting `sample_size` timed samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: how many iterations fit the target sample?
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / iters as f64);
+            if budget_start.elapsed() > BENCH_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, f: &mut F) {
+    let mut bencher = Bencher {
+        samples_ns: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut bencher);
+    if bencher.samples_ns.is_empty() {
+        println!("  {id:<48} (no samples — closure never called iter)");
+        return;
+    }
+    let mut s = bencher.samples_ns.clone();
+    s.sort_by(|a, b| a.total_cmp(b));
+    let min = s[0];
+    let median = s[s.len() / 2];
+    let mean = s.iter().sum::<f64>() / s.len() as f64;
+    println!(
+        "  {id:<48} min {:>12} | median {:>12} | mean {:>12}  ({} samples)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+        s.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a runner (shim of upstream's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut ran = 0u64;
+        group.bench_function("noop", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        group.finish();
+        assert!(ran > 0);
+    }
+}

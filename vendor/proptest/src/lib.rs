@@ -1,0 +1,373 @@
+//! Minimal offline shim of `proptest`.
+//!
+//! Runs each property as a fixed number of seeded random cases (no
+//! shrinking — a failing case panics with its generated inputs, which the
+//! deterministic seeding makes reproducible). Supports the strategy forms
+//! this workspace uses:
+//!
+//! * numeric `Range` / `RangeInclusive` strategies (`0usize..24`,
+//!   `0.01f64..=1.0`),
+//! * tuples of strategies,
+//! * `proptest::collection::vec(elem, len)` with fixed or ranged lengths,
+//! * regex-lite string literals of the `[class]{m,n}` shape
+//!   (`"[A-Za-z0-9_]{1,12}"`),
+//! * `proptest!` with an optional `#![proptest_config(...)]` header,
+//!   `prop_assert!`, `prop_assert_eq!`, early `return Ok(())`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Failure raised by `prop_assert!`-style macros.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Runner configuration (subset: number of cases).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Deterministic per-test, per-case RNG (FNV-1a over the test name, mixed
+/// with the case index).
+pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::seed_from_u64(h ^ (u64::from(case)).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// A generator of random values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i32, i64, isize, f32, f64);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// Regex-lite string strategy: a sequence of `[class]{m,n}` / `[class]{m}` /
+/// literal-char segments. Covers the patterns used in this workspace.
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = self.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            if chars[i] == '[' {
+                // Character class.
+                let mut class = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        for c in lo..=hi {
+                            class.push(c);
+                        }
+                        i += 3;
+                    } else {
+                        class.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated character class in {self:?}");
+                i += 1; // skip ']'
+                        // Repetition count.
+                let (min, max) = if i < chars.len() && chars[i] == '{' {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .expect("unterminated repetition")
+                        + i;
+                    let spec: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match spec.split_once(',') {
+                        Some((a, b)) => (
+                            a.trim().parse().expect("bad repetition min"),
+                            b.trim().parse().expect("bad repetition max"),
+                        ),
+                        None => {
+                            let n: usize = spec.trim().parse().expect("bad repetition");
+                            (n, n)
+                        }
+                    }
+                } else {
+                    (1usize, 1usize)
+                };
+                assert!(!class.is_empty(), "empty character class in {self:?}");
+                let n = if min == max {
+                    min
+                } else {
+                    rng.random_range(min..=max)
+                };
+                for _ in 0..n {
+                    out.push(class[rng.random_range(0..class.len())]);
+                }
+            } else {
+                out.push(chars[i]);
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: a fixed length or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            Self {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing vectors of `element` values.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vector strategy with the given element strategy and length spec.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = if self.size.min == self.size.max {
+                self.size.min
+            } else {
+                rng.random_range(self.size.min..=self.size.max)
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Declares seeded property tests (shim of the `proptest!` macro).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg); $($rest)*);
+    };
+    (@run ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::case_rng(stringify!($name), __case);
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut __rng);)+
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(__e) = __result {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name), __case, __config.cases, __e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Soft assertion usable inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Soft equality assertion usable inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __a = &$a;
+        let __b = &$b;
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                __a, __b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let __a = &$a;
+        let __b = &$b;
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                __a, __b, format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// One-stop imports mirroring upstream's prelude.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestCaseError, TestRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_strategy_respects_pattern() {
+        let mut rng = crate::case_rng("string_strategy", 0);
+        for _ in 0..200 {
+            let s = Strategy::generate("[a-c]{2,5}", &mut rng);
+            assert!((2..=5).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        let mut a = crate::case_rng("t", 3);
+        let mut b = crate::case_rng("t", 3);
+        use rand::Rng;
+        assert_eq!(a.random_range(0u64..1000), b.random_range(0u64..1000));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn vec_lengths_in_range(v in collection::vec(0u32..10, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()), "len {}", v.len());
+            for x in &v {
+                prop_assert!(*x < 10);
+            }
+        }
+
+        #[test]
+        fn tuples_and_ranges(pair in (0usize..7, 1.0f64..2.0), k in 1usize..4) {
+            prop_assert!(pair.0 < 7);
+            prop_assert!((1.0..2.0).contains(&pair.1));
+            prop_assert_eq!(k.min(3), k);
+            if k == 2 {
+                return Ok(());
+            }
+            prop_assert!(k != 2);
+        }
+    }
+}

@@ -1,0 +1,514 @@
+//! Minimal offline shim of `serde`.
+//!
+//! Upstream serde abstracts over data formats with generic `Serializer` /
+//! `Deserializer` traits; the only format this workspace uses is JSON via
+//! `serde_json`, so this shim collapses the data model to one intermediate
+//! [`Value`] tree: `Serialize` renders into a `Value`, `Deserialize` reads
+//! back out of one, and `serde_json` (the sibling shim) converts `Value`
+//! to/from JSON text. The derive macros (`serde_derive`) generate the same
+//! external representation upstream serde would: structs as objects, unit
+//! enum variants as strings, data-carrying variants as single-key objects,
+//! with `#[serde(transparent)]`, `#[serde(skip)]` and `#[serde(default)]`
+//! honoured.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasher, Hash};
+
+/// The self-describing intermediate tree (mirrors the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Signed integer (used for negative numbers).
+    Int(i64),
+    /// Unsigned integer (non-negative numbers).
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow as an object field list.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object value.
+    pub fn get_field(&self, name: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|fields| fields.iter().find(|(k, _)| k == name))
+            .map(|(_, v)| v)
+    }
+
+    /// A short description of the value's kind for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization failure.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    /// Builds an error for an unexpected value kind.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError(format!("expected {what}, got {}", got.kind()))
+    }
+}
+
+/// Render `self` into the intermediate [`Value`] tree.
+pub trait Serialize {
+    /// Produces the value-tree representation.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from the intermediate [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses the value-tree representation.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------- primitives
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = match *v {
+                    Value::UInt(u) => u,
+                    Value::Int(i) if i >= 0 => i as u64,
+                    Value::Float(f) if f >= 0.0 && f.fract() == 0.0 => f as u64,
+                    _ => return Err(DeError::expected("unsigned integer", v)),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError(format!("integer {raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 { Value::UInt(i as u64) } else { Value::Int(i) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw: i64 = match *v {
+                    Value::Int(i) => i,
+                    Value::UInt(u) => i64::try_from(u)
+                        .map_err(|_| DeError(format!("integer {u} out of range for i64")))?,
+                    Value::Float(f) if f.fract() == 0.0 => f as i64,
+                    _ => return Err(DeError::expected("integer", v)),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError(format!("integer {raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::Float(f) => Ok(f),
+            Value::Int(i) => Ok(i as f64),
+            Value::UInt(u) => Ok(u as f64),
+            _ => Err(DeError::expected("number", v)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        // Exact: every f32 is representable as an f64, and casting the
+        // parsed f64 back rounds to the identical f32.
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Upstream serde ties borrowed strings to the deserializer's lifetime;
+    /// the value-model shim has no input to borrow from, so a deserialized
+    /// `&'static str` is leaked. Only derives with static-string fields ever
+    /// reach this (one Table II metadata struct), and only if deserialized.
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        String::from_value(v).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl Serialize for Box<str> {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for Box<str> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        String::from_value(v).map(String::into_boxed_str)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = String::from_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError(format!("expected single-char string, got {s:?}"))),
+        }
+    }
+}
+
+// --------------------------------------------------------------- containers
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (*self).to_value()
+    }
+}
+
+impl<T: Serialize, U: Serialize> Serialize for (T, U) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<T: Deserialize, U: Deserialize> Deserialize for (T, U) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v.as_array() {
+            Some([a, b]) => Ok((T::from_value(a)?, U::from_value(b)?)),
+            _ => Err(DeError::expected("2-element array", v)),
+        }
+    }
+}
+
+impl<T: Serialize, U: Serialize, W: Serialize> Serialize for (T, U, W) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<T: Deserialize, U: Deserialize, W: Deserialize> Deserialize for (T, U, W) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v.as_array() {
+            Some([a, b, c]) => Ok((T::from_value(a)?, U::from_value(b)?, W::from_value(c)?)),
+            _ => Err(DeError::expected("3-element array", v)),
+        }
+    }
+}
+
+/// Map keys must render to/from plain strings (JSON object keys).
+pub trait MapKey: Sized {
+    /// Key → string.
+    fn to_key(&self) -> String;
+    /// String → key.
+    fn from_key(s: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, DeError> {
+        Ok(s.to_string())
+    }
+}
+
+impl MapKey for Box<str> {
+    fn to_key(&self) -> String {
+        self.to_string()
+    }
+    fn from_key(s: &str) -> Result<Self, DeError> {
+        Ok(s.into())
+    }
+}
+
+macro_rules! int_map_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String { self.to_string() }
+            fn from_key(s: &str) -> Result<Self, DeError> {
+                s.parse().map_err(|_| DeError(format!("invalid integer map key {s:?}")))
+            }
+        }
+    )*};
+}
+int_map_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K, V, S> Serialize for HashMap<K, V, S>
+where
+    K: MapKey,
+    V: Serialize,
+    S: BuildHasher,
+{
+    fn to_value(&self) -> Value {
+        // Sort keys so output is deterministic regardless of hasher state.
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.to_value()))
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: MapKey + Eq + Hash,
+    V: Deserialize,
+    S: BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", v))?;
+        let mut map = HashMap::with_capacity_and_hasher(fields.len(), S::default());
+        for (k, val) in fields {
+            map.insert(K::from_key(k)?, V::from_value(val)?);
+        }
+        Ok(map)
+    }
+}
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", v))?;
+        fields
+            .iter()
+            .map(|(k, val)| Ok((K::from_key(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        // Upstream serde's representation: {"secs": u64, "nanos": u32}.
+        Value::Object(vec![
+            ("secs".to_string(), Value::UInt(self.as_secs())),
+            (
+                "nanos".to_string(),
+                Value::UInt(u64::from(self.subsec_nanos())),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let secs = u64::from_value(
+            v.get_field("secs")
+                .ok_or_else(|| DeError("duration missing `secs`".into()))?,
+        )?;
+        let nanos = u32::from_value(
+            v.get_field("nanos")
+                .ok_or_else(|| DeError("duration missing `nanos`".into()))?,
+        )?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(f32::from_value(&0.1f32.to_value()).unwrap(), 0.1f32);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1u32, "a".to_string()), (2, "b".to_string())];
+        let back: Vec<(u32, String)> = Deserialize::from_value(&v.to_value()).unwrap();
+        assert_eq!(back, v);
+        let none: Option<u32> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        let opt: Option<u32> = Deserialize::from_value(&Value::Null).unwrap();
+        assert_eq!(opt, None);
+    }
+
+    #[test]
+    fn duration_uses_serde_repr() {
+        let d = std::time::Duration::new(3, 250);
+        let v = d.to_value();
+        assert_eq!(v.get_field("secs"), Some(&Value::UInt(3)));
+        assert_eq!(std::time::Duration::from_value(&v).unwrap(), d);
+    }
+
+    #[test]
+    fn kind_errors_are_informative() {
+        let err = u32::from_value(&Value::Str("x".into())).unwrap_err();
+        assert!(err.to_string().contains("expected unsigned integer"));
+    }
+}

@@ -1,0 +1,533 @@
+//! Minimal offline shim of `serde_derive`.
+//!
+//! Generates impls of the sibling `serde` shim's value-model traits
+//! (`Serialize::to_value` / `Deserialize::from_value`) for the shapes this
+//! workspace actually derives:
+//!
+//! * structs with named fields (honouring `#[serde(skip)]` and
+//!   `#[serde(default)]`),
+//! * tuple structs (`#[serde(transparent)]` newtypes delegate to the inner
+//!   field; otherwise an array),
+//! * enums with unit, tuple and struct variants in serde's external-tag
+//!   representation (`"Variant"` / `{"Variant": ...}`).
+//!
+//! Written directly against `proc_macro` (no `syn`/`quote` available
+//! offline): a small token-walker extracts names, field lists and the serde
+//! attributes; codegen is string assembly re-parsed into a `TokenStream`.
+//! Generic types are rejected with a compile error — none of the workspace's
+//! serialized types are generic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Input {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+        transparent: bool,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Collects `serde(...)` idents from one `#[...]` attribute group, if it is
+/// a serde attribute; returns the idents seen (e.g. `skip`, `transparent`).
+fn serde_attr_idents(group: &proc_macro::Group) -> Vec<String> {
+    let mut tokens = group.stream().into_iter();
+    match (tokens.next(), tokens.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .filter_map(|t| match t {
+                    TokenTree::Ident(i) => Some(i.to_string()),
+                    _ => None,
+                })
+                .collect()
+        }
+        _ => ::std::vec::Vec::new(),
+    }
+}
+
+/// Consumes leading attributes from `iter`, returning all serde idents seen.
+fn take_attrs(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> Vec<String> {
+    let mut idents = ::std::vec::Vec::new();
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        idents.extend(serde_attr_idents(&g));
+                    }
+                    _ => panic!("serde shim derive: malformed attribute"),
+                }
+            }
+            _ => return idents,
+        }
+    }
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn skip_visibility(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(i)) = tokens.peek() {
+        if i.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+/// Parses `name: Type, …` named-field bodies; tracks angle-bracket depth so
+/// commas inside `Vec<(A, B)>`-style types do not split fields.
+fn parse_named_fields(body: proc_macro::Group) -> Vec<Field> {
+    let mut fields = ::std::vec::Vec::new();
+    let mut tokens = body.stream().into_iter().peekable();
+    loop {
+        if tokens.peek().is_none() {
+            return fields;
+        }
+        let serde_idents = take_attrs(&mut tokens);
+        if tokens.peek().is_none() {
+            return fields;
+        }
+        skip_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde shim derive: expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after field name, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-depth 0.
+        let mut depth = 0i32;
+        for t in tokens.by_ref() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field {
+            name,
+            attrs: FieldAttrs {
+                skip: serde_idents.iter().any(|s| s == "skip"),
+                default: serde_idents.iter().any(|s| s == "default"),
+            },
+        });
+    }
+}
+
+/// Counts the fields of a tuple-struct/-variant body `(A, B, …)`.
+fn tuple_arity(body: &proc_macro::Group) -> usize {
+    let mut depth = 0i32;
+    let mut arity = 0usize;
+    let mut saw_any = false;
+    for t in body.stream() {
+        saw_any = true;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => arity += 1,
+            _ => {}
+        }
+    }
+    if saw_any {
+        arity + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(body: proc_macro::Group) -> Vec<Variant> {
+    let mut variants = ::std::vec::Vec::new();
+    let mut tokens = body.stream().into_iter().peekable();
+    loop {
+        if tokens.peek().is_none() {
+            return variants;
+        }
+        take_attrs(&mut tokens);
+        if tokens.peek().is_none() {
+            return variants;
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde shim derive: expected variant name, got {other:?}"),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = match tokens.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                VariantShape::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g);
+                tokens.next();
+                VariantShape::Tuple(arity)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip a discriminant (`= expr`) and the trailing comma.
+        let mut depth = 0i32;
+        while let Some(t) = tokens.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    tokens.next();
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    tokens.next();
+                }
+                _ => {
+                    tokens.next();
+                }
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    let type_attrs = take_attrs(&mut tokens);
+    let transparent = type_attrs.iter().any(|s| s == "transparent");
+    skip_visibility(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic type `{name}` is not supported by the offline shim");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::NamedStruct {
+                name,
+                fields: parse_named_fields(g),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Input::TupleStruct {
+                    name,
+                    arity: tuple_arity(&g),
+                    transparent,
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Input::UnitStruct { name },
+            other => panic!("serde shim derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::Enum {
+                name,
+                variants: parse_variants(g),
+            },
+            other => panic!("serde shim derive: unexpected enum body {other:?}"),
+        },
+        kw => panic!("serde shim derive: cannot derive for `{kw}` items"),
+    }
+}
+
+/// Derives `serde::Serialize` (value-model shim).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let code = match &input {
+        Input::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                if f.attrs.skip {
+                    continue;
+                }
+                pushes.push_str(&format!(
+                    "__fields.push((\"{n}\".to_string(), serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                 let mut __fields: ::std::vec::Vec<(::std::string::String, serde::Value)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 serde::Value::Object(__fields)\n\
+                 }}\n}}"
+            )
+        }
+        Input::TupleStruct {
+            name,
+            arity,
+            transparent,
+        } => {
+            let body = if *transparent && *arity == 1 {
+                "serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{ {body} }}\n}}"
+            )
+        }
+        Input::UnitStruct { name } => format!(
+            "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ serde::Value::Null }}\n}}"
+        ),
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => serde::Value::Object(vec![(\"{vn}\".to_string(), {payload})]),\n",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut pushes = String::new();
+                        for f in fields {
+                            if f.attrs.skip {
+                                continue;
+                            }
+                            pushes.push_str(&format!(
+                                "__inner.push((\"{n}\".to_string(), serde::Serialize::to_value({n})));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                             let mut __inner: ::std::vec::Vec<(::std::string::String, serde::Value)> = ::std::vec::Vec::new();\n\
+                             {pushes}\
+                             serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Value::Object(__inner))])\n\
+                             }},\n",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n}}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde shim derive: generated Serialize impl failed to parse")
+}
+
+/// Derives `serde::Deserialize` (value-model shim).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let code = match &input {
+        Input::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                let n = &f.name;
+                if f.attrs.skip {
+                    inits.push_str(&format!("{n}: Default::default(),\n"));
+                } else if f.attrs.default {
+                    inits.push_str(&format!(
+                        "{n}: match __v.get_field(\"{n}\") {{\n\
+                         Some(__x) => serde::Deserialize::from_value(__x)?,\n\
+                         None => Default::default(),\n\
+                         }},\n"
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{n}: serde::Deserialize::from_value(__v.get_field(\"{n}\")\
+                         .ok_or_else(|| serde::DeError(format!(\"missing field `{n}` in {name}\")))?)?,\n"
+                    ));
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &serde::Value) -> ::std::result::Result<Self, serde::DeError> {{\n\
+                 if __v.as_object().is_none() {{\n\
+                 return ::std::result::Result::Err(serde::DeError::expected(\"object for {name}\", __v));\n\
+                 }}\n\
+                 Ok(Self {{\n{inits}}})\n\
+                 }}\n}}"
+            )
+        }
+        Input::TupleStruct {
+            name,
+            arity,
+            transparent,
+        } => {
+            let body = if *transparent && *arity == 1 {
+                format!("::std::result::Result::Ok({name}(serde::Deserialize::from_value(__v)?))")
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "let __items = __v.as_array()\
+                     .ok_or_else(|| serde::DeError::expected(\"array for {name}\", __v))?;\n\
+                     if __items.len() != {arity} {{\n\
+                     return ::std::result::Result::Err(serde::DeError(format!(\"expected {arity} elements for {name}, got {{}}\", __items.len())));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}({items}))",
+                    items = items.join(", ")
+                )
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &serde::Value) -> ::std::result::Result<Self, serde::DeError> {{ {body} }}\n}}"
+            )
+        }
+        Input::UnitStruct { name } => format!(
+            "impl serde::Deserialize for {name} {{\n\
+             fn from_value(_: &serde::Value) -> ::std::result::Result<Self, serde::DeError> {{ ::std::result::Result::Ok({name}) }}\n}}"
+        ),
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"));
+                    }
+                    VariantShape::Tuple(arity) => {
+                        let body = if *arity == 1 {
+                            format!("::std::result::Result::Ok({name}::{vn}(serde::Deserialize::from_value(__payload)?))")
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!("serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "let __items = __payload.as_array()\
+                                 .ok_or_else(|| serde::DeError::expected(\"array payload for {name}::{vn}\", __payload))?;\n\
+                                 if __items.len() != {arity} {{\n\
+                                 return ::std::result::Result::Err(serde::DeError(format!(\"expected {arity} elements for {name}::{vn}, got {{}}\", __items.len())));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({items}))",
+                                items = items.join(", ")
+                            )
+                        };
+                        tagged_arms.push_str(&format!("\"{vn}\" => {{ {body} }},\n"));
+                    }
+                    VariantShape::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            let n = &f.name;
+                            if f.attrs.skip {
+                                inits.push_str(&format!("{n}: Default::default(),\n"));
+                            } else if f.attrs.default {
+                                inits.push_str(&format!(
+                                    "{n}: match __payload.get_field(\"{n}\") {{\n\
+                                     Some(__x) => serde::Deserialize::from_value(__x)?,\n\
+                                     None => Default::default(),\n\
+                                     }},\n"
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{n}: serde::Deserialize::from_value(__payload.get_field(\"{n}\")\
+                                     .ok_or_else(|| serde::DeError(format!(\"missing field `{n}` in {name}::{vn}\")))?)?,\n"
+                                ));
+                            }
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn} {{\n{inits}}}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &serde::Value) -> ::std::result::Result<Self, serde::DeError> {{\n\
+                 match __v {{\n\
+                 serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(serde::DeError(format!(\"unknown {name} variant {{__other:?}}\"))),\n\
+                 }},\n\
+                 serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__fields[0];\n\
+                 match __tag.as_str() {{\n\
+                 {tagged_arms}\
+                 __other => ::std::result::Result::Err(serde::DeError(format!(\"unknown {name} variant {{__other:?}}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(serde::DeError::expected(\"string or single-key object for {name}\", __v)),\n\
+                 }}\n\
+                 }}\n}}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde shim derive: generated Deserialize impl failed to parse")
+}
