@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anytime-3ccbce7a21a6682f.d: tests/anytime.rs
+
+/root/repo/target/debug/deps/anytime-3ccbce7a21a6682f: tests/anytime.rs
+
+tests/anytime.rs:

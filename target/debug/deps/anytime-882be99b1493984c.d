@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/anytime-882be99b1493984c.d: tests/anytime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanytime-882be99b1493984c.rmeta: tests/anytime.rs Cargo.toml
+
+tests/anytime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

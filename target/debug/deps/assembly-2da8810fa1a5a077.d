@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/assembly-2da8810fa1a5a077.d: crates/bench/benches/assembly.rs Cargo.toml
+
+/root/repo/target/debug/deps/libassembly-2da8810fa1a5a077.rmeta: crates/bench/benches/assembly.rs Cargo.toml
+
+crates/bench/benches/assembly.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/astar-763b815766df35e6.d: crates/bench/benches/astar.rs Cargo.toml
+
+/root/repo/target/debug/deps/libastar-763b815766df35e6.rmeta: crates/bench/benches/astar.rs Cargo.toml
+
+crates/bench/benches/astar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_cmp-f466abf508bcb326.d: crates/bench/benches/baseline_cmp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_cmp-f466abf508bcb326.rmeta: crates/bench/benches/baseline_cmp.rs Cargo.toml
+
+crates/bench/benches/baseline_cmp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/baselines-0ddd97f06816fc17.d: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/grab.rs crates/baselines/src/gstore.rs crates/baselines/src/nema.rs crates/baselines/src/phom.rs crates/baselines/src/qga.rs crates/baselines/src/s4.rs crates/baselines/src/slq.rs
+
+/root/repo/target/debug/deps/baselines-0ddd97f06816fc17: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/grab.rs crates/baselines/src/gstore.rs crates/baselines/src/nema.rs crates/baselines/src/phom.rs crates/baselines/src/qga.rs crates/baselines/src/s4.rs crates/baselines/src/slq.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/grab.rs:
+crates/baselines/src/gstore.rs:
+crates/baselines/src/nema.rs:
+crates/baselines/src/phom.rs:
+crates/baselines/src/qga.rs:
+crates/baselines/src/s4.rs:
+crates/baselines/src/slq.rs:

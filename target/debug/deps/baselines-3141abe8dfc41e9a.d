@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/baselines-3141abe8dfc41e9a.d: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/grab.rs crates/baselines/src/gstore.rs crates/baselines/src/nema.rs crates/baselines/src/phom.rs crates/baselines/src/qga.rs crates/baselines/src/s4.rs crates/baselines/src/slq.rs
+
+/root/repo/target/debug/deps/libbaselines-3141abe8dfc41e9a.rlib: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/grab.rs crates/baselines/src/gstore.rs crates/baselines/src/nema.rs crates/baselines/src/phom.rs crates/baselines/src/qga.rs crates/baselines/src/s4.rs crates/baselines/src/slq.rs
+
+/root/repo/target/debug/deps/libbaselines-3141abe8dfc41e9a.rmeta: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/grab.rs crates/baselines/src/gstore.rs crates/baselines/src/nema.rs crates/baselines/src/phom.rs crates/baselines/src/qga.rs crates/baselines/src/s4.rs crates/baselines/src/slq.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/grab.rs:
+crates/baselines/src/gstore.rs:
+crates/baselines/src/nema.rs:
+crates/baselines/src/phom.rs:
+crates/baselines/src/qga.rs:
+crates/baselines/src/s4.rs:
+crates/baselines/src/slq.rs:

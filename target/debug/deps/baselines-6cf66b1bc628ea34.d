@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/baselines-6cf66b1bc628ea34.d: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/grab.rs crates/baselines/src/gstore.rs crates/baselines/src/nema.rs crates/baselines/src/phom.rs crates/baselines/src/qga.rs crates/baselines/src/s4.rs crates/baselines/src/slq.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-6cf66b1bc628ea34.rmeta: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/grab.rs crates/baselines/src/gstore.rs crates/baselines/src/nema.rs crates/baselines/src/phom.rs crates/baselines/src/qga.rs crates/baselines/src/s4.rs crates/baselines/src/slq.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/grab.rs:
+crates/baselines/src/gstore.rs:
+crates/baselines/src/nema.rs:
+crates/baselines/src/phom.rs:
+crates/baselines/src/qga.rs:
+crates/baselines/src/s4.rs:
+crates/baselines/src/slq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines_vs_sgq-07eec8f1ce86c229.d: tests/baselines_vs_sgq.rs
+
+/root/repo/target/debug/deps/baselines_vs_sgq-07eec8f1ce86c229: tests/baselines_vs_sgq.rs
+
+tests/baselines_vs_sgq.rs:

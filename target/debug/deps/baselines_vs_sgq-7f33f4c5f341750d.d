@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines_vs_sgq-7f33f4c5f341750d.d: tests/baselines_vs_sgq.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines_vs_sgq-7f33f4c5f341750d.rmeta: tests/baselines_vs_sgq.rs Cargo.toml
+
+tests/baselines_vs_sgq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

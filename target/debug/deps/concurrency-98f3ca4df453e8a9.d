@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-98f3ca4df453e8a9.d: tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-98f3ca4df453e8a9: tests/concurrency.rs
+
+tests/concurrency.rs:

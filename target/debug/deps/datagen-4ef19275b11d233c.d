@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/datagen-4ef19275b11d233c.d: crates/datagen/src/lib.rs crates/datagen/src/annotate.rs crates/datagen/src/dataset.rs crates/datagen/src/metrics.rs crates/datagen/src/noise.rs crates/datagen/src/schema.rs crates/datagen/src/workload.rs
+
+/root/repo/target/debug/deps/libdatagen-4ef19275b11d233c.rmeta: crates/datagen/src/lib.rs crates/datagen/src/annotate.rs crates/datagen/src/dataset.rs crates/datagen/src/metrics.rs crates/datagen/src/noise.rs crates/datagen/src/schema.rs crates/datagen/src/workload.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/annotate.rs:
+crates/datagen/src/dataset.rs:
+crates/datagen/src/metrics.rs:
+crates/datagen/src/noise.rs:
+crates/datagen/src/schema.rs:
+crates/datagen/src/workload.rs:

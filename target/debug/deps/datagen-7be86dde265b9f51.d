@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/datagen-7be86dde265b9f51.d: crates/datagen/src/lib.rs crates/datagen/src/annotate.rs crates/datagen/src/dataset.rs crates/datagen/src/metrics.rs crates/datagen/src/noise.rs crates/datagen/src/schema.rs crates/datagen/src/workload.rs
+
+/root/repo/target/debug/deps/libdatagen-7be86dde265b9f51.rlib: crates/datagen/src/lib.rs crates/datagen/src/annotate.rs crates/datagen/src/dataset.rs crates/datagen/src/metrics.rs crates/datagen/src/noise.rs crates/datagen/src/schema.rs crates/datagen/src/workload.rs
+
+/root/repo/target/debug/deps/libdatagen-7be86dde265b9f51.rmeta: crates/datagen/src/lib.rs crates/datagen/src/annotate.rs crates/datagen/src/dataset.rs crates/datagen/src/metrics.rs crates/datagen/src/noise.rs crates/datagen/src/schema.rs crates/datagen/src/workload.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/annotate.rs:
+crates/datagen/src/dataset.rs:
+crates/datagen/src/metrics.rs:
+crates/datagen/src/noise.rs:
+crates/datagen/src/schema.rs:
+crates/datagen/src/workload.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/datagen-c8e5358be3fcfa98.d: crates/datagen/src/lib.rs crates/datagen/src/annotate.rs crates/datagen/src/dataset.rs crates/datagen/src/metrics.rs crates/datagen/src/noise.rs crates/datagen/src/schema.rs crates/datagen/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdatagen-c8e5358be3fcfa98.rmeta: crates/datagen/src/lib.rs crates/datagen/src/annotate.rs crates/datagen/src/dataset.rs crates/datagen/src/metrics.rs crates/datagen/src/noise.rs crates/datagen/src/schema.rs crates/datagen/src/workload.rs Cargo.toml
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/annotate.rs:
+crates/datagen/src/dataset.rs:
+crates/datagen/src/metrics.rs:
+crates/datagen/src/noise.rs:
+crates/datagen/src/schema.rs:
+crates/datagen/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/datagen-ca3fad6691027a69.d: crates/datagen/src/lib.rs crates/datagen/src/annotate.rs crates/datagen/src/dataset.rs crates/datagen/src/metrics.rs crates/datagen/src/noise.rs crates/datagen/src/schema.rs crates/datagen/src/workload.rs
+
+/root/repo/target/debug/deps/libdatagen-ca3fad6691027a69.rlib: crates/datagen/src/lib.rs crates/datagen/src/annotate.rs crates/datagen/src/dataset.rs crates/datagen/src/metrics.rs crates/datagen/src/noise.rs crates/datagen/src/schema.rs crates/datagen/src/workload.rs
+
+/root/repo/target/debug/deps/libdatagen-ca3fad6691027a69.rmeta: crates/datagen/src/lib.rs crates/datagen/src/annotate.rs crates/datagen/src/dataset.rs crates/datagen/src/metrics.rs crates/datagen/src/noise.rs crates/datagen/src/schema.rs crates/datagen/src/workload.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/annotate.rs:
+crates/datagen/src/dataset.rs:
+crates/datagen/src/metrics.rs:
+crates/datagen/src/noise.rs:
+crates/datagen/src/schema.rs:
+crates/datagen/src/workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decompose-0208d1f9fe8a156c.d: crates/bench/benches/decompose.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecompose-0208d1f9fe8a156c.rmeta: crates/bench/benches/decompose.rs Cargo.toml
+
+crates/bench/benches/decompose.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

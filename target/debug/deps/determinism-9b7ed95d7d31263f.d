@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-9b7ed95d7d31263f.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-9b7ed95d7d31263f: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/embedding-4fcbe456ae0a33e9.d: crates/embedding/src/lib.rs crates/embedding/src/distmult.rs crates/embedding/src/eval.rs crates/embedding/src/model.rs crates/embedding/src/similarity.rs crates/embedding/src/space.rs crates/embedding/src/trainer.rs crates/embedding/src/transe.rs crates/embedding/src/transh.rs crates/embedding/src/vector.rs
+
+/root/repo/target/debug/deps/libembedding-4fcbe456ae0a33e9.rlib: crates/embedding/src/lib.rs crates/embedding/src/distmult.rs crates/embedding/src/eval.rs crates/embedding/src/model.rs crates/embedding/src/similarity.rs crates/embedding/src/space.rs crates/embedding/src/trainer.rs crates/embedding/src/transe.rs crates/embedding/src/transh.rs crates/embedding/src/vector.rs
+
+/root/repo/target/debug/deps/libembedding-4fcbe456ae0a33e9.rmeta: crates/embedding/src/lib.rs crates/embedding/src/distmult.rs crates/embedding/src/eval.rs crates/embedding/src/model.rs crates/embedding/src/similarity.rs crates/embedding/src/space.rs crates/embedding/src/trainer.rs crates/embedding/src/transe.rs crates/embedding/src/transh.rs crates/embedding/src/vector.rs
+
+crates/embedding/src/lib.rs:
+crates/embedding/src/distmult.rs:
+crates/embedding/src/eval.rs:
+crates/embedding/src/model.rs:
+crates/embedding/src/similarity.rs:
+crates/embedding/src/space.rs:
+crates/embedding/src/trainer.rs:
+crates/embedding/src/transe.rs:
+crates/embedding/src/transh.rs:
+crates/embedding/src/vector.rs:

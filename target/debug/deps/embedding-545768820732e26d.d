@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/embedding-545768820732e26d.d: crates/embedding/src/lib.rs crates/embedding/src/distmult.rs crates/embedding/src/eval.rs crates/embedding/src/model.rs crates/embedding/src/similarity.rs crates/embedding/src/space.rs crates/embedding/src/trainer.rs crates/embedding/src/transe.rs crates/embedding/src/transh.rs crates/embedding/src/vector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libembedding-545768820732e26d.rmeta: crates/embedding/src/lib.rs crates/embedding/src/distmult.rs crates/embedding/src/eval.rs crates/embedding/src/model.rs crates/embedding/src/similarity.rs crates/embedding/src/space.rs crates/embedding/src/trainer.rs crates/embedding/src/transe.rs crates/embedding/src/transh.rs crates/embedding/src/vector.rs Cargo.toml
+
+crates/embedding/src/lib.rs:
+crates/embedding/src/distmult.rs:
+crates/embedding/src/eval.rs:
+crates/embedding/src/model.rs:
+crates/embedding/src/similarity.rs:
+crates/embedding/src/space.rs:
+crates/embedding/src/trainer.rs:
+crates/embedding/src/transe.rs:
+crates/embedding/src/transh.rs:
+crates/embedding/src/vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/embedding-ddbeaceb72624471.d: crates/embedding/src/lib.rs crates/embedding/src/distmult.rs crates/embedding/src/eval.rs crates/embedding/src/model.rs crates/embedding/src/similarity.rs crates/embedding/src/space.rs crates/embedding/src/trainer.rs crates/embedding/src/transe.rs crates/embedding/src/transh.rs crates/embedding/src/vector.rs
+
+/root/repo/target/debug/deps/libembedding-ddbeaceb72624471.rlib: crates/embedding/src/lib.rs crates/embedding/src/distmult.rs crates/embedding/src/eval.rs crates/embedding/src/model.rs crates/embedding/src/similarity.rs crates/embedding/src/space.rs crates/embedding/src/trainer.rs crates/embedding/src/transe.rs crates/embedding/src/transh.rs crates/embedding/src/vector.rs
+
+/root/repo/target/debug/deps/libembedding-ddbeaceb72624471.rmeta: crates/embedding/src/lib.rs crates/embedding/src/distmult.rs crates/embedding/src/eval.rs crates/embedding/src/model.rs crates/embedding/src/similarity.rs crates/embedding/src/space.rs crates/embedding/src/trainer.rs crates/embedding/src/transe.rs crates/embedding/src/transh.rs crates/embedding/src/vector.rs
+
+crates/embedding/src/lib.rs:
+crates/embedding/src/distmult.rs:
+crates/embedding/src/eval.rs:
+crates/embedding/src/model.rs:
+crates/embedding/src/similarity.rs:
+crates/embedding/src/space.rs:
+crates/embedding/src/trainer.rs:
+crates/embedding/src/transe.rs:
+crates/embedding/src/transh.rs:
+crates/embedding/src/vector.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/embedding-f4c481a91116d562.d: crates/embedding/src/lib.rs crates/embedding/src/distmult.rs crates/embedding/src/eval.rs crates/embedding/src/model.rs crates/embedding/src/similarity.rs crates/embedding/src/space.rs crates/embedding/src/trainer.rs crates/embedding/src/transe.rs crates/embedding/src/transh.rs crates/embedding/src/vector.rs
+
+/root/repo/target/debug/deps/embedding-f4c481a91116d562: crates/embedding/src/lib.rs crates/embedding/src/distmult.rs crates/embedding/src/eval.rs crates/embedding/src/model.rs crates/embedding/src/similarity.rs crates/embedding/src/space.rs crates/embedding/src/trainer.rs crates/embedding/src/transe.rs crates/embedding/src/transh.rs crates/embedding/src/vector.rs
+
+crates/embedding/src/lib.rs:
+crates/embedding/src/distmult.rs:
+crates/embedding/src/eval.rs:
+crates/embedding/src/model.rs:
+crates/embedding/src/similarity.rs:
+crates/embedding/src/space.rs:
+crates/embedding/src/trainer.rs:
+crates/embedding/src/transe.rs:
+crates/embedding/src/transh.rs:
+crates/embedding/src/vector.rs:

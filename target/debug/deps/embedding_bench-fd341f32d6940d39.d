@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/embedding_bench-fd341f32d6940d39.d: crates/bench/benches/embedding_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libembedding_bench-fd341f32d6940d39.rmeta: crates/bench/benches/embedding_bench.rs Cargo.toml
+
+crates/bench/benches/embedding_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

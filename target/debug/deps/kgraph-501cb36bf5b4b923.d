@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/kgraph-501cb36bf5b4b923.d: crates/kgraph/src/lib.rs crates/kgraph/src/error.rs crates/kgraph/src/graph.rs crates/kgraph/src/ids.rs crates/kgraph/src/interner.rs crates/kgraph/src/io.rs crates/kgraph/src/stats.rs crates/kgraph/src/triple.rs crates/kgraph/src/typing.rs
+
+/root/repo/target/debug/deps/kgraph-501cb36bf5b4b923: crates/kgraph/src/lib.rs crates/kgraph/src/error.rs crates/kgraph/src/graph.rs crates/kgraph/src/ids.rs crates/kgraph/src/interner.rs crates/kgraph/src/io.rs crates/kgraph/src/stats.rs crates/kgraph/src/triple.rs crates/kgraph/src/typing.rs
+
+crates/kgraph/src/lib.rs:
+crates/kgraph/src/error.rs:
+crates/kgraph/src/graph.rs:
+crates/kgraph/src/ids.rs:
+crates/kgraph/src/interner.rs:
+crates/kgraph/src/io.rs:
+crates/kgraph/src/stats.rs:
+crates/kgraph/src/triple.rs:
+crates/kgraph/src/typing.rs:

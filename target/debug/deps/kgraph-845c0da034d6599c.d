@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/kgraph-845c0da034d6599c.d: crates/kgraph/src/lib.rs crates/kgraph/src/error.rs crates/kgraph/src/graph.rs crates/kgraph/src/ids.rs crates/kgraph/src/interner.rs crates/kgraph/src/io.rs crates/kgraph/src/stats.rs crates/kgraph/src/triple.rs crates/kgraph/src/typing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkgraph-845c0da034d6599c.rmeta: crates/kgraph/src/lib.rs crates/kgraph/src/error.rs crates/kgraph/src/graph.rs crates/kgraph/src/ids.rs crates/kgraph/src/interner.rs crates/kgraph/src/io.rs crates/kgraph/src/stats.rs crates/kgraph/src/triple.rs crates/kgraph/src/typing.rs Cargo.toml
+
+crates/kgraph/src/lib.rs:
+crates/kgraph/src/error.rs:
+crates/kgraph/src/graph.rs:
+crates/kgraph/src/ids.rs:
+crates/kgraph/src/interner.rs:
+crates/kgraph/src/io.rs:
+crates/kgraph/src/stats.rs:
+crates/kgraph/src/triple.rs:
+crates/kgraph/src/typing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/kgraph-f192bdcf06386796.d: crates/kgraph/src/lib.rs crates/kgraph/src/error.rs crates/kgraph/src/graph.rs crates/kgraph/src/ids.rs crates/kgraph/src/interner.rs crates/kgraph/src/io.rs crates/kgraph/src/stats.rs crates/kgraph/src/triple.rs crates/kgraph/src/typing.rs
+
+/root/repo/target/debug/deps/libkgraph-f192bdcf06386796.rlib: crates/kgraph/src/lib.rs crates/kgraph/src/error.rs crates/kgraph/src/graph.rs crates/kgraph/src/ids.rs crates/kgraph/src/interner.rs crates/kgraph/src/io.rs crates/kgraph/src/stats.rs crates/kgraph/src/triple.rs crates/kgraph/src/typing.rs
+
+/root/repo/target/debug/deps/libkgraph-f192bdcf06386796.rmeta: crates/kgraph/src/lib.rs crates/kgraph/src/error.rs crates/kgraph/src/graph.rs crates/kgraph/src/ids.rs crates/kgraph/src/interner.rs crates/kgraph/src/io.rs crates/kgraph/src/stats.rs crates/kgraph/src/triple.rs crates/kgraph/src/typing.rs
+
+crates/kgraph/src/lib.rs:
+crates/kgraph/src/error.rs:
+crates/kgraph/src/graph.rs:
+crates/kgraph/src/ids.rs:
+crates/kgraph/src/interner.rs:
+crates/kgraph/src/io.rs:
+crates/kgraph/src/stats.rs:
+crates/kgraph/src/triple.rs:
+crates/kgraph/src/typing.rs:

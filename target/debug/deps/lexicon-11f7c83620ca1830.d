@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lexicon-11f7c83620ca1830.d: crates/lexicon/src/lib.rs crates/lexicon/src/library.rs crates/lexicon/src/matcher.rs crates/lexicon/src/normalize.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblexicon-11f7c83620ca1830.rmeta: crates/lexicon/src/lib.rs crates/lexicon/src/library.rs crates/lexicon/src/matcher.rs crates/lexicon/src/normalize.rs Cargo.toml
+
+crates/lexicon/src/lib.rs:
+crates/lexicon/src/library.rs:
+crates/lexicon/src/matcher.rs:
+crates/lexicon/src/normalize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lexicon-1e08f55dcc07f30e.d: crates/lexicon/src/lib.rs crates/lexicon/src/library.rs crates/lexicon/src/matcher.rs crates/lexicon/src/normalize.rs
+
+/root/repo/target/debug/deps/liblexicon-1e08f55dcc07f30e.rlib: crates/lexicon/src/lib.rs crates/lexicon/src/library.rs crates/lexicon/src/matcher.rs crates/lexicon/src/normalize.rs
+
+/root/repo/target/debug/deps/liblexicon-1e08f55dcc07f30e.rmeta: crates/lexicon/src/lib.rs crates/lexicon/src/library.rs crates/lexicon/src/matcher.rs crates/lexicon/src/normalize.rs
+
+crates/lexicon/src/lib.rs:
+crates/lexicon/src/library.rs:
+crates/lexicon/src/matcher.rs:
+crates/lexicon/src/normalize.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lexicon-76340705cad5a267.d: crates/lexicon/src/lib.rs crates/lexicon/src/library.rs crates/lexicon/src/matcher.rs crates/lexicon/src/normalize.rs
+
+/root/repo/target/debug/deps/liblexicon-76340705cad5a267.rlib: crates/lexicon/src/lib.rs crates/lexicon/src/library.rs crates/lexicon/src/matcher.rs crates/lexicon/src/normalize.rs
+
+/root/repo/target/debug/deps/liblexicon-76340705cad5a267.rmeta: crates/lexicon/src/lib.rs crates/lexicon/src/library.rs crates/lexicon/src/matcher.rs crates/lexicon/src/normalize.rs
+
+crates/lexicon/src/lib.rs:
+crates/lexicon/src/library.rs:
+crates/lexicon/src/matcher.rs:
+crates/lexicon/src/normalize.rs:

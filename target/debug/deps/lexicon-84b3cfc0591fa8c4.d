@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lexicon-84b3cfc0591fa8c4.d: crates/lexicon/src/lib.rs crates/lexicon/src/library.rs crates/lexicon/src/matcher.rs crates/lexicon/src/normalize.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblexicon-84b3cfc0591fa8c4.rmeta: crates/lexicon/src/lib.rs crates/lexicon/src/library.rs crates/lexicon/src/matcher.rs crates/lexicon/src/normalize.rs Cargo.toml
+
+crates/lexicon/src/lib.rs:
+crates/lexicon/src/library.rs:
+crates/lexicon/src/matcher.rs:
+crates/lexicon/src/normalize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

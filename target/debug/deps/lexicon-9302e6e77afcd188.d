@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lexicon-9302e6e77afcd188.d: crates/lexicon/src/lib.rs crates/lexicon/src/library.rs crates/lexicon/src/matcher.rs crates/lexicon/src/normalize.rs
+
+/root/repo/target/debug/deps/lexicon-9302e6e77afcd188: crates/lexicon/src/lib.rs crates/lexicon/src/library.rs crates/lexicon/src/matcher.rs crates/lexicon/src/normalize.rs
+
+crates/lexicon/src/lib.rs:
+crates/lexicon/src/library.rs:
+crates/lexicon/src/matcher.rs:
+crates/lexicon/src/normalize.rs:

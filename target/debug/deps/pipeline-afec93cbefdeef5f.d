@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-afec93cbefdeef5f.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-afec93cbefdeef5f: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-4be33c51408c8c1c.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-4be33c51408c8c1c.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-4be33c51408c8c1c.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

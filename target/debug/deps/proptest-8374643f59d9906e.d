@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-8374643f59d9906e.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-8374643f59d9906e: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-f398cf851feb81a7.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-f398cf851feb81a7.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

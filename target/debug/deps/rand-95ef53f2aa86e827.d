@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-95ef53f2aa86e827.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-95ef53f2aa86e827: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-9e547be4fb45b23e.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-9e547be4fb45b23e.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

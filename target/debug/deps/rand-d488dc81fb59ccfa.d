@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-d488dc81fb59ccfa.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-d488dc81fb59ccfa.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-d488dc81fb59ccfa.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

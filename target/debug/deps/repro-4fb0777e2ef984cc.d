@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-4fb0777e2ef984cc.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-4fb0777e2ef984cc: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-8360bdceef94207f.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-8360bdceef94207f.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

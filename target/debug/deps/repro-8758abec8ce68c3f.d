@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-8758abec8ce68c3f.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-8758abec8ce68c3f: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

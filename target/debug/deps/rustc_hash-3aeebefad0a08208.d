@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rustc_hash-3aeebefad0a08208.d: vendor/rustc-hash/src/lib.rs
+
+/root/repo/target/debug/deps/librustc_hash-3aeebefad0a08208.rmeta: vendor/rustc-hash/src/lib.rs
+
+vendor/rustc-hash/src/lib.rs:

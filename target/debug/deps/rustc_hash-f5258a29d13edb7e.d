@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rustc_hash-f5258a29d13edb7e.d: vendor/rustc-hash/src/lib.rs
+
+/root/repo/target/debug/deps/rustc_hash-f5258a29d13edb7e: vendor/rustc-hash/src/lib.rs
+
+vendor/rustc-hash/src/lib.rs:

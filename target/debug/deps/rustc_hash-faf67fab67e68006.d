@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rustc_hash-faf67fab67e68006.d: vendor/rustc-hash/src/lib.rs
+
+/root/repo/target/debug/deps/librustc_hash-faf67fab67e68006.rlib: vendor/rustc-hash/src/lib.rs
+
+/root/repo/target/debug/deps/librustc_hash-faf67fab67e68006.rmeta: vendor/rustc-hash/src/lib.rs
+
+vendor/rustc-hash/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semgraph-0825dd3a9ba5f36f.d: crates/bench/benches/semgraph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemgraph-0825dd3a9ba5f36f.rmeta: crates/bench/benches/semgraph.rs Cargo.toml
+
+crates/bench/benches/semgraph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semkg-82bb4f1249afcde2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsemkg-82bb4f1249afcde2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semkg-8657241e33dfa310.d: src/lib.rs
+
+/root/repo/target/debug/deps/semkg-8657241e33dfa310: src/lib.rs
+
+src/lib.rs:

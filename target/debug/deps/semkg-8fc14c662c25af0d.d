@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semkg-8fc14c662c25af0d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemkg-8fc14c662c25af0d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/semkg-a423670d8b7b7236.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsemkg-a423670d8b7b7236.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsemkg-a423670d8b7b7236.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/semkg-e42133eff864eb61.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsemkg-e42133eff864eb61.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsemkg-e42133eff864eb61.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/sgq-0dc46061976495b9.d: crates/sgq/src/lib.rs crates/sgq/src/answer.rs crates/sgq/src/astar.rs crates/sgq/src/config.rs crates/sgq/src/decompose.rs crates/sgq/src/engine.rs crates/sgq/src/error.rs crates/sgq/src/pss.rs crates/sgq/src/query.rs crates/sgq/src/runtime.rs crates/sgq/src/semgraph.rs crates/sgq/src/service.rs crates/sgq/src/ta.rs crates/sgq/src/timebound.rs
+
+/root/repo/target/debug/deps/libsgq-0dc46061976495b9.rlib: crates/sgq/src/lib.rs crates/sgq/src/answer.rs crates/sgq/src/astar.rs crates/sgq/src/config.rs crates/sgq/src/decompose.rs crates/sgq/src/engine.rs crates/sgq/src/error.rs crates/sgq/src/pss.rs crates/sgq/src/query.rs crates/sgq/src/runtime.rs crates/sgq/src/semgraph.rs crates/sgq/src/service.rs crates/sgq/src/ta.rs crates/sgq/src/timebound.rs
+
+/root/repo/target/debug/deps/libsgq-0dc46061976495b9.rmeta: crates/sgq/src/lib.rs crates/sgq/src/answer.rs crates/sgq/src/astar.rs crates/sgq/src/config.rs crates/sgq/src/decompose.rs crates/sgq/src/engine.rs crates/sgq/src/error.rs crates/sgq/src/pss.rs crates/sgq/src/query.rs crates/sgq/src/runtime.rs crates/sgq/src/semgraph.rs crates/sgq/src/service.rs crates/sgq/src/ta.rs crates/sgq/src/timebound.rs
+
+crates/sgq/src/lib.rs:
+crates/sgq/src/answer.rs:
+crates/sgq/src/astar.rs:
+crates/sgq/src/config.rs:
+crates/sgq/src/decompose.rs:
+crates/sgq/src/engine.rs:
+crates/sgq/src/error.rs:
+crates/sgq/src/pss.rs:
+crates/sgq/src/query.rs:
+crates/sgq/src/runtime.rs:
+crates/sgq/src/semgraph.rs:
+crates/sgq/src/service.rs:
+crates/sgq/src/ta.rs:
+crates/sgq/src/timebound.rs:

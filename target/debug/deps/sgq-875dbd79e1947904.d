@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/sgq-875dbd79e1947904.d: crates/sgq/src/lib.rs crates/sgq/src/answer.rs crates/sgq/src/astar.rs crates/sgq/src/config.rs crates/sgq/src/decompose.rs crates/sgq/src/engine.rs crates/sgq/src/error.rs crates/sgq/src/pss.rs crates/sgq/src/query.rs crates/sgq/src/runtime.rs crates/sgq/src/semgraph.rs crates/sgq/src/service.rs crates/sgq/src/ta.rs crates/sgq/src/timebound.rs
+
+/root/repo/target/debug/deps/sgq-875dbd79e1947904: crates/sgq/src/lib.rs crates/sgq/src/answer.rs crates/sgq/src/astar.rs crates/sgq/src/config.rs crates/sgq/src/decompose.rs crates/sgq/src/engine.rs crates/sgq/src/error.rs crates/sgq/src/pss.rs crates/sgq/src/query.rs crates/sgq/src/runtime.rs crates/sgq/src/semgraph.rs crates/sgq/src/service.rs crates/sgq/src/ta.rs crates/sgq/src/timebound.rs
+
+crates/sgq/src/lib.rs:
+crates/sgq/src/answer.rs:
+crates/sgq/src/astar.rs:
+crates/sgq/src/config.rs:
+crates/sgq/src/decompose.rs:
+crates/sgq/src/engine.rs:
+crates/sgq/src/error.rs:
+crates/sgq/src/pss.rs:
+crates/sgq/src/query.rs:
+crates/sgq/src/runtime.rs:
+crates/sgq/src/semgraph.rs:
+crates/sgq/src/service.rs:
+crates/sgq/src/ta.rs:
+crates/sgq/src/timebound.rs:

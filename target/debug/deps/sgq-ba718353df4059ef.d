@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/sgq-ba718353df4059ef.d: crates/sgq/src/lib.rs crates/sgq/src/answer.rs crates/sgq/src/astar.rs crates/sgq/src/config.rs crates/sgq/src/decompose.rs crates/sgq/src/engine.rs crates/sgq/src/error.rs crates/sgq/src/pss.rs crates/sgq/src/query.rs crates/sgq/src/runtime.rs crates/sgq/src/semgraph.rs crates/sgq/src/service.rs crates/sgq/src/ta.rs crates/sgq/src/timebound.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsgq-ba718353df4059ef.rmeta: crates/sgq/src/lib.rs crates/sgq/src/answer.rs crates/sgq/src/astar.rs crates/sgq/src/config.rs crates/sgq/src/decompose.rs crates/sgq/src/engine.rs crates/sgq/src/error.rs crates/sgq/src/pss.rs crates/sgq/src/query.rs crates/sgq/src/runtime.rs crates/sgq/src/semgraph.rs crates/sgq/src/service.rs crates/sgq/src/ta.rs crates/sgq/src/timebound.rs Cargo.toml
+
+crates/sgq/src/lib.rs:
+crates/sgq/src/answer.rs:
+crates/sgq/src/astar.rs:
+crates/sgq/src/config.rs:
+crates/sgq/src/decompose.rs:
+crates/sgq/src/engine.rs:
+crates/sgq/src/error.rs:
+crates/sgq/src/pss.rs:
+crates/sgq/src/query.rs:
+crates/sgq/src/runtime.rs:
+crates/sgq/src/semgraph.rs:
+crates/sgq/src/service.rs:
+crates/sgq/src/ta.rs:
+crates/sgq/src/timebound.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

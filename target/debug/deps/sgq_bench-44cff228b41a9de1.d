@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sgq_bench-44cff228b41a9de1.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libsgq_bench-44cff228b41a9de1.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libsgq_bench-44cff228b41a9de1.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sgq_bench-460330df90d62e2b.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libsgq_bench-460330df90d62e2b.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sgq_bench-f4b8455a8bac1054.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/sgq_bench-f4b8455a8bac1054: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/throughput-6d75a8ecf22e507f.d: crates/bench/benches/throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthroughput-6d75a8ecf22e507f.rmeta: crates/bench/benches/throughput.rs Cargo.toml
+
+crates/bench/benches/throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/timebound-c8901549a3cf5b45.d: crates/bench/benches/timebound.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtimebound-c8901549a3cf5b45.rmeta: crates/bench/benches/timebound.rs Cargo.toml
+
+crates/bench/benches/timebound.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/car_search-26bfc94811789097.d: examples/car_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcar_search-26bfc94811789097.rmeta: examples/car_search.rs Cargo.toml
+
+examples/car_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/car_search-56069658942459c8.d: examples/car_search.rs
+
+/root/repo/target/debug/examples/car_search-56069658942459c8: examples/car_search.rs
+
+examples/car_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/complex_queries-243d66430a180b43.d: examples/complex_queries.rs
+
+/root/repo/target/debug/examples/complex_queries-243d66430a180b43: examples/complex_queries.rs
+
+examples/complex_queries.rs:

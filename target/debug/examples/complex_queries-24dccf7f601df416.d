@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/complex_queries-24dccf7f601df416.d: examples/complex_queries.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcomplex_queries-24dccf7f601df416.rmeta: examples/complex_queries.rs Cargo.toml
+
+examples/complex_queries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/concurrent_service-0ff19b07ec69dcd9.d: examples/concurrent_service.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconcurrent_service-0ff19b07ec69dcd9.rmeta: examples/concurrent_service.rs Cargo.toml
+
+examples/concurrent_service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/concurrent_service-998f6a3da88682a5.d: examples/concurrent_service.rs
+
+/root/repo/target/debug/examples/concurrent_service-998f6a3da88682a5: examples/concurrent_service.rs
+
+examples/concurrent_service.rs:

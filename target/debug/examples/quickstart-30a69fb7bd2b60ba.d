@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-30a69fb7bd2b60ba.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-30a69fb7bd2b60ba: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/time_bounded-5805b4d4cf07ca78.d: examples/time_bounded.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtime_bounded-5805b4d4cf07ca78.rmeta: examples/time_bounded.rs Cargo.toml
+
+examples/time_bounded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

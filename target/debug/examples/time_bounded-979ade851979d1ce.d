@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/time_bounded-979ade851979d1ce.d: examples/time_bounded.rs
+
+/root/repo/target/debug/examples/time_bounded-979ade851979d1ce: examples/time_bounded.rs
+
+examples/time_bounded.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/anytime-e8e8d0ffe0b63c17.d: tests/anytime.rs
+
+/root/repo/target/release/deps/anytime-e8e8d0ffe0b63c17: tests/anytime.rs
+
+tests/anytime.rs:

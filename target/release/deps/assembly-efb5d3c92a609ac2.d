@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/assembly-efb5d3c92a609ac2.d: crates/bench/benches/assembly.rs
+
+/root/repo/target/release/deps/assembly-efb5d3c92a609ac2: crates/bench/benches/assembly.rs
+
+crates/bench/benches/assembly.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/astar-8adf2e0a9e221e69.d: crates/bench/benches/astar.rs
+
+/root/repo/target/release/deps/astar-8adf2e0a9e221e69: crates/bench/benches/astar.rs
+
+crates/bench/benches/astar.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baseline_cmp-c7367d22189c87d6.d: crates/bench/benches/baseline_cmp.rs
+
+/root/repo/target/release/deps/baseline_cmp-c7367d22189c87d6: crates/bench/benches/baseline_cmp.rs
+
+crates/bench/benches/baseline_cmp.rs:

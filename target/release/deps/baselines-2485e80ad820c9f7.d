@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/baselines-2485e80ad820c9f7.d: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/grab.rs crates/baselines/src/gstore.rs crates/baselines/src/nema.rs crates/baselines/src/phom.rs crates/baselines/src/qga.rs crates/baselines/src/s4.rs crates/baselines/src/slq.rs
+
+/root/repo/target/release/deps/libbaselines-2485e80ad820c9f7.rlib: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/grab.rs crates/baselines/src/gstore.rs crates/baselines/src/nema.rs crates/baselines/src/phom.rs crates/baselines/src/qga.rs crates/baselines/src/s4.rs crates/baselines/src/slq.rs
+
+/root/repo/target/release/deps/libbaselines-2485e80ad820c9f7.rmeta: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/grab.rs crates/baselines/src/gstore.rs crates/baselines/src/nema.rs crates/baselines/src/phom.rs crates/baselines/src/qga.rs crates/baselines/src/s4.rs crates/baselines/src/slq.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/grab.rs:
+crates/baselines/src/gstore.rs:
+crates/baselines/src/nema.rs:
+crates/baselines/src/phom.rs:
+crates/baselines/src/qga.rs:
+crates/baselines/src/s4.rs:
+crates/baselines/src/slq.rs:

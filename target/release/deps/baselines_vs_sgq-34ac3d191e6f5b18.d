@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baselines_vs_sgq-34ac3d191e6f5b18.d: tests/baselines_vs_sgq.rs
+
+/root/repo/target/release/deps/baselines_vs_sgq-34ac3d191e6f5b18: tests/baselines_vs_sgq.rs
+
+tests/baselines_vs_sgq.rs:

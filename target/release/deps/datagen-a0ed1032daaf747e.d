@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/datagen-a0ed1032daaf747e.d: crates/datagen/src/lib.rs crates/datagen/src/annotate.rs crates/datagen/src/dataset.rs crates/datagen/src/metrics.rs crates/datagen/src/noise.rs crates/datagen/src/schema.rs crates/datagen/src/workload.rs
+
+/root/repo/target/release/deps/libdatagen-a0ed1032daaf747e.rlib: crates/datagen/src/lib.rs crates/datagen/src/annotate.rs crates/datagen/src/dataset.rs crates/datagen/src/metrics.rs crates/datagen/src/noise.rs crates/datagen/src/schema.rs crates/datagen/src/workload.rs
+
+/root/repo/target/release/deps/libdatagen-a0ed1032daaf747e.rmeta: crates/datagen/src/lib.rs crates/datagen/src/annotate.rs crates/datagen/src/dataset.rs crates/datagen/src/metrics.rs crates/datagen/src/noise.rs crates/datagen/src/schema.rs crates/datagen/src/workload.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/annotate.rs:
+crates/datagen/src/dataset.rs:
+crates/datagen/src/metrics.rs:
+crates/datagen/src/noise.rs:
+crates/datagen/src/schema.rs:
+crates/datagen/src/workload.rs:

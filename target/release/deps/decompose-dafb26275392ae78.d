@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/decompose-dafb26275392ae78.d: crates/bench/benches/decompose.rs
+
+/root/repo/target/release/deps/decompose-dafb26275392ae78: crates/bench/benches/decompose.rs
+
+crates/bench/benches/decompose.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-e391a7f0298597e3.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-e391a7f0298597e3: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/embedding_bench-aa4e9f32b8339ceb.d: crates/bench/benches/embedding_bench.rs
+
+/root/repo/target/release/deps/embedding_bench-aa4e9f32b8339ceb: crates/bench/benches/embedding_bench.rs
+
+crates/bench/benches/embedding_bench.rs:

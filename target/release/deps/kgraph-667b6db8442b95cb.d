@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/kgraph-667b6db8442b95cb.d: crates/kgraph/src/lib.rs crates/kgraph/src/error.rs crates/kgraph/src/graph.rs crates/kgraph/src/ids.rs crates/kgraph/src/interner.rs crates/kgraph/src/io.rs crates/kgraph/src/stats.rs crates/kgraph/src/triple.rs crates/kgraph/src/typing.rs
+
+/root/repo/target/release/deps/libkgraph-667b6db8442b95cb.rlib: crates/kgraph/src/lib.rs crates/kgraph/src/error.rs crates/kgraph/src/graph.rs crates/kgraph/src/ids.rs crates/kgraph/src/interner.rs crates/kgraph/src/io.rs crates/kgraph/src/stats.rs crates/kgraph/src/triple.rs crates/kgraph/src/typing.rs
+
+/root/repo/target/release/deps/libkgraph-667b6db8442b95cb.rmeta: crates/kgraph/src/lib.rs crates/kgraph/src/error.rs crates/kgraph/src/graph.rs crates/kgraph/src/ids.rs crates/kgraph/src/interner.rs crates/kgraph/src/io.rs crates/kgraph/src/stats.rs crates/kgraph/src/triple.rs crates/kgraph/src/typing.rs
+
+crates/kgraph/src/lib.rs:
+crates/kgraph/src/error.rs:
+crates/kgraph/src/graph.rs:
+crates/kgraph/src/ids.rs:
+crates/kgraph/src/interner.rs:
+crates/kgraph/src/io.rs:
+crates/kgraph/src/stats.rs:
+crates/kgraph/src/triple.rs:
+crates/kgraph/src/typing.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lexicon-4aeda65b16b2f6d4.d: crates/lexicon/src/lib.rs crates/lexicon/src/library.rs crates/lexicon/src/matcher.rs crates/lexicon/src/normalize.rs
+
+/root/repo/target/release/deps/liblexicon-4aeda65b16b2f6d4.rlib: crates/lexicon/src/lib.rs crates/lexicon/src/library.rs crates/lexicon/src/matcher.rs crates/lexicon/src/normalize.rs
+
+/root/repo/target/release/deps/liblexicon-4aeda65b16b2f6d4.rmeta: crates/lexicon/src/lib.rs crates/lexicon/src/library.rs crates/lexicon/src/matcher.rs crates/lexicon/src/normalize.rs
+
+crates/lexicon/src/lib.rs:
+crates/lexicon/src/library.rs:
+crates/lexicon/src/matcher.rs:
+crates/lexicon/src/normalize.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-b69ef178af1930ee.d: tests/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-b69ef178af1930ee: tests/pipeline.rs
+
+tests/pipeline.rs:

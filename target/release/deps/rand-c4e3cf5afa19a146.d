@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-c4e3cf5afa19a146.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-c4e3cf5afa19a146.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-c4e3cf5afa19a146.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

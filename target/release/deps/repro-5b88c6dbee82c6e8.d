@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-5b88c6dbee82c6e8.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-5b88c6dbee82c6e8: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

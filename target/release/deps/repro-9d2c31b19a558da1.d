@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-9d2c31b19a558da1.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-9d2c31b19a558da1: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

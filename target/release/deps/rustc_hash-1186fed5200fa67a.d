@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rustc_hash-1186fed5200fa67a.d: vendor/rustc-hash/src/lib.rs
+
+/root/repo/target/release/deps/librustc_hash-1186fed5200fa67a.rlib: vendor/rustc-hash/src/lib.rs
+
+/root/repo/target/release/deps/librustc_hash-1186fed5200fa67a.rmeta: vendor/rustc-hash/src/lib.rs
+
+vendor/rustc-hash/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/semgraph-0feea8d314dd470f.d: crates/bench/benches/semgraph.rs
+
+/root/repo/target/release/deps/semgraph-0feea8d314dd470f: crates/bench/benches/semgraph.rs
+
+crates/bench/benches/semgraph.rs:

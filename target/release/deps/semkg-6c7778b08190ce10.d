@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/semkg-6c7778b08190ce10.d: src/lib.rs
+
+/root/repo/target/release/deps/semkg-6c7778b08190ce10: src/lib.rs
+
+src/lib.rs:

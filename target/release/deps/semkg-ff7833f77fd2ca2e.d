@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/semkg-ff7833f77fd2ca2e.d: src/lib.rs
+
+/root/repo/target/release/deps/libsemkg-ff7833f77fd2ca2e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsemkg-ff7833f77fd2ca2e.rmeta: src/lib.rs
+
+src/lib.rs:

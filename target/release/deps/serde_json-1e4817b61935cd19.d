@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-1e4817b61935cd19.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-1e4817b61935cd19.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-1e4817b61935cd19.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sgq_bench-82fa5d0a91c8cfb4.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libsgq_bench-82fa5d0a91c8cfb4.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libsgq_bench-82fa5d0a91c8cfb4.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sgq_bench-e4cd1ce4c736da77.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/sgq_bench-e4cd1ce4c736da77: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/table.rs:

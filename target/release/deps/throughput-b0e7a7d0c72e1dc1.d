@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/throughput-b0e7a7d0c72e1dc1.d: crates/bench/benches/throughput.rs
+
+/root/repo/target/release/deps/throughput-b0e7a7d0c72e1dc1: crates/bench/benches/throughput.rs
+
+crates/bench/benches/throughput.rs:

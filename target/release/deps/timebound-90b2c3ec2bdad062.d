@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/timebound-90b2c3ec2bdad062.d: crates/bench/benches/timebound.rs
+
+/root/repo/target/release/deps/timebound-90b2c3ec2bdad062: crates/bench/benches/timebound.rs
+
+crates/bench/benches/timebound.rs:

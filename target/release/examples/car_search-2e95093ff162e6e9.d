@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/car_search-2e95093ff162e6e9.d: examples/car_search.rs
+
+/root/repo/target/release/examples/car_search-2e95093ff162e6e9: examples/car_search.rs
+
+examples/car_search.rs:

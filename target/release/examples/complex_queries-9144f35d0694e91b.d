@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/complex_queries-9144f35d0694e91b.d: examples/complex_queries.rs
+
+/root/repo/target/release/examples/complex_queries-9144f35d0694e91b: examples/complex_queries.rs
+
+examples/complex_queries.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/concurrent_service-ed41548c01523c9b.d: examples/concurrent_service.rs
+
+/root/repo/target/release/examples/concurrent_service-ed41548c01523c9b: examples/concurrent_service.rs
+
+examples/concurrent_service.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-f11e07dad2f2c81c.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-f11e07dad2f2c81c: examples/quickstart.rs
+
+examples/quickstart.rs:

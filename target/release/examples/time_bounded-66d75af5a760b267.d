@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/time_bounded-66d75af5a760b267.d: examples/time_bounded.rs
+
+/root/repo/target/release/examples/time_bounded-66d75af5a760b267: examples/time_bounded.rs
+
+examples/time_bounded.rs:
