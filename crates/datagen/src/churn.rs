@@ -1,0 +1,205 @@
+//! Update-churn workloads for the live-update subsystem.
+//!
+//! Real knowledge graphs (the paper's DBpedia/Freebase targets) receive a
+//! constant stream of edge insertions and deletions. This module turns a
+//! generated [`BenchDataset`] into a deterministic, seeded stream of
+//! [`ChurnOp`]s that exercises every write path of
+//! [`kgraph::VersionedGraph`]:
+//!
+//! * **growth** — brand-new automobile entities with `assembly` edges to
+//!   existing countries (the produced-workload answer sets grow);
+//! * **shrinkage** — deletions of ground-truth `assembly` edges (answer
+//!   sets shrink, tombstones accumulate);
+//! * **resurrection** — re-insertions of previously deleted triples;
+//! * **duplicates** — re-insertions of live triples (must collapse, exactly
+//!   like [`kgraph::GraphBuilder`]'s dedup);
+//! * **vocabulary growth** — edges under fresh predicates / fresh entity
+//!   types the offline-trained predicate space has never seen (exercises
+//!   similarity-row invalidation).
+
+use crate::dataset::BenchDataset;
+use kgraph::VersionedGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One logical update against a live graph, expressed by labels (never by
+/// ids — ids are epoch-scoped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChurnOp {
+    /// Insert `head --predicate--> tail`, creating endpoints as needed.
+    Insert {
+        /// Head entity `(name, type)`.
+        head: (String, String),
+        /// Predicate label.
+        predicate: String,
+        /// Tail entity `(name, type)`.
+        tail: (String, String),
+    },
+    /// Delete the live edge `head --predicate--> tail` (no-op if absent).
+    Delete {
+        /// Head entity name.
+        head: String,
+        /// Predicate label.
+        predicate: String,
+        /// Tail entity name.
+        tail: String,
+    },
+}
+
+/// A deterministic stream of `ops` churn operations against `ds`, seeded by
+/// `seed`. Op mix (approximate): 40% growth inserts, 20% deletions, 15%
+/// resurrections, 15% duplicate inserts, 10% fresh-vocabulary inserts.
+pub fn churn_stream(ds: &BenchDataset, ops: usize, seed: u64) -> Vec<ChurnOp> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FF_EE00_D00D_F00D);
+    let mut out = Vec::with_capacity(ops);
+
+    // Deletable edges: the graph's *direct* assembly edges (ground-truth
+    // cars can also be connected through multi-hop schemas, which a single
+    // triple deletion cannot remove).
+    let mut deletable: Vec<(String, String)> = Vec::new();
+    if let Some(assembly) = ds.graph.predicate_id("assembly") {
+        for (_, rec) in ds.graph.edges() {
+            if rec.predicate == assembly {
+                deletable.push((
+                    ds.graph.node_name(rec.src).to_string(),
+                    ds.graph.node_name(rec.dst).to_string(),
+                ));
+            }
+        }
+    }
+    // Live triples eligible for duplicate inserts (stay live unless deleted).
+    let mut dupable = deletable.clone();
+    let mut deleted: Vec<(String, String)> = Vec::new();
+    let mut fresh = 0usize;
+
+    for i in 0..ops {
+        let country = ds.countries[rng.random_range(0..ds.countries.len())].clone();
+        let roll = rng.random_range(0..100u32);
+        let op = if roll < 40 {
+            // Growth: a new car assembled in a random country.
+            ChurnOp::Insert {
+                head: (format!("LiveCar_{seed}_{i}"), "Automobile".into()),
+                predicate: "assembly".into(),
+                tail: (country.clone(), "Country".into()),
+            }
+        } else if roll < 60 && !deletable.is_empty() {
+            // Shrinkage: tombstone a ground-truth assembly edge.
+            let (car, c) = deletable.swap_remove(rng.random_range(0..deletable.len()));
+            dupable.retain(|(d, _)| d != &car);
+            deleted.push((car.clone(), c.clone()));
+            ChurnOp::Delete {
+                head: car,
+                predicate: "assembly".into(),
+                tail: c,
+            }
+        } else if roll < 75 && !deleted.is_empty() {
+            // Resurrection: bring a deleted edge back.
+            let (car, c) = deleted.swap_remove(rng.random_range(0..deleted.len()));
+            deletable.push((car.clone(), c.clone()));
+            dupable.push((car.clone(), c.clone()));
+            ChurnOp::Insert {
+                head: (car, "Automobile".into()),
+                predicate: "assembly".into(),
+                tail: (c, "Country".into()),
+            }
+        } else if roll < 90 && !dupable.is_empty() {
+            // Duplicate: re-insert a live triple; must collapse.
+            let (car, c) = dupable[rng.random_range(0..dupable.len())].clone();
+            ChurnOp::Insert {
+                head: (car, "Automobile".into()),
+                predicate: "assembly".into(),
+                tail: (c, "Country".into()),
+            }
+        } else {
+            // Vocabulary growth: fresh predicate and fresh entity type.
+            fresh += 1;
+            ChurnOp::Insert {
+                head: (format!("LiveSensor_{seed}_{fresh}"), "Sensor".into()),
+                predicate: format!("telemetry_{}", fresh % 4),
+                tail: (country.clone(), "Country".into()),
+            }
+        };
+        out.push(op);
+    }
+    out
+}
+
+/// Applies one op to a live graph. Returns `true` when the op changed the
+/// staged state (a duplicate insert or a miss-delete returns `false`).
+pub fn apply_churn(live: &VersionedGraph, op: &ChurnOp) -> bool {
+    match op {
+        ChurnOp::Insert {
+            head,
+            predicate,
+            tail,
+        } => live
+            .insert_triple((&head.0, &head.1), predicate, (&tail.0, &tail.1))
+            .changed(),
+        ChurnOp::Delete {
+            head,
+            predicate,
+            tail,
+        } => live.delete_triple(head, predicate, tail),
+    }
+}
+
+/// Applies a whole stream, returning how many ops changed state.
+pub fn apply_churn_stream(live: &VersionedGraph, ops: &[ChurnOp]) -> usize {
+    ops.iter().filter(|op| apply_churn(live, op)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetSpec;
+    use kgraph::GraphView;
+
+    #[test]
+    fn stream_is_deterministic_and_mixed() {
+        let ds = DatasetSpec::tiny().build();
+        let a = churn_stream(&ds, 200, 7);
+        let b = churn_stream(&ds, 200, 7);
+        assert_eq!(a, b, "same seed ⇒ same stream");
+        assert_ne!(a, churn_stream(&ds, 200, 8), "different seed ⇒ different");
+        assert_eq!(a.len(), 200);
+        let inserts = a
+            .iter()
+            .filter(|o| matches!(o, ChurnOp::Insert { .. }))
+            .count();
+        let deletes = a.len() - inserts;
+        assert!(inserts > deletes, "insert-heavy mix");
+        assert!(deletes > 0, "some deletions present");
+        assert!(
+            a.iter().any(|o| matches!(
+                o,
+                ChurnOp::Insert { predicate, .. } if predicate.starts_with("telemetry_")
+            )),
+            "fresh-vocabulary ops present"
+        );
+    }
+
+    #[test]
+    fn applying_the_stream_mutates_the_graph_consistently() {
+        let ds = DatasetSpec::tiny().build();
+        let base_edges = ds.graph.edge_count();
+        let live = VersionedGraph::new(ds.graph.clone());
+        let ops = churn_stream(&ds, 150, 42);
+        let effective = apply_churn_stream(&live, &ops);
+        assert!(effective > 0);
+        let snap = live.commit();
+        let stats = live.stats();
+        assert_eq!(stats.epoch, 1);
+        assert!(stats.inserts > 0 && stats.deletes > 0);
+        assert_eq!(
+            snap.edge_count(),
+            base_edges + stats.delta_edges - stats.tombstones,
+        );
+        // Deletions only ever target edges that exist at that point, so
+        // every Delete in the stream must have landed.
+        let stream_deletes = ops
+            .iter()
+            .filter(|o| matches!(o, ChurnOp::Delete { .. }))
+            .count() as u64;
+        assert_eq!(stats.deletes, stream_deletes);
+    }
+}

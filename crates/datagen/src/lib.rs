@@ -15,12 +15,14 @@
 //! noise injectors of §VII-E.
 
 pub mod annotate;
+pub mod churn;
 pub mod dataset;
 pub mod metrics;
 pub mod noise;
 pub mod schema;
 pub mod workload;
 
+pub use churn::{apply_churn, apply_churn_stream, churn_stream, ChurnOp};
 pub use dataset::{BenchDataset, DatasetSpec};
 pub use metrics::{f1_score, jaccard, pearson, precision_recall, EffReport};
 pub use schema::{predicate_clusters, PredicateCluster};

@@ -19,6 +19,19 @@
 //! The index is `Sync`: the caches sit behind a mutex, and the hot path
 //! (row already cached) is one lock + one `Arc` bump, far cheaper than the
 //! `space.len()`-sized recomputation it replaces.
+//!
+//! ## Vocabulary generations
+//!
+//! A live graph can grow its predicate vocabulary past the (offline-trained)
+//! space's: the search indexes rows by *graph* predicate id, so cached rows
+//! must always span the largest vocabulary any attached engine has seen.
+//! [`SimilarityIndex::ensure_vocab`] grows that watermark; growing it
+//! **invalidates** the caches (rows are re-issued at the new length, padded
+//! with `transform(0.0)` for predicates the space has never seen) and bumps
+//! a generation counter. Rows already handed out to plans keep their old
+//! length — a plan only ever indexes with the predicate ids of the epoch it
+//! was built against, so pinned queries stay bit-identical while new plans
+//! see the wider vocabulary.
 
 use crate::space::PredicateSpace;
 use kgraph::PredicateId;
@@ -66,6 +79,9 @@ pub struct SimilarityIndexStats {
     pub max_row_hits: u64,
     /// Combined-max row requests that had to compute the row.
     pub max_row_misses: u64,
+    /// Cache invalidations caused by predicate-vocabulary growth
+    /// ([`SimilarityIndex::ensure_vocab`]).
+    pub invalidations: u64,
 }
 
 impl SimilarityIndexStats {
@@ -92,14 +108,29 @@ const MAX_CACHED_COMBINED_ROWS: usize = 4096;
 pub struct SimilarityIndex<'s> {
     space: &'s PredicateSpace,
     transform: fn(f32) -> f64,
-    rows: Mutex<FxHashMap<RowKey, Arc<[f64]>>>,
-    /// Combined rows keyed by the sorted, deduplicated set of inputs (max is
-    /// idempotent, so the multiset collapses to a set).
-    max_rows: Mutex<FxHashMap<Vec<RowKey>, Arc<[f64]>>>,
+    rows: Mutex<RowCache>,
+    /// Combined rows keyed by generation + the sorted, deduplicated set of
+    /// inputs (max is idempotent, so the multiset collapses to a set). The
+    /// generation tag keeps pre-invalidation rows from leaking into
+    /// post-growth lookups.
+    max_rows: Mutex<FxHashMap<MaxRowKey, Arc<[f64]>>>,
     row_hits: AtomicU64,
     row_misses: AtomicU64,
     max_row_hits: AtomicU64,
     max_row_misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+/// Key of one cached combined-max row: `(generation, sorted key set)`.
+type MaxRowKey = (u64, Vec<RowKey>);
+
+/// Per-predicate rows plus the vocabulary watermark they were sized for.
+struct RowCache {
+    /// Minimum row length: `max(space.len(), largest ensure_vocab seen)`.
+    vocab: usize,
+    /// Bumped on every invalidation; tags combined-row cache keys.
+    generation: u64,
+    rows: FxHashMap<RowKey, Arc<[f64]>>,
 }
 
 impl std::fmt::Debug for SimilarityIndex<'_> {
@@ -122,12 +153,17 @@ impl<'s> SimilarityIndex<'s> {
         Self {
             space,
             transform,
-            rows: Mutex::new(FxHashMap::default()),
+            rows: Mutex::new(RowCache {
+                vocab: space.len(),
+                generation: 0,
+                rows: FxHashMap::default(),
+            }),
             max_rows: Mutex::new(FxHashMap::default()),
             row_hits: AtomicU64::new(0),
             row_misses: AtomicU64::new(0),
             max_row_hits: AtomicU64::new(0),
             max_row_misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -136,32 +172,75 @@ impl<'s> SimilarityIndex<'s> {
         self.space
     }
 
-    /// Row length (= number of predicates in the space).
+    /// Current row length: the number of predicates in the space or the
+    /// largest vocabulary registered via [`SimilarityIndex::ensure_vocab`],
+    /// whichever is greater.
     pub fn row_len(&self) -> usize {
-        self.space.len()
+        self.rows.lock().unwrap().vocab
     }
 
-    /// The transformed similarity row for `key`, computed at most once.
+    /// Registers that an attached graph's predicate vocabulary has `len`
+    /// entries. Growth beyond the current watermark invalidates the caches
+    /// (rows are re-issued padded to the new length) and bumps the
+    /// generation; shrinking never happens (the watermark is monotonic).
+    /// Engines call this at construction, so a snapshot whose delta added
+    /// predicates gets full-length rows before any plan is built.
+    pub fn ensure_vocab(&self, len: usize) {
+        let mut cache = self.rows.lock().unwrap();
+        if len > cache.vocab {
+            cache.vocab = len;
+            cache.generation += 1;
+            cache.rows.clear();
+            self.max_rows.lock().unwrap().clear();
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The transformed similarity row for `key`, computed at most once per
+    /// generation and padded to the current vocabulary watermark.
     pub fn row(&self, key: RowKey) -> Arc<[f64]> {
-        if let Some(row) = self.rows.lock().unwrap().get(&key) {
+        let mut cache = self.rows.lock().unwrap();
+        if let Some(row) = cache.rows.get(&key) {
             self.row_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(row);
         }
         self.row_misses.fetch_add(1, Ordering::Relaxed);
-        let computed: Arc<[f64]> = match key {
-            RowKey::Predicate(p) => self
-                .space
-                .sim_row(p)
-                .into_iter()
-                .map(self.transform)
-                .collect(),
+        // Computed under the lock: an invalidation racing a drop-and-reacquire
+        // could otherwise publish a row shorter than the new vocabulary.
+        let computed = self.compute_row(key, cache.vocab);
+        cache.rows.insert(key, Arc::clone(&computed));
+        computed
+    }
+
+    /// Builds one row at vocabulary length `vocab`. Predicates beyond the
+    /// space's training vocabulary (added to a live graph after training)
+    /// know only their identity similarity: `transform(1.0)` at their own
+    /// index, `transform(0.0)` elsewhere — τ-pruning treats such edges like
+    /// any other semantically-unknown predicate.
+    fn compute_row(&self, key: RowKey, vocab: usize) -> Arc<[f64]> {
+        let pad = (self.transform)(0.0);
+        match key {
+            RowKey::Predicate(p) if p.index() < self.space.len() => {
+                let mut row: Vec<f64> = self
+                    .space
+                    .sim_row(p)
+                    .into_iter()
+                    .map(self.transform)
+                    .collect();
+                if row.len() < vocab {
+                    row.resize(vocab, pad);
+                }
+                row.into()
+            }
+            RowKey::Predicate(p) => {
+                let mut row = vec![pad; vocab.max(p.index() + 1)];
+                row[p.index()] = (self.transform)(1.0);
+                row.into()
+            }
             RowKey::Constant { bits, len } => {
                 std::iter::repeat_n(f64::from_bits(bits), len as usize).collect()
             }
-        };
-        // Two racing computations of the same key both produce identical
-        // rows; keep whichever landed first so handles stay shared.
-        Arc::clone(self.rows.lock().unwrap().entry(key).or_insert(computed))
+        }
     }
 
     /// The element-wise maximum over the rows of `keys`, computed at most
@@ -178,11 +257,14 @@ impl<'s> SimilarityIndex<'s> {
         if set.len() == 1 {
             return self.row(set[0]);
         }
-        if let Some(row) = self.max_rows.lock().unwrap().get(&set) {
+        let generation = self.rows.lock().unwrap().generation;
+        let cache_key = (generation, set);
+        if let Some(row) = self.max_rows.lock().unwrap().get(&cache_key) {
             self.max_row_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(row);
         }
         self.max_row_misses.fetch_add(1, Ordering::Relaxed);
+        let set = &cache_key.1;
         let mut acc: Vec<f64> = self.row(set[0]).to_vec();
         for key in &set[1..] {
             let row = self.row(*key);
@@ -200,11 +282,11 @@ impl<'s> SimilarityIndex<'s> {
         }
         let computed: Arc<[f64]> = acc.into();
         let mut cache = self.max_rows.lock().unwrap();
-        if cache.len() >= MAX_CACHED_COMBINED_ROWS && !cache.contains_key(&set) {
+        if cache.len() >= MAX_CACHED_COMBINED_ROWS && !cache.contains_key(&cache_key) {
             // Cache full: serve the computed row uncached rather than grow.
             return computed;
         }
-        Arc::clone(cache.entry(set).or_insert(computed))
+        Arc::clone(cache.entry(cache_key).or_insert(computed))
     }
 
     /// Per-segment rows plus the suffix-max rows a path-shaped plan needs:
@@ -225,6 +307,7 @@ impl<'s> SimilarityIndex<'s> {
             row_misses: self.row_misses.load(Ordering::Relaxed),
             max_row_hits: self.max_row_hits.load(Ordering::Relaxed),
             max_row_misses: self.max_row_misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
         }
     }
 }
@@ -336,6 +419,69 @@ mod tests {
             assert!((suffix[0][i] - expected).abs() < 1e-12);
             assert_eq!(suffix[2][i], rows[2][i]);
         }
+    }
+
+    #[test]
+    fn vocab_growth_invalidates_and_pads_rows() {
+        let s = space();
+        let idx = SimilarityIndex::new(&s);
+        let p = PredicateId::new(0);
+        let short = idx.row(RowKey::Predicate(p));
+        assert_eq!(short.len(), 3);
+        assert_eq!(idx.row_len(), 3);
+
+        // A live graph grew two predicates past the space's vocabulary.
+        idx.ensure_vocab(5);
+        assert_eq!(idx.row_len(), 5);
+        assert_eq!(idx.stats().invalidations, 1);
+        let long = idx.row(RowKey::Predicate(p));
+        assert_eq!(long.len(), 5, "re-issued row spans the new vocabulary");
+        assert_eq!(long[3], 0.0, "padding is transform(0.0)");
+        assert_eq!(&long[..3], &short[..], "known similarities unchanged");
+        // The pre-growth handle is untouched (pinned plans keep working).
+        assert_eq!(short.len(), 3);
+
+        // Shrinking is a no-op; equal size too.
+        idx.ensure_vocab(4);
+        idx.ensure_vocab(5);
+        assert_eq!(idx.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn out_of_space_predicate_knows_only_itself() {
+        let s = space();
+        let idx = SimilarityIndex::new(&s);
+        idx.ensure_vocab(5);
+        // Predicate 4 was added to the graph after training.
+        let row = idx.row(RowKey::Predicate(PredicateId::new(4)));
+        assert_eq!(row.len(), 5);
+        assert_eq!(row[4], 1.0, "identity similarity");
+        for (i, &v) in row.iter().enumerate() {
+            if i != 4 {
+                assert_eq!(v, 0.0, "unknown similarity at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_rows_are_invalidated_by_vocab_growth() {
+        let s = space();
+        let idx = SimilarityIndex::new(&s);
+        let keys = [
+            RowKey::Predicate(PredicateId::new(0)),
+            RowKey::Predicate(PredicateId::new(2)),
+        ];
+        let before = idx.max_row(&keys);
+        assert_eq!(before.len(), 3);
+        idx.ensure_vocab(6);
+        let after = idx.max_row(&keys);
+        assert_eq!(after.len(), 6, "combined row re-issued at new vocab");
+        assert_eq!(&after[..3], &before[..]);
+        assert_eq!(
+            idx.stats().max_row_misses,
+            2,
+            "post-growth request recomputes instead of serving the stale row"
+        );
     }
 
     #[test]

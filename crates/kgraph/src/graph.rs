@@ -56,6 +56,8 @@ pub struct GraphBuilder {
     /// `(src, predicate, dst)` edges would inflate CSR adjacency and skew
     /// the decomposition cost model's `avg_degree`.
     edge_ids: FxHashMap<EdgeRecord, EdgeId>,
+    /// How many exact-duplicate insertions the guard collapsed.
+    duplicate_edges_dropped: usize,
 }
 
 impl GraphBuilder {
@@ -109,6 +111,7 @@ impl GraphBuilder {
             predicate: pred,
         };
         if let Some(&existing) = self.edge_ids.get(&record) {
+            self.duplicate_edges_dropped += 1;
             return existing;
         }
         let edge = EdgeId::new(self.edges.len() as u32);
@@ -137,6 +140,27 @@ impl GraphBuilder {
     /// Number of edges added so far.
     pub fn edge_count(&self) -> usize {
         self.edges.len()
+    }
+
+    /// How many exact-duplicate edge insertions have been collapsed so far
+    /// (the builder dedupes silently; this makes the drops observable).
+    pub fn duplicate_edges_dropped(&self) -> usize {
+        self.duplicate_edges_dropped
+    }
+
+    /// Interns a type label without attaching it to a node yet. Used by
+    /// [`crate::versioned::VersionedGraph::compact`] to reproduce a
+    /// snapshot's type-id order before nodes are re-added, so type ids
+    /// survive compaction.
+    pub fn intern_type(&mut self, ty: &str) -> TypeId {
+        TypeId::new(self.types.intern(ty))
+    }
+
+    /// Interns a predicate label without attaching it to an edge yet (the
+    /// compaction counterpart of [`GraphBuilder::intern_type`], keeping
+    /// predicate ids — and therefore predicate-space rows — stable).
+    pub fn intern_predicate(&mut self, predicate: &str) -> PredicateId {
+        PredicateId::new(self.predicates.intern(predicate))
     }
 
     /// Freezes the builder into an immutable CSR-backed graph.
@@ -188,6 +212,7 @@ impl GraphBuilder {
             out_edges,
             in_offsets,
             in_edges,
+            duplicate_edges_dropped: self.duplicate_edges_dropped,
         }
     }
 }
@@ -208,6 +233,8 @@ pub struct KnowledgeGraph {
     out_edges: Vec<EdgeId>,
     in_offsets: Vec<u32>,
     in_edges: Vec<EdgeId>,
+    #[serde(default)]
+    duplicate_edges_dropped: usize,
 }
 
 impl KnowledgeGraph {
@@ -224,6 +251,12 @@ impl KnowledgeGraph {
     /// Number of distinct entity types.
     pub fn type_count(&self) -> usize {
         self.types.len()
+    }
+
+    /// How many exact-duplicate edge insertions the builder collapsed while
+    /// this graph was assembled.
+    pub fn duplicate_edges_dropped(&self) -> usize {
+        self.duplicate_edges_dropped
     }
 
     /// Number of distinct predicates.
@@ -559,13 +592,35 @@ mod tests {
         b.add_edge(y, x, "p"); // reversed direction is a distinct edge
         b.add_edge(x, y, "q"); // different predicate is a distinct edge
         assert_eq!(b.edge_count(), 3);
+        assert_eq!(b.duplicate_edges_dropped(), 1);
         let g = b.finish();
         assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.duplicate_edges_dropped(), 1);
         assert_eq!(g.out_edges(x).len(), 2);
         assert_eq!(g.degree(x), 3);
         // avg_degree feeds the decomposition cost model: 3 edges, 2 nodes.
         let stats = crate::stats::GraphStats::of(&g);
         assert!((stats.avg_degree - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_interns_vocabulary_ahead_of_use() {
+        let mut b = GraphBuilder::new();
+        let t0 = b.intern_type("Automobile");
+        let p0 = b.intern_predicate("assembly");
+        let p1 = b.intern_predicate("product");
+        // Re-interning through normal node/edge insertion reuses the ids.
+        let a = b.add_node("Audi_TT", "Automobile");
+        let d = b.add_node("Germany", "Country");
+        let e = b.add_edge(a, d, "product");
+        let g = b.finish();
+        assert_eq!(g.node_type(a), t0);
+        assert_eq!(g.edge(e).predicate, p1);
+        assert_eq!(g.predicate_id("assembly"), Some(p0));
+        // Pre-interned but unused labels survive into the frozen graph.
+        assert_eq!(g.predicate_count(), 2);
+        assert_eq!(g.type_count(), 2);
+        assert!(g.nodes_with_type(t0).contains(&a));
     }
 
     #[test]

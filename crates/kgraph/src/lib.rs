@@ -36,6 +36,8 @@ pub mod io;
 pub mod stats;
 pub mod triple;
 pub mod typing;
+pub mod versioned;
+pub mod view;
 
 pub use error::{KgError, Result};
 pub use graph::{EdgeRecord, GraphBuilder, KnowledgeGraph, NeighborRef};
@@ -43,3 +45,5 @@ pub use ids::{EdgeId, NodeId, PredicateId, TypeId};
 pub use interner::Interner;
 pub use stats::GraphStats;
 pub use triple::Triple;
+pub use versioned::{DeltaOverlay, GraphSnapshot, InsertOutcome, VersionedGraph, VersionedStats};
+pub use view::GraphView;

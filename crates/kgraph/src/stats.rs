@@ -6,10 +6,11 @@
 //! estimate discussed in §V: "the average degree of each node in DBpedia 3.9
 //! is nearly 24, so a 3-hop match has 24³ candidate paths").
 
-use crate::graph::KnowledgeGraph;
+use crate::view::GraphView;
 use serde::{Deserialize, Serialize};
 
-/// Summary statistics of a [`KnowledgeGraph`].
+/// Summary statistics of any [`GraphView`] (a frozen [`crate::KnowledgeGraph`]
+/// or a versioned [`crate::versioned::GraphSnapshot`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GraphStats {
     /// Number of entities (paper Table IV "# Entities").
@@ -26,11 +27,15 @@ pub struct GraphStats {
     pub max_degree: usize,
     /// Number of isolated (degree-0) nodes.
     pub isolated: usize,
+    /// Exact-duplicate edge insertions the builder collapsed silently
+    /// while the graph was assembled.
+    #[serde(default)]
+    pub duplicate_edges_dropped: usize,
 }
 
 impl GraphStats {
     /// Computes statistics in one adjacency pass.
-    pub fn of(graph: &KnowledgeGraph) -> Self {
+    pub fn of<G: GraphView>(graph: &G) -> Self {
         let mut max_degree = 0usize;
         let mut isolated = 0usize;
         let mut total = 0usize;
@@ -51,6 +56,7 @@ impl GraphStats {
             avg_degree: if n == 0 { 0.0 } else { total as f64 / n as f64 },
             max_degree,
             isolated,
+            duplicate_edges_dropped: graph.duplicate_edges_dropped(),
         }
     }
 }
@@ -59,14 +65,15 @@ impl std::fmt::Display for GraphStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "entities={} relations={} types={} predicates={} avg_degree={:.2} max_degree={} isolated={}",
+            "entities={} relations={} types={} predicates={} avg_degree={:.2} max_degree={} isolated={} dup_edges_dropped={}",
             self.entities,
             self.relations,
             self.entity_types,
             self.predicates,
             self.avg_degree,
             self.max_degree,
-            self.isolated
+            self.isolated,
+            self.duplicate_edges_dropped
         )
     }
 }
@@ -85,6 +92,7 @@ mod tests {
         b.add_node("Iso", "T3");
         b.add_edge(a, c, "p");
         b.add_edge(a, d, "q");
+        b.add_edge(a, c, "p"); // exact duplicate, silently collapsed
         let g = b.finish();
         let s = GraphStats::of(&g);
         assert_eq!(s.entities, 4);
@@ -93,6 +101,7 @@ mod tests {
         assert_eq!(s.predicates, 2);
         assert_eq!(s.max_degree, 2);
         assert_eq!(s.isolated, 1);
+        assert_eq!(s.duplicate_edges_dropped, 1);
         assert!((s.avg_degree - 1.0).abs() < 1e-12); // 4 endpoints / 4 nodes
     }
 

@@ -1,0 +1,719 @@
+//! Live-update subsystem: an MVCC-style versioned graph store.
+//!
+//! The paper's engine assumes a frozen knowledge graph; real KGs receive a
+//! constant stream of edge insertions and deletions. [`VersionedGraph`]
+//! absorbs that stream without rebuilding the CSR per update:
+//!
+//! * the **base** is an immutable [`KnowledgeGraph`] shared via `Arc`;
+//! * writes accumulate in a [`DeltaOverlay`] (added nodes/edges, tombstoned
+//!   edges, extended type/predicate vocabularies);
+//! * [`VersionedGraph::commit`] freezes the overlay and publishes a new
+//!   epoch-tagged [`GraphSnapshot`] — readers pin a snapshot (two `Arc`
+//!   bumps) and see one consistent epoch for their whole query, regardless
+//!   of concurrent writes;
+//! * [`VersionedGraph::compact`] merges base ∪ delta − tombstones into a
+//!   fresh CSR and restarts with an empty overlay. Node, type and predicate
+//!   ids are **preserved** across compaction (so offline-trained predicate
+//!   spaces stay aligned); edge ids are reassigned densely.
+//!
+//! Writers are serialised by a mutex; readers never take it. `commit` is
+//! `O(|overlay|)` (it clones the accumulated delta), `compact` is
+//! `O(n + m)`; both are expected to run on a maintenance thread while query
+//! threads keep answering from their pinned snapshots.
+
+mod overlay;
+mod snapshot;
+
+pub use overlay::DeltaOverlay;
+pub use snapshot::GraphSnapshot;
+
+use crate::graph::{EdgeRecord, GraphBuilder, KnowledgeGraph};
+use crate::ids::{EdgeId, PredicateId};
+use crate::view::GraphView;
+use rustc_hash::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Writer-side counters and overlay gauges (see [`VersionedGraph::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VersionedStats {
+    /// Epoch of the currently published snapshot.
+    pub epoch: u64,
+    /// Successful edge insertions (including resurrections of tombstones).
+    pub inserts: u64,
+    /// Successful edge deletions.
+    pub deletes: u64,
+    /// Insertions dropped because the identical triple was already live.
+    pub duplicate_inserts: u64,
+    /// Commits published.
+    pub commits: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+    /// Nodes currently in the (uncommitted) overlay.
+    pub delta_nodes: usize,
+    /// Edges currently in the overlay (tombstoned or not).
+    pub delta_edges: usize,
+    /// Tombstoned edges currently in the overlay.
+    pub tombstones: usize,
+    /// True when changes are staged but not yet committed.
+    pub staged: bool,
+}
+
+/// What [`VersionedGraph::insert_triple`] did with the staged triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// A new delta edge was created.
+    Inserted(EdgeId),
+    /// The triple existed but was tombstoned; the tombstone was removed.
+    Resurrected(EdgeId),
+    /// The identical triple is already live; nothing changed.
+    Duplicate(EdgeId),
+}
+
+impl InsertOutcome {
+    /// The edge the triple resolved to, whatever happened.
+    pub fn edge(self) -> EdgeId {
+        match self {
+            InsertOutcome::Inserted(e)
+            | InsertOutcome::Resurrected(e)
+            | InsertOutcome::Duplicate(e) => e,
+        }
+    }
+
+    /// True when the insert changed the staged state.
+    pub fn changed(self) -> bool {
+        !matches!(self, InsertOutcome::Duplicate(_))
+    }
+}
+
+struct WriterState {
+    base: Arc<KnowledgeGraph>,
+    overlay: DeltaOverlay,
+    /// Exact-duplicate guard over the *delta* edges (base duplicates are
+    /// found by scanning the base adjacency row, which is O(degree)).
+    edge_dedup: FxHashMap<EdgeRecord, EdgeId>,
+    /// Changes staged since the last commit/compaction.
+    dirty: bool,
+}
+
+impl WriterState {
+    /// Finds a (live or tombstoned) edge with this exact shape.
+    fn find_edge(&self, record: EdgeRecord) -> Option<EdgeId> {
+        if record.src.index() < self.overlay.base_nodes as usize {
+            for &e in self.base.out_edges(record.src) {
+                if self.base.edge(e) == record {
+                    return Some(e);
+                }
+            }
+        }
+        self.edge_dedup.get(&record).copied()
+    }
+}
+
+/// A knowledge graph that accepts live updates while serving immutable
+/// epoch snapshots (see module docs).
+pub struct VersionedGraph {
+    state: Mutex<WriterState>,
+    published: RwLock<GraphSnapshot>,
+    epoch: AtomicU64,
+    inserts: AtomicU64,
+    deletes: AtomicU64,
+    duplicate_inserts: AtomicU64,
+    commits: AtomicU64,
+    compactions: AtomicU64,
+}
+
+impl std::fmt::Debug for VersionedGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VersionedGraph")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl VersionedGraph {
+    /// Wraps a frozen graph as epoch 0 with an empty overlay.
+    pub fn new(base: KnowledgeGraph) -> Self {
+        let base = Arc::new(base);
+        let overlay = DeltaOverlay::empty(&base);
+        let snapshot = GraphSnapshot::new(Arc::clone(&base), Arc::new(overlay.clone()), 0);
+        Self {
+            state: Mutex::new(WriterState {
+                base,
+                overlay,
+                edge_dedup: FxHashMap::default(),
+                dirty: false,
+            }),
+            published: RwLock::new(snapshot),
+            epoch: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+            duplicate_inserts: AtomicU64::new(0),
+            commits: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+        }
+    }
+
+    /// Epoch of the currently published snapshot. Lock-free — services poll
+    /// this per query to detect staleness cheaply.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Pins the currently published snapshot (two `Arc` bumps).
+    pub fn snapshot(&self) -> GraphSnapshot {
+        self.published.read().unwrap().clone()
+    }
+
+    /// Stages an edge insertion `head --predicate--> tail`, creating the
+    /// endpoint nodes (and interning new types/predicates) as needed.
+    /// Matches [`GraphBuilder`] semantics: an existing node keeps its type,
+    /// and an exact-duplicate live triple collapses onto the existing edge.
+    /// Inserting a previously deleted triple resurrects it.
+    ///
+    /// Staged changes are invisible to snapshots until [`Self::commit`].
+    pub fn insert_triple(
+        &self,
+        head: (&str, &str),
+        predicate: &str,
+        tail: (&str, &str),
+    ) -> InsertOutcome {
+        let mut state = self.state.lock().unwrap();
+        let state = &mut *state;
+        let src = state
+            .overlay
+            .resolve_or_add_node(&state.base, head.0, head.1);
+        let dst = state
+            .overlay
+            .resolve_or_add_node(&state.base, tail.0, tail.1);
+        let pred = state.overlay.intern_predicate(&state.base, predicate);
+        let record = EdgeRecord {
+            src,
+            dst,
+            predicate: pred,
+        };
+        if let Some(existing) = state.find_edge(record) {
+            return if state.overlay.tombstones.remove(&existing) {
+                self.inserts.fetch_add(1, Ordering::Relaxed);
+                state.dirty = true;
+                InsertOutcome::Resurrected(existing)
+            } else {
+                self.duplicate_inserts.fetch_add(1, Ordering::Relaxed);
+                InsertOutcome::Duplicate(existing)
+            };
+        }
+        let id = state.overlay.push_edge(record);
+        state.edge_dedup.insert(record, id);
+        state.dirty = true;
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        InsertOutcome::Inserted(id)
+    }
+
+    /// Stages the deletion of the live edge `head --predicate--> tail`.
+    /// Returns `false` when no such live edge exists (unknown names,
+    /// unknown predicate, or already deleted).
+    pub fn delete_triple(&self, head: &str, predicate: &str, tail: &str) -> bool {
+        let mut state = self.state.lock().unwrap();
+        let state = &mut *state;
+        let (Some(src), Some(dst)) = (
+            state.overlay.node_by_name(&state.base, head),
+            state.overlay.node_by_name(&state.base, tail),
+        ) else {
+            return false;
+        };
+        let Some(pred) = state.overlay.predicate_id(&state.base, predicate) else {
+            return false;
+        };
+        let record = EdgeRecord {
+            src,
+            dst,
+            predicate: pred,
+        };
+        match state.find_edge(record) {
+            Some(edge) if !state.overlay.is_tombstoned(edge) => {
+                state.overlay.tombstones.insert(edge);
+                state.dirty = true;
+                self.deletes.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Stages the deletion of `edge` by id. Returns `false` for an unknown
+    /// or already tombstoned id.
+    pub fn delete_edge(&self, edge: EdgeId) -> bool {
+        let mut state = self.state.lock().unwrap();
+        let known = edge.index() < state.overlay.base_edges as usize + state.overlay.edges.len();
+        if !known || state.overlay.is_tombstoned(edge) {
+            return false;
+        }
+        state.overlay.tombstones.insert(edge);
+        state.dirty = true;
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Publishes the staged overlay as a new epoch snapshot and returns it.
+    /// A clean state republishes the current snapshot without an epoch bump,
+    /// so idle periodic commits stay free.
+    pub fn commit(&self) -> GraphSnapshot {
+        let mut state = self.state.lock().unwrap();
+        if !state.dirty {
+            return self.published.read().unwrap().clone();
+        }
+        let epoch = self.epoch.load(Ordering::Acquire) + 1;
+        let snapshot = GraphSnapshot::new(
+            Arc::clone(&state.base),
+            Arc::new(state.overlay.clone()),
+            epoch,
+        );
+        *self.published.write().unwrap() = snapshot.clone();
+        self.epoch.store(epoch, Ordering::Release);
+        state.dirty = false;
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        snapshot
+    }
+
+    /// Merges base ∪ delta − tombstones (including staged changes — compact
+    /// implies commit) into a fresh CSR, publishes it as a new epoch with an
+    /// empty overlay, and returns the snapshot.
+    ///
+    /// Node, type and predicate ids are preserved — every label is re-interned
+    /// in snapshot id order before any node or edge is added, even labels
+    /// whose last use was tombstoned — so predicate spaces and type masks
+    /// trained against earlier epochs stay positionally aligned. Edge ids are
+    /// reassigned densely in unified insertion order, which keeps per-node
+    /// adjacency order (and therefore search tie-breaking) identical to the
+    /// overlay view.
+    ///
+    /// Runs under the writer lock: concurrent writers stall for the rebuild,
+    /// readers keep answering from their pinned snapshots. Call it from a
+    /// maintenance thread.
+    pub fn compact(&self) -> GraphSnapshot {
+        let mut state = self.state.lock().unwrap();
+        if state.overlay.is_empty() {
+            return self.published.read().unwrap().clone();
+        }
+        let epoch = self.epoch.load(Ordering::Acquire) + 1;
+        let merged = GraphSnapshot::new(
+            Arc::clone(&state.base),
+            Arc::new(state.overlay.clone()),
+            epoch,
+        );
+
+        let mut b = GraphBuilder::new();
+        for (_, label) in GraphView::types(&merged) {
+            b.intern_type(label);
+        }
+        for (_, label) in GraphView::predicates(&merged) {
+            b.intern_predicate(label);
+        }
+        for node in GraphView::nodes(&merged) {
+            let added = b.add_node(merged.node_name(node), merged.node_type_name(node));
+            debug_assert_eq!(added, node, "compaction must preserve node ids");
+        }
+        for (_, rec) in GraphView::edges(&merged) {
+            b.add_edge(rec.src, rec.dst, merged.predicate_name(rec.predicate));
+        }
+        let base = Arc::new(b.finish());
+
+        state.overlay = DeltaOverlay::empty(&base);
+        state.edge_dedup.clear();
+        state.base = Arc::clone(&base);
+        state.dirty = false;
+        let snapshot = GraphSnapshot::new(base, Arc::new(state.overlay.clone()), epoch);
+        *self.published.write().unwrap() = snapshot.clone();
+        self.epoch.store(epoch, Ordering::Release);
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        snapshot
+    }
+
+    /// Writer-side counters plus current overlay gauges.
+    pub fn stats(&self) -> VersionedStats {
+        let state = self.state.lock().unwrap();
+        VersionedStats {
+            epoch: self.epoch.load(Ordering::Acquire),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            duplicate_inserts: self.duplicate_inserts.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            delta_nodes: state.overlay.added_nodes(),
+            delta_edges: state.overlay.added_edges(),
+            tombstones: state.overlay.tombstone_count(),
+            staged: state.dirty,
+        }
+    }
+
+    /// Resolves a predicate label against the *staged* vocabulary (base +
+    /// overlay, including uncommitted interns).
+    pub fn staged_predicate_id(&self, label: &str) -> Option<PredicateId> {
+        let state = self.state.lock().unwrap();
+        state.overlay.predicate_id(&state.base, label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::GraphStats;
+    use proptest::prelude::*;
+
+    fn base_graph() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let audi = b.add_node("Audi_TT", "Automobile");
+        let kia = b.add_node("KIA_K5", "Automobile");
+        let de = b.add_node("Germany", "Country");
+        let kr = b.add_node("Korea", "Country");
+        b.add_edge(audi, de, "assembly");
+        b.add_edge(kia, kr, "assembly");
+        b.add_edge(audi, kr, "export");
+        b.finish()
+    }
+
+    /// The live triples of a view as sortable label tuples.
+    fn triples<G: GraphView>(g: &G) -> Vec<(String, String, String)> {
+        let mut out: Vec<_> = g
+            .edges()
+            .map(|(_, rec)| {
+                (
+                    g.node_name(rec.src).to_string(),
+                    g.predicate_name(rec.predicate).to_string(),
+                    g.node_name(rec.dst).to_string(),
+                )
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_staged_writes() {
+        let v = VersionedGraph::new(base_graph());
+        let before = v.snapshot();
+        assert_eq!(before.epoch(), 0);
+        assert!(before.is_compacted());
+
+        v.insert_triple(
+            ("BMW_320", "Automobile"),
+            "assembly",
+            ("Germany", "Country"),
+        );
+        // Staged but uncommitted: still invisible.
+        assert_eq!(v.snapshot().edge_count(), 3);
+
+        let after = v.commit();
+        assert_eq!(after.epoch(), 1);
+        assert_eq!(after.edge_count(), 4);
+        assert_eq!(after.node_count(), 5);
+        // The pinned pre-commit snapshot is untouched.
+        assert_eq!(before.edge_count(), 3);
+        assert_eq!(before.node_count(), 4);
+        assert!(before.node_by_name("BMW_320").is_none());
+        assert!(after.node_by_name("BMW_320").is_some());
+    }
+
+    #[test]
+    fn tombstones_hide_base_edges_everywhere() {
+        let v = VersionedGraph::new(base_graph());
+        assert!(v.delete_triple("Audi_TT", "assembly", "Germany"));
+        let s = v.commit();
+        assert_eq!(s.edge_count(), 2);
+        let audi = s.node_by_name("Audi_TT").unwrap();
+        let de = s.node_by_name("Germany").unwrap();
+        assert!(s.neighbors(audi).all(|nb| nb.node != de));
+        assert!(s.neighbors(de).next().is_none());
+        assert_eq!(s.degree(audi), 1);
+        assert!(!triples(&s).contains(&("Audi_TT".into(), "assembly".into(), "Germany".into())));
+        // Deleting it again fails; re-inserting resurrects it.
+        assert!(!v.delete_triple("Audi_TT", "assembly", "Germany"));
+        v.insert_triple(
+            ("Audi_TT", "Automobile"),
+            "assembly",
+            ("Germany", "Country"),
+        );
+        let s2 = v.commit();
+        assert_eq!(s2.edge_count(), 3);
+        assert_eq!(
+            triples(&s2),
+            triples(&GraphSnapshot::new(
+                Arc::new(base_graph()),
+                Arc::new(DeltaOverlay::empty(&base_graph())),
+                0,
+            ))
+        );
+    }
+
+    #[test]
+    fn duplicate_inserts_collapse_and_are_counted() {
+        let v = VersionedGraph::new(base_graph());
+        let first = v.insert_triple(
+            ("Audi_TT", "Automobile"),
+            "assembly",
+            ("Germany", "Country"),
+        );
+        assert_eq!(
+            first,
+            InsertOutcome::Duplicate(EdgeId::new(0)),
+            "live base edge is reused"
+        );
+        assert!(!first.changed());
+        let e1 = v.insert_triple(("X", "T"), "p", ("Y", "T"));
+        let e2 = v.insert_triple(("X", "T"), "p", ("Y", "T"));
+        assert!(matches!(e1, InsertOutcome::Inserted(_)));
+        assert_eq!(e1.edge(), e2.edge(), "live delta edge is reused");
+        let stats = v.stats();
+        assert_eq!(stats.duplicate_inserts, 2);
+        assert_eq!(stats.inserts, 1);
+        assert_eq!(v.commit().edge_count(), 4);
+    }
+
+    #[test]
+    fn new_vocabulary_extends_base_ids() {
+        let v = VersionedGraph::new(base_graph());
+        let base_preds = v.snapshot().predicate_count();
+        let base_types = v.snapshot().type_count();
+        v.insert_triple(("Peter", "Person"), "designer", ("KIA_K5", "Automobile"));
+        let s = v.commit();
+        assert_eq!(s.predicate_count(), base_preds + 1);
+        assert_eq!(s.type_count(), base_types + 1);
+        let designer = s.predicate_id("designer").unwrap();
+        assert_eq!(designer.index(), base_preds);
+        assert_eq!(s.predicate_name(designer), "designer");
+        let person = s.type_id("Person").unwrap();
+        assert_eq!(s.type_name(person), "Person");
+        let peter = s.node_by_name("Peter").unwrap();
+        assert_eq!(s.node_type(peter), person);
+        assert_eq!(s.nodes_with_type(person).as_ref(), &[peter]);
+        // Mixed base+delta membership concatenates in id order.
+        v.insert_triple(
+            ("Lamando", "Automobile"),
+            "assembly",
+            ("Germany", "Country"),
+        );
+        let s2 = v.commit();
+        let auto = s2.type_id("Automobile").unwrap();
+        let autos = s2.nodes_with_type(auto);
+        assert_eq!(autos.len(), 3);
+        assert_eq!(s2.node_name(autos[2]), "Lamando");
+    }
+
+    #[test]
+    fn compaction_preserves_ids_and_triples() {
+        let v = VersionedGraph::new(base_graph());
+        v.insert_triple(("Peter", "Person"), "designer", ("KIA_K5", "Automobile"));
+        v.delete_triple("Audi_TT", "export", "Korea");
+        v.insert_triple(
+            ("BMW_320", "Automobile"),
+            "assembly",
+            ("Germany", "Country"),
+        );
+        let overlayed = v.commit();
+        assert!(!overlayed.is_compacted());
+        let compacted = v.compact();
+        assert!(compacted.is_compacted());
+        assert_eq!(compacted.epoch(), overlayed.epoch() + 1);
+        assert_eq!(triples(&compacted), triples(&overlayed));
+        // Node / type / predicate ids preserved.
+        for node in GraphView::nodes(&overlayed) {
+            assert_eq!(compacted.node_name(node), overlayed.node_name(node));
+            assert_eq!(compacted.node_type(node), overlayed.node_type(node));
+        }
+        for (id, label) in GraphView::predicates(&overlayed) {
+            assert_eq!(compacted.predicate_id(label), Some(id));
+        }
+        for (id, label) in GraphView::types(&overlayed) {
+            assert_eq!(compacted.type_id(label), Some(id));
+        }
+        // Edge ids are dense again.
+        assert_eq!(compacted.edge_count(), compacted.base().edge_count());
+        // Idempotent: a second compact with a clean overlay is a no-op.
+        let again = v.compact();
+        assert_eq!(again.epoch(), compacted.epoch());
+    }
+
+    /// The load-bearing ordering guarantee: per-node adjacency on an overlay
+    /// snapshot iterates in exactly the order the compacted CSR yields.
+    #[test]
+    fn overlay_adjacency_order_matches_compacted() {
+        let v = VersionedGraph::new(base_graph());
+        v.insert_triple(("Audi_TT", "Automobile"), "product", ("Germany", "Country"));
+        v.insert_triple(
+            ("Lamando", "Automobile"),
+            "assembly",
+            ("Germany", "Country"),
+        );
+        v.delete_triple("KIA_K5", "assembly", "Korea");
+        v.insert_triple(("Germany", "Country"), "partner", ("Korea", "Country"));
+        let overlayed = v.commit();
+        let compacted = v.compact();
+        for node in GraphView::nodes(&overlayed) {
+            let a: Vec<_> = overlayed
+                .neighbors(node)
+                .map(|nb| {
+                    (
+                        overlayed.node_name(nb.node).to_string(),
+                        overlayed.predicate_name(nb.predicate).to_string(),
+                        nb.outgoing,
+                    )
+                })
+                .collect();
+            let b: Vec<_> = compacted
+                .neighbors(node)
+                .map(|nb| {
+                    (
+                        compacted.node_name(nb.node).to_string(),
+                        compacted.predicate_name(nb.predicate).to_string(),
+                        nb.outgoing,
+                    )
+                })
+                .collect();
+            assert_eq!(a, b, "adjacency order diverged at node {node:?}");
+        }
+    }
+
+    #[test]
+    fn graph_stats_work_on_snapshots() {
+        let v = VersionedGraph::new(base_graph());
+        v.insert_triple(
+            ("BMW_320", "Automobile"),
+            "assembly",
+            ("Germany", "Country"),
+        );
+        v.delete_triple("Audi_TT", "export", "Korea");
+        let s = v.commit();
+        let stats = GraphStats::of(&s);
+        assert_eq!(stats.entities, 5);
+        assert_eq!(stats.relations, 3);
+        let compacted_stats = GraphStats::of(&v.compact());
+        assert_eq!(stats.entities, compacted_stats.entities);
+        assert_eq!(stats.relations, compacted_stats.relations);
+        assert_eq!(stats.max_degree, compacted_stats.max_degree);
+        assert!((stats.avg_degree - compacted_stats.avg_degree).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delete_by_id_and_unknown_deletes() {
+        let v = VersionedGraph::new(base_graph());
+        assert!(v.delete_edge(EdgeId::new(0)));
+        assert!(!v.delete_edge(EdgeId::new(0)), "already tombstoned");
+        assert!(!v.delete_edge(EdgeId::new(99)), "unknown id");
+        assert!(!v.delete_triple("Nobody", "assembly", "Germany"));
+        assert!(!v.delete_triple("Audi_TT", "zorblify", "Germany"));
+        assert_eq!(v.commit().edge_count(), 2);
+    }
+
+    #[test]
+    fn clean_commit_does_not_bump_epoch() {
+        let v = VersionedGraph::new(base_graph());
+        assert_eq!(v.commit().epoch(), 0);
+        v.insert_triple(("X", "T"), "p", ("Y", "T"));
+        assert_eq!(v.commit().epoch(), 1);
+        assert_eq!(v.commit().epoch(), 1, "nothing staged");
+        assert_eq!(v.epoch(), 1);
+    }
+
+    /// A reference model: the net result of an op sequence, applied to a
+    /// plain `GraphBuilder` from scratch.
+    fn reference_build(
+        base_triples: &[(&str, &str, &str)],
+        ops: &[(bool, usize, usize, usize)],
+        nodes: &[&str],
+        preds: &[&str],
+    ) -> KnowledgeGraph {
+        // Replay the ops on a simple live-set model.
+        let mut live: Vec<(String, String, String)> = base_triples
+            .iter()
+            .map(|&(h, p, t)| (h.into(), p.into(), t.into()))
+            .collect();
+        let mut known_nodes: Vec<String> = Vec::new();
+        for &(h, _, t) in base_triples {
+            for n in [h, t] {
+                if !known_nodes.iter().any(|k| k == n) {
+                    known_nodes.push(n.into());
+                }
+            }
+        }
+        for &(insert, h, p, t) in ops {
+            let triple = (
+                nodes[h % nodes.len()].to_string(),
+                preds[p % preds.len()].to_string(),
+                nodes[t % nodes.len()].to_string(),
+            );
+            if insert {
+                for n in [&triple.0, &triple.2] {
+                    if !known_nodes.iter().any(|k| k == n) {
+                        known_nodes.push(n.clone());
+                    }
+                }
+                if !live.contains(&triple) {
+                    live.push(triple);
+                }
+            } else if let Some(pos) = live.iter().position(|x| *x == triple) {
+                live.remove(pos);
+            }
+        }
+        let mut b = GraphBuilder::new();
+        for n in &known_nodes {
+            b.add_node(n, "T");
+        }
+        for (h, p, t) in &live {
+            let src = b.node_by_name(h).unwrap();
+            let dst = b.node_by_name(t).unwrap();
+            b.add_edge(src, dst, p);
+        }
+        b.finish()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// Any interleaving of inserts and deletes, committed and compacted,
+        /// is graph-equivalent (same nodes, same live triples) to a
+        /// from-scratch build of the net result — and the uncompacted
+        /// overlay already agrees with the compacted CSR.
+        #[test]
+        fn prop_overlay_compact_rebuild_agree(
+            ops in proptest::collection::vec(
+                (proptest::bool::ANY, 0usize..6, 0usize..3, 0usize..6),
+                0..60,
+            ),
+        ) {
+            let nodes = ["N0", "N1", "N2", "N3", "N4", "N5"];
+            let preds = ["p0", "p1", "p2"];
+            let base_triples = [("N0", "p0", "N1"), ("N1", "p1", "N2"), ("N0", "p2", "N2")];
+
+            let mut b = GraphBuilder::new();
+            for &(h, p, t) in &base_triples {
+                b.add_triple((h, "T"), p, (t, "T"));
+            }
+            let v = VersionedGraph::new(b.finish());
+            for &(insert, h, p, t) in &ops {
+                let (hn, pn, tn) = (
+                    nodes[h % nodes.len()],
+                    preds[p % preds.len()],
+                    nodes[t % nodes.len()],
+                );
+                if insert {
+                    v.insert_triple((hn, "T"), pn, (tn, "T"));
+                } else {
+                    v.delete_triple(hn, pn, tn);
+                }
+            }
+            let overlayed = v.commit();
+            let compacted = v.compact();
+            let reference = reference_build(&base_triples, &ops, &nodes, &preds);
+
+            prop_assert_eq!(triples(&overlayed), triples(&compacted));
+            prop_assert_eq!(triples(&compacted), triples(&reference));
+            prop_assert_eq!(overlayed.node_count(), reference.node_count());
+            prop_assert_eq!(overlayed.edge_count(), reference.edge_count());
+            // Degrees agree node-by-node (matched through names).
+            for node in GraphView::nodes(&overlayed) {
+                let name = overlayed.node_name(node);
+                let r = reference.node_by_name(name).unwrap();
+                prop_assert_eq!(overlayed.degree(node), reference.degree(r));
+            }
+        }
+    }
+}

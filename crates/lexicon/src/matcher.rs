@@ -8,12 +8,17 @@
 
 use crate::library::TransformationLibrary;
 use crate::normalize::normalize_label;
-use kgraph::{KnowledgeGraph, NodeId, TypeId};
+use kgraph::{GraphView, KnowledgeGraph, NodeId, TypeId};
 use rustc_hash::FxHashMap;
 
-/// Precomputed φ-lookup over one knowledge graph + transformation library.
-pub struct NodeMatcher<'g> {
-    graph: &'g KnowledgeGraph,
+/// Precomputed φ-lookup over one graph view + transformation library.
+///
+/// The matcher owns its graph *handle* `G` (for the static engine that is a
+/// copied `&KnowledgeGraph`; for the live engine an `Arc`-backed
+/// `kgraph::GraphSnapshot` clone), so it pins the same epoch as the engine
+/// that built it.
+pub struct NodeMatcher<'g, G: GraphView = &'g KnowledgeGraph> {
+    graph: G,
     library: &'g TransformationLibrary,
     /// normalised entity name → node ids (names are unique, but distinct raw
     /// names may normalise to the same key).
@@ -22,9 +27,9 @@ pub struct NodeMatcher<'g> {
     type_index: FxHashMap<String, Vec<TypeId>>,
 }
 
-impl<'g> NodeMatcher<'g> {
+impl<'g, G: GraphView> NodeMatcher<'g, G> {
     /// Indexes `graph` for φ lookups through `library`.
-    pub fn new(graph: &'g KnowledgeGraph, library: &'g TransformationLibrary) -> Self {
+    pub fn new(graph: G, library: &'g TransformationLibrary) -> Self {
         let mut name_index: FxHashMap<String, Vec<NodeId>> = FxHashMap::default();
         for node in graph.nodes() {
             name_index
@@ -48,8 +53,8 @@ impl<'g> NodeMatcher<'g> {
     }
 
     /// The graph this matcher indexes.
-    pub fn graph(&self) -> &'g KnowledgeGraph {
-        self.graph
+    pub fn graph(&self) -> &G {
+        &self.graph
     }
 
     /// The transformation library the matcher resolves aliases through.
@@ -100,7 +105,7 @@ impl<'g> NodeMatcher<'g> {
     pub fn match_nodes_by_type(&self, query_type: &str) -> Vec<NodeId> {
         let mut out = Vec::new();
         for ty in self.match_type(query_type) {
-            out.extend_from_slice(self.graph.nodes_with_type(ty));
+            out.extend_from_slice(&self.graph.nodes_with_type(ty));
         }
         out
     }

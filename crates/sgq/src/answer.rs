@@ -1,7 +1,7 @@
 //! Answer types: sub-query matches, assembled final matches, and query
 //! statistics.
 
-use kgraph::{EdgeId, KnowledgeGraph, NodeId};
+use kgraph::{EdgeId, GraphView, NodeId};
 use serde::{Deserialize, Serialize};
 
 /// A match of one sub-query graph: a path `u_s ⇝ u_p` in the semantic graph
@@ -36,7 +36,7 @@ impl SubMatch {
     /// §VII-B table, e.g. `Automobile–assembly–Country`. The pivot end is
     /// printed first as the entity type; intermediate nodes print their
     /// types; the source prints its name.
-    pub fn schema(&self, graph: &KnowledgeGraph) -> String {
+    pub fn schema<G: GraphView>(&self, graph: &G) -> String {
         let mut out = String::new();
         // Walk from pivot back to source so the target type leads.
         for (i, node) in self.nodes.iter().rev().enumerate() {

@@ -27,7 +27,7 @@
 use crate::answer::SubMatch;
 use crate::pss::exact_pss;
 use crate::semgraph::SubQueryPlan;
-use kgraph::{EdgeId, KnowledgeGraph, NodeId};
+use kgraph::{EdgeId, GraphView, KnowledgeGraph, NodeId};
 use rustc_hash::FxHashSet;
 use serde::{Deserialize, Serialize};
 use std::collections::BinaryHeap;
@@ -86,9 +86,10 @@ impl Ord for Frontier {
     }
 }
 
-/// Resumable A\* semantic search over one sub-query plan.
-pub struct AStarSearch<'a> {
-    graph: &'a KnowledgeGraph,
+/// Resumable A\* semantic search over one sub-query plan, generic over the
+/// graph view (static CSR or a versioned epoch snapshot).
+pub struct AStarSearch<'a, G: GraphView = KnowledgeGraph> {
+    graph: &'a G,
     plan: &'a SubQueryPlan,
     arena: Vec<StateRec>,
     heap: BinaryHeap<Frontier>,
@@ -105,19 +106,19 @@ pub struct AStarSearch<'a> {
     discovered: Vec<SubMatch>,
 }
 
-impl<'a> AStarSearch<'a> {
+impl<'a, G: GraphView> AStarSearch<'a, G> {
     /// Seeds the frontier with every φ(v_s) source candidate (Alg. 1 line 1).
-    pub fn new(graph: &'a KnowledgeGraph, plan: &'a SubQueryPlan) -> Self {
+    pub fn new(graph: &'a G, plan: &'a SubQueryPlan) -> Self {
         Self::with_mode(graph, plan, false)
     }
 
     /// Algorithm 2 variant for the time-bounded query: matches surface via
     /// [`AStarSearch::take_discovered`] as soon as they are explored.
-    pub fn new_anytime(graph: &'a KnowledgeGraph, plan: &'a SubQueryPlan) -> Self {
+    pub fn new_anytime(graph: &'a G, plan: &'a SubQueryPlan) -> Self {
         Self::with_mode(graph, plan, true)
     }
 
-    fn with_mode(graph: &'a KnowledgeGraph, plan: &'a SubQueryPlan, anytime: bool) -> Self {
+    fn with_mode(graph: &'a G, plan: &'a SubQueryPlan, anytime: bool) -> Self {
         let mut search = Self {
             graph,
             plan,

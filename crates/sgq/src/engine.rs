@@ -35,8 +35,9 @@ use crate::semgraph::{weight_transform, SubQueryPlan};
 use crate::ta;
 use crate::timebound::{self, TimeBoundConfig};
 use embedding::{PredicateSpace, SimilarityIndex, SimilarityIndexStats};
-use kgraph::{GraphStats, KnowledgeGraph};
+use kgraph::{GraphStats, GraphView, KnowledgeGraph};
 use lexicon::{NodeMatcher, TransformationLibrary};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A query compiled against an engine: decomposition and per-sub-query
@@ -85,22 +86,32 @@ impl PreparedQuery {
 
 /// The semantic-guided query engine (SGQ), with the time-bounded variant
 /// (TBQ) as [`SgqEngine::query_time_bounded`].
-pub struct SgqEngine<'a> {
-    graph: &'a KnowledgeGraph,
+///
+/// Generic over the graph *handle* `G`: the static path instantiates it
+/// with `&KnowledgeGraph` (the default — a copied borrow, zero overhead),
+/// the live path with an owned [`kgraph::GraphSnapshot`] so the engine pins
+/// one epoch of a [`kgraph::VersionedGraph`] for its whole lifetime.
+pub struct SgqEngine<'a, G: GraphView + Clone = &'a KnowledgeGraph> {
+    graph: G,
     space: &'a PredicateSpace,
-    matcher: NodeMatcher<'a>,
+    matcher: NodeMatcher<'a, G>,
     config: SgqConfig,
     avg_degree: f64,
-    /// Engine-lifetime similarity-row cache shared by every query.
-    sim_index: SimilarityIndex<'a>,
-    /// Engine-lifetime worker pool running the sub-query searches.
-    pool: WorkerPool,
+    /// Engine-lifetime similarity-row cache shared by every query — and,
+    /// when injected via [`SgqEngine::with_shared_index`], across engine
+    /// *epochs* of a live service.
+    sim_index: Arc<SimilarityIndex<'a>>,
+    /// Worker pool running the sub-query searches. Engine-lifetime on the
+    /// static path; shared across epoch engines by the live service (via
+    /// [`SgqEngine::with_runtime`]) so adopting an epoch never re-spawns
+    /// threads.
+    pool: Arc<WorkerPool>,
     /// Process-unique id stamped into every [`PreparedQuery`] this engine
     /// builds (see [`SgqEngine::execute`]).
     engine_id: u64,
 }
 
-impl<'a> SgqEngine<'a> {
+impl<'a, G: GraphView + Clone> SgqEngine<'a, G> {
     /// Builds an engine over an embedded knowledge graph. Spawns the
     /// engine-lifetime worker pool ([`SgqConfig::workers`]; `0` = one per
     /// available core, capped at 16). An invalid configuration does not
@@ -108,26 +119,64 @@ impl<'a> SgqEngine<'a> {
     /// but it does get only a minimal placeholder pool, so a corrupt
     /// config cannot tie up threads it will never use.
     pub fn new(
-        graph: &'a KnowledgeGraph,
+        graph: G,
         space: &'a PredicateSpace,
         library: &'a TransformationLibrary,
         config: SgqConfig,
     ) -> Self {
-        static NEXT_ENGINE_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let avg_degree = GraphStats::of(graph).avg_degree;
-        let pool_size = if config.validate().is_ok() {
+        let index = Arc::new(SimilarityIndex::with_transform(space, weight_transform));
+        Self::with_shared_index(graph, space, library, config, index)
+    }
+
+    /// Like [`SgqEngine::new`], but reusing an existing similarity-row
+    /// index (it must carry [`weight_transform`]). The index is grown (and
+    /// its stale rows invalidated) here when the graph's vocabulary
+    /// outgrew it.
+    pub fn with_shared_index(
+        graph: G,
+        space: &'a PredicateSpace,
+        library: &'a TransformationLibrary,
+        config: SgqConfig,
+        sim_index: Arc<SimilarityIndex<'a>>,
+    ) -> Self {
+        let pool = Arc::new(WorkerPool::new(Self::pool_size(&config)));
+        Self::with_runtime(graph, space, library, config, sim_index, pool)
+    }
+
+    /// The worker count an engine would spawn for `config`: an invalid
+    /// configuration (every query will return its validation error) gets a
+    /// minimal placeholder pool so it cannot tie up threads it never uses.
+    pub(crate) fn pool_size(config: &SgqConfig) -> usize {
+        if config.validate().is_ok() {
             config.workers
         } else {
             1
-        };
-        let pool = WorkerPool::new(pool_size);
+        }
+    }
+
+    /// Full runtime injection: similarity index *and* worker pool come from
+    /// the caller. The live service hands every epoch's engine the same
+    /// index and pool, so adopting a new epoch costs the φ-index rebuild
+    /// only — predicate rows survive commits and no threads are spawned.
+    pub fn with_runtime(
+        graph: G,
+        space: &'a PredicateSpace,
+        library: &'a TransformationLibrary,
+        config: SgqConfig,
+        sim_index: Arc<SimilarityIndex<'a>>,
+        pool: Arc<WorkerPool>,
+    ) -> Self {
+        static NEXT_ENGINE_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        sim_index.ensure_vocab(graph.predicate_count());
+        let avg_degree = GraphStats::of(&graph).avg_degree;
+        let matcher = NodeMatcher::new(graph.clone(), library);
         Self {
             graph,
             space,
-            matcher: NodeMatcher::new(graph, library),
+            matcher,
             config,
             avg_degree,
-            sim_index: SimilarityIndex::with_transform(space, weight_transform),
+            sim_index,
             pool,
             engine_id: NEXT_ENGINE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
@@ -143,9 +192,10 @@ impl<'a> SgqEngine<'a> {
         self.config = config;
     }
 
-    /// The underlying knowledge graph.
-    pub fn graph(&self) -> &'a KnowledgeGraph {
-        self.graph
+    /// The underlying graph handle (a `&KnowledgeGraph` on the static path,
+    /// an epoch-pinned `GraphSnapshot` on the live path).
+    pub fn graph(&self) -> &G {
+        &self.graph
     }
 
     /// The predicate semantic space the engine queries against.
@@ -190,7 +240,7 @@ impl<'a> SgqEngine<'a> {
             .iter()
             .map(|sq| {
                 SubQueryPlan::build_with_index(
-                    self.graph,
+                    &self.graph,
                     &self.sim_index,
                     &self.matcher,
                     query,
@@ -242,9 +292,9 @@ impl<'a> SgqEngine<'a> {
         let n = plans.len();
         let cap = config.max_matches_per_subquery;
 
-        let mut searches: Vec<AStarSearch<'_>> = plans
+        let mut searches: Vec<AStarSearch<'_, G>> = plans
             .iter()
-            .map(|p| AStarSearch::new(self.graph, p))
+            .map(|p| AStarSearch::new(&self.graph, p))
             .collect();
         let mut streams: Vec<Vec<crate::answer::SubMatch>> = vec![Vec::new(); n];
         let mut per_subquery_us = vec![0u64; n];
@@ -343,7 +393,7 @@ impl<'a> SgqEngine<'a> {
     ) -> Result<QueryResult> {
         let start = Instant::now();
         let outcome = timebound::run_anytime(
-            self.graph,
+            &self.graph,
             plans,
             config.max_matches_per_subquery,
             tb,

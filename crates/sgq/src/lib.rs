@@ -34,7 +34,10 @@
 //!   handing plans shared `Arc` rows instead of per-query `Vec`s;
 //! * [`service`] — a [`service::QueryService`] front-end serving many
 //!   concurrent client threads over one engine with aggregated
-//!   [`service::ServiceStats`].
+//!   [`service::ServiceStats`];
+//! * [`live`] — a [`live::LiveQueryService`] over a
+//!   [`kgraph::VersionedGraph`]: queries pin epoch snapshots while a writer
+//!   streams edge updates, commits, and compactions underneath.
 //!
 //! ```
 //! use kgraph::GraphBuilder;
@@ -71,6 +74,7 @@ pub mod config;
 pub mod decompose;
 pub mod engine;
 pub mod error;
+pub mod live;
 pub mod pss;
 pub mod query;
 pub mod runtime;
@@ -84,6 +88,7 @@ pub use config::{PivotStrategy, SgqConfig};
 pub use decompose::{Decomposition, SubQuery};
 pub use engine::{PreparedQuery, SgqEngine};
 pub use error::{Result, SgqError};
+pub use live::{EpochEngine, LivePreparedQuery, LiveQueryService};
 pub use query::{QEdgeId, QNodeId, QueryEdge, QueryGraph, QueryNode, QueryNodeKind};
 pub use runtime::WorkerPool;
 pub use service::{QueryService, ServiceStats};

@@ -1,0 +1,411 @@
+//! Live query service: the multi-client front-end over a
+//! [`VersionedGraph`].
+//!
+//! [`LiveQueryService`] is [`crate::QueryService`]'s sibling for graphs
+//! that change underneath the traffic. The moving part is the **epoch
+//! engine**: one `Arc<SgqEngine<GraphSnapshot>>` built against one
+//! published epoch. Every query *pins* the current epoch engine for its
+//! whole execution — a commit or compaction landing mid-query cannot tear
+//! its view — and the service lazily swaps in a fresh engine when it
+//! observes a newer epoch (one lock-free atomic compare per query on the
+//! fast path).
+//!
+//! Consistency contract:
+//!
+//! * an ad-hoc query sees the **newest committed epoch** at the moment it
+//!   starts, and exactly that epoch until it finishes;
+//! * a [`LivePreparedQuery`] pins the epoch it was prepared against for its
+//!   whole lifetime: executing it is **bit-identical** before and after any
+//!   number of later commits (re-prepare to pick up new data);
+//! * the similarity-row cache is shared *across* epoch engines (rows
+//!   survive commits; vocabulary growth invalidates them — see
+//!   [`SimilarityIndex::ensure_vocab`]).
+//!
+//! Engine rebuild cost per adopted epoch is `O(n)` (φ-index) plus
+//! `O(n + m)` (degree statistics) — amortised over all queries between
+//! commits, not paid per query.
+
+use crate::answer::QueryResult;
+use crate::config::SgqConfig;
+use crate::engine::{PreparedQuery, SgqEngine};
+use crate::error::Result;
+use crate::query::QueryGraph;
+use crate::runtime::WorkerPool;
+use crate::semgraph::weight_transform;
+use crate::service::{ServiceCounters, ServiceStats};
+use crate::timebound::TimeBoundConfig;
+use embedding::{PredicateSpace, SimilarityIndex, SimilarityIndexStats};
+use kgraph::{GraphSnapshot, VersionedGraph};
+use lexicon::TransformationLibrary;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// An engine pinned to one published epoch of the versioned graph.
+pub type EpochEngine<'a> = SgqEngine<'a, GraphSnapshot>;
+
+/// A prepared query pinned — together with the engine that compiled it —
+/// to the epoch it was prepared against. Executions replay bit-identically
+/// regardless of commits that happened since; call
+/// [`LiveQueryService::prepare`] again to adopt newer data.
+pub struct LivePreparedQuery<'a> {
+    prepared: PreparedQuery,
+    engine: Arc<EpochEngine<'a>>,
+}
+
+impl<'a> LivePreparedQuery<'a> {
+    /// The epoch this query is pinned to.
+    pub fn epoch(&self) -> u64 {
+        self.engine.graph().epoch()
+    }
+
+    /// The underlying compiled query.
+    pub fn prepared(&self) -> &PreparedQuery {
+        &self.prepared
+    }
+}
+
+/// A query front-end serving many concurrent clients over a live,
+/// versioned graph (see module docs).
+pub struct LiveQueryService<'a> {
+    versioned: Arc<VersionedGraph>,
+    space: &'a PredicateSpace,
+    library: &'a TransformationLibrary,
+    config: SgqConfig,
+    /// Shared across epoch engines so similarity rows survive commits.
+    sim_index: Arc<SimilarityIndex<'a>>,
+    /// Shared across epoch engines so adopting an epoch spawns no threads.
+    pool: Arc<WorkerPool>,
+    /// The engine for the newest adopted epoch.
+    current: RwLock<Arc<EpochEngine<'a>>>,
+    /// Serialises engine rebuilds so racing clients build one engine, not N.
+    rebuild: Mutex<()>,
+    counters: ServiceCounters,
+    refreshes: AtomicU64,
+}
+
+impl<'a> LiveQueryService<'a> {
+    /// Builds the service and its first epoch engine from the currently
+    /// published snapshot.
+    pub fn new(
+        versioned: Arc<VersionedGraph>,
+        space: &'a PredicateSpace,
+        library: &'a TransformationLibrary,
+        config: SgqConfig,
+    ) -> Self {
+        let sim_index = Arc::new(SimilarityIndex::with_transform(space, weight_transform));
+        let pool = Arc::new(WorkerPool::new(SgqEngine::<GraphSnapshot>::pool_size(
+            &config,
+        )));
+        let engine = Arc::new(SgqEngine::with_runtime(
+            versioned.snapshot(),
+            space,
+            library,
+            config.clone(),
+            Arc::clone(&sim_index),
+            Arc::clone(&pool),
+        ));
+        Self {
+            versioned,
+            space,
+            library,
+            config,
+            sim_index,
+            pool,
+            current: RwLock::new(engine),
+            rebuild: Mutex::new(()),
+            counters: ServiceCounters::default(),
+            refreshes: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying versioned store (hand this to your writer thread).
+    pub fn versioned(&self) -> &Arc<VersionedGraph> {
+        &self.versioned
+    }
+
+    /// Pins the newest adopted epoch's engine. If the store has published a
+    /// newer epoch, one caller rebuilds the engine (others keep serving the
+    /// previous epoch rather than queueing behind the rebuild).
+    pub fn pin(&self) -> Arc<EpochEngine<'a>> {
+        let current = self.current.read().unwrap().clone();
+        let newest = self.versioned.epoch();
+        if current.graph().epoch() == newest {
+            return current;
+        }
+        // Stale: adopt the new epoch, but only once — losers of the
+        // try_lock race answer from the epoch they already hold.
+        let Ok(_guard) = self.rebuild.try_lock() else {
+            return current;
+        };
+        let current = self.current.read().unwrap().clone();
+        if current.graph().epoch() == self.versioned.epoch() {
+            return current;
+        }
+        let engine = Arc::new(SgqEngine::with_runtime(
+            self.versioned.snapshot(),
+            self.space,
+            self.library,
+            self.config.clone(),
+            Arc::clone(&self.sim_index),
+            Arc::clone(&self.pool),
+        ));
+        *self.current.write().unwrap() = Arc::clone(&engine);
+        self.refreshes.fetch_add(1, Ordering::Relaxed);
+        engine
+    }
+
+    /// Blocks until the adopted epoch is at least the one published when
+    /// `refresh` was called, then returns the adopted epoch. Useful after a
+    /// commit when the writer wants the next query to observe its changes
+    /// for sure. Bounded: commits landing *after* the call don't extend the
+    /// wait, so a writer outpacing engine rebuilds cannot starve it.
+    pub fn refresh(&self) -> u64 {
+        let target = self.versioned.epoch();
+        loop {
+            let pinned = self.pin();
+            let epoch = pinned.graph().epoch();
+            if epoch >= target {
+                return epoch;
+            }
+            // A concurrent rebuild was in flight; wait our turn.
+            let _guard = self.rebuild.lock().unwrap();
+        }
+    }
+
+    /// Exact top-k query (SGQ) against the newest adopted epoch.
+    pub fn query(&self, query: &QueryGraph) -> Result<QueryResult> {
+        self.counters.record(self.pin().query(query), false)
+    }
+
+    /// Time-bounded approximate query (TBQ) against the newest epoch.
+    pub fn query_time_bounded(
+        &self,
+        query: &QueryGraph,
+        tb: &TimeBoundConfig,
+    ) -> Result<QueryResult> {
+        self.counters
+            .record(self.pin().query_time_bounded(query, tb), true)
+    }
+
+    /// Compiles a query against the newest adopted epoch; the returned
+    /// handle stays pinned there (see [`LivePreparedQuery`]).
+    pub fn prepare(&self, query: &QueryGraph) -> Result<LivePreparedQuery<'a>> {
+        let engine = self.pin();
+        let prepared = engine.prepare(query)?;
+        Ok(LivePreparedQuery { prepared, engine })
+    }
+
+    /// Executes a prepared query on its pinned epoch (bit-identical replay
+    /// regardless of commits since preparation).
+    pub fn execute(&self, prepared: &LivePreparedQuery<'a>) -> Result<QueryResult> {
+        self.counters
+            .record(prepared.engine.execute(&prepared.prepared), false)
+    }
+
+    /// Executes a prepared query on its pinned epoch under a time bound.
+    pub fn execute_time_bounded(
+        &self,
+        prepared: &LivePreparedQuery<'a>,
+        tb: &TimeBoundConfig,
+    ) -> Result<QueryResult> {
+        self.counters.record(
+            prepared.engine.execute_time_bounded(&prepared.prepared, tb),
+            true,
+        )
+    }
+
+    /// Aggregated counters, including the live epoch/delta gauges.
+    pub fn stats(&self) -> ServiceStats {
+        let engine = self.current.read().unwrap().clone();
+        let snapshot = engine.graph();
+        ServiceStats {
+            epoch: snapshot.epoch(),
+            engine_refreshes: self.refreshes.load(Ordering::Relaxed),
+            delta_edges: snapshot.delta_added_edges() as u64,
+            delta_tombstones: snapshot.tombstone_count() as u64,
+            ..self.counters.snapshot()
+        }
+    }
+
+    /// Similarity-row cache counters of the shared cross-epoch index.
+    pub fn similarity_stats(&self) -> SimilarityIndexStats {
+        self.sim_index.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::{GraphBuilder, GraphView, KnowledgeGraph};
+
+    fn fixture() -> (KnowledgeGraph, PredicateSpace, TransformationLibrary) {
+        let mut b = GraphBuilder::new();
+        let audi = b.add_node("Audi_TT", "Automobile");
+        let bmw = b.add_node("BMW_320", "Automobile");
+        let de = b.add_node("Germany", "Country");
+        b.add_edge(audi, de, "assembly");
+        b.add_edge(bmw, de, "product");
+        let g = b.finish();
+        let (vecs, labels): (Vec<Vec<f32>>, Vec<String>) = g
+            .predicates()
+            .map(|(_, l)| (vec![1.0f32, 0.0], l.to_string()))
+            .unzip();
+        let space = PredicateSpace::from_raw(vecs, labels);
+        (g, space, TransformationLibrary::new())
+    }
+
+    fn product_query() -> QueryGraph {
+        let mut q = QueryGraph::new();
+        let auto = q.add_target("Automobile");
+        let de = q.add_specific("Germany", "Country");
+        q.add_edge(auto, "product", de);
+        q
+    }
+
+    fn config() -> SgqConfig {
+        SgqConfig {
+            k: 10,
+            tau: 0.0,
+            workers: 2,
+            ..SgqConfig::default()
+        }
+    }
+
+    #[test]
+    fn adhoc_queries_observe_commits() {
+        let (g, space, lib) = fixture();
+        let service =
+            LiveQueryService::new(Arc::new(VersionedGraph::new(g)), &space, &lib, config());
+        assert_eq!(service.query(&product_query()).unwrap().matches.len(), 2);
+
+        let v = Arc::clone(service.versioned());
+        v.insert_triple(
+            ("Lamando", "Automobile"),
+            "assembly",
+            ("Germany", "Country"),
+        );
+        // Staged only: still 2 answers.
+        assert_eq!(service.query(&product_query()).unwrap().matches.len(), 2);
+        v.commit();
+        assert_eq!(service.query(&product_query()).unwrap().matches.len(), 3);
+
+        let stats = service.stats();
+        assert_eq!(stats.queries, 3);
+        assert_eq!(stats.epoch, 1);
+        assert_eq!(stats.engine_refreshes, 1);
+        assert_eq!(stats.delta_edges, 1);
+        assert_eq!(stats.delta_tombstones, 0);
+    }
+
+    #[test]
+    fn prepared_queries_stay_pinned_to_their_epoch() {
+        let (g, space, lib) = fixture();
+        let service =
+            LiveQueryService::new(Arc::new(VersionedGraph::new(g)), &space, &lib, config());
+        let prepared = service.prepare(&product_query()).unwrap();
+        assert_eq!(prepared.epoch(), 0);
+        let before = service.execute(&prepared).unwrap();
+
+        let v = Arc::clone(service.versioned());
+        v.insert_triple(
+            ("Lamando", "Automobile"),
+            "assembly",
+            ("Germany", "Country"),
+        );
+        v.delete_triple("BMW_320", "product", "Germany");
+        v.commit();
+        assert_eq!(service.refresh(), 1);
+
+        // Bit-identical replay on the pinned epoch…
+        let after = service.execute(&prepared).unwrap();
+        assert_eq!(after.matches, before.matches);
+        assert_eq!(prepared.epoch(), 0);
+        // …while a re-prepare adopts the new epoch and new answers.
+        let repinned = service.prepare(&product_query()).unwrap();
+        assert_eq!(repinned.epoch(), 1);
+        let fresh = service.execute(&repinned).unwrap();
+        assert_ne!(fresh.matches, before.matches);
+        let names: Vec<&str> = fresh
+            .matches
+            .iter()
+            .map(|m| repinned.engine.graph().node_name(m.pivot))
+            .collect();
+        assert!(names.contains(&"Lamando"));
+        assert!(!names.contains(&"BMW_320"));
+    }
+
+    #[test]
+    fn compaction_is_transparent_to_results() {
+        let (g, space, lib) = fixture();
+        let service =
+            LiveQueryService::new(Arc::new(VersionedGraph::new(g)), &space, &lib, config());
+        let v = Arc::clone(service.versioned());
+        v.insert_triple(
+            ("Lamando", "Automobile"),
+            "assembly",
+            ("Germany", "Country"),
+        );
+        v.commit();
+        let overlayed = service.query(&product_query()).unwrap();
+        v.compact();
+        let compacted = service.query(&product_query()).unwrap();
+        assert_eq!(service.stats().epoch, 2);
+        assert_eq!(
+            service.stats().delta_edges,
+            0,
+            "compaction drained the overlay"
+        );
+        assert_eq!(compacted.matches.len(), overlayed.matches.len());
+        for (a, b) in overlayed.matches.iter().zip(&compacted.matches) {
+            assert_eq!(a.pivot, b.pivot, "node ids survive compaction");
+            assert!((a.score - b.score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn vocabulary_growth_invalidates_shared_rows() {
+        let (g, space, lib) = fixture();
+        let service =
+            LiveQueryService::new(Arc::new(VersionedGraph::new(g)), &space, &lib, config());
+        let _ = service.query(&product_query()).unwrap();
+        assert_eq!(service.similarity_stats().invalidations, 0);
+
+        let v = Arc::clone(service.versioned());
+        v.insert_triple(("Peter", "Person"), "designer", ("Audi_TT", "Automobile"));
+        v.commit();
+        let _ = service.query(&product_query()).unwrap();
+        let sim = service.similarity_stats();
+        assert_eq!(
+            sim.invalidations, 1,
+            "new predicate grew the vocabulary: {sim:?}"
+        );
+
+        // A query *using* the live-added predicate answers through its
+        // identity row (exact-label matches only).
+        let mut q = QueryGraph::new();
+        let person = q.add_target("Person");
+        let audi = q.add_specific("Audi_TT", "Automobile");
+        q.add_edge(person, "designer", audi);
+        let r = service.query(&q).unwrap();
+        assert_eq!(r.matches.len(), 1);
+        assert!((r.matches[0].score - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors_are_counted() {
+        let (g, space, lib) = fixture();
+        let service = LiveQueryService::new(
+            Arc::new(VersionedGraph::new(g)),
+            &space,
+            &lib,
+            SgqConfig {
+                k: 0, // invalid
+                ..SgqConfig::default()
+            },
+        );
+        assert!(service.query(&product_query()).is_err());
+        let stats = service.stats();
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.queries, 0);
+    }
+}

@@ -19,7 +19,7 @@ use crate::decompose::SubQuery;
 use crate::pss::{clamp_weight, PssEstimator, MIN_WEIGHT};
 use crate::query::QueryGraph;
 use embedding::{PredicateSpace, RowKey, SimilarityIndex};
-use kgraph::{KnowledgeGraph, NodeId, PredicateId};
+use kgraph::{GraphView, NodeId, PredicateId};
 use lexicon::NodeMatcher;
 use rustc_hash::FxHashSet;
 use std::sync::Arc;
@@ -44,7 +44,7 @@ pub enum NodeConstraint {
 impl NodeConstraint {
     /// Does `node` satisfy the constraint?
     #[inline]
-    pub fn admits(&self, graph: &KnowledgeGraph, node: NodeId) -> bool {
+    pub fn admits<G: GraphView>(&self, graph: &G, node: NodeId) -> bool {
         match self {
             NodeConstraint::TypeMask(mask) => mask
                 .get(graph.node_type(node).index())
@@ -102,26 +102,27 @@ impl SubQueryPlan {
     /// similarity rows through a throwaway index. Prefer
     /// [`SubQueryPlan::build_with_index`] when an engine-lifetime
     /// [`SimilarityIndex`] exists — rows are then shared across queries.
-    pub fn build(
-        graph: &KnowledgeGraph,
+    pub fn build<G: GraphView, M: GraphView>(
+        graph: &G,
         space: &PredicateSpace,
-        matcher: &NodeMatcher<'_>,
+        matcher: &NodeMatcher<'_, M>,
         query: &QueryGraph,
         subquery: &SubQuery,
         n_hat: usize,
         tau: f64,
     ) -> Self {
         let index = SimilarityIndex::with_transform(space, weight_transform);
+        index.ensure_vocab(graph.predicate_count());
         Self::build_with_index(graph, &index, matcher, query, subquery, n_hat, tau)
     }
 
     /// Resolves `subquery` against the graph, borrowing similarity rows
     /// from `index` (which must carry the [`weight_transform`] so rows live
     /// in the clamped weight domain).
-    pub fn build_with_index(
-        graph: &KnowledgeGraph,
+    pub fn build_with_index<G: GraphView, M: GraphView>(
+        graph: &G,
         index: &SimilarityIndex<'_>,
-        matcher: &NodeMatcher<'_>,
+        matcher: &NodeMatcher<'_, M>,
         query: &QueryGraph,
         subquery: &SubQuery,
         n_hat: usize,
@@ -179,7 +180,7 @@ impl SubQueryPlan {
     /// `m(u)` (Lemma 1): the maximum weight among `u`'s incident edges,
     /// taken over all *remaining* segments `≥ seg` — an upper bound on the
     /// unexplored weight product of any match continuing from `u`.
-    pub fn max_adjacent_weight(&self, graph: &KnowledgeGraph, u: NodeId, seg: usize) -> f64 {
+    pub fn max_adjacent_weight<G: GraphView>(&self, graph: &G, u: NodeId, seg: usize) -> f64 {
         let row = &self.remaining_max[seg.min(self.segments() - 1)];
         let mut m = MIN_WEIGHT;
         for nb in graph.neighbors(u) {
@@ -211,7 +212,11 @@ impl SubQueryPlan {
 /// label); if still unresolved, the row degenerates to [`MIN_WEIGHT`] — no
 /// semantic guidance is available, and τ-pruning will reject such paths
 /// (documented substitution for out-of-vocabulary predicates).
-fn row_key(graph: &KnowledgeGraph, matcher: &NodeMatcher<'_>, label: &str) -> RowKey {
+fn row_key<G: GraphView, M: GraphView>(
+    graph: &G,
+    matcher: &NodeMatcher<'_, M>,
+    label: &str,
+) -> RowKey {
     let resolve = |l: &str| graph.predicate_id(l);
     let qp = resolve(label).or_else(|| {
         matcher
@@ -234,7 +239,7 @@ mod tests {
     use crate::config::PivotStrategy;
     use crate::decompose::decompose;
     use embedding::PredicateSpace;
-    use kgraph::GraphBuilder;
+    use kgraph::{GraphBuilder, KnowledgeGraph};
     use lexicon::TransformationLibrary;
 
     fn graph() -> KnowledgeGraph {

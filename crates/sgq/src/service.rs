@@ -17,7 +17,7 @@ use crate::error::Result;
 use crate::query::QueryGraph;
 use crate::timebound::TimeBoundConfig;
 use embedding::{PredicateSpace, SimilarityIndexStats};
-use kgraph::KnowledgeGraph;
+use kgraph::{GraphView, KnowledgeGraph};
 use lexicon::TransformationLibrary;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -40,6 +40,17 @@ pub struct ServiceStats {
     pub total_elapsed_us: u64,
     /// Summed final matches returned across successful queries.
     pub total_matches: u64,
+    /// Epoch of the graph snapshot the service currently answers from
+    /// (always 0 for a static [`QueryService`] over a frozen graph).
+    pub epoch: u64,
+    /// Engine rebuilds triggered by new epochs
+    /// ([`crate::live::LiveQueryService`] only).
+    pub engine_refreshes: u64,
+    /// Edges the current snapshot's delta overlay added on top of its base
+    /// CSR (0 when static or freshly compacted).
+    pub delta_edges: u64,
+    /// Edges tombstoned in the current snapshot's delta overlay.
+    pub delta_tombstones: u64,
 }
 
 impl ServiceStats {
@@ -53,8 +64,10 @@ impl ServiceStats {
     }
 }
 
+/// Lock-free fleet counters, shared by the static [`QueryService`] and the
+/// live [`crate::live::LiveQueryService`].
 #[derive(Debug, Default)]
-struct Counters {
+pub(crate) struct ServiceCounters {
     queries: AtomicU64,
     errors: AtomicU64,
     time_bounded: AtomicU64,
@@ -64,24 +77,72 @@ struct Counters {
     total_matches: AtomicU64,
 }
 
-/// A query front-end serving many concurrent clients over one engine.
-pub struct QueryService<'a> {
-    engine: SgqEngine<'a>,
-    counters: Counters,
+impl ServiceCounters {
+    /// Records one query outcome and passes the result through.
+    pub(crate) fn record(
+        &self,
+        result: Result<QueryResult>,
+        time_bounded: bool,
+    ) -> Result<QueryResult> {
+        match &result {
+            Ok(r) => {
+                self.queries.fetch_add(1, Ordering::Relaxed);
+                if time_bounded {
+                    self.time_bounded.fetch_add(1, Ordering::Relaxed);
+                }
+                if r.stats.ta_certified {
+                    self.certified.fetch_add(1, Ordering::Relaxed);
+                }
+                if r.stats.time_bound_hit {
+                    self.time_bound_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                self.total_elapsed_us
+                    .fetch_add(r.stats.elapsed_us, Ordering::Relaxed);
+                self.total_matches
+                    .fetch_add(r.matches.len() as u64, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        result
+    }
+
+    /// Snapshot into the query-flow fields of [`ServiceStats`] (epoch/delta
+    /// fields stay at their defaults — the caller fills them if it has a
+    /// versioned store behind it).
+    pub(crate) fn snapshot(&self) -> ServiceStats {
+        ServiceStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            time_bounded: self.time_bounded.load(Ordering::Relaxed),
+            certified: self.certified.load(Ordering::Relaxed),
+            time_bound_hits: self.time_bound_hits.load(Ordering::Relaxed),
+            total_elapsed_us: self.total_elapsed_us.load(Ordering::Relaxed),
+            total_matches: self.total_matches.load(Ordering::Relaxed),
+            ..ServiceStats::default()
+        }
+    }
 }
 
-impl<'a> QueryService<'a> {
+/// A query front-end serving many concurrent clients over one engine.
+pub struct QueryService<'a, G: GraphView + Clone = &'a KnowledgeGraph> {
+    engine: SgqEngine<'a, G>,
+    counters: ServiceCounters,
+}
+
+impl<'a, G: GraphView + Clone> QueryService<'a, G> {
     /// Wraps an existing engine.
-    pub fn new(engine: SgqEngine<'a>) -> Self {
+    pub fn new(engine: SgqEngine<'a, G>) -> Self {
         Self {
             engine,
-            counters: Counters::default(),
+            counters: ServiceCounters::default(),
         }
     }
 
     /// Builds the engine and the service in one step.
     pub fn build(
-        graph: &'a KnowledgeGraph,
+        graph: G,
         space: &'a PredicateSpace,
         library: &'a TransformationLibrary,
         config: SgqConfig,
@@ -90,7 +151,7 @@ impl<'a> QueryService<'a> {
     }
 
     /// The wrapped engine.
-    pub fn engine(&self) -> &SgqEngine<'a> {
+    pub fn engine(&self) -> &SgqEngine<'a, G> {
         &self.engine
     }
 
@@ -128,43 +189,12 @@ impl<'a> QueryService<'a> {
     }
 
     fn record(&self, result: Result<QueryResult>, time_bounded: bool) -> Result<QueryResult> {
-        match &result {
-            Ok(r) => {
-                let c = &self.counters;
-                c.queries.fetch_add(1, Ordering::Relaxed);
-                if time_bounded {
-                    c.time_bounded.fetch_add(1, Ordering::Relaxed);
-                }
-                if r.stats.ta_certified {
-                    c.certified.fetch_add(1, Ordering::Relaxed);
-                }
-                if r.stats.time_bound_hit {
-                    c.time_bound_hits.fetch_add(1, Ordering::Relaxed);
-                }
-                c.total_elapsed_us
-                    .fetch_add(r.stats.elapsed_us, Ordering::Relaxed);
-                c.total_matches
-                    .fetch_add(r.matches.len() as u64, Ordering::Relaxed);
-            }
-            Err(_) => {
-                self.counters.errors.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-        result
+        self.counters.record(result, time_bounded)
     }
 
     /// Snapshot of the aggregated counters.
     pub fn stats(&self) -> ServiceStats {
-        let c = &self.counters;
-        ServiceStats {
-            queries: c.queries.load(Ordering::Relaxed),
-            errors: c.errors.load(Ordering::Relaxed),
-            time_bounded: c.time_bounded.load(Ordering::Relaxed),
-            certified: c.certified.load(Ordering::Relaxed),
-            time_bound_hits: c.time_bound_hits.load(Ordering::Relaxed),
-            total_elapsed_us: c.total_elapsed_us.load(Ordering::Relaxed),
-            total_matches: c.total_matches.load(Ordering::Relaxed),
-        }
+        self.counters.snapshot()
     }
 
     /// Similarity-row cache counters of the shared engine.

@@ -30,7 +30,7 @@ use crate::astar::{AStarSearch, SearchStats};
 use crate::runtime::WorkerPool;
 use crate::semgraph::SubQueryPlan;
 use crate::ta;
-use kgraph::{KnowledgeGraph, NodeId};
+use kgraph::{GraphView, NodeId};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -119,8 +119,8 @@ pub(crate) struct AnytimeOutcome {
 
 /// Runs Algorithm 2 on every plan concurrently (as pooled jobs) under
 /// Algorithm 3's synchronised time estimation.
-pub(crate) fn run_anytime(
-    graph: &KnowledgeGraph,
+pub(crate) fn run_anytime<G: GraphView>(
+    graph: &G,
     plans: &[SubQueryPlan],
     max_matches_per_subquery: usize,
     tb: &TimeBoundConfig,

@@ -58,13 +58,16 @@ pub use sgq;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use baselines::{all_baselines, GraphQueryMethod};
+    pub use datagen::churn::{apply_churn_stream, churn_stream, ChurnOp};
     pub use datagen::dataset::{BenchDataset, DatasetSpec};
     pub use embedding::{train_transe, PredicateSpace, TrainConfig};
-    pub use kgraph::{GraphBuilder, GraphStats, KnowledgeGraph, NodeId};
+    pub use kgraph::{
+        GraphBuilder, GraphSnapshot, GraphStats, GraphView, KnowledgeGraph, NodeId, VersionedGraph,
+    };
     pub use lexicon::{NodeMatcher, TransformationLibrary};
     pub use sgq::{
-        FinalMatch, PivotStrategy, PreparedQuery, QueryGraph, QueryResult, QueryService,
-        ServiceStats, SgqConfig, SgqEngine, TimeBoundConfig,
+        FinalMatch, LivePreparedQuery, LiveQueryService, PivotStrategy, PreparedQuery, QueryGraph,
+        QueryResult, QueryService, ServiceStats, SgqConfig, SgqEngine, TimeBoundConfig,
     };
 }
 

@@ -1,0 +1,181 @@
+//! Integration tests for the live-update subsystem: overlay reads must be
+//! query-equivalent to full rebuilds, and epoch pinning must make pinned
+//! queries bit-identical under concurrent writes.
+
+use datagen::dataset::DatasetSpec;
+use datagen::workload::produced_workload;
+use datagen::{apply_churn_stream, churn_stream};
+use kgraph::{GraphView, VersionedGraph};
+use sgq::{LiveQueryService, QueryService, SgqConfig};
+use std::sync::Arc;
+
+fn config() -> SgqConfig {
+    SgqConfig {
+        k: 20,
+        tau: 0.3,
+        workers: 4,
+        ..SgqConfig::default()
+    }
+}
+
+/// Acceptance criterion: an *uncompacted* overlay with ≥10% mutated edges
+/// returns top-k answers identical to a full rebuild of the same logical
+/// graph.
+#[test]
+fn overlay_with_heavy_churn_matches_full_rebuild() {
+    let ds = DatasetSpec::tiny().build();
+    let space = ds.oracle_space();
+    let base_edges = ds.graph.edge_count();
+    let ops = churn_stream(&ds, base_edges, 1234);
+
+    // Path A: overlay only — committed, never compacted.
+    let overlay_store = VersionedGraph::new(ds.graph.clone());
+    apply_churn_stream(&overlay_store, &ops);
+    let overlayed = overlay_store.commit();
+    assert!(!overlayed.is_compacted());
+
+    // ≥10% of the base edges mutated (added or tombstoned).
+    let stats = overlay_store.stats();
+    let mutated = stats.delta_edges + stats.tombstones;
+    assert!(
+        mutated * 10 >= base_edges,
+        "churn too small: {mutated} mutations over {base_edges} base edges"
+    );
+
+    // Path B: the same logical graph as one fresh CSR (full rebuild).
+    let rebuild_store = VersionedGraph::new(ds.graph.clone());
+    apply_churn_stream(&rebuild_store, &ops);
+    let rebuilt = rebuild_store.compact();
+    assert!(rebuilt.is_compacted());
+    assert_eq!(overlayed.edge_count(), rebuilt.edge_count());
+    assert_eq!(overlayed.node_count(), rebuilt.node_count());
+
+    let lib = &ds.library;
+    let overlay_service = QueryService::build(overlayed.clone(), &space, lib, config());
+    let rebuild_service = QueryService::build(rebuilt.clone(), &space, lib, config());
+
+    let workload = produced_workload(&ds);
+    assert!(!workload.is_empty());
+    let mut compared = 0usize;
+    for q in &workload {
+        let a = overlay_service.query(&q.graph).expect("overlay query");
+        let b = rebuild_service.query(&q.graph).expect("rebuild query");
+        assert_eq!(
+            a.matches.len(),
+            b.matches.len(),
+            "top-k size diverged on {}",
+            q.id
+        );
+        for (ma, mb) in a.matches.iter().zip(&b.matches) {
+            // Node ids survive compaction, so both pivot id and name match.
+            assert_eq!(ma.pivot, mb.pivot, "ranking diverged on {}", q.id);
+            assert_eq!(
+                overlayed.node_name(ma.pivot),
+                rebuilt.node_name(mb.pivot),
+                "name mismatch on {}",
+                q.id
+            );
+            assert!(
+                (ma.score - mb.score).abs() < 1e-9,
+                "score diverged on {}: {} vs {}",
+                q.id,
+                ma.score,
+                mb.score
+            );
+        }
+        compared += a.matches.len();
+    }
+    assert!(compared > 0, "workload produced no matches to compare");
+}
+
+/// A query pinned to epoch N is bit-identical before and after a commit to
+/// epoch N+1 — even while other clients hammer the service and a writer
+/// keeps mutating and compacting the store.
+#[test]
+fn pinned_queries_are_bit_identical_across_concurrent_commits() {
+    let ds = DatasetSpec::tiny().build();
+    let space = ds.oracle_space();
+    let service = LiveQueryService::new(
+        Arc::new(VersionedGraph::new(ds.graph.clone())),
+        &space,
+        &ds.library,
+        config(),
+    );
+    let workload = produced_workload(&ds);
+    let query = &workload[0].graph;
+
+    let prepared = service.prepare(query).expect("prepare at epoch 0");
+    assert_eq!(prepared.epoch(), 0);
+    let baseline = service.execute(&prepared).expect("baseline execution");
+    assert!(!baseline.matches.is_empty());
+
+    let ops = churn_stream(&ds, 120, 99);
+    std::thread::scope(|s| {
+        // Writer: stream updates, committing every 16 ops, compacting once
+        // mid-stream.
+        s.spawn(|| {
+            let live = service.versioned();
+            for (i, chunk) in ops.chunks(16).enumerate() {
+                apply_churn_stream(live, chunk);
+                live.commit();
+                if i == 3 {
+                    live.compact();
+                }
+            }
+        });
+        // Readers: replay the pinned query concurrently; every result must
+        // equal the epoch-0 baseline bit for bit.
+        for _ in 0..4 {
+            s.spawn(|| {
+                for _ in 0..25 {
+                    let r = service.execute(&prepared).expect("pinned replay");
+                    assert_eq!(r.matches, baseline.matches);
+                }
+            });
+        }
+        // Ad-hoc clients meanwhile run against whatever epoch is current;
+        // results only need to be well-formed.
+        s.spawn(|| {
+            for q in workload.iter().cycle().take(30) {
+                let r = service.query(&q.graph).expect("ad-hoc query");
+                assert!(r.matches.len() <= config().k);
+            }
+        });
+    });
+
+    // After the dust settles the store advanced, the pinned query did not.
+    assert!(service.versioned().epoch() > 0);
+    assert_eq!(prepared.epoch(), 0);
+    let replay = service.execute(&prepared).unwrap();
+    assert_eq!(replay.matches, baseline.matches);
+
+    // A fresh prepare adopts the newest epoch.
+    let repinned = service.prepare(query).expect("re-prepare");
+    assert_eq!(repinned.epoch(), service.versioned().epoch());
+
+    let stats = service.stats();
+    assert!(stats.engine_refreshes >= 1, "stats: {stats:?}");
+    assert_eq!(stats.errors, 0);
+}
+
+/// A live service over a store that never changes behaves exactly like the
+/// static service on the frozen graph.
+#[test]
+fn idle_live_service_matches_static_service() {
+    let ds = DatasetSpec::tiny().build();
+    let space = ds.oracle_space();
+    let static_service = QueryService::build(&ds.graph, &space, &ds.library, config());
+    let live_service = LiveQueryService::new(
+        Arc::new(VersionedGraph::new(ds.graph.clone())),
+        &space,
+        &ds.library,
+        config(),
+    );
+    for q in produced_workload(&ds) {
+        let a = static_service.query(&q.graph).unwrap();
+        let b = live_service.query(&q.graph).unwrap();
+        assert_eq!(a.matches, b.matches, "diverged on {}", q.id);
+    }
+    assert_eq!(live_service.stats().epoch, 0);
+    assert_eq!(live_service.stats().engine_refreshes, 0);
+}
