@@ -8,8 +8,16 @@
 
 use crate::model::KgeModel;
 use crate::vector;
-use kgraph::{KnowledgeGraph, PredicateId};
+use kgraph::io::codec::{checksum64, put_str, put_u32, put_u64, Cursor};
+use kgraph::{KgError, KnowledgeGraph, PredicateId};
 use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// File magic of the on-disk predicate-space format.
+pub const SPACE_MAGIC: &[u8; 8] = b"KGVSPC01";
+/// Current format version.
+pub const SPACE_VERSION: u32 = 1;
 
 /// Predicate → semantic vector map with cosine-similarity queries.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -115,6 +123,102 @@ impl PredicateSpace {
             .map(|q| self.sim(p, PredicateId::new(q)))
             .collect()
     }
+
+    /// Saves the space as a checksummed little-endian binary file
+    /// (atomically, via tmp + rename), so a trained deployment cold-starts
+    /// without re-running the embedding phase.
+    ///
+    /// Layout: magic `KGVSPC01`, `u32` version, then one checksummed
+    /// payload — `u32` dim, `u32` predicate count, the labels
+    /// (length-prefixed UTF-8) and the `f32` vectors row-major — followed
+    /// by its FNV-1a 64 checksum.
+    pub fn save(&self, path: impl AsRef<Path>) -> kgraph::Result<()> {
+        let path = path.as_ref();
+        let wrap = |e: std::io::Error| KgError::snapshot(path, "predicate-space", e);
+        let mut payload = Vec::with_capacity(self.vectors.len() * 4 + self.labels.len() * 16);
+        put_u32(&mut payload, self.dim as u32);
+        put_u32(&mut payload, self.labels.len() as u32);
+        for label in &self.labels {
+            put_str(&mut payload, label);
+        }
+        for v in &self.vectors {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        let tmp = path.with_extension("tmp");
+        let mut file = std::io::BufWriter::new(std::fs::File::create(&tmp).map_err(wrap)?);
+        file.write_all(SPACE_MAGIC).map_err(wrap)?;
+        let mut header = Vec::with_capacity(4);
+        put_u32(&mut header, SPACE_VERSION);
+        file.write_all(&header).map_err(wrap)?;
+        file.write_all(&payload).map_err(wrap)?;
+        let mut checksum = Vec::with_capacity(8);
+        put_u64(&mut checksum, checksum64(&payload));
+        file.write_all(&checksum).map_err(wrap)?;
+        file.into_inner()
+            .map_err(|e| KgError::snapshot(path, "predicate-space", e.to_string()))?
+            .sync_all()
+            .map_err(wrap)?;
+        std::fs::rename(&tmp, path).map_err(wrap)?;
+        Ok(())
+    }
+
+    /// Loads a space saved by [`Self::save`]. All failures carry the path
+    /// and format context.
+    pub fn load(path: impl AsRef<Path>) -> kgraph::Result<Self> {
+        let path = path.as_ref();
+        let wrap = |detail: String| KgError::snapshot(path, "predicate-space", detail);
+        let buf = std::fs::read(path).map_err(|e| KgError::snapshot(path, "predicate-space", e))?;
+        let mut c = Cursor::new(&buf);
+        let magic = c.take(8, "magic").map_err(wrap)?;
+        if magic != SPACE_MAGIC {
+            return Err(wrap(format!(
+                "bad magic {magic:02x?} (expected {SPACE_MAGIC:02x?})"
+            )));
+        }
+        let version = c.u32("format version").map_err(wrap)?;
+        if version != SPACE_VERSION {
+            return Err(wrap(format!("unsupported format version {version}")));
+        }
+        if c.remaining() < 8 {
+            return Err(wrap("truncated: missing checksum".into()));
+        }
+        let payload = &buf[buf.len() - c.remaining()..buf.len() - 8];
+        let stored = u64::from_le_bytes(buf[buf.len() - 8..].try_into().expect("8-byte tail"));
+        let actual = checksum64(payload);
+        if stored != actual {
+            return Err(wrap(format!(
+                "checksum mismatch (stored {stored:#018x}, computed {actual:#018x})"
+            )));
+        }
+        let mut c = Cursor::new(payload);
+        let dim = c.u32("dimension").map_err(wrap)? as usize;
+        let count = c.u32("predicate count").map_err(wrap)? as usize;
+        // Decoded sizes are untrusted until proven consistent with the
+        // payload: cap the pre-allocation and reject overflowing products
+        // instead of aborting on a ~100 GB reservation for a corrupt count.
+        let mut labels = Vec::with_capacity(count.min(payload.len()));
+        for _ in 0..count {
+            labels.push(c.str("label").map_err(wrap)?.to_string());
+        }
+        let vector_bytes = count
+            .checked_mul(dim)
+            .and_then(|n| n.checked_mul(4))
+            .filter(|&n| n <= c.remaining())
+            .ok_or_else(|| wrap(format!("vector block {count}x{dim} exceeds payload")))?;
+        let raw = c.take(vector_bytes, "vectors").map_err(wrap)?;
+        if c.remaining() != 0 {
+            return Err(wrap(format!("{} trailing bytes", c.remaining())));
+        }
+        let vectors: Vec<f32> = raw
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes(b.try_into().expect("4-byte chunk")))
+            .collect();
+        Ok(Self {
+            dim,
+            vectors,
+            labels,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -190,6 +294,69 @@ mod tests {
         let s = PredicateSpace::from_raw(vec![vec![3.0, 4.0]], vec!["p".into()]);
         let v = s.vector(PredicateId::new(0));
         assert!((crate::vector::norm(v) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_exact() {
+        let dir = std::env::temp_dir().join(format!("embedding_space_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("space.kgv");
+        let s = space();
+        s.save(&path).unwrap();
+        let back = PredicateSpace::load(&path).unwrap();
+        assert_eq!(back.dim(), s.dim());
+        assert_eq!(back.len(), s.len());
+        for p in 0..s.len() as u32 {
+            let p = PredicateId::new(p);
+            assert_eq!(back.label(p), s.label(p));
+            // Bit-exact vectors: similarity scores replay identically.
+            assert_eq!(back.vector(p), s.vector(p));
+        }
+        assert!(!path.with_extension("tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_corruption_with_context() {
+        let dir = std::env::temp_dir().join(format!("embedding_space_bad_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("space.kgv");
+        space().save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[14] ^= 0x20; // flip a payload bit
+        std::fs::write(&path, &bytes).unwrap();
+        let err = PredicateSpace::load(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("checksum mismatch"), "{msg}");
+        assert!(msg.contains("space.kgv"), "{msg}");
+        // Truncation anywhere fails cleanly too.
+        for cut in [0, 4, 11, bytes.len() - 3] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(PredicateSpace::load(&path).is_err(), "cut {cut}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_absurd_counts_without_allocating() {
+        // A tiny well-checksummed file claiming u32::MAX predicates must
+        // error, not attempt a multi-gigabyte allocation or overflow
+        // `count * dim * 4`.
+        let dir = std::env::temp_dir().join(format!("embedding_space_huge_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("space.kgv");
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // dim
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // count
+        let mut file = Vec::new();
+        file.extend_from_slice(SPACE_MAGIC);
+        file.extend_from_slice(&SPACE_VERSION.to_le_bytes());
+        file.extend_from_slice(&payload);
+        file.extend_from_slice(&kgraph::io::codec::checksum64(&payload).to_le_bytes());
+        std::fs::write(&path, &file).unwrap();
+        let err = PredicateSpace::load(&path).unwrap_err();
+        assert!(err.to_string().contains("space.kgv"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -35,6 +35,48 @@ pub enum KgError {
     Io(std::io::Error),
     /// Serialization failure.
     Serde(String),
+    /// A snapshot file could not be loaded or saved: the error carries the
+    /// path and on-disk format so a raw serde/decoder message never
+    /// surfaces without file context.
+    Snapshot {
+        /// Path of the offending file.
+        path: std::path::PathBuf,
+        /// On-disk format (`"json"`, `"binary"`, `"tsv"`).
+        format: &'static str,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A write-ahead-log file is unreadable or internally inconsistent
+    /// beyond the tolerated torn tail record.
+    Wal {
+        /// Path of the offending WAL file.
+        path: std::path::PathBuf,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl KgError {
+    /// Wraps any error as a [`KgError::Snapshot`] with file context.
+    pub fn snapshot(
+        path: impl Into<std::path::PathBuf>,
+        format: &'static str,
+        detail: impl std::fmt::Display,
+    ) -> Self {
+        KgError::Snapshot {
+            path: path.into(),
+            format,
+            detail: detail.to_string(),
+        }
+    }
+
+    /// Wraps any error as a [`KgError::Wal`] with file context.
+    pub fn wal(path: impl Into<std::path::PathBuf>, detail: impl std::fmt::Display) -> Self {
+        KgError::Wal {
+            path: path.into(),
+            detail: detail.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for KgError {
@@ -54,6 +96,14 @@ impl fmt::Display for KgError {
             }
             KgError::Io(e) => write!(f, "i/o error: {e}"),
             KgError::Serde(e) => write!(f, "serialization error: {e}"),
+            KgError::Snapshot {
+                path,
+                format,
+                detail,
+            } => write!(f, "snapshot {} ({format} format): {detail}", path.display()),
+            KgError::Wal { path, detail } => {
+                write!(f, "write-ahead log {}: {detail}", path.display())
+            }
         }
     }
 }
@@ -101,5 +151,18 @@ mod tests {
         use std::error::Error;
         let e = KgError::from(std::io::Error::other("boom"));
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn storage_errors_carry_path_and_format() {
+        let e = KgError::snapshot("/tmp/g.json", "json", "unexpected end of input");
+        let msg = e.to_string();
+        assert!(msg.contains("/tmp/g.json"), "{msg}");
+        assert!(msg.contains("json format"), "{msg}");
+        assert!(msg.contains("unexpected end of input"), "{msg}");
+        let e = KgError::wal("/tmp/wal.log", "bad magic");
+        let msg = e.to_string();
+        assert!(msg.contains("/tmp/wal.log"), "{msg}");
+        assert!(msg.contains("bad magic"), "{msg}");
     }
 }

@@ -218,23 +218,27 @@ impl GraphBuilder {
 }
 
 /// An immutable knowledge graph `G = (V, E, L)` with CSR adjacency.
+///
+/// Fields are `pub(crate)` so the binary snapshot codec
+/// ([`crate::io::binary`]) can dump and reconstruct the CSR arrays without
+/// re-running the builder's counting sorts.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KnowledgeGraph {
-    names: Interner,
-    types: Interner,
-    predicates: Interner,
-    node_name: Vec<u32>,
-    node_type: Vec<TypeId>,
+    pub(crate) names: Interner,
+    pub(crate) types: Interner,
+    pub(crate) predicates: Interner,
+    pub(crate) node_name: Vec<u32>,
+    pub(crate) node_type: Vec<TypeId>,
     #[serde(skip)]
-    name_to_node: FxHashMap<u32, NodeId>,
-    nodes_by_type: Vec<Vec<NodeId>>,
-    edges: Vec<EdgeRecord>,
-    out_offsets: Vec<u32>,
-    out_edges: Vec<EdgeId>,
-    in_offsets: Vec<u32>,
-    in_edges: Vec<EdgeId>,
+    pub(crate) name_to_node: FxHashMap<u32, NodeId>,
+    pub(crate) nodes_by_type: Vec<Vec<NodeId>>,
+    pub(crate) edges: Vec<EdgeRecord>,
+    pub(crate) out_offsets: Vec<u32>,
+    pub(crate) out_edges: Vec<EdgeId>,
+    pub(crate) in_offsets: Vec<u32>,
+    pub(crate) in_edges: Vec<EdgeId>,
     #[serde(default)]
-    duplicate_edges_dropped: usize,
+    pub(crate) duplicate_edges_dropped: usize,
 }
 
 impl KnowledgeGraph {

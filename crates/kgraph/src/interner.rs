@@ -87,6 +87,20 @@ impl Interner {
             .map(|(i, s)| (s.clone(), i as u32))
             .collect();
     }
+
+    /// Builds an interner directly from its id-ordered string table (the
+    /// binary-snapshot decode path — one hash per string instead of
+    /// [`Self::intern`]'s lookup-then-insert two). Returns `None` when the
+    /// table holds a duplicate, which a well-formed snapshot never does.
+    pub fn from_strings(strings: Vec<Box<str>>) -> Option<Self> {
+        let mut lookup = FxHashMap::with_capacity_and_hasher(strings.len(), Default::default());
+        for (i, s) in strings.iter().enumerate() {
+            if lookup.insert(s.clone(), i as u32).is_some() {
+                return None;
+            }
+        }
+        Some(Self { strings, lookup })
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,278 @@
+//! Loading and saving knowledge graphs.
+//!
+//! Three formats are supported:
+//! * 5-column TSV triples (see [`crate::triple`]) — the interchange format,
+//! * JSON snapshots of the frozen [`KnowledgeGraph`] — human-inspectable,
+//!   slower to reload,
+//! * [`binary`] snapshots — checksummed little-endian dumps of the interner
+//!   tables and CSR arrays, the cold-start format (an order of magnitude
+//!   faster to reload than JSON; see `benches/cold_start.rs`).
+//!
+//! The [`wal`] module adds an append-only write-ahead log so a
+//! [`crate::VersionedGraph`]'s committed epochs survive a crash; see
+//! [`crate::VersionedGraph::recover`].
+//!
+//! All loaders wrap underlying parse/serde failures in
+//! [`KgError::Snapshot`] so errors always carry the offending path and
+//! format.
+
+pub mod binary;
+pub mod codec;
+pub mod wal;
+
+use crate::error::{KgError, Result};
+use crate::graph::{GraphBuilder, KnowledgeGraph};
+use crate::triple::Triple;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Reads triples from a TSV reader, one per line; blank lines and lines
+/// starting with `#` are skipped.
+pub fn read_triples<R: std::io::Read>(reader: R) -> Result<Vec<Triple>> {
+    let reader = BufReader::new(reader);
+    let mut triples = Vec::new();
+    // Workhorse-String loop (perf guide: avoids per-line allocation of
+    // `lines()`).
+    let mut buf = String::new();
+    let mut reader = reader;
+    let mut line_no = 0usize;
+    loop {
+        buf.clear();
+        if reader.read_line(&mut buf)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let line = buf.trim_end_matches(['\n', '\r']);
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        triples.push(Triple::from_tsv(line, line_no)?);
+    }
+    Ok(triples)
+}
+
+/// Writes triples as TSV.
+pub fn write_triples<W: Write>(writer: W, triples: impl IntoIterator<Item = Triple>) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    for t in triples {
+        writeln!(w, "{}", t.to_tsv())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Builds a graph from an iterator of triples.
+pub fn graph_from_triples(triples: impl IntoIterator<Item = Triple>) -> KnowledgeGraph {
+    let mut b = GraphBuilder::new();
+    for t in triples {
+        b.add_triple(
+            (&t.head, &t.head_type),
+            &t.predicate,
+            (&t.tail, &t.tail_type),
+        );
+    }
+    b.finish()
+}
+
+/// Loads a graph from a TSV triples file.
+pub fn load_tsv(path: impl AsRef<Path>) -> Result<KnowledgeGraph> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path).map_err(|e| KgError::snapshot(path, "tsv", e))?;
+    Ok(graph_from_triples(read_triples(file).map_err(
+        |e| match e {
+            e @ KgError::Snapshot { .. } => e,
+            e => KgError::snapshot(path, "tsv", e),
+        },
+    )?))
+}
+
+/// Saves a graph as a TSV triples file.
+pub fn save_tsv(graph: &KnowledgeGraph, path: impl AsRef<Path>) -> Result<()> {
+    let path = path.as_ref();
+    let file = std::fs::File::create(path).map_err(|e| KgError::snapshot(path, "tsv", e))?;
+    write_triples(file, graph.triples()).map_err(|e| match e {
+        e @ KgError::Snapshot { .. } => e,
+        e => KgError::snapshot(path, "tsv", e),
+    })
+}
+
+/// Saves a frozen graph as a JSON snapshot.
+pub fn save_snapshot(graph: &KnowledgeGraph, path: impl AsRef<Path>) -> Result<()> {
+    let path = path.as_ref();
+    let file = BufWriter::new(
+        std::fs::File::create(path).map_err(|e| KgError::snapshot(path, "json", e))?,
+    );
+    serde_json::to_writer(file, graph).map_err(|e| KgError::snapshot(path, "json", e))?;
+    Ok(())
+}
+
+/// Loads a JSON snapshot, rebuilding in-memory lookup tables.
+///
+/// Malformed input surfaces as [`KgError::Snapshot`] carrying the path and
+/// the underlying parse error, never a bare serde message.
+pub fn load_snapshot(path: impl AsRef<Path>) -> Result<KnowledgeGraph> {
+    let path = path.as_ref();
+    let file =
+        BufReader::new(std::fs::File::open(path).map_err(|e| KgError::snapshot(path, "json", e))?);
+    let mut graph: KnowledgeGraph =
+        serde_json::from_reader(file).map_err(|e| KgError::snapshot(path, "json", e))?;
+    graph.rebuild_after_deserialize();
+    Ok(graph)
+}
+
+#[cfg(test)]
+pub(crate) mod test_dir {
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A unique scratch directory, removed on drop. Earlier io tests shared
+    /// one fixed `temp_dir()/kgraph_io_test` directory and raced under
+    /// parallel test runs; every test now gets its own.
+    pub struct TestDir(PathBuf);
+
+    impl TestDir {
+        pub fn new(label: &str) -> Self {
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "kgraph_{label}_{}_{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed),
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            Self(dir)
+        }
+
+        pub fn path(&self, file: &str) -> PathBuf {
+            self.0.join(file)
+        }
+    }
+
+    impl Drop for TestDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_dir::TestDir;
+    use super::*;
+
+    fn sample() -> Vec<Triple> {
+        vec![
+            Triple::new("Audi_TT", "Automobile", "assembly", "Germany", "Country"),
+            Triple::new("Volkswagen", "Company", "product", "Audi_TT", "Automobile"),
+        ]
+    }
+
+    #[test]
+    fn triple_stream_roundtrip() {
+        let mut buf = Vec::new();
+        write_triples(&mut buf, sample()).unwrap();
+        let back = read_triples(buf.as_slice()).unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "# header\n\nAudi_TT\tAutomobile\tassembly\tGermany\tCountry\n";
+        let triples = read_triples(text.as_bytes()).unwrap();
+        assert_eq!(triples.len(), 1);
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let text = "# ok\nbroken line\n";
+        let err = read_triples(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn graph_from_triples_merges_nodes() {
+        let g = graph_from_triples(sample());
+        assert_eq!(g.node_count(), 3); // Audi_TT shared between the two triples
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn tsv_file_roundtrip() {
+        let dir = TestDir::new("io_tsv");
+        let path = dir.path("g.tsv");
+        let g = graph_from_triples(sample());
+        save_tsv(&g, &path).unwrap();
+        let back = load_tsv(&path).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        assert!(back.node_by_name("Volkswagen").is_some());
+    }
+
+    #[test]
+    fn tsv_file_roundtrip_with_hostile_labels() {
+        let dir = TestDir::new("io_tsv_hostile");
+        let path = dir.path("g.tsv");
+        // Tabs, newlines, a comment-looking name, and a backslash: all of
+        // these used to corrupt the file on save→load.
+        let triples = vec![
+            Triple::new("#not a comment", "Ty\tpe", "has\npart", "tail\\end", "T"),
+            Triple::new("plain", "T", "p", "multi\r\nline", "T"),
+        ];
+        write_triples(std::fs::File::create(&path).unwrap(), triples.clone()).unwrap();
+        let g = graph_from_triples(triples);
+        let back = load_tsv(&path).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        assert!(back.node_by_name("#not a comment").is_some());
+        assert!(back.node_by_name("multi\r\nline").is_some());
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let dir = TestDir::new("io_json");
+        let path = dir.path("g.json");
+        let g = graph_from_triples(sample());
+        save_snapshot(&g, &path).unwrap();
+        let back = load_snapshot(&path).unwrap();
+        assert_eq!(back.edge_count(), 2);
+        let audi = back.node_by_name("Audi_TT").unwrap();
+        assert_eq!(back.degree(audi), 2);
+    }
+
+    #[test]
+    fn load_snapshot_wraps_missing_file_with_context() {
+        let dir = TestDir::new("io_json_missing");
+        let path = dir.path("nope.json");
+        let err = load_snapshot(&path).unwrap_err();
+        assert!(matches!(err, KgError::Snapshot { .. }), "{err:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("nope.json"), "{msg}");
+        assert!(msg.contains("json format"), "{msg}");
+    }
+
+    #[test]
+    fn load_snapshot_wraps_malformed_json_with_context() {
+        let dir = TestDir::new("io_json_bad");
+        let path = dir.path("bad.json");
+        std::fs::write(&path, b"{\"names\": [not json").unwrap();
+        let err = load_snapshot(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(matches!(err, KgError::Snapshot { .. }), "{err:?}");
+        assert!(msg.contains("bad.json"), "{msg}");
+    }
+
+    #[test]
+    fn load_snapshot_wraps_truncated_json_with_context() {
+        let dir = TestDir::new("io_json_trunc");
+        let full = dir.path("full.json");
+        let g = graph_from_triples(sample());
+        save_snapshot(&g, &full).unwrap();
+        let bytes = std::fs::read(&full).unwrap();
+        let cut = dir.path("cut.json");
+        std::fs::write(&cut, &bytes[..bytes.len() / 2]).unwrap();
+        let err = load_snapshot(&cut).unwrap_err();
+        let msg = err.to_string();
+        assert!(matches!(err, KgError::Snapshot { .. }), "{err:?}");
+        assert!(msg.contains("cut.json"), "{msg}");
+        assert!(msg.contains("json format"), "{msg}");
+    }
+}

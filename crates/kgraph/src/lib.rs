@@ -45,5 +45,7 @@ pub use ids::{EdgeId, NodeId, PredicateId, TypeId};
 pub use interner::Interner;
 pub use stats::GraphStats;
 pub use triple::Triple;
-pub use versioned::{DeltaOverlay, GraphSnapshot, InsertOutcome, VersionedGraph, VersionedStats};
+pub use versioned::{
+    DeltaOverlay, GraphSnapshot, InsertOutcome, RecoveryReport, VersionedGraph, VersionedStats,
+};
 pub use view::GraphView;

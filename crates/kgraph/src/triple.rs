@@ -4,9 +4,69 @@
 //! `head \t head_type \t predicate \t tail \t tail_type`
 //! — a lightweight stand-in for the N-Triples dumps the paper loads from
 //! DBpedia / Freebase / YAGO2, keeping the type annotations the engine needs.
+//!
+//! Field values are escaped so that *any* label round-trips: `\` → `\\`,
+//! tab → `\t`, newline → `\n`, carriage return → `\r`, and a `#` at the
+//! start of a field → `\#` (so a head entity cannot turn its line into a
+//! comment). Real dump labels rarely need any of this, in which case
+//! escaping is a no-op pass-through.
+//!
+//! Compatibility note: a dump written *before* escaping existed whose
+//! labels contain a literal `\` now fails to parse with an "unknown
+//! escape" error (line-numbered) instead of silently loading a different
+//! label — re-export such a graph, or escape the backslashes, to migrate.
+//! Backslash-free dumps (the overwhelmingly common case) are bytewise
+//! unchanged in both directions.
 
 use crate::error::KgError;
 use serde::{Deserialize, Serialize};
+
+/// Escapes one TSV field (see module docs for the escape set).
+fn escape_field(out: &mut String, field: &str) {
+    for (i, c) in field.chars().enumerate() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '#' if i == 0 => out.push_str("\\#"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Reverses [`escape_field`]. Unknown escapes and a trailing lone `\` are
+/// parse errors — they can only come from hand-edited or corrupt files.
+fn unescape_field(field: &str, line_no: usize) -> Result<String, KgError> {
+    if !field.contains('\\') {
+        return Ok(field.to_string());
+    }
+    let mut out = String::with_capacity(field.len());
+    let mut chars = field.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('#') => out.push('#'),
+            other => {
+                return Err(KgError::ParseTriple {
+                    line: line_no,
+                    reason: match other {
+                        Some(c) => format!("unknown escape `\\{c}`"),
+                        None => "dangling `\\` at end of field".into(),
+                    },
+                })
+            }
+        }
+    }
+    Ok(out)
+}
 
 /// A fully-labelled knowledge-graph triple `<head, predicate, tail>` with
 /// entity types attached (paper Definition 1 assumes every node carries a
@@ -37,22 +97,47 @@ impl Triple {
         }
     }
 
-    /// Serializes to one TSV line (no trailing newline).
+    /// Serializes to one TSV line (no trailing newline), escaping field
+    /// values so any label round-trips through [`Self::from_tsv`].
     pub fn to_tsv(&self) -> String {
-        format!(
-            "{}\t{}\t{}\t{}\t{}",
-            self.head, self.head_type, self.predicate, self.tail, self.tail_type
-        )
+        let mut out = String::with_capacity(
+            self.head.len()
+                + self.head_type.len()
+                + self.predicate.len()
+                + self.tail.len()
+                + self.tail_type.len()
+                + 4,
+        );
+        for (i, field) in [
+            &self.head,
+            &self.head_type,
+            &self.predicate,
+            &self.tail,
+            &self.tail_type,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if i > 0 {
+                out.push('\t');
+            }
+            escape_field(&mut out, field);
+        }
+        out
     }
 
-    /// Parses one TSV line; `line_no` is used for error reporting only.
+    /// Parses one TSV line, reversing [`Self::to_tsv`]'s escaping;
+    /// `line_no` is used for error reporting only.
     pub fn from_tsv(line: &str, line_no: usize) -> Result<Self, KgError> {
         let mut fields = line.split('\t');
         let mut next = |what: &str| {
-            fields.next().ok_or_else(|| KgError::ParseTriple {
-                line: line_no,
-                reason: format!("missing field `{what}`"),
-            })
+            fields
+                .next()
+                .ok_or_else(|| KgError::ParseTriple {
+                    line: line_no,
+                    reason: format!("missing field `{what}`"),
+                })
+                .and_then(|raw| unescape_field(raw, line_no))
         };
         let head = next("head")?;
         let head_type = next("head_type")?;
@@ -71,7 +156,7 @@ impl Triple {
                 reason: "empty head/predicate/tail".into(),
             });
         }
-        Ok(Self::new(head, head_type, predicate, tail, tail_type))
+        Ok(Self::new(&head, &head_type, &predicate, &tail, &tail_type))
     }
 }
 
@@ -120,14 +205,50 @@ mod tests {
         assert!(Triple::from_tsv("a\t\tp\tb\t", 1).is_ok());
     }
 
+    #[test]
+    fn hostile_labels_roundtrip() {
+        // Tabs would shift columns, newlines would split the record, a
+        // leading `#` would turn the line into a comment, and backslashes
+        // collide with the escape character itself.
+        let t = Triple::new(
+            "#looks\tlike\na comment",
+            "Ty\\pe",
+            "has\tpart",
+            "line\r\nbreak",
+            "#T",
+        );
+        let line = t.to_tsv();
+        assert!(!line.contains('\n'), "escaped line must stay one line");
+        assert!(!line.starts_with('#'), "leading # must be escaped");
+        assert_eq!(line.matches('\t').count(), 4, "exactly 4 separators");
+        assert_eq!(Triple::from_tsv(&line, 1).unwrap(), t);
+    }
+
+    #[test]
+    fn interior_hash_is_not_escaped() {
+        let t = Triple::new("a#b", "T", "p#q", "c", "T");
+        let line = t.to_tsv();
+        assert_eq!(line, "a#b\tT\tp#q\tc\tT");
+        assert_eq!(Triple::from_tsv(&line, 1).unwrap(), t);
+    }
+
+    #[test]
+    fn rejects_bad_escapes() {
+        let err = Triple::from_tsv("a\\x\tT\tp\tb\tT", 4).unwrap_err();
+        assert!(err.to_string().contains("unknown escape"), "{err}");
+        assert!(err.to_string().contains("line 4"), "{err}");
+        let err = Triple::from_tsv("a\\\tT\tp\tb\tT", 2).unwrap_err();
+        assert!(err.to_string().contains("dangling"), "{err}");
+    }
+
     proptest! {
         #[test]
         fn prop_roundtrip(
-            head in "[A-Za-z0-9_]{1,12}",
-            ht in "[A-Za-z0-9_]{0,8}",
-            pred in "[a-z]{1,10}",
-            tail in "[A-Za-z0-9_]{1,12}",
-            tt in "[A-Za-z0-9_]{0,8}",
+            head in "[A-Za-z0-9_\\\t\n\r#]{1,12}",
+            ht in "[A-Za-z0-9_\\\t\n\r#]{0,8}",
+            pred in "[a-z\\\t\n\r#]{1,10}",
+            tail in "[A-Za-z0-9_\\\t\n\r#]{1,12}",
+            tt in "[A-Za-z0-9_\\\t\n\r#]{0,8}",
         ) {
             let t = Triple::new(&head, &ht, &pred, &tail, &tt);
             prop_assert_eq!(Triple::from_tsv(&t.to_tsv(), 0).unwrap(), t);

@@ -151,6 +151,27 @@ impl DeltaOverlay {
         node
     }
 
+    /// Resolves a node id (base or delta) back to its entity name; used by
+    /// the WAL to log id-addressed deletions by label.
+    pub(crate) fn node_label<'a>(&'a self, base: &'a KnowledgeGraph, node: NodeId) -> &'a str {
+        match node.index().checked_sub(self.base_nodes as usize) {
+            None => base.node_name(node),
+            Some(i) => &self.node_names[i],
+        }
+    }
+
+    /// Resolves a predicate id (base or delta) back to its label.
+    pub(crate) fn predicate_label<'a>(
+        &'a self,
+        base: &'a KnowledgeGraph,
+        pred: PredicateId,
+    ) -> &'a str {
+        match pred.index().checked_sub(self.base_predicates as usize) {
+            None => base.predicate_name(pred),
+            Some(i) => self.new_predicates.resolve(i as u32),
+        }
+    }
+
     /// Appends a delta edge (caller has already ruled out duplicates).
     pub(crate) fn push_edge(&mut self, record: EdgeRecord) -> EdgeId {
         let id = EdgeId::new(self.base_edges + self.edges.len() as u32);

@@ -32,6 +32,10 @@ pub enum SgqError {
     /// A prepared query was executed on an engine other than the one that
     /// built it (plans carry graph-specific node ids and row lengths).
     ForeignPreparedQuery,
+    /// A durable-deployment operation failed (snapshot/WAL/space file I-O
+    /// or decode; the message carries the path and format context from the
+    /// storage layer).
+    Storage(String),
 }
 
 impl fmt::Display for SgqError {
@@ -55,11 +59,18 @@ impl fmt::Display for SgqError {
                 f,
                 "prepared query was built by a different engine (over a different graph)"
             ),
+            SgqError::Storage(msg) => write!(f, "storage error: {msg}"),
         }
     }
 }
 
 impl std::error::Error for SgqError {}
+
+impl From<kgraph::KgError> for SgqError {
+    fn from(e: kgraph::KgError) -> Self {
+        SgqError::Storage(e.to_string())
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -72,5 +83,8 @@ mod tests {
         assert!(SgqError::InvalidConfig("k".into())
             .to_string()
             .contains('k'));
+        let e = SgqError::from(kgraph::KgError::snapshot("/d/s.kgb", "binary", "boom"));
+        assert!(matches!(e, SgqError::Storage(_)));
+        assert!(e.to_string().contains("/d/s.kgb"), "{e}");
     }
 }

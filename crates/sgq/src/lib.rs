@@ -88,7 +88,10 @@ pub use config::{PivotStrategy, SgqConfig};
 pub use decompose::{Decomposition, SubQuery};
 pub use engine::{PreparedQuery, SgqEngine};
 pub use error::{Result, SgqError};
-pub use live::{EpochEngine, LivePreparedQuery, LiveQueryService};
+pub use live::{
+    CheckpointReport, EpochEngine, LiveDeployment, LivePreparedQuery, LiveQueryService,
+    LIBRARY_FILE, SNAPSHOT_FILE, SPACE_FILE, WAL_FILE,
+};
 pub use query::{QEdgeId, QNodeId, QueryEdge, QueryGraph, QueryNode, QueryNodeKind};
 pub use runtime::WorkerPool;
 pub use service::{QueryService, ServiceStats};

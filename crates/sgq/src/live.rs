@@ -28,17 +28,28 @@
 use crate::answer::QueryResult;
 use crate::config::SgqConfig;
 use crate::engine::{PreparedQuery, SgqEngine};
-use crate::error::Result;
+use crate::error::{Result, SgqError};
 use crate::query::QueryGraph;
 use crate::runtime::WorkerPool;
 use crate::semgraph::weight_transform;
 use crate::service::{ServiceCounters, ServiceStats};
 use crate::timebound::TimeBoundConfig;
 use embedding::{PredicateSpace, SimilarityIndex, SimilarityIndexStats};
-use kgraph::{GraphSnapshot, VersionedGraph};
+use kgraph::{GraphSnapshot, GraphView, KnowledgeGraph, RecoveryReport, VersionedGraph};
 use lexicon::TransformationLibrary;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+
+/// File name of the binary graph snapshot inside a deployment directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.kgb";
+/// File name of the write-ahead log.
+pub const WAL_FILE: &str = "wal.log";
+/// File name of the saved predicate semantic space.
+pub const SPACE_FILE: &str = "space.kgv";
+/// File name of the transformation library (JSON — it is tiny and benefits
+/// from being hand-inspectable).
+pub const LIBRARY_FILE: &str = "library.json";
 
 /// An engine pinned to one published epoch of the versioned graph.
 pub type EpochEngine<'a> = SgqEngine<'a, GraphSnapshot>;
@@ -81,6 +92,9 @@ pub struct LiveQueryService<'a> {
     rebuild: Mutex<()>,
     counters: ServiceCounters,
     refreshes: AtomicU64,
+    /// Deployment directory when built via [`LiveDeployment::service`];
+    /// enables [`Self::checkpoint`].
+    durable_dir: Option<PathBuf>,
 }
 
 impl<'a> LiveQueryService<'a> {
@@ -91,6 +105,16 @@ impl<'a> LiveQueryService<'a> {
         space: &'a PredicateSpace,
         library: &'a TransformationLibrary,
         config: SgqConfig,
+    ) -> Self {
+        Self::with_durable_dir(versioned, space, library, config, None)
+    }
+
+    fn with_durable_dir(
+        versioned: Arc<VersionedGraph>,
+        space: &'a PredicateSpace,
+        library: &'a TransformationLibrary,
+        config: SgqConfig,
+        durable_dir: Option<PathBuf>,
     ) -> Self {
         let sim_index = Arc::new(SimilarityIndex::with_transform(space, weight_transform));
         let pool = Arc::new(WorkerPool::new(SgqEngine::<GraphSnapshot>::pool_size(
@@ -115,6 +139,7 @@ impl<'a> LiveQueryService<'a> {
             rebuild: Mutex::new(()),
             counters: ServiceCounters::default(),
             refreshes: AtomicU64::new(0),
+            durable_dir,
         }
     }
 
@@ -230,6 +255,197 @@ impl<'a> LiveQueryService<'a> {
     /// Similarity-row cache counters of the shared cross-epoch index.
     pub fn similarity_stats(&self) -> SimilarityIndexStats {
         self.sim_index.stats()
+    }
+
+    /// Checkpoints the underlying store into the deployment directory:
+    /// compacts the overlay (committing staged changes), writes a fresh
+    /// binary snapshot, and truncates the WAL — after which cold start is
+    /// one snapshot load plus an empty log. The next query adopts the
+    /// compacted epoch via the normal refresh path.
+    ///
+    /// Only available on services built by [`LiveDeployment::service`];
+    /// run it from a maintenance thread — writers stall for the duration,
+    /// readers keep answering from pinned snapshots.
+    pub fn checkpoint(&self) -> Result<CheckpointReport> {
+        let dir = self.durable_dir.as_ref().ok_or_else(|| {
+            SgqError::Storage(
+                "service has no deployment directory (build it via LiveDeployment::service)".into(),
+            )
+        })?;
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        let snapshot = self.versioned.checkpoint(&snapshot_path)?;
+        let snapshot_bytes = std::fs::metadata(&snapshot_path)
+            .map(|m| m.len())
+            .unwrap_or(0);
+        Ok(CheckpointReport {
+            epoch: snapshot.epoch(),
+            nodes: snapshot.node_count(),
+            edges: snapshot.edge_count(),
+            snapshot_bytes,
+        })
+    }
+}
+
+/// What [`LiveQueryService::checkpoint`] wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// Epoch of the checkpointed (compacted) snapshot.
+    pub epoch: u64,
+    /// Entities in the snapshot.
+    pub nodes: usize,
+    /// Live edges in the snapshot.
+    pub edges: usize,
+    /// Size of the snapshot file on disk.
+    pub snapshot_bytes: u64,
+}
+
+/// A whole query deployment rooted in one directory: the binary graph
+/// snapshot, the write-ahead log, the predicate semantic space and the
+/// transformation library. Owns everything a [`LiveQueryService`] borrows,
+/// so a service cold-starts from disk in two calls:
+///
+/// ```ignore
+/// let deployment = LiveDeployment::open("/var/lib/semkg")?;
+/// let service = deployment.service(SgqConfig::default());
+/// ```
+///
+/// [`LiveDeployment::create`] lays the directory out; [`LiveDeployment::open`]
+/// recovers it — replaying committed WAL epochs on top of the snapshot,
+/// tolerating a torn tail from a crash mid-append. Writes go through
+/// [`LiveDeployment::versioned`] exactly as for an in-memory store and are
+/// logged durably; [`LiveQueryService::checkpoint`] folds the log back into
+/// the snapshot.
+pub struct LiveDeployment {
+    dir: PathBuf,
+    space: PredicateSpace,
+    library: TransformationLibrary,
+    versioned: Arc<VersionedGraph>,
+    recovery: RecoveryReport,
+}
+
+impl std::fmt::Debug for LiveDeployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveDeployment")
+            .field("dir", &self.dir)
+            .field("predicates", &self.space.len())
+            .field("recovery", &self.recovery)
+            .field("store", &self.versioned.stats())
+            .finish()
+    }
+}
+
+impl LiveDeployment {
+    /// Initialises `dir` as a fresh deployment of `graph` (epoch 0) with
+    /// the given trained space and library, and an empty WAL. Refuses to
+    /// overwrite an existing deployment (open it instead).
+    pub fn create(
+        dir: impl AsRef<Path>,
+        graph: KnowledgeGraph,
+        space: PredicateSpace,
+        library: TransformationLibrary,
+    ) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| SgqError::Storage(format!("create {}: {e}", dir.display())))?;
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        if snapshot_path.exists() {
+            return Err(SgqError::Storage(format!(
+                "{} already holds a deployment (use LiveDeployment::open)",
+                dir.display()
+            )));
+        }
+        // A WAL without a snapshot is a half-deleted or half-created
+        // deployment; recovering it here would replay a *previous*
+        // deployment's ops into the supposedly fresh graph.
+        if dir.join(WAL_FILE).exists() {
+            return Err(SgqError::Storage(format!(
+                "{} holds a stale {WAL_FILE} with no {SNAPSHOT_FILE} — refusing to create over \
+                 the remains of another deployment (remove the file first)",
+                dir.display()
+            )));
+        }
+        // Snapshot goes LAST: it is the file the exists() guard (and
+        // open()) key off, so a crash mid-create leaves either a
+        // retryable directory (no snapshot yet — space/library are
+        // overwritten harmlessly) or a complete, openable deployment
+        // (snapshot present; a missing WAL is created by recovery).
+        space.save(dir.join(SPACE_FILE))?;
+        let library_file = std::fs::File::create(dir.join(LIBRARY_FILE))
+            .map_err(|e| SgqError::Storage(format!("create {LIBRARY_FILE}: {e}")))?;
+        serde_json::to_writer(std::io::BufWriter::new(library_file), &library)
+            .map_err(|e| SgqError::Storage(format!("write {LIBRARY_FILE}: {e}")))?;
+        kgraph::io::binary::save(&graph, 0, &snapshot_path)?;
+        let (versioned, recovery) = VersionedGraph::recover(graph, 0, dir.join(WAL_FILE))?;
+        Ok(Self {
+            dir,
+            space,
+            library,
+            versioned: Arc::new(versioned),
+            recovery,
+        })
+    }
+
+    /// Cold-starts the deployment at `dir`: loads the space and library,
+    /// loads the binary snapshot, and replays the WAL's committed epochs on
+    /// top (see [`VersionedGraph::recover`] for the exact semantics,
+    /// including torn-tail tolerance).
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let space = PredicateSpace::load(dir.join(SPACE_FILE))?;
+        let library_path = dir.join(LIBRARY_FILE);
+        let library_file = std::fs::File::open(&library_path)
+            .map_err(|e| SgqError::Storage(format!("open {}: {e}", library_path.display())))?;
+        let library: TransformationLibrary =
+            serde_json::from_reader(std::io::BufReader::new(library_file))
+                .map_err(|e| SgqError::Storage(format!("parse {}: {e}", library_path.display())))?;
+        let (base, epoch) = kgraph::io::binary::load(dir.join(SNAPSHOT_FILE))?;
+        let (versioned, recovery) = VersionedGraph::recover(base, epoch, dir.join(WAL_FILE))?;
+        Ok(Self {
+            dir,
+            space,
+            library,
+            versioned: Arc::new(versioned),
+            recovery,
+        })
+    }
+
+    /// Stands up a query service over this deployment. The service borrows
+    /// the deployment (which owns the space/library), and can
+    /// [`LiveQueryService::checkpoint`] back into the directory.
+    pub fn service(&self, config: SgqConfig) -> LiveQueryService<'_> {
+        LiveQueryService::with_durable_dir(
+            Arc::clone(&self.versioned),
+            &self.space,
+            &self.library,
+            config,
+            Some(self.dir.clone()),
+        )
+    }
+
+    /// The durable versioned store (hand this to your writer thread; every
+    /// mutation is WAL-logged, every commit fsyncs an epoch marker).
+    pub fn versioned(&self) -> &Arc<VersionedGraph> {
+        &self.versioned
+    }
+
+    /// The loaded predicate semantic space.
+    pub fn space(&self) -> &PredicateSpace {
+        &self.space
+    }
+
+    /// The loaded transformation library.
+    pub fn library(&self) -> &TransformationLibrary {
+        &self.library
+    }
+
+    /// What recovery found in the WAL when this deployment was opened.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// The deployment directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
     }
 }
 
@@ -389,6 +605,121 @@ mod tests {
         let r = service.query(&q).unwrap();
         assert_eq!(r.matches.len(), 1);
         assert!((r.matches[0].score - 1.0).abs() < 1e-9);
+    }
+
+    struct TestDir(PathBuf);
+    impl TestDir {
+        fn new(label: &str) -> Self {
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "sgq_live_{label}_{}_{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed),
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            Self(dir)
+        }
+    }
+    impl Drop for TestDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn deployment_cold_starts_with_identical_answers() {
+        let dir = TestDir::new("deploy");
+        let deploy_dir = dir.0.join("kg");
+        let (g, space, lib) = fixture();
+        let deployment = LiveDeployment::create(&deploy_dir, g, space, lib).unwrap();
+        let service = deployment.service(config());
+        let v = Arc::clone(deployment.versioned());
+        v.insert_triple(
+            ("Lamando", "Automobile"),
+            "assembly",
+            ("Germany", "Country"),
+        );
+        v.delete_triple("Audi_TT", "assembly", "Germany");
+        v.commit();
+        service.refresh();
+        let live_answers = service.query(&product_query()).unwrap();
+        // Stage one more write that never commits: it must not survive.
+        v.insert_triple(("Ghost", "Automobile"), "assembly", ("Germany", "Country"));
+        drop(service);
+        // Crash: no checkpoint, only snapshot + WAL remain. (Dropping the
+        // last Arc flushes the buffered Ghost record, so the log really
+        // contains a clean-but-uncommitted tail for recovery to discard.)
+        drop(deployment);
+        drop(v);
+
+        let reopened = LiveDeployment::open(&deploy_dir).unwrap();
+        assert_eq!(reopened.recovery().recovered_epoch, 1);
+        assert_eq!(reopened.recovery().discarded_ops, 1);
+        let service = reopened.service(config());
+        let recovered = service.query(&product_query()).unwrap();
+        assert_eq!(recovered.matches, live_answers.matches, "bit-identical");
+        assert!(service.pin().graph().node_by_name("Ghost").is_none());
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_survives_restart() {
+        let dir = TestDir::new("checkpoint");
+        let deploy_dir = dir.0.join("kg");
+        let (g, space, lib) = fixture();
+        let deployment = LiveDeployment::create(&deploy_dir, g, space, lib).unwrap();
+        let service = deployment.service(config());
+        let v = Arc::clone(deployment.versioned());
+        v.insert_triple(
+            ("Lamando", "Automobile"),
+            "assembly",
+            ("Germany", "Country"),
+        );
+        v.commit();
+        service.refresh();
+        let before = service.query(&product_query()).unwrap();
+        let report = service.checkpoint().unwrap();
+        assert_eq!(report.epoch, 2, "commit then compaction");
+        assert_eq!(report.edges, 3);
+        assert!(report.snapshot_bytes > 0);
+        // Post-checkpoint writes land in the fresh WAL.
+        v.insert_triple(("Peter", "Person"), "designer", ("Audi_TT", "Automobile"));
+        v.commit();
+        drop(service);
+        drop(deployment);
+
+        let reopened = LiveDeployment::open(&deploy_dir).unwrap();
+        assert_eq!(reopened.recovery().skipped_ops, 0, "WAL was truncated");
+        assert_eq!(reopened.recovery().epochs_replayed, 1);
+        let service = reopened.service(config());
+        let after = service.query(&product_query()).unwrap();
+        assert_eq!(after.matches, before.matches);
+        assert_eq!(service.stats().epoch, 3);
+    }
+
+    #[test]
+    fn create_refuses_to_overwrite_and_checkpoint_needs_a_dir() {
+        let dir = TestDir::new("guards");
+        let deploy_dir = dir.0.join("kg");
+        let (g, space, lib) = fixture();
+        let deployment =
+            LiveDeployment::create(&deploy_dir, g.clone(), space.clone(), lib.clone()).unwrap();
+        drop(deployment);
+        let err =
+            LiveDeployment::create(&deploy_dir, g.clone(), space.clone(), lib.clone()).unwrap_err();
+        assert!(matches!(err, SgqError::Storage(_)), "{err:?}");
+        assert!(err.to_string().contains("already holds"), "{err}");
+
+        // A stale WAL with no snapshot (half-deleted deployment) must not
+        // be replayed into a fresh one.
+        std::fs::remove_file(deploy_dir.join(SNAPSHOT_FILE)).unwrap();
+        let err = LiveDeployment::create(&deploy_dir, g.clone(), space.clone(), lib).unwrap_err();
+        assert!(err.to_string().contains("stale"), "{err}");
+
+        let lib = TransformationLibrary::new();
+        let service =
+            LiveQueryService::new(Arc::new(VersionedGraph::new(g)), &space, &lib, config());
+        let err = service.checkpoint().unwrap_err();
+        assert!(err.to_string().contains("deployment directory"), "{err}");
     }
 
     #[test]

@@ -103,6 +103,15 @@ pub fn calibrate_ta_cost() -> Duration {
     Duration::from_nanos((elapsed.as_nanos() / accesses as u128).max(1) as u64)
 }
 
+/// Algorithm 3's estimate `T̂ = elapsed + Σ|M̂ᵢ|·t`, computed in `u128`
+/// nanoseconds. `Σ|M̂ᵢ|` is a `usize` that can exceed `u32::MAX` on big
+/// graphs with generous match caps; a former `as u32` truncation here could
+/// wrap the estimate back *below* the alert threshold and miss the bound.
+#[inline]
+fn estimate_ns(elapsed: Duration, per_match_ns: u128, collected: usize) -> u128 {
+    elapsed.as_nanos() + per_match_ns.saturating_mul(collected as u128)
+}
+
 /// Output of one anytime search phase.
 pub(crate) struct AnytimeOutcome {
     /// Per sub-query: discovered matches sorted by pss descending (`M̂ᵢ`).
@@ -132,8 +141,8 @@ pub(crate) fn run_anytime<G: GraphView>(
     // Σ|M̂ᵢ| across all sub-queries, updated incrementally by every job.
     let total_collected = AtomicUsize::new(0);
     let start = Instant::now();
-    let deadline = tb.bound.mul_f64(tb.alert_ratio.clamp(0.0, 1.0));
-    let per_match = tb.per_match_ta_cost;
+    let deadline_ns = tb.bound.mul_f64(tb.alert_ratio.clamp(0.0, 1.0)).as_nanos();
+    let per_match_ns = tb.per_match_ta_cost.as_nanos();
     let cap = if max_matches_per_subquery == 0 {
         usize::MAX
     } else {
@@ -172,8 +181,8 @@ pub(crate) fn run_anytime<G: GraphView>(
                             break;
                         }
                         let collected = total_collected.load(Ordering::Relaxed);
-                        let t_hat = start.elapsed() + per_match.saturating_mul(collected as u32);
-                        if t_hat >= deadline {
+                        let t_hat = estimate_ns(start.elapsed(), per_match_ns, collected);
+                        if t_hat >= deadline_ns {
                             stop.store(true, Ordering::Relaxed);
                             bound_hit_flag.store(true, Ordering::Relaxed);
                             break;
@@ -248,5 +257,21 @@ mod tests {
             t < Duration::from_millis(1),
             "per-access cost should be sub-millisecond, got {t:?}"
         );
+    }
+
+    #[test]
+    fn estimate_does_not_wrap_on_huge_match_counts() {
+        let per_match_ns = Duration::from_nanos(300).as_nanos();
+        // Exactly 2³² collected matches: the old `as u32` truncation mapped
+        // this to 0 projected assembly cost, keeping T̂ below any threshold.
+        let collected = 1usize << 32;
+        let t_hat = estimate_ns(Duration::from_millis(1), per_match_ns, collected);
+        let deadline = Duration::from_millis(80).as_nanos();
+        assert!(
+            t_hat >= deadline,
+            "2³² matches × 300ns must dwarf an 80ms deadline, got {t_hat}ns"
+        );
+        // Monotonic in the collected count.
+        assert!(t_hat > estimate_ns(Duration::from_millis(1), per_match_ns, collected - 1));
     }
 }

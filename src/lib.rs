@@ -66,8 +66,9 @@ pub mod prelude {
     };
     pub use lexicon::{NodeMatcher, TransformationLibrary};
     pub use sgq::{
-        FinalMatch, LivePreparedQuery, LiveQueryService, PivotStrategy, PreparedQuery, QueryGraph,
-        QueryResult, QueryService, ServiceStats, SgqConfig, SgqEngine, TimeBoundConfig,
+        CheckpointReport, FinalMatch, LiveDeployment, LivePreparedQuery, LiveQueryService,
+        PivotStrategy, PreparedQuery, QueryGraph, QueryResult, QueryService, ServiceStats,
+        SgqConfig, SgqEngine, TimeBoundConfig,
     };
 }
 
