@@ -89,6 +89,19 @@ impl SimilarityIndexStats {
     pub fn requests(&self) -> u64 {
         self.row_hits + self.row_misses + self.max_row_hits + self.max_row_misses
     }
+
+    /// Fraction of row requests (both kinds) served from the cache, in
+    /// `[0, 1]`; `0.0` when nothing has been requested. Under batched
+    /// scheduling this approaches 1: one prepared plan per batch touches
+    /// the index once, every coalesced request rides the same rows.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.requests();
+        if total == 0 {
+            0.0
+        } else {
+            (self.row_hits + self.max_row_hits) as f64 / total as f64
+        }
+    }
 }
 
 /// Upper bound on cached combined-max rows. Per-predicate rows are bounded
@@ -482,6 +495,23 @@ mod tests {
             2,
             "post-growth request recomputes instead of serving the stale row"
         );
+    }
+
+    #[test]
+    fn hit_rate_tracks_cache_effectiveness() {
+        let s = space();
+        let idx = SimilarityIndex::new(&s);
+        assert_eq!(idx.stats().hit_rate(), 0.0, "no requests yet");
+        let key = RowKey::Predicate(PredicateId::new(0));
+        let _ = idx.row(key); // miss
+        assert_eq!(idx.stats().hit_rate(), 0.0);
+        let _ = idx.row(key); // hit
+        assert_eq!(idx.stats().hit_rate(), 0.5);
+        for _ in 0..6 {
+            let _ = idx.row(key);
+        }
+        let rate = idx.stats().hit_rate();
+        assert!(rate > 0.85 && rate < 1.0, "{rate}");
     }
 
     #[test]

@@ -1,6 +1,7 @@
-//! Engine configuration.
+//! Engine and scheduler configuration.
 
 use serde::{Deserialize, Serialize};
+use std::time::Duration;
 
 /// How the decomposition chooses the pivot node (paper §VII-C, Table VI).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -102,6 +103,72 @@ impl SgqConfig {
     }
 }
 
+/// Parameters of the deadline-aware batch scheduler
+/// ([`crate::sched::BatchScheduler`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedConfig {
+    /// Bounded admission-queue capacity. Arrivals beyond it shed a
+    /// lower-priority queued request or are shed themselves.
+    pub queue_capacity: usize,
+    /// Most requests one batch may coalesce (one prepared execution
+    /// answers them all).
+    pub max_batch: usize,
+    /// Concurrent batches in flight on the worker pool. `0` = one per
+    /// pool worker.
+    pub max_inflight: usize,
+    /// Fixed per-request overhead floor (dispatch, preparation, fan-out).
+    /// A request whose remaining time is inside this margin is provably
+    /// unmeetable and shed; degraded executions get their bound cut by it.
+    pub shed_margin: Duration,
+    /// Alert ratio handed to degraded (TBQ) executions — assembly starts
+    /// at `bound · ratio`, like the paper's 80%.
+    pub degrade_alert_ratio: f64,
+    /// Calibrated per-match TA cost `t` for the Algorithm-3 estimator
+    /// (see [`crate::timebound::calibrate_ta_cost`]).
+    pub per_match_ta_cost: Duration,
+    /// Entries kept in the prepared-plan and cost-profile caches.
+    pub plan_cache_capacity: usize,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 1024,
+            max_batch: 64,
+            max_inflight: 0,
+            shed_margin: Duration::from_micros(200),
+            degrade_alert_ratio: 0.8,
+            per_match_ta_cost: Duration::from_nanos(300),
+            plan_cache_capacity: 256,
+        }
+    }
+}
+
+impl SchedConfig {
+    /// Validates parameter consistency.
+    pub fn validate(&self) -> Result<(), crate::error::SgqError> {
+        use crate::error::SgqError::InvalidConfig;
+        if self.queue_capacity == 0 {
+            return Err(InvalidConfig("queue_capacity must be at least 1".into()));
+        }
+        if self.max_batch == 0 {
+            return Err(InvalidConfig("max_batch must be at least 1".into()));
+        }
+        if !(0.0..=1.0).contains(&self.degrade_alert_ratio) || self.degrade_alert_ratio == 0.0 {
+            return Err(InvalidConfig(format!(
+                "degrade_alert_ratio must lie in (0,1], got {}",
+                self.degrade_alert_ratio
+            )));
+        }
+        if self.plan_cache_capacity == 0 {
+            return Err(InvalidConfig(
+                "plan_cache_capacity must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +208,41 @@ mod tests {
         .validate()
         .is_err());
         assert!(SgqConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn sched_config_validation() {
+        assert!(SchedConfig::default().validate().is_ok());
+        assert!(SchedConfig {
+            queue_capacity: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SchedConfig {
+            max_batch: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SchedConfig {
+            degrade_alert_ratio: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SchedConfig {
+            degrade_alert_ratio: 1.2,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SchedConfig {
+            plan_cache_capacity: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -208,6 +208,13 @@ impl<'a, G: GraphView + Clone> SgqEngine<'a, G> {
         self.pool.workers()
     }
 
+    /// The engine's persistent worker pool — the batch scheduler dispatches
+    /// whole batches onto it as jobs, so scheduled and direct traffic share
+    /// one thread budget.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
     /// Cumulative similarity-row cache counters — observably non-zero hit
     /// counts demonstrate cross-query row sharing.
     pub fn similarity_stats(&self) -> SimilarityIndexStats {

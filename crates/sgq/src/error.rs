@@ -36,6 +36,13 @@ pub enum SgqError {
     /// or decode; the message carries the path and format context from the
     /// storage layer).
     Storage(String),
+    /// The batch scheduler refused the request instead of executing it
+    /// (see [`crate::sched::ShedReason`] for why). Produced by
+    /// [`crate::sched::SchedOutcome::into_result`].
+    Shed(crate::sched::ShedReason),
+    /// A scheduler-internal failure (e.g. an execution job panicked); the
+    /// request did not produce an answer.
+    Scheduler(String),
 }
 
 impl fmt::Display for SgqError {
@@ -60,6 +67,8 @@ impl fmt::Display for SgqError {
                 "prepared query was built by a different engine (over a different graph)"
             ),
             SgqError::Storage(msg) => write!(f, "storage error: {msg}"),
+            SgqError::Shed(reason) => write!(f, "request shed by the scheduler: {reason}"),
+            SgqError::Scheduler(msg) => write!(f, "scheduler error: {msg}"),
         }
     }
 }
@@ -86,5 +95,10 @@ mod tests {
         let e = SgqError::from(kgraph::KgError::snapshot("/d/s.kgb", "binary", "boom"));
         assert!(matches!(e, SgqError::Storage(_)));
         assert!(e.to_string().contains("/d/s.kgb"), "{e}");
+        let e = SgqError::Shed(crate::sched::ShedReason::QueueFull);
+        assert!(e.to_string().contains("shed"), "{e}");
+        assert!(SgqError::Scheduler("boom".into())
+            .to_string()
+            .contains("boom"));
     }
 }

@@ -37,7 +37,14 @@
 //!   [`service::ServiceStats`];
 //! * [`live`] — a [`live::LiveQueryService`] over a
 //!   [`kgraph::VersionedGraph`]: queries pin epoch snapshots while a writer
-//!   streams edge updates, commits, and compactions underneath.
+//!   streams edge updates, commits, and compactions underneath;
+//! * [`sched`] — a deadline-aware [`sched::BatchScheduler`] in front of
+//!   either service: a bounded admission queue, batching of compatible
+//!   requests (one prepared execution answers a whole batch),
+//!   earliest-deadline-first dispatch on the shared worker pool, and
+//!   shed/degrade admission control driven by the Algorithm-3 estimator —
+//!   under overload every response is exact, a *flagged* TBQ degradation,
+//!   or an explicit shed, never silently wrong.
 //!
 //! ```
 //! use kgraph::GraphBuilder;
@@ -78,13 +85,14 @@ pub mod live;
 pub mod pss;
 pub mod query;
 pub mod runtime;
+pub mod sched;
 pub mod semgraph;
 pub mod service;
 pub mod ta;
 pub mod timebound;
 
 pub use answer::{FinalMatch, QueryResult, QueryStats, SubMatch};
-pub use config::{PivotStrategy, SgqConfig};
+pub use config::{PivotStrategy, SchedConfig, SgqConfig};
 pub use decompose::{Decomposition, SubQuery};
 pub use engine::{PreparedQuery, SgqEngine};
 pub use error::{Result, SgqError};
@@ -94,5 +102,9 @@ pub use live::{
 };
 pub use query::{QEdgeId, QNodeId, QueryEdge, QueryGraph, QueryNode, QueryNodeKind};
 pub use runtime::WorkerPool;
+pub use sched::{
+    BatchScheduler, Priority, SchedBackend, SchedHandle, SchedOutcome, SchedResponse, SchedStats,
+    ShedReason, Ticket,
+};
 pub use service::{QueryService, ServiceStats};
 pub use timebound::TimeBoundConfig;

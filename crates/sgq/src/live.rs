@@ -148,6 +148,23 @@ impl<'a> LiveQueryService<'a> {
         &self.versioned
     }
 
+    /// The newest epoch the store has *published* (which [`Self::pin`]
+    /// would adopt). May run ahead of [`ServiceStats::epoch`], which
+    /// reports the newest *adopted* epoch.
+    pub fn published_epoch(&self) -> u64 {
+        self.versioned.epoch()
+    }
+
+    /// The engine configuration every epoch engine is built with.
+    pub(crate) fn sgq_config(&self) -> &SgqConfig {
+        &self.config
+    }
+
+    /// The worker pool shared across epoch engines.
+    pub(crate) fn worker_pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
     /// Pins the newest adopted epoch's engine. If the store has published a
     /// newer epoch, one caller rebuilds the engine (others keep serving the
     /// previous epoch rather than queueing behind the rebuild).

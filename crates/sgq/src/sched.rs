@@ -1,0 +1,1845 @@
+//! Deadline-aware batch scheduling in front of the query engine.
+//!
+//! [`QueryService`] and [`crate::live::LiveQueryService`] answer whatever
+//! arrives, immediately, one query per calling thread. Under overload that
+//! is exactly wrong: every client pays full decomposition and search cost,
+//! duplicate requests burn the engine twice, and the TBQ estimator can only
+//! shrink *individual* searches — it cannot shed or reorder load, so p99
+//! latency collapses when traffic spikes (the gStore/S4 lesson: production
+//! systems win by admission control and batching, not per-query smarts).
+//!
+//! [`BatchScheduler`] puts a scheduler between clients and the engine:
+//!
+//! * a **bounded admission queue** accepts `(QueryGraph, deadline,
+//!   priority)` requests; when full, a lower-priority, later-deadline
+//!   victim is shed to admit a more urgent request (or the arrival itself
+//!   is shed);
+//! * a **scheduler thread** groups compatible admitted requests — equal
+//!   query graphs observed at the same graph epoch under the same engine
+//!   configuration — into batches. A batch is planned **once** (via
+//!   [`crate::engine::PreparedQuery`], whose plans hold shared
+//!   [`embedding::SimilarityIndex`] rows) and executed **once**; the result
+//!   fans out to every member;
+//! * batches are dispatched **earliest-deadline-first** (higher priority
+//!   classes first) as jobs on the engine's existing
+//!   [`WorkerPool`] — the scheduler spawns no per-query threads;
+//! * requests whose deadline is **provably unmeetable** — the Algorithm-3
+//!   estimate [`crate::timebound::estimate_ns`] of the fixed dispatch
+//!   overhead alone reaches the remaining time — are **shed** explicitly;
+//!   requests whose predicted exact cost exceeds their remaining time are
+//!   **degraded**: executed through the TBQ anytime path with the bound cut
+//!   to the time they actually have, and *flagged* as such;
+//! * everything is observable through [`SchedStats`].
+//!
+//! ## Response contract
+//!
+//! Every submitted request is resolved, exactly once, with one of:
+//!
+//! * [`SchedOutcome::Exact`] — the bit-identical answer the direct,
+//!   unscheduled service path would have produced (same prepared-execution
+//!   code path, same determinism guarantees);
+//! * [`SchedOutcome::Degraded`] — a TBQ answer under a reduced bound,
+//!   explicitly flagged with the bound it ran under;
+//! * [`SchedOutcome::Shed`] — an explicit refusal with a
+//!   [`ShedReason`];
+//! * [`SchedOutcome::Failed`] — the engine's own error, passed through.
+//!
+//! Never a silently wrong answer: a degraded response is always flagged,
+//! and batches only merge *equal* queries (hash prefilter, then full
+//! structural equality) at one epoch under one configuration — verified by
+//! the property tests below and `tests/scheduler_differential.rs`.
+//!
+//! ## Epochs and live graphs
+//!
+//! Over a [`crate::live::LiveQueryService`] the scheduler stamps each batch
+//! with the epoch it observed at grouping time; requests observed at
+//! different epochs never share a batch. In-flight batches execute on
+//! prepared queries pinned to their build epoch, so a commit or compaction
+//! landing mid-batch drains cleanly — the batch finishes on the snapshot it
+//! planned against while the next batch adopts the new epoch.
+
+use crate::answer::{QueryResult, QueryStats};
+use crate::config::{SchedConfig, SgqConfig};
+use crate::engine::PreparedQuery;
+use crate::error::{Result, SgqError};
+use crate::live::LiveQueryService;
+use crate::query::QueryGraph;
+use crate::runtime::WorkerPool;
+use crate::service::QueryService;
+use crate::timebound::{estimate_ns, TimeBoundConfig};
+use kgraph::GraphView;
+use rustc_hash::FxHashMap;
+use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Request priority class. Higher classes are dispatched first and are the
+/// last to be shed when the admission queue overflows.
+///
+/// Deliberately **not** `Ord`: declaration order would make `High` compare
+/// *smaller* than `Low`, an inviting trap. Compare urgency through
+/// [`Priority::rank`] (0 = most urgent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// Latency-critical traffic (interactive users).
+    High,
+    /// Regular traffic.
+    #[default]
+    Normal,
+    /// Best-effort traffic (crawlers, prefetchers); shed first.
+    Low,
+}
+
+impl Priority {
+    /// Number of priority classes.
+    pub const COUNT: usize = 3;
+
+    /// Dense rank: 0 = most urgent.
+    pub const fn rank(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    /// All classes, most urgent first.
+    pub const ALL: [Priority; Priority::COUNT] = [Priority::High, Priority::Normal, Priority::Low];
+}
+
+/// Why the scheduler refused to execute a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded admission queue was full of equal-or-higher-urgency
+    /// work.
+    QueueFull,
+    /// The deadline had already passed when the request reached the
+    /// scheduler.
+    Expired,
+    /// The remaining time was provably insufficient: the estimated fixed
+    /// dispatch overhead alone ([`crate::timebound::estimate_ns`] with zero
+    /// collected matches) reached the deadline, so even a maximally
+    /// degraded execution would miss it.
+    Unmeetable,
+    /// The scheduler was shutting down when the request arrived.
+    Shutdown,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::QueueFull => write!(f, "admission queue full"),
+            ShedReason::Expired => write!(f, "deadline already passed"),
+            ShedReason::Unmeetable => write!(f, "deadline provably unmeetable"),
+            ShedReason::Shutdown => write!(f, "scheduler shutting down"),
+        }
+    }
+}
+
+/// How a scheduled request was resolved (see the module-level response
+/// contract).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedOutcome {
+    /// The exact answer — bit-identical to the direct service path.
+    Exact(QueryResult),
+    /// A time-bounded (TBQ) answer under a reduced budget, flagged with the
+    /// bound it ran under. More remaining time ⇒ closer to exact
+    /// (paper Theorem 4).
+    Degraded {
+        /// The anytime result.
+        result: QueryResult,
+        /// The reduced time bound the TBQ run was given.
+        bound: Duration,
+    },
+    /// The request was refused without touching the engine.
+    Shed(ShedReason),
+    /// The engine returned an error (validation, storage, …).
+    Failed(SgqError),
+}
+
+impl SchedOutcome {
+    /// The query result, if the request produced one.
+    pub fn result(&self) -> Option<&QueryResult> {
+        match self {
+            SchedOutcome::Exact(r) | SchedOutcome::Degraded { result: r, .. } => Some(r),
+            _ => None,
+        }
+    }
+
+    /// True for [`SchedOutcome::Shed`].
+    pub fn is_shed(&self) -> bool {
+        matches!(self, SchedOutcome::Shed(_))
+    }
+
+    /// Collapses into the engine's `Result`: sheds become
+    /// [`SgqError::Shed`], failures pass through, degraded answers are
+    /// returned like exact ones (callers distinguishing them should match
+    /// on the outcome instead).
+    pub fn into_result(self) -> Result<QueryResult> {
+        match self {
+            SchedOutcome::Exact(r) | SchedOutcome::Degraded { result: r, .. } => Ok(r),
+            SchedOutcome::Shed(reason) => Err(SgqError::Shed(reason)),
+            SchedOutcome::Failed(e) => Err(e),
+        }
+    }
+}
+
+/// A resolved scheduled request: the outcome plus the submit-to-resolution
+/// latency the client observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedResponse {
+    /// How the request was resolved.
+    pub outcome: SchedOutcome,
+    /// Wall-clock time from submission to resolution.
+    pub latency: Duration,
+}
+
+/// What the engine the scheduler fronts must provide. Implemented by
+/// [`QueryService`] (static graphs; epoch constantly 0) and
+/// [`LiveQueryService`] (prepared queries pin the epoch they were built
+/// against).
+pub trait SchedBackend: Sync {
+    /// The backend's compiled-query handle.
+    type Prepared: Send + Sync;
+
+    /// The newest published graph epoch (0 for static graphs). Batches are
+    /// stamped with this at grouping time; requests observed at different
+    /// epochs never share a batch.
+    fn current_epoch(&self) -> u64;
+
+    /// The engine configuration (fingerprinted into the batch key).
+    fn config(&self) -> &SgqConfig;
+
+    /// Compiles a query for repeated execution.
+    fn prepare(&self, query: &QueryGraph) -> Result<Self::Prepared>;
+
+    /// The epoch a prepared query is pinned to.
+    fn prepared_epoch(&self, prepared: &Self::Prepared) -> u64;
+
+    /// Exact execution (must be deterministic and identical to the
+    /// backend's direct query path — the differential harness asserts it).
+    fn execute(&self, prepared: &Self::Prepared) -> Result<QueryResult>;
+
+    /// Anytime execution under a time bound.
+    fn execute_time_bounded(
+        &self,
+        prepared: &Self::Prepared,
+        tb: &TimeBoundConfig,
+    ) -> Result<QueryResult>;
+
+    /// The persistent worker pool batches are dispatched onto.
+    fn pool(&self) -> &WorkerPool;
+}
+
+impl<'a, G> SchedBackend for QueryService<'a, G>
+where
+    G: GraphView + Clone + Send + Sync,
+    QueryService<'a, G>: Sync,
+{
+    type Prepared = PreparedQuery;
+
+    fn current_epoch(&self) -> u64 {
+        0
+    }
+
+    fn config(&self) -> &SgqConfig {
+        self.engine().config()
+    }
+
+    fn prepare(&self, query: &QueryGraph) -> Result<PreparedQuery> {
+        QueryService::prepare(self, query)
+    }
+
+    fn prepared_epoch(&self, _prepared: &PreparedQuery) -> u64 {
+        0
+    }
+
+    fn execute(&self, prepared: &PreparedQuery) -> Result<QueryResult> {
+        QueryService::execute(self, prepared)
+    }
+
+    fn execute_time_bounded(
+        &self,
+        prepared: &PreparedQuery,
+        tb: &TimeBoundConfig,
+    ) -> Result<QueryResult> {
+        QueryService::execute_time_bounded(self, prepared, tb)
+    }
+
+    fn pool(&self) -> &WorkerPool {
+        self.engine().pool()
+    }
+}
+
+impl<'a> SchedBackend for LiveQueryService<'a> {
+    type Prepared = crate::live::LivePreparedQuery<'a>;
+
+    fn current_epoch(&self) -> u64 {
+        self.published_epoch()
+    }
+
+    fn config(&self) -> &SgqConfig {
+        self.sgq_config()
+    }
+
+    fn prepare(&self, query: &QueryGraph) -> Result<Self::Prepared> {
+        LiveQueryService::prepare(self, query)
+    }
+
+    fn prepared_epoch(&self, prepared: &Self::Prepared) -> u64 {
+        prepared.epoch()
+    }
+
+    fn execute(&self, prepared: &Self::Prepared) -> Result<QueryResult> {
+        LiveQueryService::execute(self, prepared)
+    }
+
+    fn execute_time_bounded(
+        &self,
+        prepared: &Self::Prepared,
+        tb: &TimeBoundConfig,
+    ) -> Result<QueryResult> {
+        LiveQueryService::execute_time_bounded(self, prepared, tb)
+    }
+
+    fn pool(&self) -> &WorkerPool {
+        self.worker_pool()
+    }
+}
+
+/// Structural hash of a query graph — the batch-grouping prefilter. Equal
+/// graphs hash equal; the [`Batcher`] additionally compares full structural
+/// equality before merging, so a collision can never merge distinct
+/// queries.
+pub fn query_signature(query: &QueryGraph) -> u64 {
+    let mut h = rustc_hash::FxHasher::default();
+    for node in query.nodes() {
+        match node.name() {
+            Some(name) => {
+                1u8.hash(&mut h);
+                name.hash(&mut h);
+            }
+            None => 0u8.hash(&mut h),
+        }
+        node.type_label().hash(&mut h);
+    }
+    0xffu8.hash(&mut h);
+    for edge in query.edges() {
+        edge.from.0.hash(&mut h);
+        edge.to.0.hash(&mut h);
+        edge.predicate.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Fingerprint of the engine configuration a batch executes under; part of
+/// the batch key so requests against different configurations never merge.
+pub fn config_fingerprint(config: &SgqConfig) -> u64 {
+    let mut h = rustc_hash::FxHasher::default();
+    config.k.hash(&mut h);
+    config.tau.to_bits().hash(&mut h);
+    config.n_hat.hash(&mut h);
+    match config.pivot {
+        crate::config::PivotStrategy::MinCost => 0u64.hash(&mut h),
+        crate::config::PivotStrategy::Random { seed } => {
+            1u64.hash(&mut h);
+            seed.hash(&mut h);
+        }
+        crate::config::PivotStrategy::Forced { node } => {
+            2u64.hash(&mut h);
+            node.hash(&mut h);
+        }
+    }
+    config.batch.hash(&mut h);
+    config.max_matches_per_subquery.hash(&mut h);
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Tickets
+// ---------------------------------------------------------------------------
+
+struct TicketState {
+    submitted: Instant,
+    slot: Mutex<Option<SchedResponse>>,
+    cv: Condvar,
+}
+
+impl TicketState {
+    fn new() -> Self {
+        Self {
+            submitted: Instant::now(),
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn resolve(&self, outcome: SchedOutcome) {
+        let response = SchedResponse {
+            outcome,
+            latency: self.submitted.elapsed(),
+        };
+        let mut slot = self.slot.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(response);
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// A handle to one submitted request; resolves to a [`SchedResponse`]
+/// exactly once.
+pub struct Ticket {
+    state: Arc<TicketState>,
+}
+
+impl Ticket {
+    /// Blocks until the request is resolved.
+    pub fn wait(self) -> SchedResponse {
+        let mut slot = self.state.slot.lock().unwrap();
+        loop {
+            if let Some(response) = slot.take() {
+                return response;
+            }
+            slot = self.state.cv.wait(slot).unwrap();
+        }
+    }
+
+    /// Non-blocking: a copy of the response if the request has been
+    /// resolved ([`Ticket::wait`] still works afterwards).
+    pub fn peek(&self) -> Option<SchedResponse> {
+        self.state.slot.lock().unwrap().clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batching
+// ---------------------------------------------------------------------------
+
+/// One admitted request, stamped with its grouping key.
+pub(crate) struct BatchRequest {
+    query: Arc<QueryGraph>,
+    sig: u64,
+    epoch: u64,
+    config_tag: u64,
+    priority: Priority,
+    deadline: Instant,
+    ticket: Arc<TicketState>,
+}
+
+/// A group of compatible requests answered by one prepared execution.
+pub(crate) struct Batch {
+    query: Arc<QueryGraph>,
+    sig: u64,
+    epoch: u64,
+    config_tag: u64,
+    /// Most urgent member class.
+    priority: Priority,
+    /// Earliest member deadline — the EDF sort key.
+    deadline: Instant,
+    members: Vec<BatchRequest>,
+}
+
+impl Batch {
+    /// Strict dispatch order: priority class first, deadline second.
+    fn before(&self, other: &Batch) -> bool {
+        (self.priority.rank(), self.deadline) < (other.priority.rank(), other.deadline)
+    }
+}
+
+/// Groups admitted requests into batches and releases them
+/// earliest-deadline-first. Two requests share a batch **only** when their
+/// query graphs are structurally equal (hash prefilter + `==`), they were
+/// observed at the same graph epoch, and they run under the same engine
+/// configuration — the property tests below drive arbitrary interleavings
+/// through exactly this type.
+pub(crate) struct Batcher {
+    ready: Vec<Batch>,
+    max_batch: usize,
+}
+
+impl Batcher {
+    pub(crate) fn new(max_batch: usize) -> Self {
+        Self {
+            ready: Vec::new(),
+            max_batch: max_batch.max(1),
+        }
+    }
+
+    /// Number of formed, undispatched batches.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.ready.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.ready.is_empty()
+    }
+
+    /// Requests waiting across all formed batches.
+    #[cfg(test)]
+    pub(crate) fn pending_requests(&self) -> usize {
+        self.ready.iter().map(|b| b.members.len()).sum()
+    }
+
+    /// Adds a request to a compatible open batch, or opens a new one.
+    /// Returns true when the request joined an existing batch.
+    pub(crate) fn offer(&mut self, req: BatchRequest) -> bool {
+        if let Some(batch) = self.ready.iter_mut().find(|b| {
+            b.members.len() < self.max_batch
+                && b.sig == req.sig
+                && b.epoch == req.epoch
+                && b.config_tag == req.config_tag
+                && *b.query == *req.query
+        }) {
+            batch.deadline = batch.deadline.min(req.deadline);
+            if req.priority.rank() < batch.priority.rank() {
+                batch.priority = req.priority;
+            }
+            batch.members.push(req);
+            return true;
+        }
+        self.ready.push(Batch {
+            query: Arc::clone(&req.query),
+            sig: req.sig,
+            epoch: req.epoch,
+            config_tag: req.config_tag,
+            priority: req.priority,
+            deadline: req.deadline,
+            members: vec![req],
+        });
+        false
+    }
+
+    /// Removes and returns the most urgent batch (highest priority class,
+    /// earliest deadline).
+    pub(crate) fn pop_earliest(&mut self) -> Option<Batch> {
+        let mut best = 0;
+        for i in 1..self.ready.len() {
+            if self.ready[i].before(&self.ready[best]) {
+                best = i;
+            }
+        }
+        if self.ready.is_empty() {
+            None
+        } else {
+            Some(self.ready.swap_remove(best))
+        }
+    }
+
+    /// Drains every formed batch (shutdown path).
+    fn drain(&mut self) -> Vec<Batch> {
+        std::mem::take(&mut self.ready)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+/// Per-priority latency aggregates over *served* (exact or degraded)
+/// requests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PriorityLatency {
+    /// Requests of this class resolved with an answer.
+    pub served: u64,
+    /// Summed submit-to-resolution latency, microseconds.
+    pub total_latency_us: u64,
+    /// Worst observed latency, microseconds.
+    pub max_latency_us: u64,
+}
+
+impl PriorityLatency {
+    /// Mean submit-to-resolution latency in microseconds.
+    pub fn mean_latency_us(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.total_latency_us as f64 / self.served as f64
+        }
+    }
+}
+
+/// Aggregated scheduler counters (consistent-enough snapshot; counters are
+/// updated independently).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Requests handed to [`SchedHandle::submit`].
+    pub submitted: u64,
+    /// Requests that entered the admission queue.
+    pub admitted: u64,
+    /// Requests resolved with the exact answer.
+    pub exact: u64,
+    /// Requests resolved with a flagged TBQ degradation.
+    pub degraded: u64,
+    /// Requests shed because the admission queue was full.
+    pub shed_queue_full: u64,
+    /// Requests shed because their deadline had already passed.
+    pub shed_expired: u64,
+    /// Requests shed because the estimator proved the deadline unmeetable.
+    pub shed_unmeetable: u64,
+    /// Requests shed because the scheduler was shutting down.
+    pub shed_shutdown: u64,
+    /// Requests resolved with an engine error.
+    pub failed: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Requests across all dispatched batches (`batched_requests /
+    /// batches` = mean coalescing factor).
+    pub batched_requests: u64,
+    /// Batch executions that reused a cached prepared query.
+    pub plan_cache_hits: u64,
+    /// Batch executions that had to prepare (cold signature or new epoch).
+    pub plan_cache_misses: u64,
+    /// Admission-queue depth at snapshot time.
+    pub queue_depth: u64,
+    /// High-water admission-queue depth.
+    pub max_queue_depth: u64,
+    /// Latency aggregates per priority class, indexed by
+    /// [`Priority::rank`].
+    pub per_priority: [PriorityLatency; Priority::COUNT],
+}
+
+impl SchedStats {
+    /// Total requests shed, all reasons.
+    pub fn shed(&self) -> u64 {
+        self.shed_queue_full + self.shed_expired + self.shed_unmeetable + self.shed_shutdown
+    }
+
+    /// Mean requests per dispatched batch.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+
+    /// Latency aggregate of one priority class.
+    pub fn latency(&self, priority: Priority) -> PriorityLatency {
+        self.per_priority[priority.rank()]
+    }
+}
+
+#[derive(Default)]
+struct SchedCounters {
+    submitted: AtomicU64,
+    admitted: AtomicU64,
+    exact: AtomicU64,
+    degraded: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_expired: AtomicU64,
+    shed_unmeetable: AtomicU64,
+    shed_shutdown: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    plan_cache_hits: AtomicU64,
+    plan_cache_misses: AtomicU64,
+    max_queue_depth: AtomicU64,
+    served: [AtomicU64; Priority::COUNT],
+    total_latency_us: [AtomicU64; Priority::COUNT],
+    max_latency_us: [AtomicU64; Priority::COUNT],
+}
+
+impl SchedCounters {
+    fn snapshot(&self) -> SchedStats {
+        let mut per_priority = [PriorityLatency::default(); Priority::COUNT];
+        for (i, slot) in per_priority.iter_mut().enumerate() {
+            *slot = PriorityLatency {
+                served: self.served[i].load(Ordering::Relaxed),
+                total_latency_us: self.total_latency_us[i].load(Ordering::Relaxed),
+                max_latency_us: self.max_latency_us[i].load(Ordering::Relaxed),
+            };
+        }
+        SchedStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            exact: self.exact.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed),
+            shed_expired: self.shed_expired.load(Ordering::Relaxed),
+            shed_unmeetable: self.shed_unmeetable.load(Ordering::Relaxed),
+            shed_shutdown: self.shed_shutdown.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
+            plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
+            // queue_depth is a live gauge, filled from the admission queue
+            // by SchedHandle::stats.
+            queue_depth: 0,
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            per_priority,
+        }
+    }
+
+    fn record_shed(&self, reason: ShedReason) {
+        let counter = match reason {
+            ShedReason::QueueFull => &self.shed_queue_full,
+            ShedReason::Expired => &self.shed_expired,
+            ShedReason::Unmeetable => &self.shed_unmeetable,
+            ShedReason::Shutdown => &self.shed_shutdown,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_served(&self, priority: Priority, latency: Duration, degraded: bool) {
+        if degraded {
+            self.degraded.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.exact.fetch_add(1, Ordering::Relaxed);
+        }
+        let i = priority.rank();
+        let us = latency.as_micros() as u64;
+        self.served[i].fetch_add(1, Ordering::Relaxed);
+        self.total_latency_us[i].fetch_add(us, Ordering::Relaxed);
+        self.max_latency_us[i].fetch_max(us, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler core
+// ---------------------------------------------------------------------------
+
+/// A request sitting in the admission queue (not yet stamped with an
+/// epoch — the scheduler stamps at grouping time).
+struct Pending {
+    query: Arc<QueryGraph>,
+    priority: Priority,
+    deadline: Instant,
+    ticket: Arc<TicketState>,
+}
+
+struct SchedState {
+    queue: Vec<Pending>,
+    draining: bool,
+    inflight: usize,
+}
+
+/// A cached prepared query, valid while its epoch matches the backend's.
+struct CachedPlan<P> {
+    query: Arc<QueryGraph>,
+    epoch: u64,
+    prepared: Arc<P>,
+}
+
+/// EWMA of one query shape's observed exact-execution profile, feeding the
+/// [`estimate_ns`] admission estimator.
+#[derive(Clone)]
+struct CostProfile {
+    /// The query the profile was measured on (signatures are only a hash
+    /// prefilter; a collision must not lend one query another's costs).
+    query: Arc<QueryGraph>,
+    /// Critical-path search time (max per-sub-query wall clock), ns.
+    search_ns: u64,
+    /// TA sorted accesses of the run (the `Σ|M̂ᵢ|` proxy).
+    accesses: u64,
+}
+
+struct Shared<B: SchedBackend> {
+    config: SchedConfig,
+    state: Mutex<SchedState>,
+    /// Wakes the scheduler: new admissions, freed dispatch slots, drain.
+    sched_cv: Condvar,
+    stats: SchedCounters,
+    plans: Mutex<FxHashMap<u64, CachedPlan<B::Prepared>>>,
+    costs: Mutex<FxHashMap<u64, CostProfile>>,
+}
+
+impl<B: SchedBackend> Shared<B> {
+    fn new(config: SchedConfig) -> Self {
+        Self {
+            config,
+            state: Mutex::new(SchedState {
+                queue: Vec::new(),
+                draining: false,
+                inflight: 0,
+            }),
+            sched_cv: Condvar::new(),
+            stats: SchedCounters::default(),
+            plans: Mutex::new(FxHashMap::default()),
+            costs: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    fn resolve_shed(&self, ticket: &TicketState, reason: ShedReason) {
+        self.stats.record_shed(reason);
+        ticket.resolve(SchedOutcome::Shed(reason));
+    }
+
+    /// Counters are updated **before** the ticket resolves: resolution
+    /// releases the waiting client, which may immediately read the stats.
+    fn resolve_served(&self, req: &BatchRequest, outcome: SchedOutcome) {
+        if matches!(outcome, SchedOutcome::Failed(_)) {
+            self.stats.failed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let degraded = matches!(outcome, SchedOutcome::Degraded { .. });
+            self.stats
+                .record_served(req.priority, req.ticket.submitted.elapsed(), degraded);
+        }
+        req.ticket.resolve(outcome);
+    }
+
+    fn begin_drain(&self) {
+        self.state.lock().unwrap().draining = true;
+        self.sched_cv.notify_all();
+    }
+
+    /// Predicted exact-execution cost for `batch`'s query in nanoseconds —
+    /// the Algorithm-3 estimate over the shape's observed profile — or
+    /// `None` before the first observation. Like every sig-keyed cache
+    /// here, the hash is only a prefilter: the profile carries its query
+    /// and a collision reads as "no profile", never as a borrowed one.
+    fn predict_ns(&self, batch: &Batch) -> Option<u128> {
+        let costs = self.costs.lock().unwrap();
+        costs
+            .get(&batch.sig)
+            .filter(|p| *p.query == *batch.query)
+            .map(|p| {
+                estimate_ns(
+                    Duration::from_nanos(p.search_ns),
+                    self.config.per_match_ta_cost.as_nanos(),
+                    p.accesses as usize,
+                )
+            })
+    }
+
+    /// Folds one observed exact execution into the query shape's EWMA
+    /// profile. A sig-colliding profile of a *different* query is replaced,
+    /// not blended.
+    fn observe(&self, batch: &Batch, stats: &QueryStats) {
+        let search_ns = stats
+            .per_subquery_us
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(stats.elapsed_us)
+            .saturating_mul(1_000);
+        let accesses = stats.ta_accesses as u64;
+        let mut costs = self.costs.lock().unwrap();
+        if costs.len() >= self.config.plan_cache_capacity && !costs.contains_key(&batch.sig) {
+            costs.clear();
+        }
+        let entry = costs
+            .entry(batch.sig)
+            .and_modify(|p| {
+                if *p.query != *batch.query {
+                    *p = CostProfile {
+                        query: Arc::clone(&batch.query),
+                        search_ns,
+                        accesses,
+                    };
+                }
+            })
+            .or_insert_with(|| CostProfile {
+                query: Arc::clone(&batch.query),
+                search_ns,
+                accesses,
+            });
+        entry.search_ns = (entry.search_ns / 4).saturating_mul(3) + search_ns / 4;
+        entry.accesses = (entry.accesses / 4).saturating_mul(3) + accesses / 4;
+    }
+
+    /// Shrinks the query shape's predicted cost after a bound-limited
+    /// degraded run. Without this, one inflated observation (a cold first
+    /// execution) would route the shape to the degraded path forever —
+    /// degraded runs are truncated by their bound, so they can never raise
+    /// a fresh full-cost sample. Decaying the profile re-admits an exact
+    /// attempt after a few degradations, whose observation then corrects
+    /// the estimate in whichever direction is true.
+    fn decay(&self, batch: &Batch) {
+        let mut costs = self.costs.lock().unwrap();
+        if let Some(p) = costs.get_mut(&batch.sig) {
+            if *p.query == *batch.query {
+                p.search_ns -= p.search_ns / 8;
+                p.accesses -= p.accesses / 8;
+            }
+        }
+    }
+
+    /// The prepared query for `batch`, from the cache when it was built for
+    /// the epoch the batch was stamped with, otherwise freshly prepared
+    /// (and cached). The validity check anchors to `batch.epoch` — the
+    /// stamp exists precisely so that a writer committing between grouping
+    /// and execution neither thrashes the cache nor lets two batches of one
+    /// stamp answer from different epochs.
+    fn plan(&self, backend: &B, batch: &Batch) -> Result<Arc<B::Prepared>> {
+        {
+            let plans = self.plans.lock().unwrap();
+            if let Some(entry) = plans.get(&batch.sig) {
+                if entry.epoch == batch.epoch && *entry.query == *batch.query {
+                    self.stats.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(&entry.prepared));
+                }
+            }
+        }
+        self.stats.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+        let prepare = || match catch_unwind(AssertUnwindSafe(|| backend.prepare(&batch.query))) {
+            Ok(result) => result.map(Arc::new),
+            Err(_) => Err(SgqError::Scheduler(
+                "query preparation panicked inside the scheduler".into(),
+            )),
+        };
+        // On a live backend, prepare() can pin an epoch *older* than the
+        // batch's stamp: `pin()` hands out the previous engine when it
+        // loses the rebuild race to a concurrent query. Retry briefly — but
+        // never cache a stale plan under a newer stamp, or the staleness
+        // outlives the (direct-path-equivalent) race window.
+        let mut prepared = prepare()?;
+        for _ in 0..2 {
+            if backend.prepared_epoch(&prepared) >= batch.epoch {
+                break;
+            }
+            std::thread::yield_now();
+            prepared = prepare()?;
+        }
+        if backend.prepared_epoch(&prepared) >= batch.epoch {
+            let mut plans = self.plans.lock().unwrap();
+            if plans.len() >= self.config.plan_cache_capacity && !plans.contains_key(&batch.sig) {
+                // Cache full: reset rather than grow without bound. Crude,
+                // but the cache refills with the live working set within
+                // one round.
+                plans.clear();
+            }
+            // Cached under the batch's *stamp* (a plan pinned to a newer
+            // epoch by a racing commit is fine — the direct path would
+            // answer from that epoch at this moment too): every later
+            // batch with this stamp reuses this one plan.
+            plans.insert(
+                batch.sig,
+                CachedPlan {
+                    query: Arc::clone(&batch.query),
+                    epoch: batch.epoch,
+                    prepared: Arc::clone(&prepared),
+                },
+            );
+        }
+        Ok(prepared)
+    }
+}
+
+/// Client handle passed to the closure of [`BatchScheduler::serve`].
+/// `&self` methods — share it freely across client threads.
+pub struct SchedHandle<'s, B: SchedBackend> {
+    shared: &'s Shared<B>,
+}
+
+impl<B: SchedBackend> SchedHandle<'_, B> {
+    /// Submits a query with a deadline `within` from now. Returns
+    /// immediately with a [`Ticket`]; the scheduler resolves it with an
+    /// exact answer, a flagged degradation, an explicit shed, or the
+    /// engine's error.
+    pub fn submit(&self, query: &QueryGraph, within: Duration, priority: Priority) -> Ticket {
+        let state = Arc::new(TicketState::new());
+        let ticket = Ticket {
+            state: Arc::clone(&state),
+        };
+        let shared = self.shared;
+        shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        // A huge `within` ("no deadline, ever") must read as slack, not
+        // panic on Instant overflow; a year out is beyond any plausible
+        // prediction, so such requests always take the exact path.
+        let deadline = state
+            .submitted
+            .checked_add(within)
+            .unwrap_or_else(|| state.submitted + Duration::from_secs(365 * 24 * 3600));
+        let pending = Pending {
+            query: Arc::new(query.clone()),
+            priority,
+            deadline,
+            ticket: state,
+        };
+        let mut st = shared.state.lock().unwrap();
+        if st.draining {
+            drop(st);
+            shared.resolve_shed(&pending.ticket, ShedReason::Shutdown);
+            return ticket;
+        }
+        if st.queue.len() >= shared.config.queue_capacity {
+            // Full: shed the least urgent queued request if it is strictly
+            // less urgent than the arrival, otherwise shed the arrival.
+            let victim = st
+                .queue
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, p)| (p.priority.rank(), p.deadline))
+                .map(|(i, _)| i)
+                .filter(|&i| st.queue[i].priority.rank() > priority.rank());
+            match victim {
+                Some(i) => {
+                    let evicted = st.queue.swap_remove(i);
+                    st.queue.push(pending);
+                    drop(st);
+                    shared.resolve_shed(&evicted.ticket, ShedReason::QueueFull);
+                }
+                None => {
+                    drop(st);
+                    shared.resolve_shed(&pending.ticket, ShedReason::QueueFull);
+                    return ticket;
+                }
+            }
+        } else {
+            st.queue.push(pending);
+            let depth = st.queue.len() as u64;
+            shared
+                .stats
+                .max_queue_depth
+                .fetch_max(depth, Ordering::Relaxed);
+            drop(st);
+        }
+        shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+        shared.sched_cv.notify_all();
+        ticket
+    }
+
+    /// Submits and blocks for the response — the scheduled counterpart of
+    /// [`QueryService::query`].
+    pub fn query_within(
+        &self,
+        query: &QueryGraph,
+        within: Duration,
+        priority: Priority,
+    ) -> SchedResponse {
+        self.submit(query, within, priority).wait()
+    }
+
+    /// Snapshot of the scheduler counters.
+    pub fn stats(&self) -> SchedStats {
+        let mut stats = self.shared.stats.snapshot();
+        stats.queue_depth = self.shared.state.lock().unwrap().queue.len() as u64;
+        stats
+    }
+}
+
+/// Sets `draining` even when the serve closure panics, so the scheduler
+/// thread (and the enclosing `thread::scope`) can always finish.
+struct DrainGuard<'s, B: SchedBackend>(&'s Shared<B>);
+
+impl<B: SchedBackend> Drop for DrainGuard<'_, B> {
+    fn drop(&mut self) {
+        self.0.begin_drain();
+    }
+}
+
+/// The deadline-aware batch scheduler (see module docs).
+pub struct BatchScheduler;
+
+impl BatchScheduler {
+    /// Runs a scheduler over `backend` for the duration of `f`. The closure
+    /// receives a [`SchedHandle`] that any number of client threads may
+    /// share; when it returns, the scheduler drains — every already
+    /// admitted request is still resolved (executed or explicitly shed)
+    /// before `serve` returns.
+    pub fn serve<B, F, R>(backend: &B, config: SchedConfig, f: F) -> Result<R>
+    where
+        B: SchedBackend,
+        F: FnOnce(&SchedHandle<'_, B>) -> R,
+    {
+        config.validate()?;
+        let shared = Shared::<B>::new(config);
+        Ok(std::thread::scope(|ts| {
+            ts.spawn(|| scheduler_main(backend, &shared));
+            let _drain = DrainGuard(&shared);
+            f(&SchedHandle { shared: &shared })
+        }))
+    }
+}
+
+/// The scheduler thread: drains admissions, groups batches, dispatches
+/// them EDF as jobs on the backend's worker pool.
+fn scheduler_main<B: SchedBackend>(backend: &B, shared: &Shared<B>) {
+    let max_inflight = if shared.config.max_inflight == 0 {
+        backend.pool().workers()
+    } else {
+        shared.config.max_inflight
+    };
+    let config_tag = config_fingerprint(backend.config());
+    let mut batcher = Batcher::new(shared.config.max_batch);
+
+    backend.pool().scope(|scope| {
+        loop {
+            // Wait for admissions, a freed dispatch slot, or drain.
+            let (drained, draining) = {
+                let mut st = shared.state.lock().unwrap();
+                loop {
+                    let can_dispatch = !batcher.is_empty() && st.inflight < max_inflight;
+                    // While draining with work still in flight, keep
+                    // sleeping — completions wake this thread; draining
+                    // alone must not spin.
+                    let drained_out = st.draining && st.inflight == 0;
+                    if !st.queue.is_empty() || can_dispatch || drained_out {
+                        break;
+                    }
+                    st = shared.sched_cv.wait(st).unwrap();
+                }
+                (std::mem::take(&mut st.queue), st.draining)
+            };
+
+            // Group, stamping each request with the epoch observed now —
+            // requests observed at different epochs never share a batch.
+            let epoch = backend.current_epoch();
+            let now = Instant::now();
+            for p in drained {
+                if p.deadline <= now {
+                    shared.resolve_shed(&p.ticket, ShedReason::Expired);
+                    continue;
+                }
+                batcher.offer(BatchRequest {
+                    sig: query_signature(&p.query),
+                    query: p.query,
+                    epoch,
+                    config_tag,
+                    priority: p.priority,
+                    deadline: p.deadline,
+                    ticket: p.ticket,
+                });
+            }
+
+            // Dispatch EDF while slots are free.
+            while !batcher.is_empty() {
+                {
+                    let mut st = shared.state.lock().unwrap();
+                    if st.inflight >= max_inflight {
+                        break;
+                    }
+                    st.inflight += 1;
+                }
+                let batch = batcher.pop_earliest().expect("batcher checked non-empty");
+                shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .stats
+                    .batched_requests
+                    .fetch_add(batch.members.len() as u64, Ordering::Relaxed);
+                scope.spawn(move || {
+                    run_batch(backend, shared, batch);
+                    shared.state.lock().unwrap().inflight -= 1;
+                    shared.sched_cv.notify_all();
+                });
+            }
+
+            if draining {
+                let st = shared.state.lock().unwrap();
+                if st.queue.is_empty() && batcher.is_empty() && st.inflight == 0 {
+                    break;
+                }
+            }
+        }
+        // Defensive: resolve anything the loop logic somehow left behind
+        // (there should be none — the drain condition above requires an
+        // empty batcher).
+        for batch in batcher.drain() {
+            for m in batch.members {
+                shared.resolve_shed(&m.ticket, ShedReason::Shutdown);
+            }
+        }
+    });
+}
+
+/// Executes one batch: partitions members into exact / degraded / shed by
+/// deadline feasibility, plans once, executes at most twice (one exact run,
+/// one reduced-bound TBQ run), fans results out.
+fn run_batch<B: SchedBackend>(backend: &B, shared: &Shared<B>, mut batch: Batch) {
+    let cfg = &shared.config;
+    let per_match_ns = cfg.per_match_ta_cost.as_nanos();
+    // The fixed cost of getting any answer out: dispatch, preparation (on
+    // a plan-cache miss), fan-out — modelled as elapsed time with zero
+    // collected matches.
+    let overhead_ns = estimate_ns(cfg.shed_margin, per_match_ns, 0);
+    let predicted_ns = shared.predict_ns(&batch);
+
+    let now = Instant::now();
+    let mut exact_members: Vec<BatchRequest> = Vec::new();
+    let mut tight_members: Vec<BatchRequest> = Vec::new();
+    for m in std::mem::take(&mut batch.members) {
+        let Some(remaining) = m.deadline.checked_duration_since(now) else {
+            shared.resolve_shed(&m.ticket, ShedReason::Expired);
+            continue;
+        };
+        let remaining_ns = remaining.as_nanos();
+        if overhead_ns >= remaining_ns {
+            // Provably unmeetable: even a zero-work answer misses.
+            shared.resolve_shed(&m.ticket, ShedReason::Unmeetable);
+            continue;
+        }
+        match predicted_ns {
+            Some(p) if p.saturating_add(overhead_ns) > remaining_ns => tight_members.push(m),
+            // Unknown cost: run exact optimistically; the observation
+            // feeds the estimator for every later request of this shape.
+            _ => exact_members.push(m),
+        }
+    }
+    if exact_members.is_empty() && tight_members.is_empty() {
+        return;
+    }
+
+    let prepared = match shared.plan(backend, &batch) {
+        Ok(p) => p,
+        Err(e) => {
+            for m in exact_members.iter().chain(&tight_members) {
+                shared.resolve_served(m, SchedOutcome::Failed(e.clone()));
+            }
+            return;
+        }
+    };
+
+    if !exact_members.is_empty() {
+        let guarded = catch_unwind(AssertUnwindSafe(|| backend.execute(&prepared)));
+        let outcome = match guarded {
+            Ok(Ok(result)) => {
+                shared.observe(&batch, &result.stats);
+                SchedOutcome::Exact(result)
+            }
+            Ok(Err(e)) => SchedOutcome::Failed(e),
+            Err(_) => SchedOutcome::Failed(SgqError::Scheduler(
+                "exact execution panicked inside the scheduler".into(),
+            )),
+        };
+        for m in &exact_members {
+            shared.resolve_served(m, outcome.clone());
+        }
+    }
+
+    if !tight_members.is_empty() {
+        // Re-check feasibility: the exact run above may have consumed the
+        // tight members' remaining time.
+        let now = Instant::now();
+        let mut bound = Duration::MAX;
+        let mut survivors: Vec<BatchRequest> = Vec::new();
+        for m in tight_members {
+            let Some(remaining) = m.deadline.checked_duration_since(now) else {
+                shared.resolve_shed(&m.ticket, ShedReason::Expired);
+                continue;
+            };
+            if estimate_ns(cfg.shed_margin, per_match_ns, 0) >= remaining.as_nanos() {
+                shared.resolve_shed(&m.ticket, ShedReason::Unmeetable);
+                continue;
+            }
+            bound = bound.min(remaining.saturating_sub(cfg.shed_margin));
+            survivors.push(m);
+        }
+        if survivors.is_empty() {
+            return;
+        }
+        let tb = TimeBoundConfig {
+            bound,
+            alert_ratio: cfg.degrade_alert_ratio,
+            per_match_ta_cost: cfg.per_match_ta_cost,
+        };
+        let guarded = catch_unwind(AssertUnwindSafe(|| {
+            backend.execute_time_bounded(&prepared, &tb)
+        }));
+        let outcome = match guarded {
+            Ok(Ok(result)) => {
+                if result.stats.time_bound_hit {
+                    // Truncated by the bound: the true cost is unknowable
+                    // from this run; decay the profile so exact attempts
+                    // are eventually re-admitted.
+                    shared.decay(&batch);
+                } else {
+                    // Drained naturally inside the bound — a genuine
+                    // full-cost sample.
+                    shared.observe(&batch, &result.stats);
+                }
+                SchedOutcome::Degraded { result, bound }
+            }
+            Ok(Err(e)) => SchedOutcome::Failed(e),
+            Err(_) => SchedOutcome::Failed(SgqError::Scheduler(
+                "time-bounded execution panicked inside the scheduler".into(),
+            )),
+        };
+        for m in &survivors {
+            shared.resolve_served(m, outcome.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embedding::PredicateSpace;
+    use kgraph::{GraphBuilder, KnowledgeGraph};
+    use lexicon::TransformationLibrary;
+    use proptest::prelude::*;
+
+    fn fixture() -> (KnowledgeGraph, PredicateSpace, TransformationLibrary) {
+        let mut b = GraphBuilder::new();
+        let audi = b.add_node("Audi_TT", "Automobile");
+        let bmw = b.add_node("BMW_320", "Automobile");
+        let de = b.add_node("Germany", "Country");
+        b.add_edge(audi, de, "assembly");
+        b.add_edge(bmw, de, "product");
+        let g = b.finish();
+        let (vecs, labels): (Vec<Vec<f32>>, Vec<String>) = g
+            .predicates()
+            .map(|(_, l)| (vec![1.0f32, 0.0], l.to_string()))
+            .unzip();
+        let space = PredicateSpace::from_raw(vecs, labels);
+        (g, space, TransformationLibrary::new())
+    }
+
+    fn product_query() -> QueryGraph {
+        let mut q = QueryGraph::new();
+        let auto = q.add_target("Automobile");
+        let de = q.add_specific("Germany", "Country");
+        q.add_edge(auto, "product", de);
+        q
+    }
+
+    fn assembly_query() -> QueryGraph {
+        let mut q = QueryGraph::new();
+        let auto = q.add_target("Automobile");
+        let de = q.add_specific("Germany", "Country");
+        q.add_edge(auto, "assembly", de);
+        q
+    }
+
+    fn sched_config() -> SchedConfig {
+        SchedConfig::default()
+    }
+
+    #[test]
+    fn scheduled_exact_matches_direct_path() {
+        let (g, space, lib) = fixture();
+        let service = QueryService::build(
+            &g,
+            &space,
+            &lib,
+            SgqConfig {
+                k: 5,
+                tau: 0.0,
+                workers: 2,
+                ..SgqConfig::default()
+            },
+        );
+        let direct = service.query(&product_query()).unwrap();
+        let response = BatchScheduler::serve(&service, sched_config(), |handle| {
+            handle.query_within(&product_query(), Duration::from_secs(10), Priority::Normal)
+        })
+        .unwrap();
+        match response.outcome {
+            SchedOutcome::Exact(r) => assert_eq!(r.matches, direct.matches),
+            other => panic!("slack deadline must yield the exact answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_identical_requests_coalesce() {
+        let (g, space, lib) = fixture();
+        let service = QueryService::build(
+            &g,
+            &space,
+            &lib,
+            SgqConfig {
+                k: 5,
+                tau: 0.0,
+                workers: 2,
+                ..SgqConfig::default()
+            },
+        );
+        let direct = service.query(&product_query()).unwrap();
+        let stats = BatchScheduler::serve(&service, sched_config(), |handle| {
+            let tickets: Vec<Ticket> = (0..32)
+                .map(|_| handle.submit(&product_query(), Duration::from_secs(10), Priority::Normal))
+                .collect();
+            for t in tickets {
+                match t.wait().outcome {
+                    SchedOutcome::Exact(r) => assert_eq!(r.matches, direct.matches),
+                    other => panic!("expected exact, got {other:?}"),
+                }
+            }
+            handle.stats()
+        })
+        .unwrap();
+        assert_eq!(stats.submitted, 32);
+        assert_eq!(stats.exact, 32);
+        assert_eq!(stats.shed(), 0);
+        assert_eq!(stats.batched_requests, 32);
+        assert!(
+            stats.batches < 32,
+            "32 identical concurrent requests must coalesce into fewer executions: {stats:?}"
+        );
+        assert!(stats.mean_batch_size() > 1.0);
+    }
+
+    #[test]
+    fn zero_deadline_requests_are_shed_not_answered_wrong() {
+        let (g, space, lib) = fixture();
+        let service = QueryService::build(
+            &g,
+            &space,
+            &lib,
+            SgqConfig {
+                k: 5,
+                tau: 0.0,
+                workers: 2,
+                ..SgqConfig::default()
+            },
+        );
+        let stats = BatchScheduler::serve(&service, sched_config(), |handle| {
+            for _ in 0..8 {
+                let r = handle.query_within(&product_query(), Duration::ZERO, Priority::Low);
+                assert!(
+                    r.outcome.is_shed(),
+                    "an already-expired deadline must shed, got {:?}",
+                    r.outcome
+                );
+            }
+            handle.stats()
+        })
+        .unwrap();
+        assert_eq!(stats.shed(), 8);
+        assert_eq!(stats.exact + stats.degraded, 0);
+    }
+
+    /// Victim selection at queue overflow, deterministically: no scheduler
+    /// thread runs, so the admission queue is drained by nobody and every
+    /// overflow decision is observable.
+    #[test]
+    fn queue_overflow_sheds_lowest_priority_first() {
+        let shared = Shared::<QueryService<'static>>::new(SchedConfig {
+            queue_capacity: 2,
+            ..SchedConfig::default()
+        });
+        let handle = SchedHandle { shared: &shared };
+        let q = product_query();
+        let within = Duration::from_secs(5);
+
+        let low_a = handle.submit(&q, within, Priority::Low);
+        let low_b = handle.submit(&q, within, Priority::Low);
+        assert!(low_a.peek().is_none(), "queued, not resolved");
+
+        // A High arrival evicts the least urgent queued Low.
+        let high_a = handle.submit(&q, within, Priority::High);
+        assert!(matches!(
+            low_b.peek().map(|r| r.outcome),
+            Some(SchedOutcome::Shed(ShedReason::QueueFull))
+        ));
+        let high_b = handle.submit(&q, within, Priority::High);
+        assert!(matches!(
+            low_a.peek().map(|r| r.outcome),
+            Some(SchedOutcome::Shed(ShedReason::QueueFull))
+        ));
+
+        // Queue now holds two Highs: an equal-urgency arrival is shed
+        // itself, the queued ones survive.
+        let high_c = handle.submit(&q, within, Priority::High);
+        assert!(matches!(
+            high_c.wait().outcome,
+            SchedOutcome::Shed(ShedReason::QueueFull)
+        ));
+        assert!(high_a.peek().is_none());
+        assert!(high_b.peek().is_none());
+
+        let stats = handle.stats();
+        assert_eq!(stats.submitted, 5);
+        assert_eq!(stats.shed_queue_full, 3);
+        assert_eq!(stats.queue_depth, 2);
+    }
+
+    /// Overload burst end-to-end: every ticket resolves exactly once, no
+    /// hangs, and the counters account for every request.
+    #[test]
+    fn overload_burst_resolves_every_ticket() {
+        let (g, space, lib) = fixture();
+        let service = QueryService::build(
+            &g,
+            &space,
+            &lib,
+            SgqConfig {
+                k: 5,
+                tau: 0.0,
+                workers: 1,
+                ..SgqConfig::default()
+            },
+        );
+        let config = SchedConfig {
+            queue_capacity: 4,
+            max_inflight: 1,
+            ..SchedConfig::default()
+        };
+        let stats = BatchScheduler::serve(&service, config, |handle| {
+            let tickets: Vec<Ticket> = (0..64)
+                .map(|i| {
+                    let prio = if i % 2 == 0 {
+                        Priority::Low
+                    } else {
+                        Priority::High
+                    };
+                    handle.submit(&product_query(), Duration::from_secs(5), prio)
+                })
+                .collect();
+            for t in tickets {
+                let _ = t.wait();
+            }
+            handle.stats()
+        })
+        .unwrap();
+        assert_eq!(
+            stats.exact + stats.degraded + stats.shed() + stats.failed,
+            64,
+            "every request resolves exactly once: {stats:?}"
+        );
+    }
+
+    /// Regression (live backends): the plan cache anchors to the batch's
+    /// epoch *stamp*. Same-epoch traffic must hit the cache; a commit must
+    /// invalidate exactly once; and post-commit answers must see the new
+    /// data.
+    #[test]
+    fn live_plan_cache_hits_within_an_epoch_and_rolls_on_commit() {
+        let (g, space, lib) = fixture();
+        let versioned = Arc::new(kgraph::VersionedGraph::new(g));
+        let service = LiveQueryService::new(
+            Arc::clone(&versioned),
+            &space,
+            &lib,
+            SgqConfig {
+                k: 5,
+                tau: 0.0,
+                workers: 2,
+                ..SgqConfig::default()
+            },
+        );
+        let q = product_query();
+        let stats = BatchScheduler::serve(&service, sched_config(), |handle| {
+            let within = Duration::from_secs(10);
+            // Two sequential rounds at epoch 0: prepare once, then hit.
+            let r1 = handle.query_within(&q, within, Priority::Normal);
+            let r2 = handle.query_within(&q, within, Priority::Normal);
+            assert_eq!(r1.outcome.result().unwrap().matches.len(), 2);
+            assert_eq!(r2.outcome.result().unwrap().matches.len(), 2);
+            let mid = handle.stats();
+            assert_eq!(mid.plan_cache_misses, 1, "one preparation for epoch 0");
+            assert_eq!(mid.plan_cache_hits, 1, "same stamp reuses the plan");
+
+            versioned.insert_triple(
+                ("Lamando", "Automobile"),
+                "assembly",
+                ("Germany", "Country"),
+            );
+            versioned.commit();
+
+            // Two rounds at epoch 1: one fresh preparation, then a hit —
+            // and the answers include the committed edge.
+            let r3 = handle.query_within(&q, within, Priority::Normal);
+            let r4 = handle.query_within(&q, within, Priority::Normal);
+            assert_eq!(
+                r3.outcome.result().unwrap().matches.len(),
+                3,
+                "post-commit batch must answer from the new epoch"
+            );
+            assert_eq!(
+                r4.outcome.result().unwrap().matches,
+                r3.outcome.result().unwrap().matches
+            );
+            handle.stats()
+        })
+        .unwrap();
+        assert_eq!(stats.plan_cache_misses, 2, "exactly one miss per epoch");
+        assert_eq!(stats.plan_cache_hits, 2);
+        assert_eq!(stats.exact, 4);
+    }
+
+    #[test]
+    fn submit_after_drain_is_shed_shutdown() {
+        let (g, space, lib) = fixture();
+        let service = QueryService::build(
+            &g,
+            &space,
+            &lib,
+            SgqConfig {
+                k: 5,
+                tau: 0.0,
+                workers: 1,
+                ..SgqConfig::default()
+            },
+        );
+        let (first, shutdown) = BatchScheduler::serve(&service, sched_config(), |handle| {
+            let first =
+                handle.query_within(&product_query(), Duration::from_secs(5), Priority::Normal);
+            // Simulate a racing submit during drain.
+            handle.shared.begin_drain();
+            let late =
+                handle.query_within(&product_query(), Duration::from_secs(5), Priority::Normal);
+            (first, late)
+        })
+        .unwrap();
+        assert!(matches!(first.outcome, SchedOutcome::Exact(_)));
+        assert!(matches!(
+            shutdown.outcome,
+            SchedOutcome::Shed(ShedReason::Shutdown)
+        ));
+    }
+
+    #[test]
+    fn invalid_engine_config_surfaces_as_failed() {
+        let (g, space, lib) = fixture();
+        let service = QueryService::build(
+            &g,
+            &space,
+            &lib,
+            SgqConfig {
+                k: 0, // invalid
+                workers: 1,
+                ..SgqConfig::default()
+            },
+        );
+        let response = BatchScheduler::serve(&service, sched_config(), |handle| {
+            handle.query_within(&product_query(), Duration::from_secs(5), Priority::Normal)
+        })
+        .unwrap();
+        assert!(matches!(response.outcome, SchedOutcome::Failed(_)));
+        assert!(response.clone().outcome.into_result().is_err());
+    }
+
+    #[test]
+    fn invalid_sched_config_is_rejected() {
+        let (g, space, lib) = fixture();
+        let service = QueryService::build(&g, &space, &lib, SgqConfig::default());
+        let err = BatchScheduler::serve(
+            &service,
+            SchedConfig {
+                queue_capacity: 0,
+                ..SchedConfig::default()
+            },
+            |_| (),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SgqError::InvalidConfig(_)));
+    }
+
+    // -- Batcher unit + property tests ------------------------------------
+
+    fn req(
+        query: &Arc<QueryGraph>,
+        sig: u64,
+        epoch: u64,
+        config_tag: u64,
+        priority: Priority,
+        deadline: Instant,
+    ) -> BatchRequest {
+        BatchRequest {
+            query: Arc::clone(query),
+            sig,
+            epoch,
+            config_tag,
+            priority,
+            deadline,
+            ticket: Arc::new(TicketState::new()),
+        }
+    }
+
+    #[test]
+    fn batcher_merges_equal_queries_only() {
+        let base = Instant::now();
+        let q1 = Arc::new(product_query());
+        let q2 = Arc::new(assembly_query());
+        let mut b = Batcher::new(8);
+        assert!(!b.offer(req(
+            &q1,
+            1,
+            0,
+            0,
+            Priority::Normal,
+            base + Duration::from_millis(50)
+        )));
+        assert!(b.offer(req(
+            &q1,
+            1,
+            0,
+            0,
+            Priority::High,
+            base + Duration::from_millis(10)
+        )));
+        // Same signature (simulated hash collision), different query: the
+        // structural-equality check must refuse the merge.
+        assert!(!b.offer(req(
+            &q2,
+            1,
+            0,
+            0,
+            Priority::Normal,
+            base + Duration::from_millis(20)
+        )));
+        // Different epoch never merges.
+        assert!(!b.offer(req(
+            &q1,
+            1,
+            1,
+            0,
+            Priority::Normal,
+            base + Duration::from_millis(20)
+        )));
+        // Different config never merges.
+        assert!(!b.offer(req(
+            &q1,
+            1,
+            0,
+            7,
+            Priority::Normal,
+            base + Duration::from_millis(20)
+        )));
+        assert_eq!(b.len(), 4);
+
+        let first = b.pop_earliest().unwrap();
+        assert_eq!(first.members.len(), 2, "the merged batch is most urgent");
+        assert_eq!(first.priority, Priority::High, "priority upgraded by merge");
+        assert_eq!(
+            first.deadline,
+            base + Duration::from_millis(10),
+            "batch deadline is the earliest member deadline"
+        );
+    }
+
+    #[test]
+    fn batcher_pops_priority_then_deadline() {
+        let base = Instant::now();
+        let q = Arc::new(product_query());
+        let mut b = Batcher::new(8);
+        b.offer(req(
+            &q,
+            1,
+            0,
+            0,
+            Priority::Low,
+            base + Duration::from_millis(1),
+        ));
+        b.offer(req(
+            &q,
+            2,
+            1,
+            0,
+            Priority::Normal,
+            base + Duration::from_millis(90),
+        ));
+        b.offer(req(
+            &q,
+            3,
+            2,
+            0,
+            Priority::Normal,
+            base + Duration::from_millis(40),
+        ));
+        let order: Vec<u64> = std::iter::from_fn(|| b.pop_earliest().map(|b| b.epoch)).collect();
+        // Normal beats Low even with a later deadline; EDF within a class.
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn batcher_respects_max_batch() {
+        let base = Instant::now();
+        let q = Arc::new(product_query());
+        let mut b = Batcher::new(2);
+        for _ in 0..5 {
+            b.offer(req(
+                &q,
+                1,
+                0,
+                0,
+                Priority::Normal,
+                base + Duration::from_millis(10),
+            ));
+        }
+        let sizes: Vec<usize> =
+            std::iter::from_fn(|| b.pop_earliest().map(|b| b.members.len())).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 5);
+        assert!(sizes.iter().all(|&s| s <= 2), "{sizes:?}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Arbitrary interleavings of offers (over a pool of distinct
+        /// queries, epochs, config tags, priorities, deadlines) and pops:
+        /// every batch ever formed is homogeneous — one query, one epoch,
+        /// one config — sized within max_batch, with the batch deadline
+        /// equal to its earliest member's and the batch priority equal to
+        /// its most urgent member's.
+        #[test]
+        fn batches_never_mix_queries_epochs_or_configs(
+            ops in collection::vec(
+                ((0usize..4, 0u64..3, 0u64..2), (0usize..3, 0u64..100, 0u64..5)),
+                1..120,
+            ),
+            max_batch in 1usize..6,
+        ) {
+            let base = Instant::now();
+            let pool: Vec<Arc<QueryGraph>> = (0..4)
+                .map(|i| {
+                    let mut q = QueryGraph::new();
+                    let t = q.add_target("Automobile");
+                    let s = q.add_specific(&format!("Country_{i}"), "Country");
+                    q.add_edge(t, "assembly", s);
+                    Arc::new(q)
+                })
+                .collect();
+            let mut batcher = Batcher::new(max_batch);
+            let check = |batch: &Batch| -> std::result::Result<(), TestCaseError> {
+                prop_assert!(batch.members.len() <= max_batch);
+                prop_assert!(!batch.members.is_empty());
+                let mut min_deadline = batch.members[0].deadline;
+                let mut best_rank = batch.members[0].priority.rank();
+                for m in &batch.members {
+                    prop_assert_eq!(m.sig, batch.sig);
+                    prop_assert_eq!(m.epoch, batch.epoch);
+                    prop_assert_eq!(m.config_tag, batch.config_tag);
+                    prop_assert!(*m.query == *batch.query,
+                        "a batch must hold one query shape only");
+                    min_deadline = min_deadline.min(m.deadline);
+                    best_rank = best_rank.min(m.priority.rank());
+                }
+                prop_assert_eq!(batch.deadline, min_deadline);
+                prop_assert_eq!(batch.priority.rank(), best_rank);
+                Ok(())
+            };
+            let mut offered = 0usize;
+            let mut popped = 0usize;
+            for ((qi, epoch, cfg), (prio, deadline_ms, pop_after)) in ops {
+                let query = &pool[qi];
+                let priority = Priority::ALL[prio];
+                batcher.offer(req(
+                    query,
+                    query_signature(query),
+                    epoch,
+                    cfg,
+                    priority,
+                    base + Duration::from_millis(deadline_ms),
+                ));
+                offered += 1;
+                for batch in &batcher.ready {
+                    check(batch)?;
+                }
+                if pop_after == 0 {
+                    if let Some(batch) = batcher.pop_earliest() {
+                        check(&batch)?;
+                        popped += batch.members.len();
+                    }
+                }
+            }
+            // Nothing is lost: offered == popped + still pending.
+            prop_assert_eq!(offered, popped + batcher.pending_requests());
+        }
+    }
+
+    #[test]
+    fn signature_distinguishes_structure_and_fingerprint_distinguishes_config() {
+        let q1 = product_query();
+        let q2 = assembly_query();
+        assert_eq!(query_signature(&q1), query_signature(&product_query()));
+        assert_ne!(query_signature(&q1), query_signature(&q2));
+
+        let c1 = SgqConfig::default();
+        let c2 = SgqConfig {
+            k: c1.k + 1,
+            ..c1.clone()
+        };
+        assert_eq!(
+            config_fingerprint(&c1),
+            config_fingerprint(&SgqConfig::default())
+        );
+        assert_ne!(config_fingerprint(&c1), config_fingerprint(&c2));
+    }
+}

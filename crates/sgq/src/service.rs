@@ -54,12 +54,27 @@ pub struct ServiceStats {
 }
 
 impl ServiceStats {
-    /// Mean per-query latency in microseconds over successful queries.
+    /// Queries that completed with an answer — the only population the
+    /// latency gauge may average over. Failed queries contribute neither
+    /// elapsed time (`total_elapsed_us` sums successes only) nor count;
+    /// dividing by `queries + errors` instead would drag the gauge toward
+    /// zero exactly when the service is misbehaving.
+    pub fn completed(&self) -> u64 {
+        self.queries
+    }
+
+    /// Total requests seen, completed and failed.
+    pub fn attempted(&self) -> u64 {
+        self.queries + self.errors
+    }
+
+    /// Mean per-query latency in microseconds over **completed** queries
+    /// only (see [`ServiceStats::completed`]).
     pub fn mean_latency_us(&self) -> f64 {
-        if self.queries == 0 {
+        if self.completed() == 0 {
             0.0
         } else {
-            self.total_elapsed_us as f64 / self.queries as f64
+            self.total_elapsed_us as f64 / self.completed() as f64
         }
     }
 }
@@ -274,6 +289,57 @@ mod tests {
         let stats = service.stats();
         assert_eq!(stats.errors, 1);
         assert_eq!(stats.queries, 0);
+    }
+
+    /// Regression: the latency gauge must average over completed queries
+    /// only. A service interleaving successes with failures must report
+    /// exactly the mean of the successful runs — errors add nothing to the
+    /// numerator, so counting them in the denominator would understate
+    /// latency by the failure rate (3 failures against 3 successes would
+    /// halve the gauge).
+    #[test]
+    fn mean_latency_ignores_failed_queries() {
+        let (g, space, lib) = fixture();
+        let service = QueryService::build(
+            &g,
+            &space,
+            &lib,
+            SgqConfig {
+                k: 5,
+                tau: 0.0,
+                ..SgqConfig::default()
+            },
+        );
+        let good = product_query();
+        let bad = QueryGraph::new(); // no target node: always an error
+        for _ in 0..3 {
+            service.query(&good).unwrap();
+            assert!(service.query(&bad).is_err());
+        }
+        let stats = service.stats();
+        assert_eq!(stats.completed(), 3);
+        assert_eq!(stats.errors, 3);
+        assert_eq!(stats.attempted(), 6);
+        let success_only_mean = stats.total_elapsed_us as f64 / stats.queries as f64;
+        assert_eq!(
+            stats.mean_latency_us(),
+            success_only_mean,
+            "errors must not enter the latency denominator"
+        );
+        assert!(stats.mean_latency_us() > 0.0);
+
+        // A service that has only ever failed reports 0, not NaN.
+        let failing = QueryService::build(
+            &g,
+            &space,
+            &lib,
+            SgqConfig {
+                k: 0, // invalid
+                ..SgqConfig::default()
+            },
+        );
+        assert!(failing.query(&good).is_err());
+        assert_eq!(failing.stats().mean_latency_us(), 0.0);
     }
 
     #[test]

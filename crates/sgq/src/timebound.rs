@@ -107,8 +107,13 @@ pub fn calibrate_ta_cost() -> Duration {
 /// nanoseconds. `Σ|M̂ᵢ|` is a `usize` that can exceed `u32::MAX` on big
 /// graphs with generous match caps; a former `as u32` truncation here could
 /// wrap the estimate back *below* the alert threshold and miss the bound.
+///
+/// Public because the batch scheduler ([`crate::sched`]) reuses it for
+/// admission control: with `elapsed` set to an observed (or fixed-overhead)
+/// search time and `collected` to the profile's TA access count, `T̂`
+/// predicts whether a deadline is meetable before any work is spent.
 #[inline]
-fn estimate_ns(elapsed: Duration, per_match_ns: u128, collected: usize) -> u128 {
+pub fn estimate_ns(elapsed: Duration, per_match_ns: u128, collected: usize) -> u128 {
     elapsed.as_nanos() + per_match_ns.saturating_mul(collected as u128)
 }
 

@@ -66,9 +66,10 @@ pub mod prelude {
     };
     pub use lexicon::{NodeMatcher, TransformationLibrary};
     pub use sgq::{
-        CheckpointReport, FinalMatch, LiveDeployment, LivePreparedQuery, LiveQueryService,
-        PivotStrategy, PreparedQuery, QueryGraph, QueryResult, QueryService, ServiceStats,
-        SgqConfig, SgqEngine, TimeBoundConfig,
+        BatchScheduler, CheckpointReport, FinalMatch, LiveDeployment, LivePreparedQuery,
+        LiveQueryService, PivotStrategy, PreparedQuery, Priority, QueryGraph, QueryResult,
+        QueryService, SchedConfig, SchedOutcome, SchedResponse, SchedStats, ServiceStats,
+        SgqConfig, SgqEngine, ShedReason, TimeBoundConfig,
     };
 }
 

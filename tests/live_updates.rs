@@ -179,3 +179,104 @@ fn idle_live_service_matches_static_service() {
     assert_eq!(live_service.stats().epoch, 0);
     assert_eq!(live_service.stats().engine_refreshes, 0);
 }
+
+/// PR 3 shipped `LiveQueryService::checkpoint` without a test pairing it
+/// against concurrent `refresh` calls. Stress the pairing: a writer commits
+/// continuously, a maintenance thread checkpoints (commit + compact +
+/// snapshot + WAL truncation) repeatedly, and reader threads hammer
+/// `refresh()` — every epoch any observer sees must be monotonically
+/// non-decreasing, `refresh` must honour its at-least-published contract,
+/// and the post-race answers must equal a fresh engine over the final
+/// snapshot.
+#[test]
+fn refresh_racing_checkpoint_keeps_epochs_monotonic() {
+    use sgq::LiveDeployment;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    struct TestDir(std::path::PathBuf);
+    impl Drop for TestDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+    let dir =
+        TestDir(std::env::temp_dir().join(format!("sgq_refresh_ckpt_{}", std::process::id())));
+    let _ = std::fs::remove_dir_all(&dir.0);
+
+    let ds = DatasetSpec::tiny().build();
+    let space = ds.oracle_space();
+    let deployment = LiveDeployment::create(
+        dir.0.join("kg"),
+        ds.graph.clone(),
+        space.clone(),
+        ds.library.clone(),
+    )
+    .expect("create deployment");
+    let service = deployment.service(config());
+    let v = Arc::clone(deployment.versioned());
+    let writer_done = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        // Writer: a commit roughly every insert.
+        s.spawn(|| {
+            for i in 0..120 {
+                v.insert_triple(
+                    (format!("Car_race_{i}").as_str(), "Automobile"),
+                    "assembly",
+                    ("Country_1", "Country"),
+                );
+                v.commit();
+                if i % 16 == 0 {
+                    std::thread::yield_now();
+                }
+            }
+            writer_done.store(true, Ordering::Release);
+        });
+        // Maintenance: checkpoints racing the writer and the readers.
+        s.spawn(|| {
+            for _ in 0..6 {
+                let report = service.checkpoint().expect("checkpoint");
+                assert!(report.edges > 0);
+                std::thread::yield_now();
+            }
+        });
+        // Readers: refresh + stats, asserting per-observer monotonicity.
+        for _ in 0..3 {
+            s.spawn(|| {
+                let mut last_refresh = 0u64;
+                let mut last_stats = 0u64;
+                while !writer_done.load(Ordering::Acquire) {
+                    let published = service.versioned().epoch();
+                    let adopted = service.refresh();
+                    assert!(
+                        adopted >= published,
+                        "refresh returned {adopted}, below the {published} published before the call"
+                    );
+                    assert!(
+                        adopted >= last_refresh,
+                        "refresh went backwards: {last_refresh} -> {adopted}"
+                    );
+                    last_refresh = adopted;
+                    let epoch = service.stats().epoch;
+                    assert!(
+                        epoch >= last_stats,
+                        "stats epoch went backwards: {last_stats} -> {epoch}"
+                    );
+                    last_stats = epoch;
+                }
+            });
+        }
+    });
+
+    // Quiesced: the live service must agree bit-for-bit with a fresh
+    // engine over the final published snapshot.
+    service.refresh();
+    let snapshot = v.snapshot();
+    let direct = QueryService::build(snapshot, &space, &ds.library, config());
+    for q in produced_workload(&ds) {
+        let live = service.query(&q.graph).unwrap();
+        let fresh = direct.query(&q.graph).unwrap();
+        assert_eq!(live.matches, fresh.matches, "diverged on {}", q.id);
+    }
+    assert_eq!(service.stats().errors, 0);
+}
