@@ -54,6 +54,9 @@ pub enum KgError {
         /// What went wrong.
         detail: String,
     },
+    /// An invalid shard layout: bad shard count, or on-disk shard files
+    /// that disagree with their manifest.
+    Shard(String),
 }
 
 impl KgError {
@@ -104,6 +107,7 @@ impl fmt::Display for KgError {
             KgError::Wal { path, detail } => {
                 write!(f, "write-ahead log {}: {detail}", path.display())
             }
+            KgError::Shard(detail) => write!(f, "shard layout: {detail}"),
         }
     }
 }

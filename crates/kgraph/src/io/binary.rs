@@ -56,7 +56,7 @@ mod tag {
     pub const META: u8 = 11;
 }
 
-fn encode_interner(interner: &Interner) -> Vec<u8> {
+pub(crate) fn encode_interner(interner: &Interner) -> Vec<u8> {
     let mut out = Vec::new();
     put_u32(&mut out, interner.len() as u32);
     for (_, s) in interner.iter() {
@@ -65,7 +65,7 @@ fn encode_interner(interner: &Interner) -> Vec<u8> {
     out
 }
 
-fn decode_interner(payload: &[u8], what: &str) -> std::result::Result<Interner, String> {
+pub(crate) fn decode_interner(payload: &[u8], what: &str) -> std::result::Result<Interner, String> {
     let mut c = Cursor::new(payload);
     let n = c.u32(what)? as usize;
     let mut strings = Vec::with_capacity(n.min(payload.len()));

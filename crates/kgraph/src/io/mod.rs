@@ -18,6 +18,7 @@
 
 pub mod binary;
 pub mod codec;
+pub mod shard;
 pub mod wal;
 
 use crate::error::{KgError, Result};

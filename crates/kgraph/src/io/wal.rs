@@ -77,7 +77,7 @@ pub enum WalOp {
 }
 
 impl WalOp {
-    fn encode(&self, out: &mut Vec<u8>) {
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
         match self {
             WalOp::Insert {
                 head,
@@ -112,7 +112,7 @@ impl WalOp {
         }
     }
 
-    fn decode(body: &[u8]) -> std::result::Result<Self, String> {
+    pub(crate) fn decode(body: &[u8]) -> std::result::Result<Self, String> {
         let mut c = Cursor::new(body);
         let tag = c.take(1, "record tag")?[0];
         let op = match tag {

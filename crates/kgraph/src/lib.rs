@@ -33,6 +33,7 @@ pub mod graph;
 pub mod ids;
 pub mod interner;
 pub mod io;
+pub mod shard;
 pub mod stats;
 pub mod triple;
 pub mod typing;
@@ -43,6 +44,7 @@ pub use error::{KgError, Result};
 pub use graph::{EdgeRecord, GraphBuilder, KnowledgeGraph, NeighborRef};
 pub use ids::{EdgeId, NodeId, PredicateId, TypeId};
 pub use interner::Interner;
+pub use shard::{GraphShard, Partitioner, ShardedGraph};
 pub use stats::GraphStats;
 pub use triple::Triple;
 pub use versioned::{

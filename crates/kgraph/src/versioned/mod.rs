@@ -30,12 +30,84 @@ pub use snapshot::GraphSnapshot;
 use crate::error::{KgError, Result};
 use crate::graph::{EdgeRecord, GraphBuilder, KnowledgeGraph};
 use crate::ids::{EdgeId, PredicateId};
+use crate::io::shard::ShardedWalWriter;
 use crate::io::wal::{WalOp, WalWriter};
+use crate::shard::Partitioner;
 use crate::view::GraphView;
 use rustc_hash::FxHashMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+
+/// The write-ahead log a [`VersionedGraph`] appends to: one file
+/// ([`WalWriter`]) or one per shard ([`ShardedWalWriter`]). The store only
+/// needs append/sync/recreate; which layout is attached decides whether
+/// [`VersionedGraph::checkpoint`] or [`VersionedGraph::checkpoint_sharded`]
+/// may run.
+pub(crate) trait WalSink: Send {
+    /// Appends one record (buffered).
+    fn append_op(&mut self, op: &WalOp) -> Result<()>;
+    /// Flushes and fsyncs every file behind the sink.
+    fn sync_all(&mut self) -> Result<()>;
+    /// The file (single) or directory (sharded) for error messages.
+    fn target(&self) -> PathBuf;
+    /// True for the per-shard layout.
+    fn is_sharded(&self) -> bool;
+    /// The sharded sink's directory + partitioner, `None` for single-file.
+    /// Checkpointing validates its arguments against this: writing a
+    /// snapshot set for a different directory or shard count than the logs
+    /// route to would silently split the deployment.
+    fn sharded_layout(&self) -> Option<(PathBuf, Partitioner)> {
+        None
+    }
+    /// Truncates the log(s) to empty after a successful checkpoint and
+    /// returns a fresh sink over the same location.
+    fn recreate(self: Box<Self>) -> Result<Box<dyn WalSink>>;
+}
+
+impl WalSink for WalWriter {
+    fn append_op(&mut self, op: &WalOp) -> Result<()> {
+        self.append(op)
+    }
+    fn sync_all(&mut self) -> Result<()> {
+        self.sync()
+    }
+    fn target(&self) -> PathBuf {
+        self.path().to_path_buf()
+    }
+    fn is_sharded(&self) -> bool {
+        false
+    }
+    fn recreate(self: Box<Self>) -> Result<Box<dyn WalSink>> {
+        let path = self.path().to_path_buf();
+        drop(self);
+        Ok(Box::new(WalWriter::create(path)?))
+    }
+}
+
+impl WalSink for ShardedWalWriter {
+    fn append_op(&mut self, op: &WalOp) -> Result<()> {
+        self.append(op)
+    }
+    fn sync_all(&mut self) -> Result<()> {
+        self.sync()
+    }
+    fn target(&self) -> PathBuf {
+        self.dir().to_path_buf()
+    }
+    fn is_sharded(&self) -> bool {
+        true
+    }
+    fn sharded_layout(&self) -> Option<(PathBuf, Partitioner)> {
+        Some((self.dir().to_path_buf(), self.partitioner()))
+    }
+    fn recreate(self: Box<Self>) -> Result<Box<dyn WalSink>> {
+        let dir = self.dir().to_path_buf();
+        let partitioner = self.partitioner();
+        drop(self);
+        Ok(Box::new(ShardedWalWriter::create(dir, partitioner)?))
+    }
+}
 
 /// Writer-side counters and overlay gauges (see [`VersionedGraph::stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -122,9 +194,10 @@ struct WriterState {
     edge_dedup: FxHashMap<EdgeRecord, EdgeId>,
     /// Changes staged since the last commit/compaction.
     dirty: bool,
-    /// Optional write-ahead log: every state-changing op is appended, every
-    /// epoch marker is appended + fsynced. `None` = in-memory only.
-    wal: Option<WalWriter>,
+    /// Optional write-ahead log (single-file or per-shard): every
+    /// state-changing op is appended, every epoch marker is appended +
+    /// fsynced. `None` = in-memory only.
+    wal: Option<Box<dyn WalSink>>,
     /// First WAL failure, sticky (see [`VersionedGraph::wal_error`]).
     wal_error: Option<String>,
 }
@@ -147,7 +220,7 @@ impl WriterState {
     /// next checkpoint — so a full disk cannot poison the in-memory store.
     fn log_wal(&mut self, op: &WalOp) {
         if let Some(w) = self.wal.as_mut() {
-            if let Err(e) = w.append(op) {
+            if let Err(e) = w.append_op(op) {
                 let _ = self.wal_error.get_or_insert_with(|| e.to_string());
             }
         }
@@ -156,7 +229,7 @@ impl WriterState {
     /// Flushes + fsyncs the WAL (called at every epoch marker).
     fn sync_wal(&mut self) {
         if let Some(w) = self.wal.as_mut() {
-            if let Err(e) = w.sync() {
+            if let Err(e) = w.sync_all() {
                 let _ = self.wal_error.get_or_insert_with(|| e.to_string());
             }
         }
@@ -487,7 +560,7 @@ impl VersionedGraph {
     pub fn enable_wal(&self, wal_path: impl AsRef<Path>) -> Result<()> {
         let writer = WalWriter::create(wal_path)?;
         let mut state = self.state.lock().unwrap();
-        state.wal = Some(writer);
+        state.wal = Some(Box::new(writer));
         state.wal_error = None;
         Ok(())
     }
@@ -605,7 +678,99 @@ impl VersionedGraph {
         } else {
             WalWriter::open_append(wal_path, replay.committed_len)?
         };
-        store.state.lock().unwrap().wal = Some(writer);
+        store.state.lock().unwrap().wal = Some(Box::new(writer));
+        Ok((store, report))
+    }
+
+    /// [`Self::recover`]'s sibling for the per-shard layout: starts from
+    /// `base` (recomposed by [`crate::io::shard::load_sharded`] at
+    /// `base_epoch`) and replays the shard WALs under `dir` merged back
+    /// into arrival order (see [`crate::io::shard`] for the coordinated-
+    /// epoch rule). The returned store stays attached to the truncated
+    /// shard logs and keeps routing new records by source-label hash.
+    pub fn recover_sharded(
+        base: KnowledgeGraph,
+        base_epoch: u64,
+        dir: impl AsRef<Path>,
+        partitioner: Partitioner,
+    ) -> Result<(Self, RecoveryReport)> {
+        let dir = dir.as_ref();
+        let store = Self::with_epoch(base, base_epoch);
+        let replay = crate::io::shard::read_sharded_wal(dir, partitioner.shards())?;
+        // Skip records up to the last marker ≤ base_epoch (already in the
+        // snapshot set — a crash between the manifest flip and the WAL
+        // truncation leaves the full pre-checkpoint history behind).
+        let mut start = 0usize;
+        for (i, op) in replay.ops.iter().enumerate() {
+            match op {
+                WalOp::Commit { epoch } | WalOp::Compact { epoch } if *epoch <= base_epoch => {
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        let mut report = RecoveryReport {
+            torn_tail: replay.torn,
+            discarded_ops: replay.discarded_ops,
+            skipped_ops: start,
+            ..RecoveryReport::default()
+        };
+        for op in &replay.ops[start..] {
+            match op {
+                WalOp::Insert {
+                    head,
+                    predicate,
+                    tail,
+                } => {
+                    store.insert_triple((&head.0, &head.1), predicate, (&tail.0, &tail.1));
+                    report.ops_replayed += 1;
+                }
+                WalOp::Delete {
+                    head,
+                    predicate,
+                    tail,
+                } => {
+                    store.delete_triple(head, predicate, tail);
+                    report.ops_replayed += 1;
+                }
+                WalOp::Commit { epoch } => {
+                    let snapshot = store.commit();
+                    if snapshot.epoch() != *epoch {
+                        return Err(KgError::wal(
+                            dir,
+                            format!(
+                                "commit marker for epoch {epoch} replayed to epoch {} — \
+                                 logs and snapshot set disagree",
+                                snapshot.epoch()
+                            ),
+                        ));
+                    }
+                    report.epochs_replayed += 1;
+                }
+                WalOp::Compact { epoch } => {
+                    let snapshot = store.compact();
+                    if snapshot.epoch() != *epoch {
+                        return Err(KgError::wal(
+                            dir,
+                            format!(
+                                "compact marker for epoch {epoch} replayed to epoch {} — \
+                                 logs and snapshot set disagree",
+                                snapshot.epoch()
+                            ),
+                        ));
+                    }
+                    report.epochs_replayed += 1;
+                }
+            }
+        }
+        report.recovered_epoch = store.epoch();
+        let writer = ShardedWalWriter::open_append(
+            dir,
+            partitioner,
+            &replay.committed_len,
+            replay.next_seq,
+        )?;
+        store.state.lock().unwrap().wal = Some(Box::new(writer));
         Ok((store, report))
     }
 
@@ -627,23 +792,88 @@ impl VersionedGraph {
     /// trusted to include them either, so the error is surfaced instead.
     pub fn checkpoint(&self, snapshot_path: impl AsRef<Path>) -> Result<GraphSnapshot> {
         let mut state = self.state.lock().unwrap();
+        self.checkpoint_guard(&state, false)?;
+        let snapshot = self.compact_locked(&mut state);
+        crate::io::binary::save(snapshot.base(), snapshot.epoch(), snapshot_path)?;
+        Self::truncate_wal_after_checkpoint(&mut state)?;
+        Ok(snapshot)
+    }
+
+    /// [`Self::checkpoint`]'s sibling for the per-shard layout: compacts,
+    /// writes the per-shard snapshot set + meta file, flips the epoch
+    /// manifest (the single coordinator — all shards become visible at one
+    /// epoch or not at all), and truncates every shard WAL. Same crash
+    /// safety and same refusal on a sticky WAL error.
+    pub fn checkpoint_sharded(
+        &self,
+        dir: impl AsRef<Path>,
+        partitioner: Partitioner,
+    ) -> Result<GraphSnapshot> {
+        let dir = dir.as_ref();
+        let mut state = self.state.lock().unwrap();
+        self.checkpoint_guard(&state, true)?;
+        // The snapshot set must land where the logs live, partitioned the
+        // way the logs route — otherwise the next recovery reads a manifest
+        // that disagrees with (or cannot even find) the WAL set, and
+        // durably committed ops vanish silently.
+        if let Some((wal_dir, wal_partitioner)) =
+            state.wal.as_ref().and_then(|w| w.sharded_layout())
+        {
+            if wal_dir != dir || wal_partitioner != partitioner {
+                return Err(KgError::Shard(format!(
+                    "checkpoint targets {} at {} shards but the attached logs live in {} at \
+                     {} shards — refusing to split the deployment",
+                    dir.display(),
+                    partitioner.shards(),
+                    wal_dir.display(),
+                    wal_partitioner.shards(),
+                )));
+            }
+        }
+        let snapshot = self.compact_locked(&mut state);
+        crate::io::shard::save_sharded(snapshot.base(), &partitioner, snapshot.epoch(), dir)?;
+        Self::truncate_wal_after_checkpoint(&mut state)?;
+        Ok(snapshot)
+    }
+
+    /// Shared checkpoint preconditions: a healthy WAL, and a WAL layout
+    /// matching the checkpoint flavour (a single-file checkpoint over
+    /// per-shard logs — or vice versa — would leave a directory no
+    /// recovery path understands).
+    fn checkpoint_guard(&self, state: &WriterState, sharded: bool) -> Result<()> {
         if let Some(detail) = &state.wal_error {
-            let path = state
-                .wal
-                .as_ref()
-                .map(|w| w.path().to_path_buf())
-                .unwrap_or_default();
+            let path = state.wal.as_ref().map(|w| w.target()).unwrap_or_default();
             return Err(KgError::wal(
                 path,
                 format!("unhealthy, refusing checkpoint: {detail}"),
             ));
         }
-        let snapshot = self.compact_locked(&mut state);
-        crate::io::binary::save(snapshot.base(), snapshot.epoch(), snapshot_path)?;
+        if let Some(w) = state.wal.as_ref() {
+            if w.is_sharded() != sharded {
+                return Err(KgError::Shard(format!(
+                    "attached WAL layout is {}, use {} instead",
+                    if w.is_sharded() {
+                        "sharded"
+                    } else {
+                        "single-file"
+                    },
+                    if sharded {
+                        "VersionedGraph::checkpoint"
+                    } else {
+                        "VersionedGraph::checkpoint_sharded"
+                    },
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Replaces the attached WAL with a fresh (empty) one after the
+    /// snapshot publish succeeded; failures are sticky so the store stops
+    /// claiming durability it no longer has.
+    fn truncate_wal_after_checkpoint(state: &mut WriterState) -> Result<()> {
         if let Some(w) = state.wal.take() {
-            let path = w.path().to_path_buf();
-            drop(w);
-            match WalWriter::create(&path) {
+            match w.recreate() {
                 Ok(fresh) => state.wal = Some(fresh),
                 Err(e) => {
                     // The old writer is gone and no fresh log exists: the
@@ -658,7 +888,7 @@ impl VersionedGraph {
                 }
             }
         }
-        Ok(snapshot)
+        Ok(())
     }
 
     /// Resolves a predicate label against the *staged* vocabulary (base +
@@ -1255,6 +1485,90 @@ mod tests {
             "epoch gap must fail loudly: {err:?}"
         );
         assert!(err.to_string().contains("disagree"), "{err}");
+    }
+
+    /// The per-shard durable cycle: sharded snapshot set + sharded WALs
+    /// recover to the exact pre-crash store — same epochs, same node ids,
+    /// same adjacency — across commit, compaction, checkpoint, and a crash
+    /// with an uncommitted tail.
+    #[test]
+    fn sharded_checkpoint_and_recovery_roundtrip() {
+        let dir = TestDir::new("versioned_sharded");
+        let root = dir.path("dep");
+        let p = Partitioner::new(4).unwrap();
+
+        // Lay out epoch 0 and attach sharded logs.
+        crate::io::shard::save_sharded(&base_graph(), &p, 0, &root).unwrap();
+        let (loaded, p2, epoch) = crate::io::shard::load_sharded(&root).unwrap();
+        assert_eq!((epoch, p2), (0, p));
+        let (v, report) = VersionedGraph::recover_sharded(loaded, 0, &root, p).unwrap();
+        assert_eq!(report.recovered_epoch, 0);
+
+        // Mutate across several epochs, including a compaction (edge-id
+        // reassignment) and a checkpoint (manifest flip + log truncation).
+        v.insert_triple(
+            ("BMW_320", "Automobile"),
+            "assembly",
+            ("Germany", "Country"),
+        );
+        v.delete_triple("Audi_TT", "export", "Korea");
+        v.commit();
+        v.insert_triple(("Peter", "Person"), "designer", ("KIA_K5", "Automobile"));
+        v.compact();
+        let checkpointed = v.checkpoint_sharded(&root, p).unwrap();
+        assert_eq!(checkpointed.epoch(), 2);
+        assert_eq!(
+            crate::io::shard::read_manifest(&root).unwrap().epoch,
+            2,
+            "manifest is the coordinator"
+        );
+        v.insert_triple(
+            ("Lamando", "Automobile"),
+            "assembly",
+            ("Germany", "Country"),
+        );
+        v.commit();
+        v.insert_triple(("Ghost", "Automobile"), "assembly", ("Germany", "Country"));
+        let reference = v.snapshot();
+        drop(v); // crash: Ghost staged but never committed
+
+        let (loaded, p3, epoch) = crate::io::shard::load_sharded(&root).unwrap();
+        assert_eq!((epoch, p3), (2, p));
+        let (recovered, report) = VersionedGraph::recover_sharded(loaded, epoch, &root, p).unwrap();
+        assert_eq!(report.recovered_epoch, 3);
+        assert_eq!(report.epochs_replayed, 1);
+        assert_eq!(report.discarded_ops, 1, "Ghost never committed");
+        let after = recovered.snapshot();
+        assert_eq!(after.epoch(), reference.epoch());
+        assert_eq!(after.node_count(), reference.node_count());
+        assert_eq!(after.edge_count(), reference.edge_count());
+        assert!(after.node_by_name("Ghost").is_none());
+        for node in GraphView::nodes(&reference) {
+            assert_eq!(
+                GraphView::node_name(&reference, node),
+                GraphView::node_name(&after, node),
+                "node ids must be bit-identical"
+            );
+            assert_eq!(
+                GraphView::neighbors(&reference, node).collect::<Vec<_>>(),
+                GraphView::neighbors(&after, node).collect::<Vec<_>>(),
+                "adjacency (edge ids included) must be bit-identical at {node}"
+            );
+        }
+
+        // Layout guards: the single-file checkpoint refuses sharded logs,
+        // and a sharded checkpoint aimed at a different directory or shard
+        // count than the attached logs refuses to split the deployment.
+        let err = recovered.checkpoint(dir.path("single.kgb")).unwrap_err();
+        assert!(err.to_string().contains("sharded"), "{err}");
+        let err = recovered
+            .checkpoint_sharded(&root, Partitioner::new(2).unwrap())
+            .unwrap_err();
+        assert!(err.to_string().contains("refusing to split"), "{err}");
+        let err = recovered
+            .checkpoint_sharded(dir.path("elsewhere"), p)
+            .unwrap_err();
+        assert!(err.to_string().contains("refusing to split"), "{err}");
     }
 
     proptest! {

@@ -91,6 +91,41 @@ pub trait GraphView: Sync {
     fn duplicate_edges_dropped(&self) -> usize {
         0
     }
+
+    // --- Sharded-storage hooks -------------------------------------------
+    //
+    // A [`crate::shard::ShardedGraph`] stores its adjacency as per-shard CSR
+    // slices while still honouring the deterministic-order contract above.
+    // These hooks let generic callers (the φ matcher, the engine's seeding
+    // phase, statistics) scatter their scans per shard and gather in node-id
+    // order without knowing the concrete store. Monolithic stores are one
+    // big shard.
+
+    /// Number of storage shards behind this view (1 for monolithic stores).
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    /// The shard owning `node`'s adjacency (always 0 for monolithic stores).
+    fn shard_of(&self, _node: NodeId) -> usize {
+        0
+    }
+
+    /// Node ids owned by `shard`, ascending. The monolithic default owns
+    /// every node in shard 0 and must materialise the list — callers should
+    /// only reach for this when [`GraphView::shard_count`] exceeds 1, where
+    /// sharded stores return a borrowed slice.
+    fn shard_nodes(&self, shard: usize) -> Cow<'_, [NodeId]> {
+        debug_assert_eq!(shard, 0, "monolithic views have exactly one shard");
+        Cow::Owned((0..self.node_count() as u32).map(NodeId::new).collect())
+    }
+
+    /// Triples owned by `shard` — the edges whose *source* node it owns
+    /// (the hash-by-source-node partitioning contract).
+    fn shard_edge_count(&self, shard: usize) -> usize {
+        debug_assert_eq!(shard, 0, "monolithic views have exactly one shard");
+        self.edge_count()
+    }
 }
 
 impl GraphView for KnowledgeGraph {
@@ -212,6 +247,18 @@ impl<G: GraphView + ?Sized> GraphView for &G {
     }
     fn duplicate_edges_dropped(&self) -> usize {
         (**self).duplicate_edges_dropped()
+    }
+    fn shard_count(&self) -> usize {
+        (**self).shard_count()
+    }
+    fn shard_of(&self, node: NodeId) -> usize {
+        (**self).shard_of(node)
+    }
+    fn shard_nodes(&self, shard: usize) -> Cow<'_, [NodeId]> {
+        (**self).shard_nodes(shard)
+    }
+    fn shard_edge_count(&self, shard: usize) -> usize {
+        (**self).shard_edge_count(shard)
     }
 }
 

@@ -35,8 +35,8 @@ use crate::semgraph::{weight_transform, SubQueryPlan};
 use crate::ta;
 use crate::timebound::{self, TimeBoundConfig};
 use embedding::{PredicateSpace, SimilarityIndex, SimilarityIndexStats};
-use kgraph::{GraphStats, GraphView, KnowledgeGraph};
-use lexicon::{NodeMatcher, TransformationLibrary};
+use kgraph::{GraphView, KnowledgeGraph};
+use lexicon::{NodeMatcher, ShardIndex, TransformationLibrary};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -139,18 +139,25 @@ impl<'a, G: GraphView + Clone> SgqEngine<'a, G> {
         config: SgqConfig,
         sim_index: Arc<SimilarityIndex<'a>>,
     ) -> Self {
-        let pool = Arc::new(WorkerPool::new(Self::pool_size(&config)));
+        let pool = Self::default_pool(&config);
         Self::with_runtime(graph, space, library, config, sim_index, pool)
     }
 
-    /// The worker count an engine would spawn for `config`: an invalid
+    /// The pool an engine gets for `config`: the default `workers == 0`
+    /// resolves to the **process-wide shared pool**
+    /// ([`WorkerPool::shared`]) — N engines (live epochs × sharded services
+    /// × whatever else the process runs) share one core-sized thread set
+    /// instead of each spawning their own and oversubscribing the machine
+    /// N×. An explicit count gets a dedicated pool; an invalid
     /// configuration (every query will return its validation error) gets a
-    /// minimal placeholder pool so it cannot tie up threads it never uses.
-    pub(crate) fn pool_size(config: &SgqConfig) -> usize {
-        if config.validate().is_ok() {
-            config.workers
+    /// minimal placeholder so it cannot tie up threads it never uses.
+    pub(crate) fn default_pool(config: &SgqConfig) -> Arc<WorkerPool> {
+        if config.validate().is_err() {
+            Arc::new(WorkerPool::new(1))
+        } else if config.workers == 0 {
+            WorkerPool::shared()
         } else {
-            1
+            Arc::new(WorkerPool::new(config.workers))
         }
     }
 
@@ -168,8 +175,41 @@ impl<'a, G: GraphView + Clone> SgqEngine<'a, G> {
     ) -> Self {
         static NEXT_ENGINE_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         sim_index.ensure_vocab(graph.predicate_count());
-        let avg_degree = GraphStats::of(&graph).avg_degree;
-        let matcher = NodeMatcher::new(graph.clone(), library);
+        // Σ degree(u) = 2·|E| exactly (every edge contributes one out- and
+        // one in-endpoint), so the cost model's average degree needs no
+        // O(n + m) scan — engine construction (and live epoch adoption)
+        // stays O(n) for the φ index alone.
+        let n = graph.node_count();
+        let avg_degree = if n == 0 {
+            0.0
+        } else {
+            (2 * graph.edge_count()) as f64 / n as f64
+        };
+        // The φ name index is that remaining O(n) scan: over a sharded
+        // store it splits into per-shard builds dispatched as parallel
+        // jobs on the worker pool (shard affinity — each job walks only
+        // its shard's nodes), gathered into one matcher whose candidate
+        // lists are bit-identical to a monolithic build.
+        let matcher = if graph.shard_count() > 1 && pool.workers() > 1 {
+            let mut slots: Vec<Option<ShardIndex>> =
+                (0..graph.shard_count()).map(|_| None).collect();
+            pool.scope(|scope| {
+                for (shard, slot) in slots.iter_mut().enumerate() {
+                    let graph = &graph;
+                    scope.spawn(move || *slot = Some(ShardIndex::build(graph, shard)));
+                }
+            });
+            NodeMatcher::from_shard_indexes(
+                graph.clone(),
+                library,
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("shard index job reported its outcome"))
+                    .collect(),
+            )
+        } else {
+            NodeMatcher::new(graph.clone(), library)
+        };
         Self {
             graph,
             space,
@@ -301,7 +341,7 @@ impl<'a, G: GraphView + Clone> SgqEngine<'a, G> {
 
         let mut searches: Vec<AStarSearch<'_, G>> = plans
             .iter()
-            .map(|p| AStarSearch::new(&self.graph, p))
+            .map(|p| AStarSearch::new_on_pool(&self.graph, p, &self.pool))
             .collect();
         let mut streams: Vec<Vec<crate::answer::SubMatch>> = vec![Vec::new(); n];
         let mut per_subquery_us = vec![0u64; n];
@@ -688,6 +728,74 @@ mod tests {
         // bindings_for collects the pivot-side bindings in rank order.
         let bound = r.bindings_for(crate::query::QNodeId(0));
         assert_eq!(bound, r.answer_nodes());
+    }
+
+    /// Satellite 6 regression: engines on the default worker config share
+    /// the process-wide pool instead of each resolving
+    /// `available_parallelism` and spawning their own — N engines (live
+    /// epochs × shards) can no longer stack N× the machine's cores.
+    #[test]
+    fn default_engines_share_the_process_pool() {
+        let g = fig2_graph();
+        let s = fig2_space(&g);
+        let lib = TransformationLibrary::new();
+        let default_cfg = SgqConfig {
+            workers: 0,
+            ..SgqConfig::default()
+        };
+        let e1 = SgqEngine::new(&g, &s, &lib, default_cfg.clone());
+        let e2 = SgqEngine::new(&g, &s, &lib, default_cfg);
+        assert!(
+            std::ptr::eq(e1.pool(), e2.pool()),
+            "workers == 0 must resolve to the shared pool"
+        );
+        // Explicit counts still get dedicated pools.
+        let dedicated = SgqEngine::new(
+            &g,
+            &s,
+            &lib,
+            SgqConfig {
+                workers: 2,
+                ..SgqConfig::default()
+            },
+        );
+        assert!(!std::ptr::eq(e1.pool(), dedicated.pool()));
+        assert_eq!(dedicated.workers(), 2);
+    }
+
+    /// A sharded engine answers bit-identically to the monolithic engine —
+    /// the composed view preserves adjacency order, the per-shard matcher
+    /// gathers candidates in node-id order, and scatter seeding reproduces
+    /// the serial frontier.
+    #[test]
+    fn sharded_engine_is_bit_identical() {
+        let g = fig2_graph();
+        let s = fig2_space(&g);
+        let lib = TransformationLibrary::new();
+        let mono = engine_with(&g, &s, &lib, 3, 0.5);
+        let reference = mono.query(&product_query()).unwrap();
+        for shards in [2usize, 4, 8] {
+            let sharded_graph = kgraph::ShardedGraph::from_graph(fig2_graph(), shards).unwrap();
+            let engine = SgqEngine::new(
+                sharded_graph,
+                &s,
+                &lib,
+                SgqConfig {
+                    k: 3,
+                    tau: 0.5,
+                    n_hat: 4,
+                    ..SgqConfig::default()
+                },
+            );
+            let r = engine.query(&product_query()).unwrap();
+            assert_eq!(r.matches, reference.matches, "{shards} shards diverged");
+            // Prepared replay stays bit-identical over the sharded view.
+            let prepared = engine.prepare(&product_query()).unwrap();
+            assert_eq!(
+                engine.execute(&prepared).unwrap().matches,
+                reference.matches
+            );
+        }
     }
 
     #[test]

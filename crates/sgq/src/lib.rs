@@ -98,7 +98,7 @@ pub use engine::{PreparedQuery, SgqEngine};
 pub use error::{Result, SgqError};
 pub use live::{
     CheckpointReport, EpochEngine, LiveDeployment, LivePreparedQuery, LiveQueryService,
-    LIBRARY_FILE, SNAPSHOT_FILE, SPACE_FILE, WAL_FILE,
+    ShardedDeployment, LIBRARY_FILE, SNAPSHOT_FILE, SPACE_FILE, WAL_FILE,
 };
 pub use query::{QEdgeId, QNodeId, QueryEdge, QueryGraph, QueryNode, QueryNodeKind};
 pub use runtime::WorkerPool;
@@ -106,5 +106,5 @@ pub use sched::{
     BatchScheduler, Priority, SchedBackend, SchedHandle, SchedOutcome, SchedResponse, SchedStats,
     ShedReason, Ticket,
 };
-pub use service::{QueryService, ServiceStats};
+pub use service::{QueryService, ServiceStats, ShardedQueryService};
 pub use timebound::TimeBoundConfig;

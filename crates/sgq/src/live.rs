@@ -32,10 +32,12 @@ use crate::error::{Result, SgqError};
 use crate::query::QueryGraph;
 use crate::runtime::WorkerPool;
 use crate::semgraph::weight_transform;
-use crate::service::{ServiceCounters, ServiceStats};
+use crate::service::{shard_gauges, ServiceCounters, ServiceStats};
 use crate::timebound::TimeBoundConfig;
 use embedding::{PredicateSpace, SimilarityIndex, SimilarityIndexStats};
-use kgraph::{GraphSnapshot, GraphView, KnowledgeGraph, RecoveryReport, VersionedGraph};
+use kgraph::{
+    GraphSnapshot, GraphView, KnowledgeGraph, Partitioner, RecoveryReport, VersionedGraph,
+};
 use lexicon::TransformationLibrary;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -92,9 +94,26 @@ pub struct LiveQueryService<'a> {
     rebuild: Mutex<()>,
     counters: ServiceCounters,
     refreshes: AtomicU64,
-    /// Deployment directory when built via [`LiveDeployment::service`];
-    /// enables [`Self::checkpoint`].
-    durable_dir: Option<PathBuf>,
+    /// On-disk layout when built via [`LiveDeployment::service`] or
+    /// [`ShardedDeployment::service`]; enables [`Self::checkpoint`].
+    durable: Option<DurableLayout>,
+    /// Per-epoch cache of the sharded layout's heaviest-shard triple count
+    /// (`(epoch, max_shard_edges)`), so [`Self::stats`] pays the O(m)
+    /// ownership scan once per adopted epoch, not per call.
+    shard_gauge_cache: Mutex<Option<(u64, u64)>>,
+}
+
+/// How a durable deployment lays its files out — one snapshot + one WAL,
+/// or the per-shard set coordinated by an epoch manifest.
+#[derive(Debug, Clone)]
+enum DurableLayout {
+    /// `snapshot.kgb` + `wal.log` under the directory.
+    Single(PathBuf),
+    /// `manifest.kgm` + `meta-*.kgb` + `shard-*-*.kgb` + `wal-*.log`.
+    Sharded {
+        dir: PathBuf,
+        partitioner: Partitioner,
+    },
 }
 
 impl<'a> LiveQueryService<'a> {
@@ -106,20 +125,18 @@ impl<'a> LiveQueryService<'a> {
         library: &'a TransformationLibrary,
         config: SgqConfig,
     ) -> Self {
-        Self::with_durable_dir(versioned, space, library, config, None)
+        Self::with_durable(versioned, space, library, config, None)
     }
 
-    fn with_durable_dir(
+    fn with_durable(
         versioned: Arc<VersionedGraph>,
         space: &'a PredicateSpace,
         library: &'a TransformationLibrary,
         config: SgqConfig,
-        durable_dir: Option<PathBuf>,
+        durable: Option<DurableLayout>,
     ) -> Self {
         let sim_index = Arc::new(SimilarityIndex::with_transform(space, weight_transform));
-        let pool = Arc::new(WorkerPool::new(SgqEngine::<GraphSnapshot>::pool_size(
-            &config,
-        )));
+        let pool = SgqEngine::<GraphSnapshot>::default_pool(&config);
         let engine = Arc::new(SgqEngine::with_runtime(
             versioned.snapshot(),
             space,
@@ -139,7 +156,8 @@ impl<'a> LiveQueryService<'a> {
             rebuild: Mutex::new(()),
             counters: ServiceCounters::default(),
             refreshes: AtomicU64::new(0),
-            durable_dir,
+            durable,
+            shard_gauge_cache: Mutex::new(None),
         }
     }
 
@@ -257,16 +275,41 @@ impl<'a> LiveQueryService<'a> {
     }
 
     /// Aggregated counters, including the live epoch/delta gauges.
+    ///
+    /// On a [`ShardedDeployment`]-backed service the shard gauges reflect
+    /// the **durable layout**: the epoch snapshot the engine queries is the
+    /// monolithic overlay view (live execution shards the on-disk layer,
+    /// not the in-memory epoch view), so the ownership split is computed
+    /// from the deployment's partitioner — once per adopted epoch, cached.
     pub fn stats(&self) -> ServiceStats {
         let engine = self.current.read().unwrap().clone();
         let snapshot = engine.graph();
-        ServiceStats {
+        let mut stats = ServiceStats {
             epoch: snapshot.epoch(),
             engine_refreshes: self.refreshes.load(Ordering::Relaxed),
             delta_edges: snapshot.delta_added_edges() as u64,
             delta_tombstones: snapshot.tombstone_count() as u64,
             ..self.counters.snapshot()
+        };
+        shard_gauges(snapshot, &mut stats);
+        if let Some(DurableLayout::Sharded { partitioner, .. }) = &self.durable {
+            stats.shard_count = partitioner.shards() as u64;
+            let epoch = snapshot.epoch();
+            let mut cache = self.shard_gauge_cache.lock().unwrap();
+            stats.max_shard_edges = match *cache {
+                Some((cached_epoch, max)) if cached_epoch == epoch => max,
+                _ => {
+                    let mut counts = vec![0u64; partitioner.shards()];
+                    for (_, rec) in snapshot.edges() {
+                        counts[partitioner.shard_of_label(snapshot.node_name(rec.src))] += 1;
+                    }
+                    let max = counts.into_iter().max().unwrap_or(0);
+                    *cache = Some((epoch, max));
+                    max
+                }
+            };
         }
+        stats
     }
 
     /// Similarity-row cache counters of the shared cross-epoch index.
@@ -276,24 +319,49 @@ impl<'a> LiveQueryService<'a> {
 
     /// Checkpoints the underlying store into the deployment directory:
     /// compacts the overlay (committing staged changes), writes a fresh
-    /// binary snapshot, and truncates the WAL — after which cold start is
-    /// one snapshot load plus an empty log. The next query adopts the
-    /// compacted epoch via the normal refresh path.
+    /// snapshot — one binary file for a [`LiveDeployment`], the per-shard
+    /// set + manifest flip for a [`ShardedDeployment`] — and truncates the
+    /// WAL(s), after which cold start is one snapshot load plus empty
+    /// logs. The next query adopts the compacted epoch via the normal
+    /// refresh path.
     ///
-    /// Only available on services built by [`LiveDeployment::service`];
-    /// run it from a maintenance thread — writers stall for the duration,
-    /// readers keep answering from pinned snapshots.
+    /// Only available on services built by [`LiveDeployment::service`] or
+    /// [`ShardedDeployment::service`]; run it from a maintenance thread —
+    /// writers stall for the duration, readers keep answering from pinned
+    /// snapshots.
     pub fn checkpoint(&self) -> Result<CheckpointReport> {
-        let dir = self.durable_dir.as_ref().ok_or_else(|| {
+        let layout = self.durable.as_ref().ok_or_else(|| {
             SgqError::Storage(
-                "service has no deployment directory (build it via LiveDeployment::service)".into(),
+                "service has no deployment directory (build it via LiveDeployment::service \
+                 or ShardedDeployment::service)"
+                    .into(),
             )
         })?;
-        let snapshot_path = dir.join(SNAPSHOT_FILE);
-        let snapshot = self.versioned.checkpoint(&snapshot_path)?;
-        let snapshot_bytes = std::fs::metadata(&snapshot_path)
-            .map(|m| m.len())
-            .unwrap_or(0);
+        let (snapshot, snapshot_bytes) = match layout {
+            DurableLayout::Single(dir) => {
+                let snapshot_path = dir.join(SNAPSHOT_FILE);
+                let snapshot = self.versioned.checkpoint(&snapshot_path)?;
+                let bytes = std::fs::metadata(&snapshot_path)
+                    .map(|m| m.len())
+                    .unwrap_or(0);
+                (snapshot, bytes)
+            }
+            DurableLayout::Sharded { dir, partitioner } => {
+                let snapshot = self.versioned.checkpoint_sharded(dir, *partitioner)?;
+                let epoch = snapshot.epoch();
+                let mut bytes = std::fs::metadata(kgraph::io::shard::meta_path(dir, epoch))
+                    .map(|m| m.len())
+                    .unwrap_or(0);
+                for shard in 0..partitioner.shards() {
+                    bytes += std::fs::metadata(kgraph::io::shard::shard_snapshot_path(
+                        dir, shard, epoch,
+                    ))
+                    .map(|m| m.len())
+                    .unwrap_or(0);
+                }
+                (snapshot, bytes)
+            }
+        };
         Ok(CheckpointReport {
             epoch: snapshot.epoch(),
             nodes: snapshot.node_count(),
@@ -430,12 +498,12 @@ impl LiveDeployment {
     /// the deployment (which owns the space/library), and can
     /// [`LiveQueryService::checkpoint`] back into the directory.
     pub fn service(&self, config: SgqConfig) -> LiveQueryService<'_> {
-        LiveQueryService::with_durable_dir(
+        LiveQueryService::with_durable(
             Arc::clone(&self.versioned),
             &self.space,
             &self.library,
             config,
-            Some(self.dir.clone()),
+            Some(DurableLayout::Single(self.dir.clone())),
         )
     }
 
@@ -456,6 +524,180 @@ impl LiveDeployment {
     }
 
     /// What recovery found in the WAL when this deployment was opened.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// The deployment directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// [`LiveDeployment`]'s sibling over the **per-shard** on-disk layout
+/// ([`kgraph::io::shard`]): one deployment directory holding the epoch
+/// manifest (the single coordinator), the vocabulary meta file, one edge
+/// slice per shard, one WAL per shard, and the shared space/library files.
+///
+/// Scope: the live path shards the **durable layer** — snapshots, WALs,
+/// checkpointing, recovery. The in-memory epoch views its queries run
+/// against remain the monolithic base ∪ overlay composition (an overlay
+/// cannot be sliced without breaking the epoch-pinning contract), so the
+/// scatter-gather *execution* phases live on the static path
+/// ([`crate::ShardedQueryService`]); [`LiveQueryService::stats`] still
+/// reports the deployment's shard gauges from the durable partitioner.
+///
+/// Writes route to the shard WAL of the triple's source-node label; commits
+/// fsync an epoch marker into *every* shard log before the epoch
+/// publishes; [`LiveQueryService::checkpoint`] writes the whole per-shard
+/// snapshot set and flips the manifest as one commit point — so
+/// [`ShardedDeployment::open`] always recovers **all shards to one
+/// consistent epoch**, bit-identical to a never-crashed store (the
+/// differential test drives a commit → checkpoint → crash → recover cycle
+/// against the unsharded path).
+pub struct ShardedDeployment {
+    dir: PathBuf,
+    space: PredicateSpace,
+    library: TransformationLibrary,
+    versioned: Arc<VersionedGraph>,
+    partitioner: Partitioner,
+    recovery: RecoveryReport,
+}
+
+impl std::fmt::Debug for ShardedDeployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedDeployment")
+            .field("dir", &self.dir)
+            .field("shards", &self.partitioner.shards())
+            .field("predicates", &self.space.len())
+            .field("recovery", &self.recovery)
+            .field("store", &self.versioned.stats())
+            .finish()
+    }
+}
+
+impl ShardedDeployment {
+    /// Initialises `dir` as a fresh sharded deployment of `graph` (epoch 0)
+    /// across `shards` shards. Refuses to overwrite an existing deployment
+    /// (open it instead) and refuses the remains of a half-deleted one.
+    pub fn create(
+        dir: impl AsRef<Path>,
+        graph: KnowledgeGraph,
+        space: PredicateSpace,
+        library: TransformationLibrary,
+        shards: usize,
+    ) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let partitioner = Partitioner::new(shards)?;
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| SgqError::Storage(format!("create {}: {e}", dir.display())))?;
+        if kgraph::io::shard::manifest_path(&dir).exists() {
+            return Err(SgqError::Storage(format!(
+                "{} already holds a sharded deployment (use ShardedDeployment::open)",
+                dir.display()
+            )));
+        }
+        // Shard WALs without a manifest are a half-deleted deployment;
+        // recovering them into a supposedly fresh graph would replay
+        // another deployment's history (same guard as LiveDeployment).
+        if (0..shards).any(|s| kgraph::io::shard::wal_path(&dir, s).exists()) {
+            return Err(SgqError::Storage(format!(
+                "{} holds stale shard WALs with no manifest — refusing to create over the \
+                 remains of another deployment (remove the wal-*.log files first)",
+                dir.display()
+            )));
+        }
+        // The manifest is written LAST (inside save_sharded): a crash
+        // mid-create leaves either a retryable manifest-less directory or
+        // a complete, openable deployment.
+        space.save(dir.join(SPACE_FILE))?;
+        let library_file = std::fs::File::create(dir.join(LIBRARY_FILE))
+            .map_err(|e| SgqError::Storage(format!("create {LIBRARY_FILE}: {e}")))?;
+        serde_json::to_writer(std::io::BufWriter::new(library_file), &library)
+            .map_err(|e| SgqError::Storage(format!("write {LIBRARY_FILE}: {e}")))?;
+        kgraph::io::shard::save_sharded(&graph, &partitioner, 0, &dir)?;
+        let (versioned, recovery) = VersionedGraph::recover_sharded(graph, 0, &dir, partitioner)?;
+        Ok(Self {
+            dir,
+            space,
+            library,
+            versioned: Arc::new(versioned),
+            partitioner,
+            recovery,
+        })
+    }
+
+    /// Cold-starts the deployment at `dir`: reads the manifest (shard
+    /// count and epoch), recomposes the per-shard snapshot set into the
+    /// base graph,
+    /// and replays the shard WALs merged back into arrival order (see
+    /// [`kgraph::VersionedGraph::recover_sharded`] for the coordinated-
+    /// epoch semantics, including partial marker fan-outs and torn tails).
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let space = PredicateSpace::load(dir.join(SPACE_FILE))?;
+        let library_path = dir.join(LIBRARY_FILE);
+        let library_file = std::fs::File::open(&library_path)
+            .map_err(|e| SgqError::Storage(format!("open {}: {e}", library_path.display())))?;
+        let library: TransformationLibrary =
+            serde_json::from_reader(std::io::BufReader::new(library_file))
+                .map_err(|e| SgqError::Storage(format!("parse {}: {e}", library_path.display())))?;
+        let (base, partitioner, epoch) = kgraph::io::shard::load_sharded(&dir)?;
+        let (versioned, recovery) =
+            VersionedGraph::recover_sharded(base, epoch, &dir, partitioner)?;
+        Ok(Self {
+            dir,
+            space,
+            library,
+            versioned: Arc::new(versioned),
+            partitioner,
+            recovery,
+        })
+    }
+
+    /// Stands up a query service over this deployment;
+    /// [`LiveQueryService::checkpoint`] writes the per-shard snapshot set
+    /// back into the directory.
+    pub fn service(&self, config: SgqConfig) -> LiveQueryService<'_> {
+        LiveQueryService::with_durable(
+            Arc::clone(&self.versioned),
+            &self.space,
+            &self.library,
+            config,
+            Some(DurableLayout::Sharded {
+                dir: self.dir.clone(),
+                partitioner: self.partitioner,
+            }),
+        )
+    }
+
+    /// The durable versioned store (hand this to your writer thread).
+    pub fn versioned(&self) -> &Arc<VersionedGraph> {
+        &self.versioned
+    }
+
+    /// The loaded predicate semantic space.
+    pub fn space(&self) -> &PredicateSpace {
+        &self.space
+    }
+
+    /// The loaded transformation library.
+    pub fn library(&self) -> &TransformationLibrary {
+        &self.library
+    }
+
+    /// The layout's partitioner.
+    pub fn partitioner(&self) -> Partitioner {
+        self.partitioner
+    }
+
+    /// Number of shards in the layout.
+    pub fn shards(&self) -> usize {
+        self.partitioner.shards()
+    }
+
+    /// What recovery found in the shard WALs when this deployment was
+    /// opened.
     pub fn recovery(&self) -> &RecoveryReport {
         &self.recovery
     }
@@ -737,6 +979,97 @@ mod tests {
             LiveQueryService::new(Arc::new(VersionedGraph::new(g)), &space, &lib, config());
         let err = service.checkpoint().unwrap_err();
         assert!(err.to_string().contains("deployment directory"), "{err}");
+    }
+
+    /// The sharded deployment mirrors `deployment_cold_starts_with_identical_answers`:
+    /// committed writes survive a crash bit-identically, staged-but-
+    /// uncommitted writes are discarded, and a checkpoint (per-shard
+    /// snapshot set + manifest flip + log truncation) cold-starts cleanly.
+    #[test]
+    fn sharded_deployment_cold_starts_and_checkpoints() {
+        let dir = TestDir::new("sharded_deploy");
+        let deploy_dir = dir.0.join("kg");
+        let (g, space, lib) = fixture();
+        let deployment = ShardedDeployment::create(&deploy_dir, g, space, lib, 4).unwrap();
+        assert_eq!(deployment.shards(), 4);
+        let service = deployment.service(config());
+        let v = Arc::clone(deployment.versioned());
+        v.insert_triple(
+            ("Lamando", "Automobile"),
+            "assembly",
+            ("Germany", "Country"),
+        );
+        v.delete_triple("Audi_TT", "assembly", "Germany");
+        v.commit();
+        service.refresh();
+        let live_answers = service.query(&product_query()).unwrap();
+        // Staged, never committed: must not survive the crash.
+        v.insert_triple(("Ghost", "Automobile"), "assembly", ("Germany", "Country"));
+        drop(service);
+        drop(deployment);
+        drop(v);
+
+        let reopened = ShardedDeployment::open(&deploy_dir).unwrap();
+        assert_eq!(reopened.recovery().recovered_epoch, 1);
+        assert_eq!(reopened.recovery().discarded_ops, 1);
+        let service = reopened.service(config());
+        let recovered = service.query(&product_query()).unwrap();
+        assert_eq!(recovered.matches, live_answers.matches, "bit-identical");
+        assert!(service.pin().graph().node_by_name("Ghost").is_none());
+        // The shard gauges reflect the durable layout, not the (monolithic)
+        // epoch view the engine queries.
+        let stats = service.stats();
+        assert_eq!(stats.shard_count, 4);
+        // 2 base edges + Lamando insert − Audi_TT delete = 2 live edges.
+        assert_eq!(stats.graph_edges, 2);
+        assert!(stats.max_shard_edges >= 1 && stats.max_shard_edges <= 2);
+        assert!(stats.shard_skew() >= 1.0);
+
+        // Checkpoint: compaction + per-shard snapshot set + manifest flip.
+        let report = service.checkpoint().unwrap();
+        assert_eq!(report.epoch, 2);
+        assert!(report.snapshot_bytes > 0, "sums the meta + shard files");
+        let v = Arc::clone(reopened.versioned());
+        v.insert_triple(("Peter", "Person"), "designer", ("KIA_K5", "Automobile"));
+        v.commit();
+        service.refresh();
+        let before = service.query(&product_query()).unwrap();
+        drop(service);
+        drop(reopened);
+
+        let reopened = ShardedDeployment::open(&deploy_dir).unwrap();
+        assert_eq!(reopened.recovery().skipped_ops, 0, "logs were truncated");
+        assert_eq!(reopened.recovery().epochs_replayed, 1);
+        let service = reopened.service(config());
+        assert_eq!(
+            service.query(&product_query()).unwrap().matches,
+            before.matches
+        );
+        assert_eq!(service.stats().epoch, 3);
+    }
+
+    #[test]
+    fn sharded_create_guards() {
+        let dir = TestDir::new("sharded_guards");
+        let deploy_dir = dir.0.join("kg");
+        let (g, space, lib) = fixture();
+        // Invalid shard count.
+        let err = ShardedDeployment::create(&deploy_dir, g.clone(), space.clone(), lib.clone(), 0)
+            .unwrap_err();
+        assert!(err.to_string().contains("shard count"), "{err}");
+        // Refuses to overwrite.
+        let deployment =
+            ShardedDeployment::create(&deploy_dir, g.clone(), space.clone(), lib.clone(), 2)
+                .unwrap();
+        drop(deployment);
+        let err = ShardedDeployment::create(&deploy_dir, g.clone(), space.clone(), lib.clone(), 2)
+            .unwrap_err();
+        assert!(err.to_string().contains("already holds"), "{err}");
+        // Stale shard WALs without a manifest are the remains of another
+        // deployment: refuse to replay them into a fresh one.
+        std::fs::remove_file(kgraph::io::shard::manifest_path(&deploy_dir)).unwrap();
+        let err = ShardedDeployment::create(&deploy_dir, g, space, lib, 2).unwrap_err();
+        assert!(err.to_string().contains("stale"), "{err}");
     }
 
     #[test]

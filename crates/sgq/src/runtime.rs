@@ -117,6 +117,25 @@ impl WorkerPool {
         Self { shared, workers }
     }
 
+    /// The process-wide shared pool, sized to the machine's available
+    /// parallelism (same cap as `WorkerPool::new(0)`), spawned lazily on
+    /// first use and alive for the rest of the process.
+    ///
+    /// This is the default pool for every engine whose config asks for
+    /// "one worker per core" (`workers == 0`). Before it existed, each such
+    /// engine resolved `available_parallelism` *independently* and spawned
+    /// its own full-size pool — a live service's epoch engines already
+    /// shared one, but N engines (or N sharded services) stacked N× the
+    /// machine's cores in threads. Sharing one pool keeps the total thread
+    /// budget at the hardware's parallelism no matter how many engines,
+    /// services, or shards a process stands up; work-helping scopes (see
+    /// module docs) make the sharing starvation- and deadlock-free.
+    /// Explicit worker counts still get dedicated pools.
+    pub fn shared() -> Arc<WorkerPool> {
+        static SHARED: std::sync::OnceLock<Arc<WorkerPool>> = std::sync::OnceLock::new();
+        Arc::clone(SHARED.get_or_init(|| Arc::new(WorkerPool::new(0))))
+    }
+
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers.len()
@@ -377,6 +396,24 @@ mod tests {
                 start.elapsed()
             );
         });
+    }
+
+    #[test]
+    fn shared_pool_is_a_process_singleton() {
+        let a = WorkerPool::shared();
+        let b = WorkerPool::shared();
+        assert!(Arc::ptr_eq(&a, &b), "one pool per process");
+        assert!(a.workers() >= 1);
+        // And it is a fully functional pool.
+        let counter = AtomicUsize::new(0);
+        a.scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
     }
 
     #[test]

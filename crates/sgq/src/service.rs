@@ -51,6 +51,15 @@ pub struct ServiceStats {
     pub delta_edges: u64,
     /// Edges tombstoned in the current snapshot's delta overlay.
     pub delta_tombstones: u64,
+    /// Storage shards behind the graph the service answers from (1 for
+    /// monolithic stores).
+    pub shard_count: u64,
+    /// Triples owned by the heaviest shard (equals `graph_edges` when
+    /// monolithic).
+    pub max_shard_edges: u64,
+    /// Total live triples in the served graph (the denominator of
+    /// [`ServiceStats::shard_skew`]).
+    pub graph_edges: u64,
 }
 
 impl ServiceStats {
@@ -77,6 +86,32 @@ impl ServiceStats {
             self.total_elapsed_us as f64 / self.completed() as f64
         }
     }
+
+    /// Shard imbalance as max/mean owned-triple count — the operator-facing
+    /// gauge behind the scatter phases' scaling. 1.0 means balanced (or
+    /// monolithic); `shard_count` means one shard owns every triple. Above
+    /// ~2 the per-shard scans stop scaling with the shard count.
+    pub fn shard_skew(&self) -> f64 {
+        if self.shard_count <= 1 || self.graph_edges == 0 {
+            return 1.0;
+        }
+        (self.max_shard_edges * self.shard_count) as f64 / self.graph_edges as f64
+    }
+}
+
+/// Fills the shard gauges of a [`ServiceStats`] from any graph view.
+pub(crate) fn shard_gauges<G: GraphView>(graph: &G, stats: &mut ServiceStats) {
+    let shards = graph.shard_count();
+    stats.shard_count = shards as u64;
+    stats.graph_edges = graph.edge_count() as u64;
+    stats.max_shard_edges = if shards > 1 {
+        (0..shards)
+            .map(|s| graph.shard_edge_count(s))
+            .max()
+            .unwrap_or(0) as u64
+    } else {
+        stats.graph_edges
+    };
 }
 
 /// Lock-free fleet counters, shared by the static [`QueryService`] and the
@@ -146,6 +181,27 @@ pub struct QueryService<'a, G: GraphView + Clone = &'a KnowledgeGraph> {
     counters: ServiceCounters,
 }
 
+/// A service over sharded storage: candidate generation scatters one scan
+/// job per shard on the worker pool, answers stay bit-identical to the
+/// monolithic path (see [`kgraph::shard`]).
+pub type ShardedQueryService<'a> = QueryService<'a, kgraph::ShardedGraph>;
+
+impl<'a> ShardedQueryService<'a> {
+    /// Splits `graph` into `shards` per-shard CSR slices and stands the
+    /// service up over the composed view. Fails on an invalid shard count
+    /// (`1..=`[`kgraph::Partitioner::MAX_SHARDS`]).
+    pub fn build_sharded(
+        graph: kgraph::KnowledgeGraph,
+        shards: usize,
+        space: &'a PredicateSpace,
+        library: &'a TransformationLibrary,
+        config: SgqConfig,
+    ) -> Result<Self> {
+        let sharded = kgraph::ShardedGraph::from_graph(graph, shards)?;
+        Ok(Self::new(SgqEngine::new(sharded, space, library, config)))
+    }
+}
+
 impl<'a, G: GraphView + Clone> QueryService<'a, G> {
     /// Wraps an existing engine.
     pub fn new(engine: SgqEngine<'a, G>) -> Self {
@@ -207,9 +263,12 @@ impl<'a, G: GraphView + Clone> QueryService<'a, G> {
         self.counters.record(result, time_bounded)
     }
 
-    /// Snapshot of the aggregated counters.
+    /// Snapshot of the aggregated counters, including the shard gauges of
+    /// the served graph.
     pub fn stats(&self) -> ServiceStats {
-        self.counters.snapshot()
+        let mut stats = self.counters.snapshot();
+        shard_gauges(self.engine.graph(), &mut stats);
+        stats
     }
 
     /// Similarity-row cache counters of the shared engine.
@@ -340,6 +399,38 @@ mod tests {
         );
         assert!(failing.query(&good).is_err());
         assert_eq!(failing.stats().mean_latency_us(), 0.0);
+    }
+
+    /// The sharded service answers bit-identically to the monolithic one
+    /// and surfaces the per-shard imbalance gauges operators watch.
+    #[test]
+    fn sharded_service_is_identical_and_reports_shard_gauges() {
+        let (g, space, lib) = fixture();
+        let config = SgqConfig {
+            k: 5,
+            tau: 0.0,
+            ..SgqConfig::default()
+        };
+        let mono = QueryService::build(&g, &space, &lib, config.clone());
+        let sharded =
+            QueryService::build_sharded(g.clone(), 4, &space, &lib, config.clone()).unwrap();
+        let q = product_query();
+        assert_eq!(
+            sharded.query(&q).unwrap().matches,
+            mono.query(&q).unwrap().matches
+        );
+        let stats = sharded.stats();
+        assert_eq!(stats.shard_count, 4);
+        assert_eq!(stats.graph_edges, 2);
+        assert!(stats.max_shard_edges <= 2);
+        assert!(stats.shard_skew() >= 1.0);
+        let mono_stats = mono.stats();
+        assert_eq!(mono_stats.shard_count, 1);
+        assert_eq!(mono_stats.graph_edges, 2);
+        assert_eq!(mono_stats.max_shard_edges, 2);
+        assert_eq!(mono_stats.shard_skew(), 1.0);
+        // Invalid shard counts are rejected at construction.
+        assert!(QueryService::build_sharded(g, 0, &space, &lib, config).is_err());
     }
 
     #[test]
