@@ -1,0 +1,341 @@
+//! Scan-kernel before/after: the vocabulary-scale hot loops.
+//!
+//! Three measurements, each comparing [`sgq::ScanMode::ScalarReference`]
+//! (the pre-kernel loops) against [`sgq::ScanMode::Kernel`] on the same
+//! service and workload, with answers asserted bit-identical first:
+//!
+//! * **seed scoring** — a vocabulary-scale hub workload (4k φ candidates ×
+//!   degree 64 over ~133k distinct predicates, so each φ row is a ~1 MiB
+//!   f64 / ~0.5 MiB f32 table, τ = 0.8) where ~3/4 of the candidates prune
+//!   at the seed; reported as ns per candidate, the two-pass f32-prefilter's
+//!   target;
+//! * **expansion** — the same graph drained with τ = 0 and an unreachable
+//!   k, so every source is popped and every adjacency edge weighted;
+//!   reported as ns per examined edge (`QueryStats::edges_examined` is the
+//!   exact denominator), the precomputed-`ln` lookup's target;
+//! * **cold-start buffering** — `kgraph::io::binary::load_with_stats` on a
+//!   120k-edge snapshot: peak transient buffer vs file size (the pre-stream
+//!   loader buffered the whole file).
+//!
+//! The numbers land in `BENCH_scan.json` at the workspace root for the PR
+//! report; as in `benches/sharded.rs` there is deliberately **no** hard
+//! speedup assert — CI runners jitter — only the bit-identity asserts gate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kgraph::{GraphBuilder, KnowledgeGraph};
+use lexicon::TransformationLibrary;
+use serde::Serialize;
+use sgq::{QueryGraph, QueryService, ScanMode, SgqConfig};
+use std::hint::black_box;
+use std::time::Instant;
+
+const SOURCES: usize = 4_096;
+const DEGREE: usize = 64;
+/// Weight bands 30..95 (percent) — a source in band `w` only carries band-`w`
+/// edges, so its seed bound `m(u)` is exactly `w/100` and τ = 0.8 prunes the
+/// bands below 80.
+const BANDS: usize = 65;
+/// Distinct predicates per band. 65 × 2048 ≈ 133k predicates — a DBpedia-
+/// scale vocabulary, so the φ rows the scans walk are ~1 MiB f64 / ~0.5 MiB
+/// f32 tables that spill the private caches, not L1-resident toys. That is
+/// the regime the kernels are built for: the f32 prefilter halves the row
+/// traffic precisely when the row doesn't fit.
+const PREDS_PER_BAND: usize = 2_048;
+
+/// `n`'s bits choose the uppercase positions of `base` — distinct raw
+/// names, one normalised φ key.
+fn case_variant(base: &str, n: usize) -> String {
+    base.chars()
+        .enumerate()
+        .map(|(i, c)| {
+            if i < usize::BITS as usize && n & (1 << i) != 0 {
+                c.to_ascii_uppercase()
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+fn build_graph() -> KnowledgeGraph {
+    let mut b = GraphBuilder::new();
+    let goals: Vec<_> = (0..256)
+        .map(|i| b.add_node(&format!("Goal_{i}"), "Goal"))
+        .collect();
+    for i in 0..SOURCES {
+        let s = b.add_node(&case_variant("benchhubsourcecandidate", i), "Anchor");
+        let w = 30 + (i % BANDS);
+        for d in 0..DEGREE {
+            // Pseudo-random walk over the band's predicates (17 is odd,
+            // hence coprime to 2048, so the 64 picks are distinct) — the
+            // row lookups are genuine gathers, not one hot entry.
+            let j = (i * 31 + d * 17) % PREDS_PER_BAND;
+            b.add_edge(
+                s,
+                goals[(i * DEGREE + d) % goals.len()],
+                &format!("w{w}_{j}"),
+            );
+        }
+    }
+    let qa = b.add_node("DummyQA", "Dummy");
+    let qb = b.add_node("DummyQB", "Dummy");
+    b.add_edge(qa, qb, "q");
+    b.finish()
+}
+
+fn space_for(graph: &KnowledgeGraph) -> embedding::PredicateSpace {
+    let (vectors, labels): (Vec<Vec<f32>>, Vec<String>) = graph
+        .predicates()
+        .map(|(_, label)| {
+            let sim: f32 = if label == "q" {
+                1.0
+            } else {
+                label
+                    .strip_prefix('w')
+                    .and_then(|s| s.split('_').next())
+                    .and_then(|s| s.parse::<f32>().ok())
+                    .map_or(0.0, |p| p / 100.0)
+            };
+            (vec![sim, (1.0 - sim * sim).max(0.0).sqrt()], label.into())
+        })
+        .unzip();
+    embedding::PredicateSpace::from_raw(vectors, labels)
+}
+
+fn query() -> QueryGraph {
+    let mut q = QueryGraph::new();
+    let goal = q.add_target("Goal");
+    let anchor = q.add_specific("benchhubsourcecandidate", "Anchor");
+    q.add_edge(goal, "q", anchor);
+    q
+}
+
+fn config(scan: ScanMode, tau: f64, k: usize) -> SgqConfig {
+    SgqConfig {
+        k,
+        tau,
+        n_hat: 1,
+        workers: 8,
+        scan,
+        ..SgqConfig::default()
+    }
+}
+
+#[derive(Serialize)]
+struct PairReport {
+    unit: &'static str,
+    scalar_reference: f64,
+    kernel: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct ColdStartReport {
+    file_bytes: u64,
+    peak_buffer_bytes: usize,
+    buffering_ratio: f64,
+    load_ms: f64,
+}
+
+#[derive(Serialize)]
+struct ScanReport {
+    bench: &'static str,
+    sources: usize,
+    degree: usize,
+    seed_scoring: PairReport,
+    expansion: PairReport,
+    cold_start: ColdStartReport,
+}
+
+/// Median-of-rounds wall time per execution, in nanoseconds.
+fn time_per_exec(run: &dyn Fn() -> usize, rounds: usize) -> f64 {
+    let mut samples: Vec<f64> = (0..rounds)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(run());
+            start.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let graph = build_graph();
+    let space = space_for(&graph);
+    let library = TransformationLibrary::new();
+    let q = query();
+
+    // --- Seed scoring: τ = 0.8 prunes ~3/4 of the candidates at the seed.
+    let scalar = QueryService::build(
+        &graph,
+        &space,
+        &library,
+        config(ScanMode::ScalarReference, 0.8, 10),
+    );
+    let kernel = QueryService::build(&graph, &space, &library, config(ScanMode::Kernel, 0.8, 10));
+    let scalar_prep = scalar.prepare(&q).expect("prepares");
+    let kernel_prep = kernel.prepare(&q).expect("prepares");
+    let reference = scalar.execute(&scalar_prep).expect("reference");
+    let kernel_ref = kernel.execute(&kernel_prep).expect("kernel");
+    assert!(!reference.matches.is_empty());
+    assert_eq!(
+        kernel_ref.matches, reference.matches,
+        "kernel answers must stay bit-identical"
+    );
+    assert_eq!(kernel_ref.stats.tau_pruned, reference.stats.tau_pruned);
+
+    let mut group = c.benchmark_group("scan_kernels");
+    group.sample_size(10);
+    group.bench_function("seed_scalar_reference", |b| {
+        b.iter(|| scalar.execute(&scalar_prep).expect("answers").matches.len())
+    });
+    group.bench_function("seed_kernel", |b| {
+        b.iter(|| kernel.execute(&kernel_prep).expect("answers").matches.len())
+    });
+
+    let seed_rounds = 40;
+    let scalar_seed_ns = time_per_exec(
+        &|| scalar.execute(&scalar_prep).expect("answers").matches.len(),
+        seed_rounds,
+    ) / SOURCES as f64;
+    let kernel_seed_ns = time_per_exec(
+        &|| kernel.execute(&kernel_prep).expect("answers").matches.len(),
+        seed_rounds,
+    ) / SOURCES as f64;
+
+    // --- Expansion: τ = 0 and an unreachable k drain the whole space, so
+    // every source pops and every adjacency edge is weighted; the kernel
+    // seed prefilter is bypassed (τ = 0) and the measured difference is the
+    // per-edge `ln` lookup.
+    let scalar_drain = QueryService::build(
+        &graph,
+        &space,
+        &library,
+        config(ScanMode::ScalarReference, 0.0, 100_000),
+    );
+    let kernel_drain = QueryService::build(
+        &graph,
+        &space,
+        &library,
+        config(ScanMode::Kernel, 0.0, 100_000),
+    );
+    let scalar_drain_prep = scalar_drain.prepare(&q).expect("prepares");
+    let kernel_drain_prep = kernel_drain.prepare(&q).expect("prepares");
+    let drain_ref = scalar_drain.execute(&scalar_drain_prep).expect("drain");
+    let drain_kernel = kernel_drain.execute(&kernel_drain_prep).expect("drain");
+    assert_eq!(drain_kernel.matches, drain_ref.matches);
+    assert_eq!(
+        drain_kernel.stats.edges_examined,
+        drain_ref.stats.edges_examined
+    );
+    let edges = drain_ref.stats.edges_examined;
+    assert!(
+        edges >= SOURCES * DEGREE,
+        "drain must examine the hub fan-out"
+    );
+
+    group.bench_function("expand_scalar_reference", |b| {
+        b.iter(|| {
+            scalar_drain
+                .execute(&scalar_drain_prep)
+                .expect("answers")
+                .stats
+                .edges_examined
+        })
+    });
+    group.bench_function("expand_kernel", |b| {
+        b.iter(|| {
+            kernel_drain
+                .execute(&kernel_drain_prep)
+                .expect("answers")
+                .stats
+                .edges_examined
+        })
+    });
+    group.finish();
+
+    let drain_rounds = 20;
+    let scalar_edge_ns = time_per_exec(
+        &|| {
+            scalar_drain
+                .execute(&scalar_drain_prep)
+                .expect("answers")
+                .stats
+                .edges_examined
+        },
+        drain_rounds,
+    ) / edges as f64;
+    let kernel_edge_ns = time_per_exec(
+        &|| {
+            kernel_drain
+                .execute(&kernel_drain_prep)
+                .expect("answers")
+                .stats
+                .edges_examined
+        },
+        drain_rounds,
+    ) / edges as f64;
+
+    // --- Cold-start buffering: the streamed loader's peak transient buffer
+    // vs the file size the old double-buffered loader held in memory.
+    let dir = std::env::temp_dir().join(format!("semkg_scan_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bin_path = dir.join("g.kgb");
+    kgraph::io::binary::save(&graph, 0, &bin_path).unwrap();
+    let file_bytes = std::fs::metadata(&bin_path).unwrap().len();
+    let t0 = Instant::now();
+    let reps = 10;
+    let mut stats = kgraph::io::binary::LoadStats::default();
+    for _ in 0..reps {
+        let (g, _, s) = kgraph::io::binary::load_with_stats(&bin_path).unwrap();
+        black_box(g.edge_count());
+        stats = s;
+    }
+    let load_ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+    assert_eq!(stats.bytes_read, file_bytes);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let report = ScanReport {
+        bench: "scan",
+        sources: SOURCES,
+        degree: DEGREE,
+        seed_scoring: PairReport {
+            unit: "ns_per_candidate",
+            scalar_reference: scalar_seed_ns,
+            kernel: kernel_seed_ns,
+            speedup: scalar_seed_ns / kernel_seed_ns,
+        },
+        expansion: PairReport {
+            unit: "ns_per_edge",
+            scalar_reference: scalar_edge_ns,
+            kernel: kernel_edge_ns,
+            speedup: scalar_edge_ns / kernel_edge_ns,
+        },
+        cold_start: ColdStartReport {
+            file_bytes,
+            peak_buffer_bytes: stats.peak_buffer_bytes,
+            buffering_ratio: file_bytes as f64 / stats.peak_buffer_bytes as f64,
+            load_ms,
+        },
+    };
+    println!(
+        "\nscan kernels ({SOURCES} φ candidates × degree {DEGREE}):\n  seed scoring   scalar \
+         {scalar_seed_ns:>7.1} ns/cand | kernel {kernel_seed_ns:>7.1} ns/cand | {:.2}x\n  \
+         expansion      scalar {scalar_edge_ns:>7.1} ns/edge | kernel {kernel_edge_ns:>7.1} \
+         ns/edge | {:.2}x\n  cold start     file {file_bytes} B | peak buffer {} B ({:.1}x less \
+         buffering) | {load_ms:.1} ms/load",
+        report.seed_scoring.speedup,
+        report.expansion.speedup,
+        stats.peak_buffer_bytes,
+        report.cold_start.buffering_ratio,
+    );
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scan.json");
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(out, json + "\n").expect("BENCH_scan.json written");
+    println!("wrote {out}");
+}
+
+criterion_group!(benches, bench_scan);
+criterion_main!(benches);

@@ -1,0 +1,344 @@
+//! SIMD-friendly scan kernels for the vocabulary-scale hot loops.
+//!
+//! The query engine's inner loops — the Eq. 5 similarity-row reads, the
+//! Lemma 1 `m(u)` adjacency bound and the seed-time τ classification — are
+//! gather/reduce scans over rows the size of the predicate vocabulary.
+//! This module holds the chunked, branchless safe-Rust primitives those
+//! scans compile down to, plus the two derived row forms
+//! [`crate::SimilarityIndex`] issues alongside every exact `f64` row:
+//!
+//! * **Round-up `f32` upper-bound rows** ([`quantize_row_up`]): each element
+//!   is the *smallest* `f32` ≥ its exact `f64` element, so a bound computed
+//!   from the quantized row dominates the exact bound by construction.
+//!   A τ-prefilter on the quantized row is therefore admissible — anything
+//!   it prunes, the exact row would have pruned too — while scanning half
+//!   the bytes per element.
+//! * **Precomputed `ln` rows** ([`ln_row`]): `ln` of the same `f64` is
+//!   deterministic within one binary, so replacing a per-edge `w.ln()` with
+//!   a table lookup is bit-identical, and drops a libm call from the
+//!   per-edge expansion path.
+//!
+//! ## Determinism contract
+//!
+//! Every kernel here is a drop-in for a scalar loop under the repo's
+//! bit-identical-answers contract. `max` is insensitive to scan order, so
+//! the chunked accumulators of [`gather_max`] and the early exit at a
+//! precomputed row maximum return the exact same `f64` bits as the naive
+//! loop ([`gather_max_scalar`], kept as the differential reference). The
+//! kernels assume the weight domain established by `clamp_weight`: finite,
+//! non-NaN values (plan rows live in `[1e-6, 1]`).
+//!
+//! Chunk shape: fixed-width lane accumulators with a data-independent
+//! `if v > a { v } else { a }` select per lane — the idiom LLVM lowers to
+//! `max`+`select` vector instructions — and one early-exit branch per chunk
+//! rather than per element.
+
+/// Accumulator lanes per chunk. Eight f64 lanes span one AVX-512 register
+/// or two AVX2 registers; the remainder loop handles short adjacencies.
+const LANES: usize = 8;
+
+/// The smallest `f32` that is ≥ `x` (round-up quantization).
+///
+/// `x` must be finite (plan rows always are). Values above `f32::MAX`
+/// saturate to `f32::INFINITY`, which still dominates — the bound stays an
+/// upper bound, it just prunes nothing.
+#[inline]
+pub fn round_up_f32(x: f64) -> f32 {
+    debug_assert!(!x.is_nan(), "round_up_f32 is defined on non-NaN input");
+    // `as` rounds to nearest: the result is off by at most one ulp below x.
+    let q = x as f32;
+    if f64::from(q) >= x {
+        q
+    } else {
+        q.next_up()
+    }
+}
+
+/// Round-up `f32` quantization of a whole row: `out[i]` is the smallest
+/// `f32` ≥ `row[i]`, so any max taken over `out` dominates the same max
+/// over `row`.
+pub fn quantize_row_up(row: &[f64]) -> Vec<f32> {
+    row.iter().map(|&w| round_up_f32(w)).collect()
+}
+
+/// Element-wise `ln` of a row. Bit-identical to calling `.ln()` at use
+/// sites: libm's `ln` is a pure function of the input bits.
+pub fn ln_row(row: &[f64]) -> Vec<f64> {
+    row.iter().map(|&w| w.ln()).collect()
+}
+
+/// Maximum element of `row`, starting from `init` (returned for empty
+/// rows). Branchless chunked reduction; exact — max is order-insensitive.
+pub fn row_max(row: &[f64], init: f64) -> f64 {
+    let mut acc = [init; LANES];
+    let mut chunks = row.chunks_exact(LANES);
+    for chunk in chunks.by_ref() {
+        for (a, &v) in acc.iter_mut().zip(chunk) {
+            *a = if v > *a { v } else { *a };
+        }
+    }
+    let mut m = fold_max(&acc, init);
+    for &v in chunks.remainder() {
+        m = if v > m { v } else { m };
+    }
+    m
+}
+
+/// [`row_max`] over an `f32` row.
+pub fn row_max_f32(row: &[f32], init: f32) -> f32 {
+    let mut acc = [init; LANES];
+    let mut chunks = row.chunks_exact(LANES);
+    for chunk in chunks.by_ref() {
+        for (a, &v) in acc.iter_mut().zip(chunk) {
+            *a = if v > *a { v } else { *a };
+        }
+    }
+    let mut m = fold_max_f32(&acc, init);
+    for &v in chunks.remainder() {
+        m = if v > m { v } else { m };
+    }
+    m
+}
+
+/// Gather-max of a predicate row over an adjacency slice: the maximum of
+/// `row[idx[..]]`, starting from `init`.
+///
+/// `stop` is the row's precomputed maximum element (or `f64::INFINITY` to
+/// disable the early exit): once the running max reaches it, no later
+/// element can raise the result — `max` is insensitive to scan order — so
+/// the scan returns early. Checked once per chunk, not per element, to
+/// keep the inner loop branchless. Requires `init ≤ stop` and every
+/// gathered element ≤ `stop` for the exit to be exact.
+pub fn gather_max(row: &[f64], idx: &[u32], init: f64, stop: f64) -> f64 {
+    let mut acc = [init; LANES];
+    let mut chunks = idx.chunks_exact(LANES);
+    let mut m = init;
+    for chunk in chunks.by_ref() {
+        for (a, &i) in acc.iter_mut().zip(chunk) {
+            let v = row[i as usize];
+            *a = if v > *a { v } else { *a };
+        }
+        m = fold_max(&acc, init);
+        if m >= stop {
+            return m;
+        }
+    }
+    for &i in chunks.remainder() {
+        let v = row[i as usize];
+        m = if v > m { v } else { m };
+        if m >= stop {
+            return m;
+        }
+    }
+    m
+}
+
+/// [`gather_max`] over a round-up `f32` row. Gathering from the quantized
+/// row yields an upper bound of the exact gather at half the row bytes.
+pub fn gather_max_f32(row: &[f32], idx: &[u32], init: f32, stop: f32) -> f32 {
+    let mut acc = [init; LANES];
+    let mut chunks = idx.chunks_exact(LANES);
+    let mut m = init;
+    for chunk in chunks.by_ref() {
+        for (a, &i) in acc.iter_mut().zip(chunk) {
+            let v = row[i as usize];
+            *a = if v > *a { v } else { *a };
+        }
+        m = fold_max_f32(&acc, init);
+        if m >= stop {
+            return m;
+        }
+    }
+    for &i in chunks.remainder() {
+        let v = row[i as usize];
+        m = if v > m { v } else { m };
+        if m >= stop {
+            return m;
+        }
+    }
+    m
+}
+
+/// The scalar reference loop [`gather_max`] replaces — kept for the
+/// kernel-vs-scalar differential tests and the before/after bench.
+pub fn gather_max_scalar(row: &[f64], idx: &[u32], init: f64) -> f64 {
+    let mut m = init;
+    for &i in idx {
+        let v = row[i as usize];
+        if v > m {
+            m = v;
+        }
+    }
+    m
+}
+
+/// Batched τ-threshold classification over a structure-of-arrays candidate
+/// buffer: appends to `out` the index of every element of `values` that is
+/// ≥ `threshold`, in order. Branchless compaction — the write happens
+/// unconditionally and the cursor advances by the comparison bit — so the
+/// loop carries no unpredictable branch across a mostly-pruned buffer.
+pub fn classify_ge(values: &[f64], threshold: f64, out: &mut Vec<u32>) {
+    out.clear();
+    out.resize(values.len(), 0);
+    let mut k = 0usize;
+    for (i, &v) in values.iter().enumerate() {
+        out[k] = i as u32;
+        k += usize::from(v >= threshold);
+    }
+    out.truncate(k);
+}
+
+#[inline]
+fn fold_max(acc: &[f64; LANES], init: f64) -> f64 {
+    acc.iter().fold(init, |m, &a| if a > m { a } else { m })
+}
+
+#[inline]
+fn fold_max_f32(acc: &[f32; LANES], init: f32) -> f32 {
+    acc.iter().fold(init, |m, &a| if a > m { a } else { m })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_up_handles_exact_and_inexact_values() {
+        // Exactly representable: unchanged.
+        assert_eq!(round_up_f32(0.5), 0.5f32);
+        assert_eq!(round_up_f32(1.0), 1.0f32);
+        assert_eq!(round_up_f32(0.0), 0.0f32);
+        // Not representable: rounds up, never down.
+        let x = 0.1f64; // 0.1f32 > 0.1f64
+        assert!(f64::from(round_up_f32(x)) >= x);
+        let y = 1e-6f64; // MIN_WEIGHT is below f32 resolution near 1e-6
+        assert!(f64::from(round_up_f32(y)) >= y);
+        // Beyond f32 range: saturates upward.
+        assert_eq!(round_up_f32(1e300), f32::INFINITY);
+        assert_eq!(round_up_f32(-1e300), f32::MIN);
+    }
+
+    #[test]
+    fn classify_ge_compacts_in_order() {
+        let mut out = Vec::new();
+        classify_ge(&[0.9, 0.1, 0.8, 0.8, 0.2], 0.8, &mut out);
+        assert_eq!(out, vec![0, 2, 3]);
+        classify_ge(&[], 0.5, &mut out);
+        assert!(out.is_empty());
+        classify_ge(&[0.1, 0.2], 0.5, &mut out);
+        assert!(out.is_empty());
+        classify_ge(&[0.6, 0.7], 0.5, &mut out);
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn gather_max_empty_returns_init() {
+        let row = [0.3f64, 0.9];
+        assert_eq!(gather_max(&row, &[], 1e-6, 0.9), 1e-6);
+        assert_eq!(gather_max_f32(&[0.3f32], &[], 0.5, 1.0), 0.5);
+    }
+
+    #[test]
+    fn early_exit_triggers_on_constant_rows() {
+        // A constant row's max equals its first element: the exit must fire
+        // and still return the true max.
+        let row = vec![1e-6f64; 1000];
+        let idx: Vec<u32> = (0..1000).collect();
+        assert_eq!(gather_max(&row, &idx, 1e-6, 1e-6), 1e-6);
+    }
+
+    proptest! {
+        /// Round-up invariant: the quantized element always dominates the
+        /// exact element, and is the *smallest* f32 that does.
+        #[test]
+        fn prop_round_up_dominates_and_is_tight(x in -1e30f64..1e30) {
+            let q = round_up_f32(x);
+            prop_assert!(f64::from(q) >= x, "{q} must dominate {x}");
+            let below = q.next_down();
+            prop_assert!(
+                f64::from(below) < x,
+                "{q} must be the smallest dominating f32 for {x}"
+            );
+        }
+
+        /// Chunked gather-max (with and without the early exit) is bitwise
+        /// identical to the scalar reference loop on weight-domain rows.
+        #[test]
+        fn prop_gather_max_matches_scalar(
+            row in proptest::collection::vec(1e-6f64..=1.0, 1..200),
+            picks in proptest::collection::vec(0usize..200, 0..300),
+        ) {
+            let idx: Vec<u32> = picks
+                .iter()
+                .map(|&p| (p % row.len()) as u32)
+                .collect();
+            let reference = gather_max_scalar(&row, &idx, 1e-6);
+            let stop = row_max(&row, 1e-6);
+            prop_assert_eq!(
+                gather_max(&row, &idx, 1e-6, stop).to_bits(),
+                reference.to_bits()
+            );
+            prop_assert_eq!(
+                gather_max(&row, &idx, 1e-6, f64::INFINITY).to_bits(),
+                reference.to_bits()
+            );
+        }
+
+        /// The f32 gather over the quantized row dominates the exact f64
+        /// gather — the prefilter's admissibility invariant.
+        #[test]
+        fn prop_f32_gather_dominates_exact(
+            row in proptest::collection::vec(1e-6f64..=1.0, 1..200),
+            picks in proptest::collection::vec(0usize..200, 0..300),
+        ) {
+            let idx: Vec<u32> = picks
+                .iter()
+                .map(|&p| (p % row.len()) as u32)
+                .collect();
+            let upper = quantize_row_up(&row);
+            let stop32 = row_max_f32(&upper, round_up_f32(1e-6));
+            let m32 = gather_max_f32(&upper, &idx, round_up_f32(1e-6), stop32);
+            let m64 = gather_max(&row, &idx, 1e-6, f64::INFINITY);
+            prop_assert!(f64::from(m32) >= m64);
+        }
+
+        /// Precomputed ln rows are bitwise what `.ln()` at the use site
+        /// would produce.
+        #[test]
+        fn prop_ln_row_is_bitwise_ln(
+            row in proptest::collection::vec(1e-6f64..=1.0, 0..64),
+        ) {
+            let ln = ln_row(&row);
+            for (l, w) in ln.iter().zip(&row) {
+                prop_assert_eq!(l.to_bits(), w.ln().to_bits());
+            }
+        }
+
+        /// classify_ge equals the straightforward filter.
+        #[test]
+        fn prop_classify_matches_filter(
+            values in proptest::collection::vec(0.0f64..=1.0, 0..100),
+            threshold in 0.0f64..=1.0,
+        ) {
+            let mut out = Vec::new();
+            classify_ge(&values, threshold, &mut out);
+            let expected: Vec<u32> = values
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v >= threshold)
+                .map(|(i, _)| i as u32)
+                .collect();
+            prop_assert_eq!(out, expected);
+        }
+
+        /// row_max equals the fold, bitwise.
+        #[test]
+        fn prop_row_max_matches_fold(
+            row in proptest::collection::vec(1e-6f64..=1.0, 0..100),
+        ) {
+            let reference = row.iter().fold(1e-6f64, |m, &v| if v > m { v } else { m });
+            prop_assert_eq!(row_max(&row, 1e-6).to_bits(), reference.to_bits());
+        }
+    }
+}

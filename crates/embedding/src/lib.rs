@@ -34,6 +34,7 @@
 
 pub mod distmult;
 pub mod eval;
+pub mod kernels;
 pub mod model;
 pub mod similarity;
 pub mod space;
@@ -45,7 +46,7 @@ pub mod vector;
 pub use distmult::DistMult;
 pub use eval::{evaluate_link_prediction, LinkPredictionReport};
 pub use model::KgeModel;
-pub use similarity::{RowKey, SimilarityIndex, SimilarityIndexStats};
+pub use similarity::{RowBundle, RowKey, SimilarityIndex, SimilarityIndexStats};
 pub use space::PredicateSpace;
 pub use trainer::{train, train_transe, TrainConfig, TrainReport};
 pub use transe::TransE;

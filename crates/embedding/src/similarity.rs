@@ -16,9 +16,25 @@
 //! (exposed via [`SimilarityIndex::stats`]) so callers — and the
 //! concurrency tests — can observe the sharing.
 //!
-//! The index is `Sync`: the caches sit behind a mutex, and the hot path
-//! (row already cached) is one lock + one `Arc` bump, far cheaper than the
-//! `space.len()`-sized recomputation it replaces.
+//! The index is `Sync`: the caches sit behind `RwLock`s, so the hot path
+//! (row already cached) is a shared read lock + `Arc` bumps — concurrent
+//! clients hitting the same rows no longer serialize on a mutex; only a
+//! miss (computed once per row per generation) takes the write lock.
+//!
+//! ## Derived row forms
+//!
+//! Every cached row is a [`RowBundle`] carrying, besides the exact
+//! `Arc<[f64]>` row, two derived forms computed once alongside it (see
+//! [`crate::kernels`]):
+//!
+//! * a **round-up `f32` upper-bound row** — each element the smallest `f32`
+//!   ≥ the exact element, so τ-prefilters over the quantized row are
+//!   admissible (quantized ≥ exact by construction) at half the bandwidth;
+//! * a **precomputed `ln` row** — `ln` of the same `f64` is deterministic,
+//!   so replacing a per-edge `w.ln()` with a table lookup is bit-identical;
+//!
+//! plus the row's **maximum element**, which lets adjacency scans stop
+//! early once the running max provably cannot grow.
 //!
 //! ## Vocabulary generations
 //!
@@ -33,11 +49,12 @@
 //! was built against, so pinned queries stay bit-identical while new plans
 //! see the wider vocabulary.
 
+use crate::kernels;
 use crate::space::PredicateSpace;
 use kgraph::PredicateId;
 use rustc_hash::FxHashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, RwLock};
 
 /// Key of one cacheable row: a concrete predicate, or an out-of-vocabulary
 /// constant row (query predicates the space has never seen).
@@ -109,9 +126,43 @@ impl SimilarityIndexStats {
 /// under adversarially diverse multi-segment queries. Past the cap,
 /// combined rows are computed per request (correct, just uncached) so a
 /// long-running service cannot grow without limit. At a 10k-predicate
-/// vocabulary this caps the combined-row cache near 4096 × 80 KB ≈ 330 MB;
+/// vocabulary a bundle (exact f64 + ln f64 + upper f32 = 20 B/element)
+/// caps the combined-row cache near 4096 × 200 KB ≈ 820 MB worst case;
 /// typical workloads stay far below both factors.
 const MAX_CACHED_COMBINED_ROWS: usize = 4096;
+
+/// One cached similarity row with its derived scan forms, all issued
+/// together: the exact row plus the round-up `f32` upper-bound row, the
+/// precomputed `ln` row and the maximum element (see [`crate::kernels`]
+/// for why each form is safe under the bit-identical-answers contract).
+/// Cloning is three refcount bumps.
+#[derive(Debug, Clone)]
+pub struct RowBundle {
+    /// The exact transformed row — what [`SimilarityIndex::row`] returns.
+    pub exact: Arc<[f64]>,
+    /// `ln[i] == exact[i].ln()`, bitwise.
+    pub ln: Arc<[f64]>,
+    /// `upper[i]` is the smallest `f32` ≥ `exact[i]` (round-up quantized).
+    pub upper: Arc<[f32]>,
+    /// Maximum element of `exact` (`-inf` for an empty row): the stop
+    /// value for early-exit adjacency scans.
+    pub max: f64,
+}
+
+impl RowBundle {
+    /// Derives the quantized/ln/max forms from an exact row.
+    fn derive(exact: Arc<[f64]>) -> Self {
+        let ln: Arc<[f64]> = kernels::ln_row(&exact).into();
+        let upper: Arc<[f32]> = kernels::quantize_row_up(&exact).into();
+        let max = kernels::row_max(&exact, f64::NEG_INFINITY);
+        Self {
+            exact,
+            ln,
+            upper,
+            max,
+        }
+    }
+}
 
 /// Shared, engine-lifetime cache of transformed similarity rows.
 ///
@@ -121,12 +172,12 @@ const MAX_CACHED_COMBINED_ROWS: usize = 4096;
 pub struct SimilarityIndex<'s> {
     space: &'s PredicateSpace,
     transform: fn(f32) -> f64,
-    rows: Mutex<RowCache>,
+    rows: RwLock<RowCache>,
     /// Combined rows keyed by generation + the sorted, deduplicated set of
     /// inputs (max is idempotent, so the multiset collapses to a set). The
     /// generation tag keeps pre-invalidation rows from leaking into
     /// post-growth lookups.
-    max_rows: Mutex<FxHashMap<MaxRowKey, Arc<[f64]>>>,
+    max_rows: RwLock<FxHashMap<MaxRowKey, RowBundle>>,
     row_hits: AtomicU64,
     row_misses: AtomicU64,
     max_row_hits: AtomicU64,
@@ -143,7 +194,7 @@ struct RowCache {
     vocab: usize,
     /// Bumped on every invalidation; tags combined-row cache keys.
     generation: u64,
-    rows: FxHashMap<RowKey, Arc<[f64]>>,
+    rows: FxHashMap<RowKey, RowBundle>,
 }
 
 impl std::fmt::Debug for SimilarityIndex<'_> {
@@ -166,12 +217,12 @@ impl<'s> SimilarityIndex<'s> {
         Self {
             space,
             transform,
-            rows: Mutex::new(RowCache {
+            rows: RwLock::new(RowCache {
                 vocab: space.len(),
                 generation: 0,
                 rows: FxHashMap::default(),
             }),
-            max_rows: Mutex::new(FxHashMap::default()),
+            max_rows: RwLock::new(FxHashMap::default()),
             row_hits: AtomicU64::new(0),
             row_misses: AtomicU64::new(0),
             max_row_hits: AtomicU64::new(0),
@@ -189,7 +240,7 @@ impl<'s> SimilarityIndex<'s> {
     /// largest vocabulary registered via [`SimilarityIndex::ensure_vocab`],
     /// whichever is greater.
     pub fn row_len(&self) -> usize {
-        self.rows.lock().unwrap().vocab
+        self.rows.read().unwrap().vocab
     }
 
     /// Registers that an attached graph's predicate vocabulary has `len`
@@ -199,12 +250,12 @@ impl<'s> SimilarityIndex<'s> {
     /// Engines call this at construction, so a snapshot whose delta added
     /// predicates gets full-length rows before any plan is built.
     pub fn ensure_vocab(&self, len: usize) {
-        let mut cache = self.rows.lock().unwrap();
+        let mut cache = self.rows.write().unwrap();
         if len > cache.vocab {
             cache.vocab = len;
             cache.generation += 1;
             cache.rows.clear();
-            self.max_rows.lock().unwrap().clear();
+            self.max_rows.write().unwrap().clear();
             self.invalidations.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -212,16 +263,32 @@ impl<'s> SimilarityIndex<'s> {
     /// The transformed similarity row for `key`, computed at most once per
     /// generation and padded to the current vocabulary watermark.
     pub fn row(&self, key: RowKey) -> Arc<[f64]> {
-        let mut cache = self.rows.lock().unwrap();
-        if let Some(row) = cache.rows.get(&key) {
+        self.bundle(key).exact
+    }
+
+    /// The row for `key` together with its derived scan forms
+    /// ([`RowBundle`]). Hits take only the shared read lock.
+    pub fn bundle(&self, key: RowKey) -> RowBundle {
+        {
+            let cache = self.rows.read().unwrap();
+            if let Some(bundle) = cache.rows.get(&key) {
+                self.row_hits.fetch_add(1, Ordering::Relaxed);
+                return bundle.clone();
+            }
+        }
+        let mut cache = self.rows.write().unwrap();
+        // Re-check under the write lock: another thread may have computed
+        // the row between our read and write acquisitions.
+        if let Some(bundle) = cache.rows.get(&key) {
             self.row_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(row);
+            return bundle.clone();
         }
         self.row_misses.fetch_add(1, Ordering::Relaxed);
-        // Computed under the lock: an invalidation racing a drop-and-reacquire
-        // could otherwise publish a row shorter than the new vocabulary.
-        let computed = self.compute_row(key, cache.vocab);
-        cache.rows.insert(key, Arc::clone(&computed));
+        // Computed under the write lock: an invalidation racing a
+        // drop-and-reacquire could otherwise publish a row shorter than the
+        // new vocabulary.
+        let computed = RowBundle::derive(self.compute_row(key, cache.vocab));
+        cache.rows.insert(key, computed.clone());
         computed
     }
 
@@ -260,21 +327,28 @@ impl<'s> SimilarityIndex<'s> {
     /// once per distinct key set. Used for the suffix (remaining-segment)
     /// rows behind Lemma 1's `m(u)` bound.
     pub fn max_row(&self, keys: &[RowKey]) -> Arc<[f64]> {
+        self.max_bundle(keys).exact
+    }
+
+    /// [`SimilarityIndex::max_row`] with the derived scan forms. The
+    /// quantized/ln forms are derived from the *combined* exact row, so the
+    /// round-up domination invariant holds element-wise against it.
+    pub fn max_bundle(&self, keys: &[RowKey]) -> RowBundle {
         assert!(!keys.is_empty(), "max_row needs at least one row key");
         if keys.len() == 1 {
-            return self.row(keys[0]);
+            return self.bundle(keys[0]);
         }
         let mut set: Vec<RowKey> = keys.to_vec();
         set.sort_unstable();
         set.dedup();
         if set.len() == 1 {
-            return self.row(set[0]);
+            return self.bundle(set[0]);
         }
-        let generation = self.rows.lock().unwrap().generation;
+        let generation = self.rows.read().unwrap().generation;
         let cache_key = (generation, set);
-        if let Some(row) = self.max_rows.lock().unwrap().get(&cache_key) {
+        if let Some(bundle) = self.max_rows.read().unwrap().get(&cache_key) {
             self.max_row_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(row);
+            return bundle.clone();
         }
         self.max_row_misses.fetch_add(1, Ordering::Relaxed);
         let set = &cache_key.1;
@@ -293,13 +367,13 @@ impl<'s> SimilarityIndex<'s> {
                 }
             }
         }
-        let computed: Arc<[f64]> = acc.into();
-        let mut cache = self.max_rows.lock().unwrap();
+        let computed = RowBundle::derive(acc.into());
+        let mut cache = self.max_rows.write().unwrap();
         if cache.len() >= MAX_CACHED_COMBINED_ROWS && !cache.contains_key(&cache_key) {
             // Cache full: serve the computed row uncached rather than grow.
             return computed;
         }
-        Arc::clone(cache.entry(cache_key).or_insert(computed))
+        cache.entry(cache_key).or_insert(computed).clone()
     }
 
     /// Per-segment rows plus the suffix-max rows a path-shaped plan needs:
@@ -307,9 +381,20 @@ impl<'s> SimilarityIndex<'s> {
     /// a `SubQueryPlan` previously recomputed per query.
     #[allow(clippy::type_complexity)]
     pub fn plan_rows(&self, keys: &[RowKey]) -> (Vec<Arc<[f64]>>, Vec<Arc<[f64]>>) {
-        let seg_rows: Vec<Arc<[f64]>> = keys.iter().map(|&k| self.row(k)).collect();
-        let suffix_rows: Vec<Arc<[f64]>> =
-            (0..keys.len()).map(|s| self.max_row(&keys[s..])).collect();
+        let (segs, suffixes) = self.plan_bundles(keys);
+        (
+            segs.into_iter().map(|b| b.exact).collect(),
+            suffixes.into_iter().map(|b| b.exact).collect(),
+        )
+    }
+
+    /// [`SimilarityIndex::plan_rows`] with the derived scan forms of every
+    /// row — what `SubQueryPlan` consumes.
+    pub fn plan_bundles(&self, keys: &[RowKey]) -> (Vec<RowBundle>, Vec<RowBundle>) {
+        let seg_rows: Vec<RowBundle> = keys.iter().map(|&k| self.bundle(k)).collect();
+        let suffix_rows: Vec<RowBundle> = (0..keys.len())
+            .map(|s| self.max_bundle(&keys[s..]))
+            .collect();
         (seg_rows, suffix_rows)
     }
 
@@ -512,6 +597,67 @@ mod tests {
         }
         let rate = idx.stats().hit_rate();
         assert!(rate > 0.85 && rate < 1.0, "{rate}");
+    }
+
+    /// Clamp transform mirroring the query engine's weight transform —
+    /// named so it can be passed as a `fn` pointer.
+    fn clamp_unit(sim: f32) -> f64 {
+        f64::from(sim).clamp(1e-6, 1.0)
+    }
+
+    #[test]
+    fn bundles_carry_consistent_derived_forms() {
+        let s = space();
+        let idx = SimilarityIndex::with_transform(&s, clamp_unit);
+        let b = idx.bundle(RowKey::Predicate(PredicateId::new(1)));
+        assert_eq!(b.exact.len(), b.ln.len());
+        assert_eq!(b.exact.len(), b.upper.len());
+        for i in 0..b.exact.len() {
+            assert_eq!(b.ln[i].to_bits(), b.exact[i].ln().to_bits());
+            assert!(f64::from(b.upper[i]) >= b.exact[i]);
+        }
+        let expected_max = b.exact.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(b.max.to_bits(), expected_max.to_bits());
+        // The bundle and the plain-row view share the same allocation.
+        let row = idx.row(RowKey::Predicate(PredicateId::new(1)));
+        assert!(Arc::ptr_eq(&b.exact, &row));
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Round-up invariant across arbitrary spaces: every f32
+        /// upper-bound row element dominates its exact f64 element, on
+        /// per-predicate rows, combined suffix rows and padded
+        /// (vocab-grown) rows alike.
+        #[test]
+        fn prop_upper_rows_dominate_exact_rows(
+            raw in proptest::collection::vec(
+                proptest::collection::vec(-1.0f32..1.0, 3), 2..6),
+            grow in 0usize..4,
+        ) {
+            let labels: Vec<String> =
+                (0..raw.len()).map(|i| format!("p{i}")).collect();
+            let space = PredicateSpace::from_raw(raw, labels);
+            let idx = SimilarityIndex::with_transform(&space, clamp_unit);
+            idx.ensure_vocab(space.len() + grow);
+            let keys: Vec<RowKey> = (0..space.len() as u32)
+                .map(|p| RowKey::Predicate(PredicateId::new(p)))
+                .collect();
+            let (segs, suffixes) = idx.plan_bundles(&keys);
+            for b in segs.iter().chain(&suffixes) {
+                for i in 0..b.exact.len() {
+                    prop_assert!(
+                        f64::from(b.upper[i]) >= b.exact[i],
+                        "upper[{i}]={} < exact[{i}]={}",
+                        b.upper[i],
+                        b.exact[i]
+                    );
+                    prop_assert_eq!(b.ln[i].to_bits(), b.exact[i].ln().to_bits());
+                    prop_assert!(b.exact[i] <= b.max);
+                }
+            }
+        }
     }
 
     #[test]

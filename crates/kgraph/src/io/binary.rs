@@ -27,14 +27,19 @@
 //! interleaved), the four CSR arrays, and a trailing metadata section. All
 //! integers are little-endian. Unknown *trailing* sections are ignored so
 //! version-1 readers tolerate additive extensions.
+//!
+//! The reader *streams*: each section's payload passes through one reused
+//! buffer and is decoded into its typed form before the next section is
+//! read, so cold start's peak transient memory is ~one section rather than
+//! a full second copy of the file ([`LoadStats::peak_buffer_bytes`] reports
+//! the high-water mark).
 
 use super::codec::{checksum64, put_str, put_u32, put_u32_array, put_u64, Cursor};
 use crate::error::{KgError, Result};
 use crate::graph::{EdgeRecord, KnowledgeGraph};
 use crate::ids::{EdgeId, NodeId, PredicateId, TypeId};
 use crate::interner::Interner;
-use rustc_hash::FxHashMap;
-use std::io::Write;
+use std::io::{Read, Write};
 use std::path::Path;
 
 /// File magic, followed by the `u32` format version.
@@ -139,87 +144,266 @@ pub fn write_graph<W: Write>(mut writer: W, graph: &KnowledgeGraph, epoch: u64) 
     Ok(())
 }
 
-/// Decodes a graph from an in-memory buffer. Returns `(graph, epoch)` or a
-/// detail string (no path context — the caller adds it).
-fn decode_graph(buf: &[u8]) -> std::result::Result<(KnowledgeGraph, u64), String> {
-    let mut c = Cursor::new(buf);
-    let magic = c.take(8, "magic")?;
-    if magic != MAGIC {
-        return Err(format!("bad magic {magic:02x?} (expected {MAGIC:02x?})"));
+/// Counters of one streamed snapshot read (see [`load_with_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadStats {
+    /// Bytes consumed from the reader (header + section frames).
+    pub bytes_read: u64,
+    /// Sections encountered, including skipped unknown trailing tags.
+    pub sections: usize,
+    /// High-water mark of the reused section buffer — the streamed read's
+    /// peak transient allocation. The pre-streaming loader buffered the
+    /// whole file (`bytes_read`) before decoding; this is ~one section.
+    pub peak_buffer_bytes: usize,
+}
+
+/// Internal streamed-read failure, split so [`read_graph`] can preserve the
+/// historical error classification: malformed/truncated bytes surface as
+/// [`KgError::Serde`] (what decoding a fully-buffered file produced), real
+/// device errors as [`KgError::Io`].
+enum StreamError {
+    Io(std::io::Error),
+    Decode(String),
+}
+
+impl From<String> for StreamError {
+    fn from(detail: String) -> Self {
+        StreamError::Decode(detail)
     }
-    let version = c.u32("format version")?;
+}
+
+impl StreamError {
+    fn into_detail(self) -> String {
+        match self {
+            StreamError::Io(e) => e.to_string(),
+            StreamError::Decode(d) => d,
+        }
+    }
+}
+
+/// An EOF mid-field is a truncated file (a decode problem), not a device
+/// failure.
+fn io_error(e: std::io::Error, what: &str) -> StreamError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        StreamError::Decode(format!("{what}: unexpected end of file"))
+    } else {
+        StreamError::Io(e)
+    }
+}
+
+fn read_u32<R: std::io::Read>(r: &mut R, what: &str) -> std::result::Result<u32, StreamError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b).map_err(|e| io_error(e, what))?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: std::io::Read>(r: &mut R, what: &str) -> std::result::Result<u64, StreamError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b).map_err(|e| io_error(e, what))?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn decode_u32_array(payload: &[u8], what: &str) -> std::result::Result<Vec<u32>, String> {
+    let mut c = Cursor::new(payload);
+    let vals = c.u32_array(what)?;
+    if c.remaining() != 0 {
+        return Err(format!("{what}: {} trailing bytes", c.remaining()));
+    }
+    Ok(vals)
+}
+
+/// Sections decoded so far during a streamed read. Each known tag is decoded
+/// into its typed form the moment its payload passes the checksum, so the
+/// raw bytes never outlive the reused section buffer; a duplicated tag
+/// last-wins (as the pre-streaming map-based decoder did) and unknown
+/// trailing tags are skipped for additive extensions.
+#[derive(Default)]
+struct Sections {
+    names: Option<Interner>,
+    types: Option<Interner>,
+    predicates: Option<Interner>,
+    node_name: Option<Vec<u32>>,
+    node_type: Option<Vec<TypeId>>,
+    edges: Option<Vec<EdgeRecord>>,
+    out_offsets: Option<Vec<u32>>,
+    out_edges: Option<Vec<EdgeId>>,
+    in_offsets: Option<Vec<u32>>,
+    in_edges: Option<Vec<EdgeId>>,
+    duplicate_edges_dropped: Option<usize>,
+}
+
+impl Sections {
+    fn decode(&mut self, t: u8, payload: &[u8]) -> std::result::Result<(), String> {
+        match t {
+            tag::NAMES => self.names = Some(decode_interner(payload, "names")?),
+            tag::TYPES => self.types = Some(decode_interner(payload, "types")?),
+            tag::PREDICATES => {
+                self.predicates = Some(decode_interner(payload, "predicates")?);
+            }
+            tag::NODE_NAME => self.node_name = Some(decode_u32_array(payload, "node names")?),
+            tag::NODE_TYPE => {
+                self.node_type = Some(
+                    decode_u32_array(payload, "node types")?
+                        .into_iter()
+                        .map(TypeId::new)
+                        .collect(),
+                );
+            }
+            tag::EDGES => {
+                let mut c = Cursor::new(payload);
+                let m = c.u32("edge count")? as usize;
+                let raw = c.take(m * 12, "edge records")?;
+                if c.remaining() != 0 {
+                    return Err(format!("edges: {} trailing bytes", c.remaining()));
+                }
+                self.edges = Some(
+                    raw.chunks_exact(12)
+                        .map(|rec| EdgeRecord {
+                            src: NodeId::new(u32::from_le_bytes(rec[0..4].try_into().unwrap())),
+                            dst: NodeId::new(u32::from_le_bytes(rec[4..8].try_into().unwrap())),
+                            predicate: PredicateId::new(u32::from_le_bytes(
+                                rec[8..12].try_into().unwrap(),
+                            )),
+                        })
+                        .collect::<Vec<_>>(),
+                );
+            }
+            tag::OUT_OFFSETS => {
+                self.out_offsets = Some(decode_u32_array(payload, "out offsets")?);
+            }
+            tag::IN_OFFSETS => self.in_offsets = Some(decode_u32_array(payload, "in offsets")?),
+            tag::OUT_EDGES => {
+                self.out_edges = Some(
+                    decode_u32_array(payload, "out edges")?
+                        .into_iter()
+                        .map(EdgeId::new)
+                        .collect(),
+                );
+            }
+            tag::IN_EDGES => {
+                self.in_edges = Some(
+                    decode_u32_array(payload, "in edges")?
+                        .into_iter()
+                        .map(EdgeId::new)
+                        .collect(),
+                );
+            }
+            tag::META => {
+                let mut c = Cursor::new(payload);
+                self.duplicate_edges_dropped = Some(c.u64("duplicate edge count")? as usize);
+            }
+            _ => {} // unknown trailing section: tolerated, skipped
+        }
+        Ok(())
+    }
+}
+
+/// Streams a snapshot from `reader`: header, then one section at a time
+/// through a single reused buffer, decoding each known section into typed
+/// form before the next one is read — peak transient memory is ~one section
+/// instead of the whole file.
+fn stream_graph<R: std::io::Read>(
+    reader: &mut R,
+) -> std::result::Result<(KnowledgeGraph, u64, LoadStats), StreamError> {
+    let mut stats = LoadStats::default();
+    let mut magic = [0u8; 8];
+    reader
+        .read_exact(&mut magic)
+        .map_err(|e| io_error(e, "magic"))?;
+    if &magic != MAGIC {
+        return Err(StreamError::Decode(format!(
+            "bad magic {magic:02x?} (expected {MAGIC:02x?})"
+        )));
+    }
+    let version = read_u32(reader, "format version")?;
     if version != VERSION {
-        return Err(format!("unsupported format version {version}"));
+        return Err(StreamError::Decode(format!(
+            "unsupported format version {version}"
+        )));
     }
-    let epoch = c.u64("epoch")?;
-    let section_count = c.u32("section count")? as usize;
+    let epoch = read_u64(reader, "epoch")?;
+    let section_count = read_u32(reader, "section count")? as usize;
+    stats.bytes_read = 24;
 
-    let mut sections: FxHashMap<u8, &[u8]> = FxHashMap::default();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut sections = Sections::default();
     for _ in 0..section_count {
-        let t = c.take(1, "section tag")?[0];
-        let len = c.u64("section length")? as usize;
-        let payload = c.take(len, "section payload")?;
-        let stored = c.u64("section checksum")?;
-        let actual = checksum64(payload);
+        let mut tb = [0u8; 1];
+        reader
+            .read_exact(&mut tb)
+            .map_err(|e| io_error(e, "section tag"))?;
+        let t = tb[0];
+        let len = read_u64(reader, "section length")?;
+        buf.clear();
+        // Pre-size to the declared length (capped, so a corrupt huge `len`
+        // cannot trigger an absurd allocation) — `read_to_end` then fills
+        // the exact capacity instead of doubling past it, keeping the peak
+        // buffer at ~the largest section. `take` bounds the read itself: a
+        // short section surfaces as the truncation error below.
+        const PREALLOC_CAP: usize = 1 << 26; // 64 MiB
+        buf.reserve_exact((len as usize).min(PREALLOC_CAP));
+        let got = reader
+            .take(len)
+            .read_to_end(&mut buf)
+            .map_err(StreamError::Io)?;
+        if got as u64 != len {
+            return Err(StreamError::Decode(format!(
+                "section {t}: truncated payload ({got} of {len} bytes)"
+            )));
+        }
+        let stored = read_u64(reader, "section checksum")?;
+        let actual = checksum64(&buf);
         if stored != actual {
-            return Err(format!(
+            return Err(StreamError::Decode(format!(
                 "section {t}: checksum mismatch (stored {stored:#018x}, computed {actual:#018x})"
-            ));
+            )));
         }
-        sections.insert(t, payload);
+        sections.decode(t, &buf)?;
+        stats.sections += 1;
+        stats.bytes_read += 9 + len + 8;
+        stats.peak_buffer_bytes = stats.peak_buffer_bytes.max(buf.capacity());
     }
-    let section = |t: u8, what: &str| {
-        sections
-            .get(&t)
-            .copied()
-            .ok_or_else(|| format!("missing section {t} ({what})"))
-    };
-    let array = |t: u8, what: &str| -> std::result::Result<Vec<u32>, String> {
-        let mut c = Cursor::new(section(t, what)?);
-        let vals = c.u32_array(what)?;
-        if c.remaining() != 0 {
-            return Err(format!("{what}: {} trailing bytes", c.remaining()));
-        }
-        Ok(vals)
-    };
+    let (graph, epoch) = assemble_graph(sections, epoch)?;
+    Ok((graph, epoch, stats))
+}
 
-    let names = decode_interner(section(tag::NAMES, "names")?, "names")?;
-    let types = decode_interner(section(tag::TYPES, "types")?, "types")?;
-    let predicates = decode_interner(section(tag::PREDICATES, "predicates")?, "predicates")?;
-    let node_name = array(tag::NODE_NAME, "node names")?;
-    let node_type: Vec<TypeId> = array(tag::NODE_TYPE, "node types")?
-        .into_iter()
-        .map(TypeId::new)
-        .collect();
-    let edges = {
-        let mut c = Cursor::new(section(tag::EDGES, "edges")?);
-        let m = c.u32("edge count")? as usize;
-        let raw = c.take(m * 12, "edge records")?;
-        if c.remaining() != 0 {
-            return Err(format!("edges: {} trailing bytes", c.remaining()));
-        }
-        raw.chunks_exact(12)
-            .map(|rec| EdgeRecord {
-                src: NodeId::new(u32::from_le_bytes(rec[0..4].try_into().unwrap())),
-                dst: NodeId::new(u32::from_le_bytes(rec[4..8].try_into().unwrap())),
-                predicate: PredicateId::new(u32::from_le_bytes(rec[8..12].try_into().unwrap())),
-            })
-            .collect::<Vec<_>>()
-    };
-    let out_offsets = array(tag::OUT_OFFSETS, "out offsets")?;
-    let in_offsets = array(tag::IN_OFFSETS, "in offsets")?;
-    let out_edges: Vec<EdgeId> = array(tag::OUT_EDGES, "out edges")?
-        .into_iter()
-        .map(EdgeId::new)
-        .collect();
-    let in_edges: Vec<EdgeId> = array(tag::IN_EDGES, "in edges")?
-        .into_iter()
-        .map(EdgeId::new)
-        .collect();
-    let duplicate_edges_dropped = {
-        let mut c = Cursor::new(section(tag::META, "meta")?);
-        c.u64("duplicate edge count")? as usize
-    };
+/// Assembles and cross-validates the decoded sections into a
+/// [`KnowledgeGraph`]. Returns `(graph, epoch)` or a detail string (no path
+/// context — the caller adds it).
+fn assemble_graph(
+    sections: Sections,
+    epoch: u64,
+) -> std::result::Result<(KnowledgeGraph, u64), String> {
+    fn missing(t: u8, what: &str) -> String {
+        format!("missing section {t} ({what})")
+    }
+    let names = sections.names.ok_or_else(|| missing(tag::NAMES, "names"))?;
+    let types = sections.types.ok_or_else(|| missing(tag::TYPES, "types"))?;
+    let predicates = sections
+        .predicates
+        .ok_or_else(|| missing(tag::PREDICATES, "predicates"))?;
+    let node_name = sections
+        .node_name
+        .ok_or_else(|| missing(tag::NODE_NAME, "node names"))?;
+    let node_type = sections
+        .node_type
+        .ok_or_else(|| missing(tag::NODE_TYPE, "node types"))?;
+    let edges = sections.edges.ok_or_else(|| missing(tag::EDGES, "edges"))?;
+    let out_offsets = sections
+        .out_offsets
+        .ok_or_else(|| missing(tag::OUT_OFFSETS, "out offsets"))?;
+    let out_edges = sections
+        .out_edges
+        .ok_or_else(|| missing(tag::OUT_EDGES, "out edges"))?;
+    let in_offsets = sections
+        .in_offsets
+        .ok_or_else(|| missing(tag::IN_OFFSETS, "in offsets"))?;
+    let in_edges = sections
+        .in_edges
+        .ok_or_else(|| missing(tag::IN_EDGES, "in edges"))?;
+    let duplicate_edges_dropped = sections
+        .duplicate_edges_dropped
+        .ok_or_else(|| missing(tag::META, "meta"))?;
 
     // Cross-section consistency: a checksum protects each section against
     // corruption, these checks protect against a well-formed file whose
@@ -300,11 +484,20 @@ fn decode_graph(buf: &[u8]) -> std::result::Result<(KnowledgeGraph, u64), String
 }
 
 /// Deserializes a graph from `reader`; returns the graph and the epoch it
-/// was saved at.
+/// was saved at. Streams section by section — peak transient memory is one
+/// section, not the whole snapshot.
 pub fn read_graph<R: std::io::Read>(mut reader: R) -> Result<(KnowledgeGraph, u64)> {
-    let mut buf = Vec::new();
-    reader.read_to_end(&mut buf)?;
-    decode_graph(&buf).map_err(KgError::Serde)
+    read_graph_with_stats(&mut reader).map(|(g, epoch, _)| (g, epoch))
+}
+
+/// [`read_graph`] reporting the streamed read's [`LoadStats`].
+pub fn read_graph_with_stats<R: std::io::Read>(
+    mut reader: R,
+) -> Result<(KnowledgeGraph, u64, LoadStats)> {
+    stream_graph(&mut reader).map_err(|e| match e {
+        StreamError::Io(e) => KgError::Io(e),
+        StreamError::Decode(detail) => KgError::Serde(detail),
+    })
 }
 
 /// Saves a binary snapshot of `graph` at `path`, tagged with `epoch`
@@ -339,9 +532,16 @@ pub fn save(graph: &KnowledgeGraph, epoch: u64, path: impl AsRef<Path>) -> Resul
 /// Loads a binary snapshot saved by [`save`]; returns the graph and its
 /// epoch. All failures carry the path and `binary` format context.
 pub fn load(path: impl AsRef<Path>) -> Result<(KnowledgeGraph, u64)> {
+    load_with_stats(path).map(|(g, epoch, _)| (g, epoch))
+}
+
+/// [`load`] reporting the streamed read's [`LoadStats`] — `benches/cold_start`
+/// uses `peak_buffer_bytes` to show the reload no longer buffers the file.
+pub fn load_with_stats(path: impl AsRef<Path>) -> Result<(KnowledgeGraph, u64, LoadStats)> {
     let path = path.as_ref();
-    let buf = std::fs::read(path).map_err(|e| KgError::snapshot(path, "binary", e))?;
-    decode_graph(&buf).map_err(|detail| KgError::snapshot(path, "binary", detail))
+    let file = std::fs::File::open(path).map_err(|e| KgError::snapshot(path, "binary", e))?;
+    let mut reader = std::io::BufReader::with_capacity(1 << 16, file);
+    stream_graph(&mut reader).map_err(|e| KgError::snapshot(path, "binary", e.into_detail()))
 }
 
 #[cfg(test)]
@@ -460,6 +660,32 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let err = load(&path).unwrap_err();
         assert!(err.to_string().contains("version 99"), "{err}");
+    }
+
+    #[test]
+    fn streamed_load_buffers_at_most_one_section() {
+        let dir = TestDir::new("bin_stream");
+        let path = dir.path("g.kgb");
+        // Enough nodes/edges that no single section approaches file size.
+        let mut b = GraphBuilder::new();
+        let hub = b.add_node("Hub", "Anchor");
+        for i in 0..500usize {
+            let t = b.add_node(&format!("N{i}"), "Goal");
+            b.add_edge(hub, t, &format!("p{}", i % 7));
+        }
+        let g = b.finish();
+        save(&g, 3, &path).unwrap();
+        let file_len = std::fs::metadata(&path).unwrap().len();
+        let (back, epoch, stats) = load_with_stats(&path).unwrap();
+        assert_eq!(epoch, 3);
+        assert_graphs_equal(&g, &back);
+        assert_eq!(stats.bytes_read, file_len);
+        assert_eq!(stats.sections, 11);
+        assert!(
+            (stats.peak_buffer_bytes as u64) < file_len / 2,
+            "peak buffer {} should be well under file size {file_len}",
+            stats.peak_buffer_bytes
+        );
     }
 
     #[test]

@@ -79,6 +79,10 @@ pub struct QueryStats {
     pub pushed: usize,
     /// States pruned by the τ threshold.
     pub tau_pruned: usize,
+    /// Edges examined during A\* expansion across all sub-query searches
+    /// (deterministic across scan modes and shard counts).
+    #[serde(default)]
+    pub edges_examined: usize,
     /// Sorted accesses performed by the TA assembly.
     pub ta_accesses: usize,
     /// True when the TA assembly terminated early with a certified top-k

@@ -25,9 +25,11 @@
 //! demand (§V-B Remark 2).
 
 use crate::answer::SubMatch;
-use crate::pss::exact_pss;
+use crate::config::ScanMode;
+use crate::pss::{exact_pss, MIN_WEIGHT};
 use crate::runtime::WorkerPool;
 use crate::semgraph::SubQueryPlan;
+use embedding::kernels;
 use kgraph::{EdgeId, GraphView, KnowledgeGraph, NodeId};
 use rustc_hash::FxHashSet;
 use serde::{Deserialize, Serialize};
@@ -48,6 +50,12 @@ pub struct SearchStats {
     pub pushed: usize,
     /// States rejected by the τ threshold.
     pub tau_pruned: usize,
+    /// Edges examined during expansion (one per neighbor iteration in
+    /// [`AStarSearch`]'s expand step; seeding scans are not counted).
+    /// Deterministic across scan modes and shard counts — the denominator
+    /// for the scan bench's ns-per-edge figure.
+    #[serde(default)]
+    pub edges_examined: usize,
 }
 
 /// One immutable search state in the arena; parents encode the partial path.
@@ -268,11 +276,11 @@ impl<'a, G: GraphView> AStarSearch<'a, G> {
         let seg = state.seg as usize;
         let segments = self.plan.segments();
         for nb in self.graph.neighbors(state.node) {
+            self.stats.edges_examined += 1;
             if self.on_path(idx, nb.node) {
                 continue;
             }
-            let w = self.plan.weight(seg, nb.predicate);
-            let new_log = state.log_sum + w.ln();
+            let new_log = state.log_sum + self.plan.log_weight(seg, nb.predicate);
             let hops = state.hops_in_seg + 1;
             let total = state.total_hops + 1;
             if hops as usize > self.plan.n_hat {
@@ -402,10 +410,7 @@ fn seed_bounds<G: GraphView>(
                 for job in jobs.iter_mut() {
                     scope.spawn(move || {
                         let (positions, out) = job;
-                        out.reserve_exact(positions.len());
-                        for &pos in positions.iter() {
-                            out.push(plan.max_adjacent_weight(graph, sources[pos as usize], 0));
-                        }
+                        score_positions(graph, plan, sources, positions, out);
                     });
                 }
             });
@@ -418,10 +423,124 @@ fn seed_bounds<G: GraphView>(
             return bounds;
         }
     }
-    sources
-        .iter()
-        .map(|&us| plan.max_adjacent_weight(graph, us, 0))
-        .collect()
+    let positions: Vec<u32> = (0..sources.len() as u32).collect();
+    let mut out = Vec::with_capacity(sources.len());
+    score_positions(graph, plan, sources, &positions, &mut out);
+    out
+}
+
+/// Scores the seed bound for the sources at `positions`, appending to `out`
+/// in position order — the shared inner loop of the serial seed and of each
+/// per-shard scatter job.
+fn score_positions<G: GraphView>(
+    graph: &G,
+    plan: &SubQueryPlan,
+    sources: &[NodeId],
+    positions: &[u32],
+    out: &mut Vec<f64>,
+) {
+    out.reserve_exact(positions.len());
+    // τ = 0 admits everything, so the prefilter pass would be a pure
+    // double scan; fall through to the direct exact scan.
+    if plan.scan == ScanMode::Kernel && plan.tau > 0.0 {
+        score_positions_two_pass(graph, plan, sources, positions, out);
+    } else {
+        for &pos in positions {
+            out.push(plan.max_adjacent_weight(graph, sources[pos as usize], 0));
+        }
+    }
+}
+
+/// The smallest non-negative f32 `m` with `ψ̂(0, m) ≥ τ`, or `+∞` when even
+/// `m = 1` (the weight ceiling) fails τ. Found by binary search over the
+/// f32 bit patterns — positive floats order like their bits — so the result
+/// is *float-exact*: for every f32 `v` in `[0, 1]`, `v ≥ threshold` holds
+/// iff `ψ̂(0, v) ≥ τ`. (The estimator's float-level weak monotonicity in
+/// `m` is what makes the bisection sound; `pss.rs` proptests it strictly,
+/// down to adjacent representable pairs.)
+fn tau_threshold_f32(plan: &SubQueryPlan) -> f32 {
+    if plan.estimator.estimate(0.0, 1.0) < plan.tau {
+        return f32::INFINITY;
+    }
+    let mut lo = 0u32;
+    let mut hi = 1.0f32.to_bits();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if plan.estimator.estimate(0.0, f64::from(f32::from_bits(mid))) >= plan.tau {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    f32::from_bits(lo)
+}
+
+/// Two-pass SoA seed scoring. Pass 1 bounds every candidate's `m(u)` from
+/// the round-up f32 row — half the row traffic of the exact scan — into a
+/// structure-of-arrays bounds buffer, cutting each scan short as soon as
+/// the bound either proves survival (crosses the τ threshold) or hits the
+/// row maximum; a batched threshold classification over the bounds then
+/// selects the survivors with one compare per candidate instead of an
+/// `exp`. Pass 2 rescores only the survivors against the exact f64 row,
+/// gathering each survivor's adjacency slice through a reused buffer;
+/// pruned candidates keep their (dominating) quantised bound, which the
+/// caller's threshold re-check rejects.
+///
+/// Bit-identity with the scalar scan:
+/// * [`tau_threshold_f32`] is float-exact, so classifying `m32 ≥ threshold`
+///   decides *exactly* `ψ̂(m32) ≥ τ`;
+/// * the f32 row dominates the exact row element-wise, and the ψ̂ estimator
+///   is weakly monotone in `m(u)` (proptested in `pss.rs`), so
+///   `ψ̂(quantised) < τ ⟹ ψ̂(exact) < τ` — prefilter pruning is admissible
+///   and the caller prunes exactly the candidates the scalar path prunes;
+/// * a pass-1 scan that stopped early at the threshold leaves a partial
+///   (iteration-order-dependent) bound, but only for survivors — whose slot
+///   pass 2 overwrites with the exact max before anyone reads it; pruned
+///   candidates always complete the scan, so every value that leaves this
+///   function is order-insensitive;
+/// * survivors get the exact gather-max, which over the same element set
+///   with the same floor is order-insensitive and bitwise equal to the
+///   scalar running max.
+fn score_positions_two_pass<G: GraphView>(
+    graph: &G,
+    plan: &SubQueryPlan,
+    sources: &[NodeId],
+    positions: &[u32],
+    out: &mut Vec<f64>,
+) {
+    let exact = &plan.remaining_max[0];
+    let upper = &plan.remaining_upper[0];
+    let stop64 = plan.remaining_row_max[0];
+    let stop32 = plan.remaining_upper_max[0];
+    let init32 = kernels::round_up_f32(MIN_WEIGHT);
+    let threshold = tau_threshold_f32(plan);
+    // Stop a pass-1 scan at whichever comes first: proof of survival or
+    // the row maximum (past which the bound cannot grow).
+    let cut32 = threshold.min(stop32);
+    let base = out.len();
+    for &pos in positions {
+        let mut m32 = init32;
+        for nb in graph.neighbors(sources[pos as usize]) {
+            let w = upper[nb.predicate.index()];
+            if w > m32 {
+                m32 = w;
+                if m32 >= cut32 {
+                    break;
+                }
+            }
+        }
+        out.push(f64::from(m32));
+    }
+    let mut survivors: Vec<u32> = Vec::new();
+    kernels::classify_ge(&out[base..], f64::from(threshold), &mut survivors);
+    let mut idx: Vec<u32> = Vec::new();
+    for &slot in &survivors {
+        idx.clear();
+        for nb in graph.neighbors(sources[positions[slot as usize] as usize]) {
+            idx.push(nb.predicate.0);
+        }
+        out[base + slot as usize] = kernels::gather_max(exact, &idx, MIN_WEIGHT, stop64);
+    }
 }
 
 impl<'a, G: GraphView> AStarSearch<'a, G> {

@@ -24,6 +24,24 @@ pub enum PivotStrategy {
     },
 }
 
+/// Which implementation the vocabulary-scale scans (seed-time `m(u)`
+/// scoring, per-edge weight accumulation) run on. Both produce
+/// bit-identical answers, frontiers and stats — proven by
+/// `tests/kernel_differential.rs` — so this is a debugging / benchmarking
+/// knob, not a semantics switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ScanMode {
+    /// Chunked branchless kernels (`embedding::kernels`): two-pass f32
+    /// prefilter + exact rescore at the seed, precomputed-`ln` lookups
+    /// during expansion, early exit at the row maximum.
+    #[default]
+    Kernel,
+    /// The pre-kernel scalar loops: per-edge `w.ln()`, full branchy f64
+    /// adjacency scans. Reference half of the differential tests and the
+    /// "before" side of `BENCH_scan.json`.
+    ScalarReference,
+}
+
 /// Parameters of the SGQ engine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SgqConfig {
@@ -52,6 +70,10 @@ pub struct SgqConfig {
     /// [`crate::SgqEngine::set_config`] does *not* resize the pool.
     #[serde(default)]
     pub workers: usize,
+    /// Scan-kernel selection for the vocabulary-scale hot loops. Answers
+    /// are bit-identical either way; see [`ScanMode`].
+    #[serde(default)]
+    pub scan: ScanMode,
 }
 
 impl Default for SgqConfig {
@@ -64,6 +86,7 @@ impl Default for SgqConfig {
             batch: 0, // 0 → derived from k at query time
             max_matches_per_subquery: 100_000,
             workers: 0, // 0 → available parallelism
+            scan: ScanMode::Kernel,
         }
     }
 }

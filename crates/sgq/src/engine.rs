@@ -286,7 +286,7 @@ impl<'a, G: GraphView + Clone> SgqEngine<'a, G> {
             .subqueries
             .iter()
             .map(|sq| {
-                SubQueryPlan::build_with_index(
+                let mut p = SubQueryPlan::build_with_index(
                     &self.graph,
                     &self.sim_index,
                     &self.matcher,
@@ -294,7 +294,9 @@ impl<'a, G: GraphView + Clone> SgqEngine<'a, G> {
                     sq,
                     self.config.n_hat,
                     self.config.tau,
-                )
+                );
+                p.scan = self.config.scan;
+                p
             })
             .collect();
         Ok((decomposition, plans))
@@ -398,6 +400,7 @@ impl<'a, G: GraphView + Clone> SgqEngine<'a, G> {
             stats.popped += s.stats.popped;
             stats.pushed += s.stats.pushed;
             stats.tau_pruned += s.stats.tau_pruned;
+            stats.edges_examined += s.stats.edges_examined;
         }
         Ok(QueryResult {
             matches: outcome.matches,
@@ -454,6 +457,7 @@ impl<'a, G: GraphView + Clone> SgqEngine<'a, G> {
                 popped: outcome.stats.popped,
                 pushed: outcome.stats.pushed,
                 tau_pruned: outcome.stats.tau_pruned,
+                edges_examined: outcome.stats.edges_examined,
                 ta_accesses: ta_out.accesses,
                 ta_certified: ta_out.certified,
                 subqueries: plans.len(),

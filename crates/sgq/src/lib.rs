@@ -92,7 +92,7 @@ pub mod ta;
 pub mod timebound;
 
 pub use answer::{FinalMatch, QueryResult, QueryStats, SubMatch};
-pub use config::{PivotStrategy, SchedConfig, SgqConfig};
+pub use config::{PivotStrategy, ScanMode, SchedConfig, SgqConfig};
 pub use decompose::{Decomposition, SubQuery};
 pub use engine::{PreparedQuery, SgqEngine};
 pub use error::{Result, SgqError};

@@ -173,5 +173,29 @@ mod tests {
             let (lo, hi) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
             prop_assert!(est.estimate(log_sum, lo) <= est.estimate(log_sum, hi) + 1e-12);
         }
+
+        /// *Strict* float-level weak monotonicity in m(u) — no tolerance,
+        /// including adjacent f64 pairs. The scan kernels' two-pass seed
+        /// relies on this: the f32 upper-bound row dominates the exact row
+        /// element-wise, so `estimate(quantised) < τ` must imply
+        /// `estimate(exact) < τ`, which holds exactly when the estimator is
+        /// weakly monotone at the float level (clamp, ln, division by a
+        /// positive constant and exp all preserve `≤`).
+        #[test]
+        fn prop_estimate_float_monotone_in_m(
+            log_sum in -5.0f64..0.0,
+            m1 in 0.0f64..1.5,
+            m2 in 0.0f64..1.5,
+            n_hat in 1usize..6,
+            segs in 1usize..4,
+        ) {
+            let est = PssEstimator::new(n_hat, segs);
+            let (lo, hi) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
+            prop_assert!(est.estimate(log_sum, lo) <= est.estimate(log_sum, hi));
+            // Adjacent representable pair: the tightest possible gap a
+            // round-up quantisation can introduce.
+            let up = lo.next_up();
+            prop_assert!(est.estimate(log_sum, lo) <= est.estimate(log_sum, up));
+        }
     }
 }

@@ -354,6 +354,10 @@ pub fn config_fingerprint(config: &SgqConfig) -> u64 {
     }
     config.batch.hash(&mut h);
     config.max_matches_per_subquery.hash(&mut h);
+    match config.scan {
+        crate::config::ScanMode::Kernel => 0u64.hash(&mut h),
+        crate::config::ScanMode::ScalarReference => 1u64.hash(&mut h),
+    }
     h.finish()
 }
 

@@ -15,10 +15,11 @@
 //! * φ-resolved candidate sets for the source node and constraint tests for
 //!   every later query node on the sub-query path.
 
+use crate::config::ScanMode;
 use crate::decompose::SubQuery;
 use crate::pss::{clamp_weight, PssEstimator, MIN_WEIGHT};
 use crate::query::QueryGraph;
-use embedding::{PredicateSpace, RowKey, SimilarityIndex};
+use embedding::{kernels, PredicateSpace, RowKey, SimilarityIndex};
 use kgraph::{GraphView, NodeId, PredicateId};
 use lexicon::NodeMatcher;
 use rustc_hash::FxHashSet;
@@ -75,10 +76,29 @@ pub struct SubQueryPlan {
     /// lookup instead of an `O(|predicates|)` recomputation, and cloning a
     /// plan (e.g. for a [`crate::engine::PreparedQuery`]) is refcount bumps.
     pub seg_weights: Vec<Arc<[f64]>>,
+    /// `seg_ln[s][p]` = `seg_weights[s][p].ln()`, precomputed once per row
+    /// so [`SubQueryPlan::log_weight`] is a table lookup instead of a
+    /// per-edge `ln` — bit-identical, since `ln` of the same f64 is
+    /// deterministic. Shared handles out of the [`SimilarityIndex`].
+    pub seg_ln: Vec<Arc<[f64]>>,
     /// `remaining_max[s][p]` = max over segments `s' ≥ s` of
     /// `seg_weights[s'][p]`; drives `m(u)`. Shared handles like
     /// [`SubQueryPlan::seg_weights`].
     pub remaining_max: Vec<Arc<[f64]>>,
+    /// Round-up f32 quantisation of [`SubQueryPlan::remaining_max`]
+    /// (element-wise `≥` the exact row by construction): the cheap first
+    /// pass of the two-pass seed pipeline scans this half-width row, and
+    /// only candidates whose quantised bound could still reach τ are
+    /// rescored against the exact f64 row.
+    pub remaining_upper: Vec<Arc<[f32]>>,
+    /// `remaining_row_max[s]` = max element of `remaining_max[s]` — the
+    /// early-exit ceiling for adjacency scans: once the running max hits
+    /// it, no remaining element can raise it (max is order-insensitive).
+    pub remaining_row_max: Vec<f64>,
+    /// `remaining_upper_max[s]` = max element of `remaining_upper[s]`
+    /// (= `round_up_f32(remaining_row_max[s])`, since round-up is
+    /// monotone) — same early-exit ceiling for the f32 prefilter pass.
+    pub remaining_upper_max: Vec<f32>,
     /// φ(v_s): candidate source nodes.
     pub sources: Vec<NodeId>,
     /// `constraints[s]` applies to the KG node that *completes* segment `s`
@@ -95,6 +115,10 @@ pub struct SubQueryPlan {
     /// (parallel to `constraints` shifted by one) — recorded into each
     /// match's bindings.
     pub query_nodes: Vec<u32>,
+    /// Which scan implementation the search runs on. Defaults to
+    /// [`ScanMode::Kernel`]; the engine stamps its configured mode onto
+    /// every plan it builds. Answers are bit-identical either way.
+    pub scan: ScanMode,
 }
 
 impl SubQueryPlan {
@@ -134,7 +158,20 @@ impl SubQueryPlan {
             .iter()
             .map(|&eid| row_key(graph, matcher, &query.edge(eid).predicate))
             .collect();
-        let (seg_weights, remaining_max) = index.plan_rows(&keys);
+        let (seg_bundles, remaining_bundles) = index.plan_bundles(&keys);
+        let seg_weights = seg_bundles.iter().map(|b| b.exact.clone()).collect();
+        let seg_ln = seg_bundles.into_iter().map(|b| b.ln).collect();
+        let remaining_max: Vec<Arc<[f64]>> =
+            remaining_bundles.iter().map(|b| b.exact.clone()).collect();
+        let remaining_upper: Vec<Arc<[f32]>> =
+            remaining_bundles.iter().map(|b| b.upper.clone()).collect();
+        let remaining_row_max: Vec<f64> = remaining_bundles.iter().map(|b| b.max).collect();
+        // Round-up is monotone, so the max of the quantised row is the
+        // quantised max of the exact row.
+        let remaining_upper_max: Vec<f32> = remaining_row_max
+            .iter()
+            .map(|&m| kernels::round_up_f32(m))
+            .collect();
 
         let source_node = query.node(subquery.source());
         let sources = match source_node.name() {
@@ -155,13 +192,18 @@ impl SubQueryPlan {
 
         Self {
             seg_weights,
+            seg_ln,
             remaining_max,
+            remaining_upper,
+            remaining_row_max,
+            remaining_upper_max,
             sources,
             constraints,
             estimator: PssEstimator::new(n_hat, segments.max(1)),
             n_hat,
             tau,
             query_nodes: subquery.nodes.iter().map(|n| n.0).collect(),
+            scan: ScanMode::default(),
         }
     }
 
@@ -177,19 +219,57 @@ impl SubQueryPlan {
         self.seg_weights[seg][p.index()]
     }
 
+    /// `ln(weight(seg, p))` — in [`ScanMode::Kernel`] a lookup into the
+    /// precomputed `ln` row, in [`ScanMode::ScalarReference`] the original
+    /// per-edge `ln`. Bit-identical: `ln` of the same f64 is deterministic,
+    /// and the `ln` row was built from exactly these weights.
+    #[inline]
+    pub fn log_weight(&self, seg: usize, p: PredicateId) -> f64 {
+        match self.scan {
+            ScanMode::Kernel => self.seg_ln[seg][p.index()],
+            ScanMode::ScalarReference => self.seg_weights[seg][p.index()].ln(),
+        }
+    }
+
     /// `m(u)` (Lemma 1): the maximum weight among `u`'s incident edges,
     /// taken over all *remaining* segments `≥ seg` — an upper bound on the
     /// unexplored weight product of any match continuing from `u`.
+    ///
+    /// In [`ScanMode::Kernel`] the scan stops as soon as the running max
+    /// reaches the row's precomputed global maximum: no later edge can
+    /// raise it, and `max` is insensitive to scan order, so the early exit
+    /// is exact. Hub nodes whose adjacency contains a maximal-weight
+    /// predicate early stop after a handful of edges instead of scanning
+    /// the full list.
     pub fn max_adjacent_weight<G: GraphView>(&self, graph: &G, u: NodeId, seg: usize) -> f64 {
-        let row = &self.remaining_max[seg.min(self.segments() - 1)];
-        let mut m = MIN_WEIGHT;
-        for nb in graph.neighbors(u) {
-            let w = row[nb.predicate.index()];
-            if w > m {
-                m = w;
+        let s = seg.min(self.segments() - 1);
+        let row = &self.remaining_max[s];
+        match self.scan {
+            ScanMode::Kernel => {
+                let stop = self.remaining_row_max[s];
+                let mut m = MIN_WEIGHT;
+                for nb in graph.neighbors(u) {
+                    let w = row[nb.predicate.index()];
+                    if w > m {
+                        m = w;
+                        if m >= stop {
+                            break;
+                        }
+                    }
+                }
+                m
+            }
+            ScanMode::ScalarReference => {
+                let mut m = MIN_WEIGHT;
+                for nb in graph.neighbors(u) {
+                    let w = row[nb.predicate.index()];
+                    if w > m {
+                        m = w;
+                    }
+                }
+                m
             }
         }
-        m
     }
 
     /// True when the plan can produce no match at all (no sources, or some
@@ -322,6 +402,52 @@ mod tests {
             let m = plan.max_adjacent_weight(&g, node, 0);
             for nb in g.neighbors(node) {
                 assert!(m >= plan.weight(0, nb.predicate));
+            }
+        }
+    }
+
+    #[test]
+    fn derived_rows_are_consistent() {
+        let lib = TransformationLibrary::new();
+        let q = single_edge_query();
+        let plan = plan_for(&q, &lib);
+        for s in 0..plan.segments() {
+            for p in 0..plan.seg_weights[s].len() {
+                assert_eq!(
+                    plan.seg_ln[s][p].to_bits(),
+                    plan.seg_weights[s][p].ln().to_bits(),
+                    "ln row must be the bitwise ln of the exact row"
+                );
+                assert!(
+                    f64::from(plan.remaining_upper[s][p]) >= plan.remaining_max[s][p],
+                    "round-up f32 row must dominate the exact row"
+                );
+            }
+            let fold = plan.remaining_max[s]
+                .iter()
+                .fold(f64::NEG_INFINITY, |a, &w| a.max(w));
+            assert_eq!(plan.remaining_row_max[s].to_bits(), fold.to_bits());
+            assert_eq!(
+                plan.remaining_upper_max[s],
+                kernels::round_up_f32(plan.remaining_row_max[s])
+            );
+        }
+    }
+
+    #[test]
+    fn max_adjacent_weight_identical_across_modes() {
+        let lib = TransformationLibrary::new();
+        let q = single_edge_query();
+        let kernel = plan_for(&q, &lib);
+        let mut scalar = kernel.clone();
+        scalar.scan = ScanMode::ScalarReference;
+        let g = graph();
+        for node in g.nodes() {
+            for seg in 0..kernel.segments() {
+                assert_eq!(
+                    kernel.max_adjacent_weight(&g, node, seg).to_bits(),
+                    scalar.max_adjacent_weight(&g, node, seg).to_bits()
+                );
             }
         }
     }

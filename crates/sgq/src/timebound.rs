@@ -225,6 +225,7 @@ pub(crate) fn run_anytime<G: GraphView>(
         stats.popped += s.popped;
         stats.pushed += s.pushed;
         stats.tau_pruned += s.tau_pruned;
+        stats.edges_examined += s.edges_examined;
     }
 
     AnytimeOutcome {
