@@ -138,6 +138,15 @@ struct ColdStartReport {
 }
 
 #[derive(Serialize)]
+struct TracingReport {
+    unit: &'static str,
+    tracing_off: f64,
+    tracing_on: f64,
+    /// `tracing_on / tracing_off` — what sampling every query costs.
+    overhead_ratio: f64,
+}
+
+#[derive(Serialize)]
 struct ScanReport {
     bench: &'static str,
     sources: usize,
@@ -145,6 +154,7 @@ struct ScanReport {
     seed_scoring: PairReport,
     expansion: PairReport,
     cold_start: ColdStartReport,
+    tracing: TracingReport,
 }
 
 /// Median-of-rounds wall time per execution, in nanoseconds.
@@ -277,6 +287,50 @@ fn bench_scan(c: &mut Criterion) {
         drain_rounds,
     ) / edges as f64;
 
+    // --- Tracing overhead: the same seed workload with phase tracing off
+    // (the default — the `kernel` service above) vs sampling every query
+    // (`trace_sample_every = 1`). The off path adds one branch per phase
+    // and must not regress; the on path pays the clock reads and the sink
+    // push, bounded loosely because the point of sampling is that nobody
+    // runs it at 1-in-1 in production.
+    let traced = QueryService::build(&graph, &space, &library, {
+        let mut cfg = config(ScanMode::Kernel, 0.8, 10);
+        cfg.trace_sample_every = 1;
+        cfg
+    });
+    let traced_prep = traced.prepare(&q).expect("prepares");
+    let traced_ref = traced.execute(&traced_prep).expect("traced");
+    assert_eq!(
+        traced_ref.matches, reference.matches,
+        "traced answers must stay bit-identical"
+    );
+    let off_exec_ns = time_per_exec(
+        &|| kernel.execute(&kernel_prep).expect("answers").matches.len(),
+        seed_rounds,
+    );
+    let on_exec_ns = time_per_exec(
+        &|| traced.execute(&traced_prep).expect("answers").matches.len(),
+        seed_rounds,
+    );
+    assert!(
+        traced.traces().recorded() > 0,
+        "1-in-1 sampling must record traces"
+    );
+    // Hard gate: a tracing-off execution costing more than 2x a fully
+    // traced one means the "free when off" claim broke — the off path
+    // started doing tracing work.
+    assert!(
+        off_exec_ns <= 2.0 * on_exec_ns,
+        "tracing-off path ({off_exec_ns:.0} ns/exec) regressed past 2x the traced path \
+         ({on_exec_ns:.0} ns/exec) — the untraced hot path must stay allocation- and clock-free"
+    );
+    if on_exec_ns > 1.5 * off_exec_ns {
+        println!(
+            "  WARNING: 1-in-1 tracing costs {:.2}x the untraced path on this run/host",
+            on_exec_ns / off_exec_ns
+        );
+    }
+
     // --- Cold-start buffering: the streamed loader's peak transient buffer
     // vs the file size the old double-buffered loader held in memory.
     let dir = std::env::temp_dir().join(format!("semkg_scan_bench_{}", std::process::id()));
@@ -318,20 +372,49 @@ fn bench_scan(c: &mut Criterion) {
             buffering_ratio: file_bytes as f64 / stats.peak_buffer_bytes as f64,
             load_ms,
         },
+        tracing: TracingReport {
+            unit: "ns_per_exec",
+            tracing_off: off_exec_ns,
+            tracing_on: on_exec_ns,
+            overhead_ratio: on_exec_ns / off_exec_ns,
+        },
     };
     println!(
         "\nscan kernels ({SOURCES} φ candidates × degree {DEGREE}):\n  seed scoring   scalar \
          {scalar_seed_ns:>7.1} ns/cand | kernel {kernel_seed_ns:>7.1} ns/cand | {:.2}x\n  \
          expansion      scalar {scalar_edge_ns:>7.1} ns/edge | kernel {kernel_edge_ns:>7.1} \
          ns/edge | {:.2}x\n  cold start     file {file_bytes} B | peak buffer {} B ({:.1}x less \
-         buffering) | {load_ms:.1} ms/load",
+         buffering) | {load_ms:.1} ms/load\n  tracing        off {off_exec_ns:>7.0} ns/exec | \
+         1-in-1 {on_exec_ns:>7.0} ns/exec | {:.2}x overhead",
         report.seed_scoring.speedup,
         report.expansion.speedup,
         stats.peak_buffer_bytes,
         report.cold_start.buffering_ratio,
+        report.tracing.overhead_ratio,
     );
 
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scan.json");
+    // Cross-run check against the committed numbers (different host,
+    // different load — a warning, never a gate; the in-process 2x assert
+    // above is the gate).
+    if let Ok(prev) = std::fs::read_to_string(out) {
+        let prev_kernel_ns = serde_json::parse_value(&prev).ok().and_then(|v| {
+            match v.get_field("seed_scoring")?.get_field("kernel")? {
+                serde::Value::Float(f) => Some(*f),
+                serde::Value::UInt(u) => Some(*u as f64),
+                serde::Value::Int(i) => Some(*i as f64),
+                _ => None,
+            }
+        });
+        if let Some(prev_ns) = prev_kernel_ns {
+            if kernel_seed_ns > 1.5 * prev_ns {
+                println!(
+                    "  WARNING: seed kernel {kernel_seed_ns:.1} ns/cand vs {prev_ns:.1} in the \
+                     committed BENCH_scan.json (>1.5x — check for a tracing-off regression)"
+                );
+            }
+        }
+    }
     let json = serde_json::to_string(&report).expect("report serializes");
     std::fs::write(out, json + "\n").expect("BENCH_scan.json written");
     println!("wrote {out}");

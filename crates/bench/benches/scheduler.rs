@@ -109,18 +109,20 @@ fn run_scheduled(service: &QueryService<'_>, queries: &[QueryGraph], duration: D
 }
 
 /// Open-loop overload: `offered` requests/s for `duration`, 25 ms
-/// deadlines. Returns (p99 of served in ms, served, degraded, shed).
+/// deadlines. Returns (sample p99 of served in ms, histogram p99 in ms
+/// from the scheduler's latency registry, served, degraded, shed).
 fn run_overload(
     service: &QueryService<'_>,
     queries: &[QueryGraph],
     offered: f64,
     duration: Duration,
-) -> (f64, u64, u64, u64) {
+) -> (f64, f64, u64, u64, u64) {
     let deadline = Duration::from_millis(25);
     let mut latencies_ms: Vec<f64> = Vec::new();
     let mut served = 0u64;
     let mut degraded = 0u64;
     let mut shed = 0u64;
+    let mut hist_p99_ms = 0.0f64;
     BatchScheduler::serve(service, SchedConfig::default(), |handle| {
         let per_client = offered / CLIENTS as f64;
         let interval = Duration::from_secs_f64(1.0 / per_client.max(1.0));
@@ -170,9 +172,19 @@ fn run_overload(
                 SchedOutcome::Failed(e) => panic!("overload run failed: {e}"),
             }
         }
+        // The operational p99: every served request of this run went
+        // through the registry's log-linear latency histogram — exactly
+        // what a Prometheus scrape of the live scheduler would report.
+        hist_p99_ms = handle.stats().latency(Priority::Normal).p99_us as f64 / 1e3;
     })
     .expect("scheduler config");
-    (percentile(&mut latencies_ms, 0.99), served, degraded, shed)
+    (
+        percentile(&mut latencies_ms, 0.99),
+        hist_p99_ms,
+        served,
+        degraded,
+        shed,
+    )
 }
 
 fn bench_scheduler(c: &mut Criterion) {
@@ -223,19 +235,21 @@ fn bench_scheduler(c: &mut Criterion) {
 
     // 2x overload, open loop, 25 ms deadlines.
     let offered = scheduled_qps * 2.0;
-    let (p99_ms, served, degraded, shed) =
+    let (sample_p99_ms, p99_ms, served, degraded, shed) =
         run_overload(&service, &queries, offered, Duration::from_millis(2500));
     let total = served + shed;
     println!("\n2x overload ({offered:.0} requests/s offered, 25 ms deadlines):");
     println!("  served {served} ({degraded} degraded) / shed {shed} of {total}");
-    println!("  p99 latency of served responses     {p99_ms:>10.2} ms  (deadline 25 ms)");
+    println!("  p99 latency of served responses     {p99_ms:>10.2} ms  (deadline 25 ms; registry histogram)");
+    println!("  p99 from the raw latency samples    {sample_p99_ms:>10.2} ms  (cross-check)");
     // "Bounded" means pinned to the deadline instead of collapsing into
     // seconds of queueing. A served response may straddle the deadline by a
     // small epsilon (a request admitted just inside its deadline resolves
     // just past it), and a contended CI host adds scheduling jitter on top
     // — so the tight comparison is reported, while the hard assert only
     // catches a genuine regression back to unbounded queueing (p99 beyond
-    // 4x the deadline).
+    // 4x the deadline). The SLO is judged on the registry histogram's p99 —
+    // the number a production scrape would alert on.
     if p99_ms > 25.0 * 1.25 {
         println!("  WARNING: p99 exceeded deadline + 25% epsilon on this run/host");
     }

@@ -74,6 +74,14 @@ pub struct SgqConfig {
     /// are bit-identical either way; see [`ScanMode`].
     #[serde(default)]
     pub scan: ScanMode,
+    /// Deterministic per-query phase-trace sampling: every N-th query gets a
+    /// [`crate::trace::QueryTrace`] recorded into the owning service's trace
+    /// sink and phase histograms. 0 (the default) disables sampling; 1
+    /// traces every query. Tracing never affects answers — the untraced
+    /// path is allocation-free and `tests/trace_differential.rs` proves
+    /// bit-identical results either way.
+    #[serde(default)]
+    pub trace_sample_every: u64,
 }
 
 impl Default for SgqConfig {
@@ -87,6 +95,7 @@ impl Default for SgqConfig {
             max_matches_per_subquery: 100_000,
             workers: 0, // 0 → available parallelism
             scan: ScanMode::Kernel,
+            trace_sample_every: 0, // 0 → tracing off
         }
     }
 }

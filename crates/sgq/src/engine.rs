@@ -34,6 +34,7 @@ use crate::runtime::WorkerPool;
 use crate::semgraph::{weight_transform, SubQueryPlan};
 use crate::ta;
 use crate::timebound::{self, TimeBoundConfig};
+use crate::trace::QueryTrace;
 use embedding::{PredicateSpace, SimilarityIndex, SimilarityIndexStats};
 use kgraph::{GraphView, KnowledgeGraph};
 use lexicon::{NodeMatcher, ShardIndex, TransformationLibrary};
@@ -320,7 +321,20 @@ impl<'a, G: GraphView + Clone> SgqEngine<'a, G> {
     /// `QueryGraph` clone a kept `PreparedQuery` would need.
     pub fn query(&self, query: &QueryGraph) -> Result<QueryResult> {
         let (_, plans) = self.plan(query)?;
-        self.run_exact(&plans, &self.config)
+        self.run_exact(&plans, &self.config, None)
+    }
+
+    /// Like [`SgqEngine::query`], but additionally returns a
+    /// [`QueryTrace`] with per-phase wall times (plan / seed / expand /
+    /// merge) and work counters. The answer is bit-identical to the
+    /// untraced path — tracing only reads clocks between phases.
+    pub fn query_with_trace(&self, query: &QueryGraph) -> Result<(QueryResult, QueryTrace)> {
+        let mut trace = QueryTrace::default();
+        let plan_t = Instant::now();
+        let (_, plans) = self.plan(query)?;
+        trace.plan_ns = plan_t.elapsed().as_nanos() as u64;
+        let result = self.run_exact(&plans, &self.config, Some(&mut trace))?;
+        Ok((result, trace))
     }
 
     /// Executes a prepared query: sub-query searches run as jobs on the
@@ -330,26 +344,54 @@ impl<'a, G: GraphView + Clone> SgqEngine<'a, G> {
     /// engine ([`crate::error::SgqError::ForeignPreparedQuery`] otherwise).
     pub fn execute(&self, prepared: &PreparedQuery) -> Result<QueryResult> {
         self.check_prepared(prepared)?;
-        self.run_exact(&prepared.plans, &prepared.config)
+        self.run_exact(&prepared.plans, &prepared.config, None)
+    }
+
+    /// Like [`SgqEngine::execute`], but additionally returns a
+    /// [`QueryTrace`]. Planning happened at preparation time, so
+    /// `plan_ns` is 0 on this path.
+    pub fn execute_with_trace(
+        &self,
+        prepared: &PreparedQuery,
+    ) -> Result<(QueryResult, QueryTrace)> {
+        self.check_prepared(prepared)?;
+        let mut trace = QueryTrace::default();
+        let result = self.run_exact(&prepared.plans, &prepared.config, Some(&mut trace))?;
+        Ok((result, trace))
     }
 
     /// `config` has been validated upstream: by [`SgqEngine::plan`] on the
     /// ad-hoc paths, by [`SgqEngine::prepare`] for prepared queries (whose
     /// snapshot is immutable).
-    fn run_exact(&self, plans: &[SubQueryPlan], config: &SgqConfig) -> Result<QueryResult> {
+    ///
+    /// `trace` is `None` on the hot path: the only cost of the tracing
+    /// machinery is then one branch per phase — no clock reads, no
+    /// allocation — and traced runs produce bit-identical answers
+    /// (`tests/trace_differential.rs`).
+    fn run_exact(
+        &self,
+        plans: &[SubQueryPlan],
+        config: &SgqConfig,
+        mut trace: Option<&mut QueryTrace>,
+    ) -> Result<QueryResult> {
         let start = Instant::now();
         let n = plans.len();
         let cap = config.max_matches_per_subquery;
 
+        let seed_t = trace.as_ref().map(|_| Instant::now());
         let mut searches: Vec<AStarSearch<'_, G>> = plans
             .iter()
             .map(|p| AStarSearch::new_on_pool(&self.graph, p, &self.pool))
             .collect();
+        if let Some(tr) = trace.as_deref_mut() {
+            tr.seed_ns = seed_t.unwrap().elapsed().as_nanos() as u64;
+        }
         let mut streams: Vec<Vec<crate::answer::SubMatch>> = vec![Vec::new(); n];
         let mut per_subquery_us = vec![0u64; n];
         let mut batch = config.effective_batch();
 
         let outcome = loop {
+            let expand_t = trace.as_ref().map(|_| Instant::now());
             // One parallel round: each sub-query search fetches up to
             // `batch` further matches (§V-B Remark 1: one job per gᵢ),
             // resumed on the persistent pool — no thread spawning here.
@@ -375,12 +417,22 @@ impl<'a, G: GraphView + Clone> SgqEngine<'a, G> {
                 }
             });
 
+            let merge_t = if let Some(tr) = trace.as_deref_mut() {
+                tr.expand_ns += expand_t.unwrap().elapsed().as_nanos() as u64;
+                tr.rounds += 1;
+                Some(Instant::now())
+            } else {
+                None
+            };
             let exhausted: Vec<bool> = searches
                 .iter()
                 .zip(&streams)
                 .map(|(s, st)| s.is_exhausted() || (cap > 0 && st.len() >= cap))
                 .collect();
             let outcome = ta::assemble(&streams, &exhausted, config.k);
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.merge_ns += merge_t.unwrap().elapsed().as_nanos() as u64;
+            }
             if outcome.certified || exhausted.iter().all(|&e| e) {
                 break outcome;
             }
@@ -401,6 +453,16 @@ impl<'a, G: GraphView + Clone> SgqEngine<'a, G> {
             stats.pushed += s.stats.pushed;
             stats.tau_pruned += s.stats.tau_pruned;
             stats.edges_examined += s.stats.edges_examined;
+        }
+        if let Some(tr) = trace {
+            tr.total_ns = start.elapsed().as_nanos() as u64;
+            tr.popped = stats.popped as u64;
+            tr.pushed = stats.pushed as u64;
+            tr.edges_examined = stats.edges_examined as u64;
+            tr.ta_accesses = stats.ta_accesses as u64;
+            tr.matches = outcome.matches.len() as u64;
+            tr.subqueries = n as u64;
+            tr.certified = stats.ta_certified;
         }
         Ok(QueryResult {
             matches: outcome.matches,

@@ -90,6 +90,9 @@ pub mod semgraph;
 pub mod service;
 pub mod ta;
 pub mod timebound;
+pub mod trace;
+
+pub use obs;
 
 pub use answer::{FinalMatch, QueryResult, QueryStats, SubMatch};
 pub use config::{PivotStrategy, ScanMode, SchedConfig, SgqConfig};
@@ -108,3 +111,4 @@ pub use sched::{
 };
 pub use service::{QueryService, ServiceStats, ShardedQueryService};
 pub use timebound::TimeBoundConfig;
+pub use trace::{QueryTrace, TraceSink};

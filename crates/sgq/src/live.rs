@@ -32,15 +32,18 @@ use crate::error::{Result, SgqError};
 use crate::query::QueryGraph;
 use crate::runtime::WorkerPool;
 use crate::semgraph::weight_transform;
-use crate::service::{shard_gauges, ServiceCounters, ServiceStats};
+use crate::service::{shard_gauges, PhaseHistograms, ServiceCounters, ServiceGauges, ServiceStats};
 use crate::timebound::TimeBoundConfig;
+use crate::trace::{tick_sampled, QueryTrace, TraceSink};
 use embedding::{PredicateSpace, SimilarityIndex, SimilarityIndexStats};
+use kgraph::io::binary::LoadStats;
 use kgraph::{
     GraphSnapshot, GraphView, KnowledgeGraph, Partitioner, RecoveryReport, VersionedGraph,
 };
 use lexicon::TransformationLibrary;
+use obs::{Counter, MetricsRegistry, MetricsSnapshot};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Mutex, RwLock};
 
 /// File name of the binary graph snapshot inside a deployment directory.
@@ -92,8 +95,17 @@ pub struct LiveQueryService<'a> {
     current: RwLock<Arc<EpochEngine<'a>>>,
     /// Serialises engine rebuilds so racing clients build one engine, not N.
     rebuild: Mutex<()>,
+    registry: Arc<MetricsRegistry>,
     counters: ServiceCounters,
-    refreshes: AtomicU64,
+    phases: PhaseHistograms,
+    gauges: ServiceGauges,
+    traces: TraceSink,
+    /// Service-level sampling tick: epoch engines are rebuilt on every
+    /// commit, so an engine-owned counter would reset mid-stream and break
+    /// the deterministic 1-in-N cadence.
+    trace_tick: AtomicU64,
+    refreshes: Counter,
+    checkpoints: Counter,
     /// On-disk layout when built via [`LiveDeployment::service`] or
     /// [`ShardedDeployment::service`]; enables [`Self::checkpoint`].
     durable: Option<DurableLayout>,
@@ -145,6 +157,18 @@ impl<'a> LiveQueryService<'a> {
             Arc::clone(&sim_index),
             Arc::clone(&pool),
         ));
+        let registry = Arc::new(MetricsRegistry::new());
+        let counters = ServiceCounters::new(&registry);
+        let phases = PhaseHistograms::new(&registry);
+        let gauges = ServiceGauges::new(&registry);
+        let refreshes = registry.counter(
+            "sgq_engine_refreshes_total",
+            "epoch-engine rebuilds triggered by newly published epochs",
+        );
+        let checkpoints = registry.counter(
+            "sgq_checkpoints_total",
+            "snapshot checkpoints written back to the deployment directory",
+        );
         Self {
             versioned,
             space,
@@ -154,10 +178,70 @@ impl<'a> LiveQueryService<'a> {
             pool,
             current: RwLock::new(engine),
             rebuild: Mutex::new(()),
-            counters: ServiceCounters::default(),
-            refreshes: AtomicU64::new(0),
+            registry,
+            counters,
+            phases,
+            gauges,
+            traces: TraceSink::default(),
+            trace_tick: AtomicU64::new(0),
+            refreshes,
+            checkpoints,
             durable,
             shard_gauge_cache: Mutex::new(None),
+        }
+    }
+
+    /// Publishes what recovery (and, on cold start, the streamed snapshot
+    /// loader) observed as registry gauges — called by the deployments so
+    /// WAL-replay and `LoadStats` figures surface in [`Self::metrics`].
+    fn record_boot(&self, recovery: &RecoveryReport, load: Option<&LoadStats>) {
+        let g = |name: &str, help: &str, v: i64| self.registry.gauge(name, help).set(v);
+        g(
+            "sgq_recovery_ops_replayed",
+            "WAL insert/delete records replayed onto the base snapshot at boot",
+            recovery.ops_replayed as i64,
+        );
+        g(
+            "sgq_recovery_skipped_ops",
+            "WAL records skipped because the base snapshot already contained their epoch",
+            recovery.skipped_ops as i64,
+        );
+        g(
+            "sgq_recovery_epochs_replayed",
+            "epoch markers (commits + compactions) replayed at boot",
+            recovery.epochs_replayed as i64,
+        );
+        g(
+            "sgq_recovery_recovered_epoch",
+            "the epoch the store recovered to at boot",
+            recovery.recovered_epoch as i64,
+        );
+        g(
+            "sgq_recovery_torn_tail",
+            "1 when the WAL ended in a torn record (crash mid-append), else 0",
+            recovery.torn_tail as i64,
+        );
+        g(
+            "sgq_recovery_discarded_ops",
+            "clean but uncommitted WAL records dropped at boot",
+            recovery.discarded_ops as i64,
+        );
+        if let Some(load) = load {
+            g(
+                "sgq_snapshot_load_bytes",
+                "bytes the streamed loader consumed reading the boot snapshot",
+                load.bytes_read as i64,
+            );
+            g(
+                "sgq_snapshot_load_sections",
+                "snapshot sections the streamed loader decoded at boot",
+                load.sections as i64,
+            );
+            g(
+                "sgq_snapshot_load_peak_buffer_bytes",
+                "peak transient buffer of the streamed snapshot read at boot",
+                load.peak_buffer_bytes as i64,
+            );
         }
     }
 
@@ -210,7 +294,7 @@ impl<'a> LiveQueryService<'a> {
             Arc::clone(&self.pool),
         ));
         *self.current.write().unwrap() = Arc::clone(&engine);
-        self.refreshes.fetch_add(1, Ordering::Relaxed);
+        self.refreshes.inc();
         engine
     }
 
@@ -232,9 +316,24 @@ impl<'a> LiveQueryService<'a> {
         }
     }
 
-    /// Exact top-k query (SGQ) against the newest adopted epoch.
+    /// Exact top-k query (SGQ) against the newest adopted epoch. Every
+    /// N-th call ([`SgqConfig::trace_sample_every`]) is invisibly traced
+    /// into the service's [`TraceSink`] and phase histograms; answers stay
+    /// bit-identical either way.
     pub fn query(&self, query: &QueryGraph) -> Result<QueryResult> {
-        self.counters.record(self.pin().query(query), false)
+        let engine = self.pin();
+        if self.trace_sampled() {
+            return self.record_sampled(engine.query_with_trace(query), engine.graph().epoch());
+        }
+        self.counters.record(engine.query(query), false)
+    }
+
+    /// Exact top-k query returning its [`QueryTrace`] (stamped with the
+    /// epoch it ran against). Explicit traces go to the caller, not the
+    /// sampled sink.
+    pub fn query_traced(&self, query: &QueryGraph) -> Result<(QueryResult, QueryTrace)> {
+        let engine = self.pin();
+        self.record_traced(engine.query_with_trace(query), engine.graph().epoch())
     }
 
     /// Time-bounded approximate query (TBQ) against the newest epoch.
@@ -256,10 +355,69 @@ impl<'a> LiveQueryService<'a> {
     }
 
     /// Executes a prepared query on its pinned epoch (bit-identical replay
-    /// regardless of commits since preparation).
+    /// regardless of commits since preparation), with the same invisible
+    /// sampling as [`Self::query`].
     pub fn execute(&self, prepared: &LivePreparedQuery<'a>) -> Result<QueryResult> {
+        if self.trace_sampled() {
+            return self.record_sampled(
+                prepared.engine.execute_with_trace(&prepared.prepared),
+                prepared.epoch(),
+            );
+        }
         self.counters
             .record(prepared.engine.execute(&prepared.prepared), false)
+    }
+
+    /// Executes a prepared query on its pinned epoch, returning its
+    /// [`QueryTrace`] (see [`Self::query_traced`]).
+    pub fn execute_traced(
+        &self,
+        prepared: &LivePreparedQuery<'a>,
+    ) -> Result<(QueryResult, QueryTrace)> {
+        self.record_traced(
+            prepared.engine.execute_with_trace(&prepared.prepared),
+            prepared.epoch(),
+        )
+    }
+
+    /// Whether this call was picked by the deterministic 1-in-N sampler.
+    fn trace_sampled(&self) -> bool {
+        tick_sampled(&self.trace_tick, self.config.trace_sample_every)
+    }
+
+    fn record_sampled(
+        &self,
+        traced: Result<(QueryResult, QueryTrace)>,
+        epoch: u64,
+    ) -> Result<QueryResult> {
+        match traced {
+            Ok((result, mut trace)) => {
+                trace.epoch = epoch;
+                self.phases.observe(&trace);
+                self.traces.push(trace);
+                self.counters.record(Ok(result), false)
+            }
+            Err(e) => self.counters.record(Err(e), false),
+        }
+    }
+
+    fn record_traced(
+        &self,
+        traced: Result<(QueryResult, QueryTrace)>,
+        epoch: u64,
+    ) -> Result<(QueryResult, QueryTrace)> {
+        match traced {
+            Ok((result, mut trace)) => {
+                trace.epoch = epoch;
+                self.phases.observe(&trace);
+                let result = self.counters.record(Ok(result), false)?;
+                Ok((result, trace))
+            }
+            Err(e) => self
+                .counters
+                .record(Err(e), false)
+                .map(|r| (r, QueryTrace::default())),
+        }
     }
 
     /// Executes a prepared query on its pinned epoch under a time bound.
@@ -286,7 +444,7 @@ impl<'a> LiveQueryService<'a> {
         let snapshot = engine.graph();
         let mut stats = ServiceStats {
             epoch: snapshot.epoch(),
-            engine_refreshes: self.refreshes.load(Ordering::Relaxed),
+            engine_refreshes: self.refreshes.get(),
             delta_edges: snapshot.delta_added_edges() as u64,
             delta_tombstones: snapshot.tombstone_count() as u64,
             ..self.counters.snapshot()
@@ -315,6 +473,26 @@ impl<'a> LiveQueryService<'a> {
     /// Similarity-row cache counters of the shared cross-epoch index.
     pub fn similarity_stats(&self) -> SimilarityIndexStats {
         self.sim_index.stats()
+    }
+
+    /// The service's metrics registry.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The sink holding recently sampled [`QueryTrace`]s.
+    pub fn traces(&self) -> &TraceSink {
+        &self.traces
+    }
+
+    /// Point-in-time snapshot of every registered metric — fleet counters,
+    /// latency and phase histograms, epoch/delta/shard gauges, and (on
+    /// deployment-backed services) the recovery, snapshot-load and
+    /// checkpoint figures.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let stats = self.stats();
+        self.gauges.refresh(&stats);
+        self.registry.snapshot()
     }
 
     /// Checkpoints the underlying store into the deployment directory:
@@ -362,6 +540,19 @@ impl<'a> LiveQueryService<'a> {
                 (snapshot, bytes)
             }
         };
+        self.checkpoints.inc();
+        self.registry
+            .gauge(
+                "sgq_checkpoint_epoch",
+                "epoch of the most recent checkpointed snapshot",
+            )
+            .set(snapshot.epoch() as i64);
+        self.registry
+            .gauge(
+                "sgq_checkpoint_bytes",
+                "on-disk size of the most recent checkpointed snapshot",
+            )
+            .set(snapshot_bytes as i64);
         Ok(CheckpointReport {
             epoch: snapshot.epoch(),
             nodes: snapshot.node_count(),
@@ -406,6 +597,10 @@ pub struct LiveDeployment {
     library: TransformationLibrary,
     versioned: Arc<VersionedGraph>,
     recovery: RecoveryReport,
+    /// Streamed-loader counters from [`LiveDeployment::open`] (`None` for a
+    /// freshly created deployment, which never read a snapshot). Surfaced
+    /// as registry gauges by [`LiveDeployment::service`].
+    load: Option<LoadStats>,
 }
 
 impl std::fmt::Debug for LiveDeployment {
@@ -467,6 +662,7 @@ impl LiveDeployment {
             library,
             versioned: Arc::new(versioned),
             recovery,
+            load: None,
         })
     }
 
@@ -483,7 +679,7 @@ impl LiveDeployment {
         let library: TransformationLibrary =
             serde_json::from_reader(std::io::BufReader::new(library_file))
                 .map_err(|e| SgqError::Storage(format!("parse {}: {e}", library_path.display())))?;
-        let (base, epoch) = kgraph::io::binary::load(dir.join(SNAPSHOT_FILE))?;
+        let (base, epoch, load) = kgraph::io::binary::load_with_stats(dir.join(SNAPSHOT_FILE))?;
         let (versioned, recovery) = VersionedGraph::recover(base, epoch, dir.join(WAL_FILE))?;
         Ok(Self {
             dir,
@@ -491,6 +687,7 @@ impl LiveDeployment {
             library,
             versioned: Arc::new(versioned),
             recovery,
+            load: Some(load),
         })
     }
 
@@ -498,13 +695,15 @@ impl LiveDeployment {
     /// the deployment (which owns the space/library), and can
     /// [`LiveQueryService::checkpoint`] back into the directory.
     pub fn service(&self, config: SgqConfig) -> LiveQueryService<'_> {
-        LiveQueryService::with_durable(
+        let service = LiveQueryService::with_durable(
             Arc::clone(&self.versioned),
             &self.space,
             &self.library,
             config,
             Some(DurableLayout::Single(self.dir.clone())),
-        )
+        );
+        service.record_boot(&self.recovery, self.load.as_ref());
+        service
     }
 
     /// The durable versioned store (hand this to your writer thread; every
@@ -659,7 +858,7 @@ impl ShardedDeployment {
     /// [`LiveQueryService::checkpoint`] writes the per-shard snapshot set
     /// back into the directory.
     pub fn service(&self, config: SgqConfig) -> LiveQueryService<'_> {
-        LiveQueryService::with_durable(
+        let service = LiveQueryService::with_durable(
             Arc::clone(&self.versioned),
             &self.space,
             &self.library,
@@ -668,7 +867,11 @@ impl ShardedDeployment {
                 dir: self.dir.clone(),
                 partitioner: self.partitioner,
             }),
-        )
+        );
+        // The sharded loader recomposes per-shard slices without a single
+        // streamed read, so there is no `LoadStats` to surface here.
+        service.record_boot(&self.recovery, None);
+        service
     }
 
     /// The durable versioned store (hand this to your writer thread).
@@ -712,6 +915,7 @@ impl ShardedDeployment {
 mod tests {
     use super::*;
     use kgraph::{GraphBuilder, GraphView, KnowledgeGraph};
+    use std::sync::atomic::Ordering;
 
     fn fixture() -> (KnowledgeGraph, PredicateSpace, TransformationLibrary) {
         let mut b = GraphBuilder::new();
@@ -770,6 +974,62 @@ mod tests {
         assert_eq!(stats.engine_refreshes, 1);
         assert_eq!(stats.delta_edges, 1);
         assert_eq!(stats.delta_tombstones, 0);
+    }
+
+    /// Live-service observability: sampled traces are stamped with the
+    /// epoch they executed at, checkpoints register their gauges, and a
+    /// reopened deployment exposes the recovery report and snapshot
+    /// [`LoadStats`] through the same registry.
+    #[test]
+    fn live_metrics_stamp_epochs_and_record_boot() {
+        let dir = TestDir::new("obs");
+        let deploy_dir = dir.0.join("kg");
+        let (g, space, lib) = fixture();
+        let deployment = LiveDeployment::create(&deploy_dir, g, space, lib).unwrap();
+        let mut cfg = config();
+        cfg.trace_sample_every = 1;
+        let service = deployment.service(cfg.clone());
+        let v = Arc::clone(deployment.versioned());
+
+        assert_eq!(service.query(&product_query()).unwrap().matches.len(), 2);
+        v.insert_triple(
+            ("Lamando", "Automobile"),
+            "assembly",
+            ("Germany", "Country"),
+        );
+        v.commit();
+        assert_eq!(service.query(&product_query()).unwrap().matches.len(), 3);
+
+        // The trace sink survives the engine rebuild at the commit — it is
+        // service-owned, not engine-owned — and each trace carries the
+        // epoch its query answered from.
+        assert_eq!(service.traces().recorded(), 2);
+        let epochs: Vec<u64> = service.traces().recent().iter().map(|t| t.epoch).collect();
+        assert_eq!(epochs, vec![0, 1], "traces are epoch-stamped, oldest first");
+
+        let report = service.checkpoint().unwrap();
+        let prom = service.metrics().to_prometheus();
+        assert!(prom.contains("sgq_checkpoints_total 1"));
+        assert!(prom.contains(&format!("sgq_checkpoint_epoch {}", report.epoch)));
+        assert!(prom.contains(&format!("sgq_checkpoint_bytes {}", report.snapshot_bytes)));
+        assert!(prom.contains("sgq_engine_refreshes_total"));
+        drop(service);
+        drop(v);
+        drop(deployment);
+
+        let reopened = LiveDeployment::open(&deploy_dir).unwrap();
+        let recovered = reopened.recovery().recovered_epoch;
+        let service = reopened.service(cfg);
+        let prom = service.metrics().to_prometheus();
+        assert!(
+            prom.contains(&format!("sgq_recovery_recovered_epoch {recovered}")),
+            "recovery report registers as gauges:\n{prom}"
+        );
+        assert!(
+            prom.contains("sgq_snapshot_load_bytes"),
+            "snapshot LoadStats surfaces through the registry"
+        );
+        assert!(prom.contains("sgq_snapshot_load_peak_buffer_bytes"));
     }
 
     #[test]

@@ -67,11 +67,13 @@ use crate::query::QueryGraph;
 use crate::runtime::WorkerPool;
 use crate::service::QueryService;
 use crate::timebound::{estimate_ns, TimeBoundConfig};
+use crate::trace::{tick_sampled, QueryTrace, TraceSink};
 use kgraph::GraphView;
+use obs::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
 use rustc_hash::FxHashMap;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -222,6 +224,12 @@ pub trait SchedBackend: Sync {
     /// backend's direct query path — the differential harness asserts it).
     fn execute(&self, prepared: &Self::Prepared) -> Result<QueryResult>;
 
+    /// Exact execution with a per-phase [`QueryTrace`] attached. Must
+    /// return the same answer as [`SchedBackend::execute`] — tracing only
+    /// observes. The scheduler calls this for sampled batch executions and
+    /// adds its own fan-out phase to the returned trace.
+    fn execute_traced(&self, prepared: &Self::Prepared) -> Result<(QueryResult, QueryTrace)>;
+
     /// Anytime execution under a time bound.
     fn execute_time_bounded(
         &self,
@@ -260,6 +268,10 @@ where
         QueryService::execute(self, prepared)
     }
 
+    fn execute_traced(&self, prepared: &PreparedQuery) -> Result<(QueryResult, QueryTrace)> {
+        QueryService::execute_traced(self, prepared)
+    }
+
     fn execute_time_bounded(
         &self,
         prepared: &PreparedQuery,
@@ -294,6 +306,10 @@ impl<'a> SchedBackend for LiveQueryService<'a> {
 
     fn execute(&self, prepared: &Self::Prepared) -> Result<QueryResult> {
         LiveQueryService::execute(self, prepared)
+    }
+
+    fn execute_traced(&self, prepared: &Self::Prepared) -> Result<(QueryResult, QueryTrace)> {
+        LiveQueryService::execute_traced(self, prepared)
     }
 
     fn execute_time_bounded(
@@ -544,15 +560,24 @@ impl Batcher {
 // ---------------------------------------------------------------------------
 
 /// Per-priority latency aggregates over *served* (exact or degraded)
-/// requests.
+/// requests, derived from one [`obs`] log-linear histogram snapshot per
+/// class — so the percentiles, the count, the sum and the max are all read
+/// from the same buckets and agree with each other.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PriorityLatency {
     /// Requests of this class resolved with an answer.
     pub served: u64,
     /// Summed submit-to-resolution latency, microseconds.
     pub total_latency_us: u64,
-    /// Worst observed latency, microseconds.
+    /// Worst observed latency, microseconds (exact, not a bucket bound).
     pub max_latency_us: u64,
+    /// Median submit-to-resolution latency, microseconds (bucket upper
+    /// bound; relative error ≤ 1/[`obs::SUB_BUCKETS`]).
+    pub p50_us: u64,
+    /// 90th-percentile latency, microseconds.
+    pub p90_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
 }
 
 impl PriorityLatency {
@@ -627,55 +652,150 @@ impl SchedStats {
     }
 }
 
-#[derive(Default)]
+/// Scheduler counters, registered in the scheduler's own
+/// [`MetricsRegistry`] (prefix `sgq_sched_`) so one Prometheus / JSON
+/// scrape exposes them alongside everything else. Every mutation goes
+/// through an [`obs`] handle; [`SchedStats`] is just a read of them.
 struct SchedCounters {
-    submitted: AtomicU64,
-    admitted: AtomicU64,
-    exact: AtomicU64,
-    degraded: AtomicU64,
-    shed_queue_full: AtomicU64,
-    shed_expired: AtomicU64,
-    shed_unmeetable: AtomicU64,
-    shed_shutdown: AtomicU64,
-    failed: AtomicU64,
-    batches: AtomicU64,
-    batched_requests: AtomicU64,
-    plan_cache_hits: AtomicU64,
-    plan_cache_misses: AtomicU64,
-    max_queue_depth: AtomicU64,
-    served: [AtomicU64; Priority::COUNT],
-    total_latency_us: [AtomicU64; Priority::COUNT],
-    max_latency_us: [AtomicU64; Priority::COUNT],
+    submitted: Counter,
+    admitted: Counter,
+    exact: Counter,
+    degraded: Counter,
+    shed_queue_full: Counter,
+    shed_expired: Counter,
+    shed_unmeetable: Counter,
+    shed_shutdown: Counter,
+    failed: Counter,
+    batches: Counter,
+    batched_requests: Counter,
+    plan_cache_hits: Counter,
+    plan_cache_misses: Counter,
+    queue_depth: Gauge,
+    max_queue_depth: Gauge,
+    /// Submit-to-resolution latency per priority class, indexed by
+    /// [`Priority::rank`]. `served` / `total` / `max` in
+    /// [`PriorityLatency`] are derived from these same buckets.
+    latency_us: [Histogram; Priority::COUNT],
+    /// Time spent fanning one executed batch result out to its members.
+    fan_out_ns: Histogram,
 }
 
 impl SchedCounters {
+    fn new(registry: &MetricsRegistry) -> Self {
+        let shed = |reason: &str| {
+            registry.counter_labeled(
+                "sgq_sched_shed_total",
+                "reason",
+                reason,
+                "requests refused without touching the engine",
+            )
+        };
+        let latency = |priority: &str| {
+            registry.histogram_labeled(
+                "sgq_sched_latency_us",
+                "priority",
+                priority,
+                "submit-to-resolution latency of served requests, microseconds",
+            )
+        };
+        Self {
+            submitted: registry.counter("sgq_sched_submitted_total", "requests handed to submit"),
+            admitted: registry.counter(
+                "sgq_sched_admitted_total",
+                "requests that entered the admission queue",
+            ),
+            exact: registry.counter(
+                "sgq_sched_exact_total",
+                "requests resolved with the exact answer",
+            ),
+            degraded: registry.counter(
+                "sgq_sched_degraded_total",
+                "requests resolved with a flagged TBQ degradation",
+            ),
+            shed_queue_full: shed("queue_full"),
+            shed_expired: shed("expired"),
+            shed_unmeetable: shed("unmeetable"),
+            shed_shutdown: shed("shutdown"),
+            failed: registry.counter(
+                "sgq_sched_failed_total",
+                "requests resolved with an engine error",
+            ),
+            batches: registry.counter("sgq_sched_batches_total", "batches dispatched"),
+            batched_requests: registry.counter(
+                "sgq_sched_batched_requests_total",
+                "requests across all dispatched batches",
+            ),
+            plan_cache_hits: registry.counter(
+                "sgq_sched_plan_cache_hits_total",
+                "batch executions reusing a cached prepared query",
+            ),
+            plan_cache_misses: registry.counter(
+                "sgq_sched_plan_cache_misses_total",
+                "batch executions that had to prepare",
+            ),
+            queue_depth: registry.gauge(
+                "sgq_sched_queue_depth",
+                "admission-queue depth at scrape time",
+            ),
+            max_queue_depth: registry.gauge(
+                "sgq_sched_max_queue_depth",
+                "high-water admission-queue depth",
+            ),
+            latency_us: [latency("high"), latency("normal"), latency("low")],
+            fan_out_ns: registry.histogram(
+                "sgq_sched_fan_out_ns",
+                "time fanning one batch result out to its members, nanoseconds",
+            ),
+        }
+    }
+
+    /// Reads the counters into a [`SchedStats`]. Outcome counters are read
+    /// **before** `submitted`: submission increments `submitted` before any
+    /// outcome for that request can exist, so reading the outcomes first
+    /// and `submitted` last keeps the mid-traffic invariant
+    /// `exact + degraded + shed() + failed <= submitted` (reading
+    /// `submitted` first could miss a request submitted *and* resolved
+    /// between the two reads, over-counting outcomes against an old
+    /// `submitted`).
     fn snapshot(&self) -> SchedStats {
         let mut per_priority = [PriorityLatency::default(); Priority::COUNT];
         for (i, slot) in per_priority.iter_mut().enumerate() {
+            let h = self.latency_us[i].snapshot();
             *slot = PriorityLatency {
-                served: self.served[i].load(Ordering::Relaxed),
-                total_latency_us: self.total_latency_us[i].load(Ordering::Relaxed),
-                max_latency_us: self.max_latency_us[i].load(Ordering::Relaxed),
+                served: h.count(),
+                total_latency_us: h.sum(),
+                max_latency_us: h.max(),
+                p50_us: h.p50(),
+                p90_us: h.p90(),
+                p99_us: h.p99(),
             };
         }
+        let exact = self.exact.get();
+        let degraded = self.degraded.get();
+        let shed_queue_full = self.shed_queue_full.get();
+        let shed_expired = self.shed_expired.get();
+        let shed_unmeetable = self.shed_unmeetable.get();
+        let shed_shutdown = self.shed_shutdown.get();
+        let failed = self.failed.get();
+        let admitted = self.admitted.get();
         SchedStats {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            admitted: self.admitted.load(Ordering::Relaxed),
-            exact: self.exact.load(Ordering::Relaxed),
-            degraded: self.degraded.load(Ordering::Relaxed),
-            shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed),
-            shed_expired: self.shed_expired.load(Ordering::Relaxed),
-            shed_unmeetable: self.shed_unmeetable.load(Ordering::Relaxed),
-            shed_shutdown: self.shed_shutdown.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            batched_requests: self.batched_requests.load(Ordering::Relaxed),
-            plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
-            plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
+            submitted: self.submitted.get(),
+            admitted,
+            exact,
+            degraded,
+            shed_queue_full,
+            shed_expired,
+            shed_unmeetable,
+            shed_shutdown,
+            failed,
+            batches: self.batches.get(),
+            batched_requests: self.batched_requests.get(),
+            plan_cache_hits: self.plan_cache_hits.get(),
+            plan_cache_misses: self.plan_cache_misses.get(),
             // queue_depth is a live gauge, filled from the admission queue
             // by SchedHandle::stats.
             queue_depth: 0,
-            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.get() as u64,
             per_priority,
         }
     }
@@ -687,20 +807,16 @@ impl SchedCounters {
             ShedReason::Unmeetable => &self.shed_unmeetable,
             ShedReason::Shutdown => &self.shed_shutdown,
         };
-        counter.fetch_add(1, Ordering::Relaxed);
+        counter.inc();
     }
 
     fn record_served(&self, priority: Priority, latency: Duration, degraded: bool) {
         if degraded {
-            self.degraded.fetch_add(1, Ordering::Relaxed);
+            self.degraded.inc();
         } else {
-            self.exact.fetch_add(1, Ordering::Relaxed);
+            self.exact.inc();
         }
-        let i = priority.rank();
-        let us = latency.as_micros() as u64;
-        self.served[i].fetch_add(1, Ordering::Relaxed);
-        self.total_latency_us[i].fetch_add(us, Ordering::Relaxed);
-        self.max_latency_us[i].fetch_max(us, Ordering::Relaxed);
+        self.latency_us[priority.rank()].record(latency.as_micros() as u64);
     }
 }
 
@@ -748,13 +864,23 @@ struct Shared<B: SchedBackend> {
     state: Mutex<SchedState>,
     /// Wakes the scheduler: new admissions, freed dispatch slots, drain.
     sched_cv: Condvar,
+    /// The scheduler's own metrics registry (`sgq_sched_*` names) — the
+    /// backend service keeps its registry; [`SchedHandle::metrics`]
+    /// exposes this one, and callers can `extend` snapshots to merge.
+    registry: Arc<MetricsRegistry>,
     stats: SchedCounters,
+    /// Sampled per-query traces of batch executions, fan-out time filled.
+    traces: TraceSink,
+    /// Deterministic 1-in-N sampling tick for batch executions.
+    trace_tick: AtomicU64,
     plans: Mutex<FxHashMap<u64, CachedPlan<B::Prepared>>>,
     costs: Mutex<FxHashMap<u64, CostProfile>>,
 }
 
 impl<B: SchedBackend> Shared<B> {
     fn new(config: SchedConfig) -> Self {
+        let registry = Arc::new(MetricsRegistry::default());
+        let stats = SchedCounters::new(&registry);
         Self {
             config,
             state: Mutex::new(SchedState {
@@ -763,7 +889,10 @@ impl<B: SchedBackend> Shared<B> {
                 inflight: 0,
             }),
             sched_cv: Condvar::new(),
-            stats: SchedCounters::default(),
+            registry,
+            stats,
+            traces: TraceSink::default(),
+            trace_tick: AtomicU64::new(0),
             plans: Mutex::new(FxHashMap::default()),
             costs: Mutex::new(FxHashMap::default()),
         }
@@ -778,7 +907,7 @@ impl<B: SchedBackend> Shared<B> {
     /// releases the waiting client, which may immediately read the stats.
     fn resolve_served(&self, req: &BatchRequest, outcome: SchedOutcome) {
         if matches!(outcome, SchedOutcome::Failed(_)) {
-            self.stats.failed.fetch_add(1, Ordering::Relaxed);
+            self.stats.failed.inc();
         } else {
             let degraded = matches!(outcome, SchedOutcome::Degraded { .. });
             self.stats
@@ -875,12 +1004,12 @@ impl<B: SchedBackend> Shared<B> {
             let plans = self.plans.lock().unwrap();
             if let Some(entry) = plans.get(&batch.sig) {
                 if entry.epoch == batch.epoch && *entry.query == *batch.query {
-                    self.stats.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+                    self.stats.plan_cache_hits.inc();
                     return Ok(Arc::clone(&entry.prepared));
                 }
             }
         }
-        self.stats.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.stats.plan_cache_misses.inc();
         let prepare = || match catch_unwind(AssertUnwindSafe(|| backend.prepare(&batch.query))) {
             Ok(result) => result.map(Arc::new),
             Err(_) => Err(SgqError::Scheduler(
@@ -942,7 +1071,7 @@ impl<B: SchedBackend> SchedHandle<'_, B> {
             state: Arc::clone(&state),
         };
         let shared = self.shared;
-        shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        shared.stats.submitted.inc();
         // A huge `within` ("no deadline, ever") must read as slack, not
         // panic on Instant overflow; a year out is beyond any plausible
         // prediction, so such requests always take the exact path.
@@ -987,14 +1116,11 @@ impl<B: SchedBackend> SchedHandle<'_, B> {
             }
         } else {
             st.queue.push(pending);
-            let depth = st.queue.len() as u64;
-            shared
-                .stats
-                .max_queue_depth
-                .fetch_max(depth, Ordering::Relaxed);
+            let depth = st.queue.len() as i64;
+            shared.stats.max_queue_depth.set_max(depth);
             drop(st);
         }
-        shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+        shared.stats.admitted.inc();
         shared.sched_cv.notify_all();
         ticket
     }
@@ -1015,6 +1141,29 @@ impl<B: SchedBackend> SchedHandle<'_, B> {
         let mut stats = self.shared.stats.snapshot();
         stats.queue_depth = self.shared.state.lock().unwrap().queue.len() as u64;
         stats
+    }
+
+    /// The scheduler's metrics registry (`sgq_sched_*` names). Extend a
+    /// backend-service snapshot with [`SchedHandle::metrics`] to scrape
+    /// both through one endpoint.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.shared.registry
+    }
+
+    /// Point-in-time snapshot of every scheduler metric, with the
+    /// queue-depth gauge refreshed first. Renders via
+    /// [`MetricsSnapshot::to_prometheus`] / [`MetricsSnapshot::to_json`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let depth = self.shared.state.lock().unwrap().queue.len() as i64;
+        self.shared.stats.queue_depth.set(depth);
+        self.shared.registry.snapshot()
+    }
+
+    /// Sampled batch-execution traces (fan-out phase filled by the
+    /// scheduler). Sampling is controlled by the backend engine's
+    /// [`SgqConfig::trace_sample_every`].
+    pub fn traces(&self) -> &TraceSink {
+        &self.shared.traces
     }
 }
 
@@ -1112,11 +1261,11 @@ fn scheduler_main<B: SchedBackend>(backend: &B, shared: &Shared<B>) {
                     st.inflight += 1;
                 }
                 let batch = batcher.pop_earliest().expect("batcher checked non-empty");
-                shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+                shared.stats.batches.inc();
                 shared
                     .stats
                     .batched_requests
-                    .fetch_add(batch.members.len() as u64, Ordering::Relaxed);
+                    .add(batch.members.len() as u64);
                 scope.spawn(move || {
                     run_batch(backend, shared, batch);
                     shared.state.lock().unwrap().inflight -= 1;
@@ -1190,19 +1339,47 @@ fn run_batch<B: SchedBackend>(backend: &B, shared: &Shared<B>, mut batch: Batch)
     };
 
     if !exact_members.is_empty() {
-        let guarded = catch_unwind(AssertUnwindSafe(|| backend.execute(&prepared)));
-        let outcome = match guarded {
-            Ok(Ok(result)) => {
-                shared.observe(&batch, &result.stats);
-                SchedOutcome::Exact(result)
+        // Deterministic 1-in-N sampling of batch executions: a sampled run
+        // goes through the backend's traced path (same answer, proven by
+        // `tests/trace_differential.rs`) and the scheduler adds the one
+        // phase only it can see — fanning the result out to the members.
+        let sampled = tick_sampled(&shared.trace_tick, backend.config().trace_sample_every);
+        let (outcome, mut trace) = if sampled {
+            match catch_unwind(AssertUnwindSafe(|| backend.execute_traced(&prepared))) {
+                Ok(Ok((result, trace))) => {
+                    shared.observe(&batch, &result.stats);
+                    (SchedOutcome::Exact(result), Some(trace))
+                }
+                Ok(Err(e)) => (SchedOutcome::Failed(e), None),
+                Err(_) => (
+                    SchedOutcome::Failed(SgqError::Scheduler(
+                        "exact execution panicked inside the scheduler".into(),
+                    )),
+                    None,
+                ),
             }
-            Ok(Err(e)) => SchedOutcome::Failed(e),
-            Err(_) => SchedOutcome::Failed(SgqError::Scheduler(
-                "exact execution panicked inside the scheduler".into(),
-            )),
+        } else {
+            let guarded = catch_unwind(AssertUnwindSafe(|| backend.execute(&prepared)));
+            let outcome = match guarded {
+                Ok(Ok(result)) => {
+                    shared.observe(&batch, &result.stats);
+                    SchedOutcome::Exact(result)
+                }
+                Ok(Err(e)) => SchedOutcome::Failed(e),
+                Err(_) => SchedOutcome::Failed(SgqError::Scheduler(
+                    "exact execution panicked inside the scheduler".into(),
+                )),
+            };
+            (outcome, None)
         };
+        let fan_t = trace.as_ref().map(|_| Instant::now());
         for m in &exact_members {
             shared.resolve_served(m, outcome.clone());
+        }
+        if let Some(mut tr) = trace.take() {
+            tr.fan_out_ns = fan_t.unwrap().elapsed().as_nanos() as u64;
+            shared.stats.fan_out_ns.record(tr.fan_out_ns);
+            shared.traces.push(tr);
         }
     }
 
@@ -1485,6 +1662,126 @@ mod tests {
             stats.exact + stats.degraded + stats.shed() + stats.failed,
             64,
             "every request resolves exactly once: {stats:?}"
+        );
+    }
+
+    /// Regression: [`SchedStats`] snapshots taken *mid-traffic* must never
+    /// show more outcomes than submissions. The old snapshot read
+    /// `submitted` first, so a request submitted and resolved between the
+    /// two reads counted as an outcome against a stale `submitted`;
+    /// outcome counters are now read first and `submitted` last.
+    #[test]
+    fn mid_traffic_snapshots_never_overcount_outcomes() {
+        let (g, space, lib) = fixture();
+        let service = QueryService::build(
+            &g,
+            &space,
+            &lib,
+            SgqConfig {
+                k: 5,
+                tau: 0.0,
+                workers: 2,
+                ..SgqConfig::default()
+            },
+        );
+        let config = SchedConfig {
+            queue_capacity: 8,
+            max_inflight: 1,
+            ..SchedConfig::default()
+        };
+        BatchScheduler::serve(&service, config, |handle| {
+            std::thread::scope(|ts| {
+                // Two client threads racing submissions against the
+                // snapshot reader below.
+                for t in 0..2 {
+                    ts.spawn(move || {
+                        for i in 0..64 {
+                            let prio = if (t + i) % 2 == 0 {
+                                Priority::Low
+                            } else {
+                                Priority::High
+                            };
+                            let _ = handle
+                                .submit(&product_query(), Duration::from_secs(5), prio)
+                                .wait();
+                        }
+                    });
+                }
+                for _ in 0..512 {
+                    let s = handle.stats();
+                    let outcomes = s.exact + s.degraded + s.shed() + s.failed;
+                    assert!(
+                        outcomes <= s.submitted,
+                        "snapshot shows {outcomes} outcomes for {} submissions: {s:?}",
+                        s.submitted
+                    );
+                    std::thread::yield_now();
+                }
+            });
+            let s = handle.stats();
+            assert_eq!(s.exact + s.degraded + s.shed() + s.failed, 128);
+        })
+        .unwrap();
+    }
+
+    /// Sampled batch executions land in the scheduler's trace sink with the
+    /// fan-out phase filled, the registry exposes `sgq_sched_*` metrics in
+    /// both exposition formats, and the served-latency percentiles are
+    /// coherent (p50 ≤ p90 ≤ p99 ≤ max, mean within [0, max]).
+    #[test]
+    fn sampled_batches_are_traced_and_metrics_expose_percentiles() {
+        let (g, space, lib) = fixture();
+        let service = QueryService::build(
+            &g,
+            &space,
+            &lib,
+            SgqConfig {
+                k: 5,
+                tau: 0.0,
+                workers: 2,
+                trace_sample_every: 1, // trace every batch execution
+                ..SgqConfig::default()
+            },
+        );
+        let (stats, snapshot) = BatchScheduler::serve(&service, sched_config(), |handle| {
+            for _ in 0..8 {
+                let r = handle.query_within(
+                    &product_query(),
+                    Duration::from_secs(10),
+                    Priority::Normal,
+                );
+                assert!(matches!(r.outcome, SchedOutcome::Exact(_)));
+            }
+            assert!(
+                !handle.traces().is_empty(),
+                "sampling every execution must populate the sched sink"
+            );
+            let tr = handle.traces().recent()[0].clone();
+            assert!(tr.total_ns > 0, "engine phases recorded: {tr:?}");
+            (handle.stats(), handle.metrics())
+        })
+        .unwrap();
+
+        let lat = stats.latency(Priority::Normal);
+        assert_eq!(lat.served, 8);
+        assert!(lat.p50_us <= lat.p90_us);
+        assert!(lat.p90_us <= lat.p99_us);
+        assert!(lat.p99_us <= lat.max_latency_us || lat.p99_us <= lat.max_latency_us + 1);
+        assert!(lat.mean_latency_us() >= 0.0);
+        assert!(lat.mean_latency_us() <= lat.max_latency_us as f64);
+
+        let prom = snapshot.to_prometheus();
+        assert!(prom.contains("# TYPE sgq_sched_submitted_total counter"));
+        assert!(prom.contains("sgq_sched_submitted_total 8"));
+        assert!(prom.contains("sgq_sched_latency_us{priority=\"normal\",quantile=\"0.99\"}"));
+        assert!(prom.contains("sgq_sched_fan_out_ns"));
+        let json = snapshot.to_json();
+        assert!(json.contains("\"sgq_sched_exact_total\""));
+        assert!(
+            snapshot
+                .find_labeled("sgq_sched_shed_total", "reason", "queue_full")
+                .is_some(),
+            "shed counters registered per reason"
         );
     }
 

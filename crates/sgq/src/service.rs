@@ -16,10 +16,13 @@ use crate::engine::{PreparedQuery, SgqEngine};
 use crate::error::Result;
 use crate::query::QueryGraph;
 use crate::timebound::TimeBoundConfig;
+use crate::trace::{tick_sampled, QueryTrace, TraceSink};
 use embedding::{PredicateSpace, SimilarityIndexStats};
 use kgraph::{GraphView, KnowledgeGraph};
 use lexicon::TransformationLibrary;
-use std::sync::atomic::{AtomicU64, Ordering};
+use obs::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
 
 /// Aggregated service counters (a consistent-enough snapshot; counters are
 /// updated independently, so ratios across fields can be off by in-flight
@@ -60,6 +63,16 @@ pub struct ServiceStats {
     /// Total live triples in the served graph (the denominator of
     /// [`ServiceStats::shard_skew`]).
     pub graph_edges: u64,
+    /// Median per-query latency (µs) over completed queries, from the
+    /// registry histogram (bucket-upper-bound semantics, ≤ 1/32 relative
+    /// error).
+    pub latency_p50_us: u64,
+    /// 90th-percentile per-query latency (µs).
+    pub latency_p90_us: u64,
+    /// 99th-percentile per-query latency (µs).
+    pub latency_p99_us: u64,
+    /// Exact worst-case per-query latency (µs).
+    pub latency_max_us: u64,
 }
 
 impl ServiceStats {
@@ -115,19 +128,50 @@ pub(crate) fn shard_gauges<G: GraphView>(graph: &G, stats: &mut ServiceStats) {
 }
 
 /// Lock-free fleet counters, shared by the static [`QueryService`] and the
-/// live [`crate::live::LiveQueryService`].
-#[derive(Debug, Default)]
+/// live [`crate::live::LiveQueryService`]. All instruments live in the
+/// owning service's [`MetricsRegistry`], so they surface in its
+/// [`MetricsSnapshot`] exposition for free; [`ServiceCounters::snapshot`]
+/// derives the latency aggregates (sum, mean, percentiles, max) from the
+/// registry histogram instead of tracking them separately.
 pub(crate) struct ServiceCounters {
-    queries: AtomicU64,
-    errors: AtomicU64,
-    time_bounded: AtomicU64,
-    certified: AtomicU64,
-    time_bound_hits: AtomicU64,
-    total_elapsed_us: AtomicU64,
-    total_matches: AtomicU64,
+    queries: Counter,
+    errors: Counter,
+    time_bounded: Counter,
+    certified: Counter,
+    time_bound_hits: Counter,
+    total_matches: Counter,
+    latency_us: Histogram,
 }
 
 impl ServiceCounters {
+    /// Registers the fleet instruments into `registry`.
+    pub(crate) fn new(registry: &MetricsRegistry) -> Self {
+        Self {
+            queries: registry.counter("sgq_queries_total", "successfully answered queries"),
+            errors: registry.counter("sgq_errors_total", "queries that returned an error"),
+            time_bounded: registry.counter(
+                "sgq_time_bounded_total",
+                "successful queries that ran the time-bounded (TBQ) path",
+            ),
+            certified: registry.counter(
+                "sgq_certified_total",
+                "successful queries whose TA assembly certified the top-k",
+            ),
+            time_bound_hits: registry.counter(
+                "sgq_time_bound_hits_total",
+                "time-bounded queries stopped by the bound rather than exhaustion",
+            ),
+            total_matches: registry.counter(
+                "sgq_matches_total",
+                "final matches returned across successful queries",
+            ),
+            latency_us: registry.histogram(
+                "sgq_query_latency_us",
+                "per-query wall time in microseconds, successful queries only",
+            ),
+        }
+    }
+
     /// Records one query outcome and passes the result through.
     pub(crate) fn record(
         &self,
@@ -136,23 +180,21 @@ impl ServiceCounters {
     ) -> Result<QueryResult> {
         match &result {
             Ok(r) => {
-                self.queries.fetch_add(1, Ordering::Relaxed);
+                self.queries.inc();
                 if time_bounded {
-                    self.time_bounded.fetch_add(1, Ordering::Relaxed);
+                    self.time_bounded.inc();
                 }
                 if r.stats.ta_certified {
-                    self.certified.fetch_add(1, Ordering::Relaxed);
+                    self.certified.inc();
                 }
                 if r.stats.time_bound_hit {
-                    self.time_bound_hits.fetch_add(1, Ordering::Relaxed);
+                    self.time_bound_hits.inc();
                 }
-                self.total_elapsed_us
-                    .fetch_add(r.stats.elapsed_us, Ordering::Relaxed);
-                self.total_matches
-                    .fetch_add(r.matches.len() as u64, Ordering::Relaxed);
+                self.latency_us.record(r.stats.elapsed_us);
+                self.total_matches.add(r.matches.len() as u64);
             }
             Err(_) => {
-                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.errors.inc();
             }
         }
         result
@@ -160,25 +202,133 @@ impl ServiceCounters {
 
     /// Snapshot into the query-flow fields of [`ServiceStats`] (epoch/delta
     /// fields stay at their defaults — the caller fills them if it has a
-    /// versioned store behind it).
+    /// versioned store behind it). Latency aggregates and percentiles come
+    /// from one histogram snapshot, so they are mutually coherent.
     pub(crate) fn snapshot(&self) -> ServiceStats {
+        let latency = self.latency_us.snapshot();
         ServiceStats {
-            queries: self.queries.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            time_bounded: self.time_bounded.load(Ordering::Relaxed),
-            certified: self.certified.load(Ordering::Relaxed),
-            time_bound_hits: self.time_bound_hits.load(Ordering::Relaxed),
-            total_elapsed_us: self.total_elapsed_us.load(Ordering::Relaxed),
-            total_matches: self.total_matches.load(Ordering::Relaxed),
+            queries: self.queries.get(),
+            errors: self.errors.get(),
+            time_bounded: self.time_bounded.get(),
+            certified: self.certified.get(),
+            time_bound_hits: self.time_bound_hits.get(),
+            total_elapsed_us: latency.sum(),
+            total_matches: self.total_matches.get(),
+            latency_p50_us: latency.p50(),
+            latency_p90_us: latency.p90(),
+            latency_p99_us: latency.p99(),
+            latency_max_us: latency.max(),
             ..ServiceStats::default()
         }
     }
 }
 
+/// Per-phase wall-time histograms fed by sampled / explicit
+/// [`QueryTrace`]s, shared by every service front-end (and the scheduler,
+/// which adds its own fan-out histogram).
+pub(crate) struct PhaseHistograms {
+    plan_ns: Histogram,
+    seed_ns: Histogram,
+    expand_ns: Histogram,
+    merge_ns: Histogram,
+    total_ns: Histogram,
+}
+
+impl PhaseHistograms {
+    /// Registers the phase histograms (one `sgq_phase_ns` family, labeled
+    /// by phase) into `registry`.
+    pub(crate) fn new(registry: &MetricsRegistry) -> Self {
+        let phase = |name: &str| {
+            registry.histogram_labeled(
+                "sgq_phase_ns",
+                "phase",
+                name,
+                "per-phase wall time (ns) of traced query executions",
+            )
+        };
+        Self {
+            plan_ns: phase("plan"),
+            seed_ns: phase("seed"),
+            expand_ns: phase("expand"),
+            merge_ns: phase("merge"),
+            total_ns: phase("total"),
+        }
+    }
+
+    /// Folds one trace into the histograms. `plan_ns` is skipped when zero
+    /// (prepared executions plan at preparation time, and a zero would
+    /// drag the plan percentiles to nothing).
+    pub(crate) fn observe(&self, trace: &QueryTrace) {
+        if trace.plan_ns > 0 {
+            self.plan_ns.record(trace.plan_ns);
+        }
+        self.seed_ns.record(trace.seed_ns);
+        self.expand_ns.record(trace.expand_ns);
+        self.merge_ns.record(trace.merge_ns);
+        self.total_ns.record(trace.total_ns);
+    }
+}
+
+/// Shard/epoch/delta gauges refreshed on every [`QueryService::metrics`]
+/// (or [`crate::live::LiveQueryService::metrics`]) call.
+pub(crate) struct ServiceGauges {
+    epoch: Gauge,
+    shard_count: Gauge,
+    graph_edges: Gauge,
+    max_shard_edges: Gauge,
+    delta_edges: Gauge,
+    delta_tombstones: Gauge,
+}
+
+impl ServiceGauges {
+    /// Registers the gauges into `registry`.
+    pub(crate) fn new(registry: &MetricsRegistry) -> Self {
+        Self {
+            epoch: registry.gauge(
+                "sgq_epoch",
+                "graph epoch the service answers from (0 for static graphs)",
+            ),
+            shard_count: registry.gauge("sgq_shard_count", "storage shards behind the service"),
+            graph_edges: registry.gauge("sgq_graph_edges", "live triples in the served graph"),
+            max_shard_edges: registry
+                .gauge("sgq_max_shard_edges", "triples owned by the heaviest shard"),
+            delta_edges: registry.gauge(
+                "sgq_delta_edges",
+                "edges the current snapshot's delta overlay adds on top of its base CSR",
+            ),
+            delta_tombstones: registry.gauge(
+                "sgq_delta_tombstones",
+                "edges tombstoned in the current snapshot's delta overlay",
+            ),
+        }
+    }
+
+    /// Refreshes the gauges from a stats snapshot.
+    pub(crate) fn refresh(&self, stats: &ServiceStats) {
+        self.epoch.set(stats.epoch as i64);
+        self.shard_count.set(stats.shard_count as i64);
+        self.graph_edges.set(stats.graph_edges as i64);
+        self.max_shard_edges.set(stats.max_shard_edges as i64);
+        self.delta_edges.set(stats.delta_edges as i64);
+        self.delta_tombstones.set(stats.delta_tombstones as i64);
+    }
+}
+
 /// A query front-end serving many concurrent clients over one engine.
+///
+/// Every service owns a [`MetricsRegistry`] that its counters, latency
+/// histogram and phase histograms register into — [`QueryService::metrics`]
+/// snapshots the lot for Prometheus/JSON exposition — plus a bounded
+/// [`TraceSink`] receiving the [`QueryTrace`]s sampled via
+/// [`SgqConfig::trace_sample_every`].
 pub struct QueryService<'a, G: GraphView + Clone = &'a KnowledgeGraph> {
     engine: SgqEngine<'a, G>,
+    registry: Arc<MetricsRegistry>,
     counters: ServiceCounters,
+    phases: PhaseHistograms,
+    gauges: ServiceGauges,
+    traces: TraceSink,
+    trace_tick: AtomicU64,
 }
 
 /// A service over sharded storage: candidate generation scatters one scan
@@ -205,9 +355,18 @@ impl<'a> ShardedQueryService<'a> {
 impl<'a, G: GraphView + Clone> QueryService<'a, G> {
     /// Wraps an existing engine.
     pub fn new(engine: SgqEngine<'a, G>) -> Self {
+        let registry = Arc::new(MetricsRegistry::new());
+        let counters = ServiceCounters::new(&registry);
+        let phases = PhaseHistograms::new(&registry);
+        let gauges = ServiceGauges::new(&registry);
         Self {
             engine,
-            counters: ServiceCounters::default(),
+            registry,
+            counters,
+            phases,
+            gauges,
+            traces: TraceSink::default(),
+            trace_tick: AtomicU64::new(0),
         }
     }
 
@@ -231,14 +390,38 @@ impl<'a, G: GraphView + Clone> QueryService<'a, G> {
         self.engine.prepare(query)
     }
 
-    /// Exact top-k query (SGQ).
+    /// Exact top-k query (SGQ). When [`SgqConfig::trace_sample_every`] is
+    /// non-zero, every N-th call is invisibly traced: its [`QueryTrace`]
+    /// lands in the service's [`TraceSink`] and phase histograms, while the
+    /// answer stays bit-identical to the untraced path.
     pub fn query(&self, query: &QueryGraph) -> Result<QueryResult> {
+        if self.trace_sampled() {
+            return self.record_sampled(self.engine.query_with_trace(query), false);
+        }
         self.record(self.engine.query(query), false)
     }
 
-    /// Executes a prepared query (exact).
+    /// Executes a prepared query (exact), with the same invisible sampling
+    /// as [`QueryService::query`].
     pub fn execute(&self, prepared: &PreparedQuery) -> Result<QueryResult> {
+        if self.trace_sampled() {
+            return self.record_sampled(self.engine.execute_with_trace(prepared), false);
+        }
         self.record(self.engine.execute(prepared), false)
+    }
+
+    /// Exact top-k query returning its [`QueryTrace`] to the caller.
+    /// Explicitly traced calls feed the phase histograms but do *not* enter
+    /// the sampled [`TraceSink`] — the sink tracks background sampling, the
+    /// returned trace belongs to the requester.
+    pub fn query_traced(&self, query: &QueryGraph) -> Result<(QueryResult, QueryTrace)> {
+        self.record_traced(self.engine.query_with_trace(query))
+    }
+
+    /// Executes a prepared query, returning its [`QueryTrace`] (see
+    /// [`QueryService::query_traced`]).
+    pub fn execute_traced(&self, prepared: &PreparedQuery) -> Result<(QueryResult, QueryTrace)> {
+        self.record_traced(self.engine.execute_with_trace(prepared))
     }
 
     /// Time-bounded approximate query (TBQ).
@@ -263,12 +446,72 @@ impl<'a, G: GraphView + Clone> QueryService<'a, G> {
         self.counters.record(result, time_bounded)
     }
 
+    /// Whether this call was picked by the deterministic 1-in-N sampler.
+    fn trace_sampled(&self) -> bool {
+        tick_sampled(&self.trace_tick, self.engine.config().trace_sample_every)
+    }
+
+    /// Records a sampled execution: the trace feeds the phase histograms
+    /// and the sink, the result flows through the normal counters.
+    fn record_sampled(
+        &self,
+        traced: Result<(QueryResult, QueryTrace)>,
+        time_bounded: bool,
+    ) -> Result<QueryResult> {
+        match traced {
+            Ok((result, trace)) => {
+                self.phases.observe(&trace);
+                self.traces.push(trace);
+                self.record(Ok(result), time_bounded)
+            }
+            Err(e) => self.record(Err(e), time_bounded),
+        }
+    }
+
+    /// Records an explicitly traced execution: phase histograms yes, sink
+    /// no — the trace goes back to the caller.
+    fn record_traced(
+        &self,
+        traced: Result<(QueryResult, QueryTrace)>,
+    ) -> Result<(QueryResult, QueryTrace)> {
+        match traced {
+            Ok((result, trace)) => {
+                self.phases.observe(&trace);
+                let result = self.record(Ok(result), false)?;
+                Ok((result, trace))
+            }
+            Err(e) => self
+                .record(Err(e), false)
+                .map(|r| (r, QueryTrace::default())),
+        }
+    }
+
     /// Snapshot of the aggregated counters, including the shard gauges of
-    /// the served graph.
+    /// the served graph and the latency percentiles from the registry
+    /// histogram.
     pub fn stats(&self) -> ServiceStats {
         let mut stats = self.counters.snapshot();
         shard_gauges(self.engine.graph(), &mut stats);
         stats
+    }
+
+    /// The service's metrics registry (for registering extra instruments
+    /// next to the built-in ones).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The sink holding recently sampled [`QueryTrace`]s.
+    pub fn traces(&self) -> &TraceSink {
+        &self.traces
+    }
+
+    /// Point-in-time snapshot of every registered metric, with the shard
+    /// and epoch gauges refreshed first. Render with
+    /// [`MetricsSnapshot::to_prometheus`] or [`MetricsSnapshot::to_json`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.gauges.refresh(&self.stats());
+        self.registry.snapshot()
     }
 
     /// Similarity-row cache counters of the shared engine.
@@ -431,6 +674,107 @@ mod tests {
         assert_eq!(mono_stats.shard_skew(), 1.0);
         // Invalid shard counts are rejected at construction.
         assert!(QueryService::build_sharded(g, 0, &space, &lib, config).is_err());
+    }
+
+    /// [`ServiceStats`] percentiles come straight from the registry's
+    /// latency histogram and are coherent; deterministic 1-in-N sampling
+    /// populates the trace sink; and `metrics()` renders the whole
+    /// registry in both exposition formats with the gauges refreshed.
+    #[test]
+    fn stats_expose_registry_percentiles_and_sampling_fills_the_sink() {
+        let (g, space, lib) = fixture();
+        let service = QueryService::build(
+            &g,
+            &space,
+            &lib,
+            SgqConfig {
+                k: 5,
+                tau: 0.0,
+                trace_sample_every: 2,
+                ..SgqConfig::default()
+            },
+        );
+        let q = product_query();
+        for _ in 0..8 {
+            service.query(&q).unwrap();
+        }
+
+        let stats = service.stats();
+        assert!(stats.latency_max_us > 0, "8 queries recorded wall time");
+        assert!(stats.latency_p50_us <= stats.latency_p90_us);
+        assert!(stats.latency_p90_us <= stats.latency_p99_us);
+        assert!(stats.latency_p99_us <= stats.latency_max_us);
+        assert!(
+            stats.mean_latency_us() <= stats.latency_max_us as f64,
+            "sum/count/max are read from the same buckets"
+        );
+
+        // Ticks 0, 2, 4, 6 of the 1-in-2 sampler record.
+        assert_eq!(service.traces().recorded(), 4);
+        let traces = service.traces().recent();
+        assert!(traces[0].total_ns > 0);
+        assert_eq!(traces[0].subqueries, 1);
+
+        let snap = service.metrics();
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("# TYPE sgq_queries_total counter"));
+        assert!(prom.contains("sgq_queries_total 8"));
+        assert!(prom.contains("# TYPE sgq_query_latency_us summary"));
+        assert!(prom.contains("sgq_query_latency_us_count 8"));
+        assert!(
+            prom.contains("sgq_phase_ns{phase=\"expand\",quantile=\"0.5\"}"),
+            "sampled phase histograms render with their labels:\n{prom}"
+        );
+        assert!(
+            prom.contains("sgq_graph_edges 2"),
+            "metrics() refreshes the gauges before snapshotting"
+        );
+        let json = snap.to_json();
+        assert!(json.contains("\"sgq_query_latency_us\""));
+        assert!(json.contains("\"p99\""));
+
+        // An untouched sampler records nothing and the off path never
+        // registers a trace.
+        let quiet = QueryService::build(
+            &g,
+            &space,
+            &lib,
+            SgqConfig {
+                k: 5,
+                tau: 0.0,
+                ..SgqConfig::default()
+            },
+        );
+        quiet.query(&q).unwrap();
+        assert_eq!(quiet.traces().recorded(), 0);
+        assert!(quiet.traces().is_empty());
+    }
+
+    /// The explicit traced API returns the trace to the caller instead of
+    /// the sink, and still counts the query in the service stats.
+    #[test]
+    fn query_traced_returns_the_trace_and_counts_the_query() {
+        let (g, space, lib) = fixture();
+        let service = QueryService::build(
+            &g,
+            &space,
+            &lib,
+            SgqConfig {
+                k: 5,
+                tau: 0.0,
+                ..SgqConfig::default()
+            },
+        );
+        let (result, trace) = service.query_traced(&product_query()).unwrap();
+        assert_eq!(result.matches.len(), 2);
+        assert!(trace.total_ns > 0);
+        assert!(trace.plan_ns > 0, "ad-hoc queries pay the plan phase");
+        assert_eq!(trace.matches, 2);
+        assert!(
+            service.traces().is_empty(),
+            "explicit traces bypass the sink"
+        );
+        assert_eq!(service.stats().queries, 1);
     }
 
     #[test]

@@ -44,6 +44,9 @@ fn main() {
         &ds.library,
         SgqConfig {
             k: 20,
+            // Phase-trace every 16th execution: populates the sgq_phase_ns
+            // and sgq_sched_fan_out_ns histograms scraped at the end.
+            trace_sample_every: 16,
             ..SgqConfig::default()
         },
     );
@@ -135,6 +138,21 @@ fn main() {
                 p, served, mean, now.max_latency_us
             );
         }
+        // The cumulative percentile table, straight from the registry's
+        // log-linear latency histograms (percentiles don't diff, so these
+        // cover phases 1+2 together).
+        println!("   cumulative latency percentiles (registry histograms):");
+        println!(
+            "   {:>6} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "class", "served", "p50 us", "p90 us", "p99 us", "max us"
+        );
+        for p in Priority::ALL {
+            let l = after.latency(p);
+            println!(
+                "   {:>6?} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                p, l.served, l.p50_us, l.p90_us, l.p99_us, l.max_latency_us
+            );
+        }
 
         // Phase 3: hopeless deadlines are refused without engine work.
         let before = handle.stats();
@@ -151,11 +169,22 @@ fn main() {
         );
 
         println!("\nfinal scheduler stats: {:#?}", handle.stats());
-        println!("service stats: mean latency {:.0} us over {} completed queries ({} errors)",
+        println!("service stats: mean latency {:.0} us over {} completed queries ({} errors), p50/p99 {} / {} us",
             service.stats().mean_latency_us(),
             service.stats().completed(),
             service.stats().errors,
+            service.stats().latency_p50_us,
+            service.stats().latency_p99_us,
         );
+
+        // What a monitoring endpoint would serve: the service's registry
+        // merged with the scheduler's, rendered in both exposition formats.
+        let mut snapshot = service.metrics();
+        snapshot.extend(handle.metrics());
+        println!("\n-- /metrics (Prometheus text format) --");
+        print!("{}", snapshot.to_prometheus());
+        println!("\n-- /metrics.json --");
+        println!("{}", snapshot.to_json());
     })
     .expect("scheduler config is valid");
 }

@@ -27,6 +27,9 @@ fn main() {
     let config = SgqConfig {
         k: 10,
         tau: 0.3,
+        // Phase-trace every 4th query; tracing never affects answers (the
+        // bit-identity asserts below still hold).
+        trace_sample_every: 4,
         ..SgqConfig::default()
     };
 
@@ -59,6 +62,20 @@ fn main() {
         stats.max_shard_edges,
         stats.shard_skew()
     );
+    println!(
+        "latency percentiles (registry histogram): p50={} p90={} p99={} max={} us",
+        stats.latency_p50_us, stats.latency_p90_us, stats.latency_p99_us, stats.latency_max_us
+    );
+    if let Some(tr) = sharded.traces().recent().first() {
+        println!(
+            "sampled phase trace (1-in-4): seed {} us | expand {} us over {} rounds | merge {} us | total {} us",
+            tr.seed_ns / 1_000,
+            tr.expand_ns / 1_000,
+            tr.rounds,
+            tr.merge_ns / 1_000,
+            tr.total_ns / 1_000
+        );
+    }
 
     // --- 2. Imbalance gauges ---------------------------------------------
     let balanced = ShardedGraph::from_graph(ds.graph.clone(), 4).expect("split");
@@ -116,5 +133,15 @@ fn main() {
     );
     assert!(service.pin().graph().node_by_name("Phantom").is_none());
     println!("post-recovery answers bit-identical; uncommitted write discarded");
+
+    // The recovery report is also registered as gauges — scrapeable from
+    // the live service's registry like every other metric.
+    let prom = service.metrics().to_prometheus();
+    println!("\nrecovery metrics exposed for scraping:");
+    for line in prom.lines().filter(|l| {
+        !l.starts_with('#') && (l.starts_with("sgq_recovery") || l.starts_with("sgq_epoch"))
+    }) {
+        println!("   {line}");
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -53,6 +53,7 @@ pub use datagen;
 pub use embedding;
 pub use kgraph;
 pub use lexicon;
+pub use obs;
 pub use sgq;
 
 /// One-stop imports for applications.
@@ -65,11 +66,12 @@ pub mod prelude {
         GraphBuilder, GraphSnapshot, GraphStats, GraphView, KnowledgeGraph, NodeId, VersionedGraph,
     };
     pub use lexicon::{NodeMatcher, TransformationLibrary};
+    pub use obs::{MetricsRegistry, MetricsSnapshot};
     pub use sgq::{
         BatchScheduler, CheckpointReport, FinalMatch, LiveDeployment, LivePreparedQuery,
         LiveQueryService, PivotStrategy, PreparedQuery, Priority, QueryGraph, QueryResult,
-        QueryService, SchedConfig, SchedOutcome, SchedResponse, SchedStats, ServiceStats,
-        SgqConfig, SgqEngine, ShedReason, TimeBoundConfig,
+        QueryService, QueryTrace, SchedConfig, SchedOutcome, SchedResponse, SchedStats,
+        ServiceStats, SgqConfig, SgqEngine, ShedReason, TimeBoundConfig, TraceSink,
     };
 }
 
