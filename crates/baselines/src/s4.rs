@@ -8,11 +8,11 @@
 //! the graph itself as the prior knowledge source (DESIGN.md §2):
 //!
 //! 1. **Seed collection** — for query predicate `p`, sample up to
-//!    [`S4::max_seeds`] graph edges labelled `p` as semantic instances;
+//!    `S4::max_seeds` graph edges labelled `p` as semantic instances;
 //! 2. **Pattern mining** — for each seed pair `(u, v)`, enumerate the
 //!    alternative simple paths `u ⇝ v` (≤ `max_hops`) and count the support
 //!    of every predicate sequence observed;
-//! 3. **Filtering** — sequences supported by at least [`S4::min_support`]
+//! 3. **Filtering** — sequences supported by at least `S4::min_support`
 //!    seeds become rewrite patterns with confidence `support / seeds`.
 //!
 //! At query time a path mapping is accepted iff its predicate sequence is

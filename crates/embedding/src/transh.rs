@@ -1,5 +1,5 @@
 //! TransH (Wang et al., AAAI 2014), cited by the paper among the embedding
-//! family (§IV-A [57]).
+//! family (§IV-A \[57\]).
 //!
 //! TransH translates on a relation-specific hyperplane: entities are first
 //! projected, `h⊥ = h − (wᵣᵀh)wᵣ`, then the TransE objective applies between

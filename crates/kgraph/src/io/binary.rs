@@ -259,10 +259,10 @@ impl Sections {
                 self.edges = Some(
                     raw.chunks_exact(12)
                         .map(|rec| EdgeRecord {
-                            src: NodeId::new(u32::from_le_bytes(rec[0..4].try_into().unwrap())),
-                            dst: NodeId::new(u32::from_le_bytes(rec[4..8].try_into().unwrap())),
+                            src: NodeId::new(u32::from_le_bytes(rec[0..4].try_into().unwrap())), // lint-ok(panic-freedom): chunks_exact(12) yields exactly 12-byte records; the sub-slices are 4 bytes
+                            dst: NodeId::new(u32::from_le_bytes(rec[4..8].try_into().unwrap())), // lint-ok(panic-freedom): chunks_exact(12) yields exactly 12-byte records; the sub-slices are 4 bytes
                             predicate: PredicateId::new(u32::from_le_bytes(
-                                rec[8..12].try_into().unwrap(),
+                                rec[8..12].try_into().unwrap(), // lint-ok(panic-freedom): chunks_exact(12) yields exactly 12-byte records; the sub-slices are 4 bytes
                             )),
                         })
                         .collect::<Vec<_>>(),

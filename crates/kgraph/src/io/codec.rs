@@ -16,7 +16,7 @@ pub fn checksum64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ (bytes.len() as u64);
     let mut chunks = bytes.chunks_exact(8);
     for c in &mut chunks {
-        h ^= u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+        h ^= u64::from_le_bytes(c.try_into().expect("8-byte chunk")); // lint-ok(panic-freedom): chunks_exact(8) yields exactly 8-byte chunks
         h = h.wrapping_mul(PRIME);
     }
     let rem = chunks.remainder();
@@ -80,14 +80,14 @@ impl<'a> Cursor<'a> {
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self, what: &str) -> Result<u32, String> {
         Ok(u32::from_le_bytes(
-            self.take(4, what)?.try_into().expect("4-byte slice"),
+            self.take(4, what)?.try_into().expect("4-byte slice"), // lint-ok(panic-freedom): take(4, ..) returned exactly 4 bytes or errored above
         ))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self, what: &str) -> Result<u64, String> {
         Ok(u64::from_le_bytes(
-            self.take(8, what)?.try_into().expect("8-byte slice"),
+            self.take(8, what)?.try_into().expect("8-byte slice"), // lint-ok(panic-freedom): take(8, ..) returned exactly 8 bytes or errored above
         ))
     }
 
@@ -104,7 +104,7 @@ impl<'a> Cursor<'a> {
         let bytes = self.take(n * 4, what)?;
         Ok(bytes
             .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk"))) // lint-ok(panic-freedom): chunks_exact(4) yields exactly 4-byte chunks
             .collect())
     }
 }

@@ -354,7 +354,7 @@ pub fn load_sharded(dir: impl AsRef<Path>) -> Result<(KnowledgeGraph, Partitione
             return Err(wrap(format!("{} trailing bytes", c.remaining())));
         }
         for entry in raw.chunks_exact(16) {
-            let u32_at = |o: usize| u32::from_le_bytes(entry[o..o + 4].try_into().unwrap());
+            let u32_at = |o: usize| u32::from_le_bytes(entry[o..o + 4].try_into().unwrap()); // lint-ok(panic-freedom): chunks_exact(16) yields exactly 16-byte entries; o+4 <= 16 at every call
             let id = u32_at(0) as usize;
             let rec = EdgeRecord {
                 src: NodeId::new(u32_at(4)),
@@ -679,19 +679,19 @@ pub fn read_sharded_wal(dir: impl AsRef<Path>, shards: usize) -> Result<ShardedR
                             return None;
                         }
                         let body_len =
-                            u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+                            u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize; // lint-ok(panic-freedom): the length guard above ensures the slice is in bounds and exactly sized
                         let total = 4 + body_len + 8;
                         if buf.len() - pos < total {
                             return None;
                         }
                         let body = &buf[pos + 4..pos + 4 + body_len];
                         let stored = u64::from_le_bytes(
-                            buf[pos + 4 + body_len..pos + total].try_into().unwrap(),
+                            buf[pos + 4 + body_len..pos + total].try_into().unwrap(), // lint-ok(panic-freedom): the length guard above ensures the slice is in bounds and exactly sized
                         );
                         if checksum64(body) != stored || body.len() < 8 {
                             return None;
                         }
-                        let seq = u64::from_le_bytes(body[..8].try_into().unwrap());
+                        let seq = u64::from_le_bytes(body[..8].try_into().unwrap()); // lint-ok(panic-freedom): body.len() >= 8 was checked on the previous line
                         Some(WalOp::decode(&body[8..]).map(|op| (seq, op, total)))
                     })();
                     match frame {

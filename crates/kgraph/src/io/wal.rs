@@ -273,14 +273,14 @@ pub fn read(path: impl AsRef<Path>) -> Result<WalReplay> {
             if buf.len() - pos < 4 {
                 return None;
             }
-            let body_len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+            let body_len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize; // lint-ok(panic-freedom): the length guard above ensures the slice is in bounds and exactly sized
             let total = 4 + body_len + 8;
             if buf.len() - pos < total {
                 return None;
             }
             let body = &buf[pos + 4..pos + 4 + body_len];
             let stored =
-                u64::from_le_bytes(buf[pos + 4 + body_len..pos + total].try_into().unwrap());
+                u64::from_le_bytes(buf[pos + 4 + body_len..pos + total].try_into().unwrap()); // lint-ok(panic-freedom): the length guard above ensures the slice is in bounds and exactly sized
             if checksum64(body) != stored {
                 return None;
             }

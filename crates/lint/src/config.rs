@@ -1,0 +1,290 @@
+//! `lint.toml` — the declared invariants the passes check against.
+//!
+//! The build is offline and the workspace is std-only, so this module
+//! hand-parses the subset of TOML the config actually uses: `[table]`
+//! headers, `[[array-of-tables]]` headers, and `key = value` lines where a
+//! value is a string, a bool, or a (possibly multi-line) string array.
+
+use std::fmt;
+
+/// One declared lock class: a name used in the hierarchy plus the
+/// (file-suffix, receiver-identifiers) pair that identifies acquisition
+/// sites of this lock in source.
+#[derive(Debug, Clone)]
+pub struct LockDecl {
+    /// Name referenced by `[lock_order].hierarchy`.
+    pub class: String,
+    /// Workspace-relative path suffix, e.g. `sgq/src/live.rs`.
+    pub file: String,
+    /// Final identifier of the receiver expression (`self.rebuild` → `rebuild`).
+    pub receivers: Vec<String>,
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Declared lock classes.
+    pub locks: Vec<LockDecl>,
+    /// Total order on lock classes: a thread holding class at index `i` may
+    /// only acquire classes at index `> i`.
+    pub hierarchy: Vec<String>,
+    /// File suffixes whose `Ordering::Relaxed` uses are on the audit
+    /// surface (must carry waivers).
+    pub atomic_audit: Vec<String>,
+    /// File-suffix prefixes of serving-path code for the panic-freedom pass.
+    pub panic_paths: Vec<String>,
+    /// Subset of serving-path files where raw slice indexing is also denied
+    /// (the request-facing tier, where an out-of-bounds panic would take a
+    /// query down instead of degrading it).
+    pub panic_index_paths: Vec<String>,
+    /// Pre-waive `.lock().unwrap()` / `.read().unwrap()` / `.write().unwrap()`
+    /// and `Condvar::wait(..).unwrap()`: lock poisoning means another thread
+    /// already panicked, and propagating the poison is the documented policy.
+    pub allow_lock_poisoning: bool,
+    /// File-suffix prefixes of answer-affecting modules for the
+    /// determinism pass.
+    pub determinism_paths: Vec<String>,
+}
+
+/// A parse failure with its 1-indexed line.
+#[derive(Debug)]
+pub struct ConfigError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// Parses the TOML subset described in the module docs.
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+                section = format!("[[{name}]]");
+                if name.trim() == "lock" {
+                    cfg.locks.push(LockDecl {
+                        class: String::new(),
+                        file: String::new(),
+                        receivers: Vec::new(),
+                    });
+                } else {
+                    return Err(err(lineno, format!("unknown array-of-tables [[{name}]]")));
+                }
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                section = name.trim().to_string();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(err(lineno, format!("expected `key = value`, got `{line}`")));
+            };
+            let key = key.trim();
+            let mut value = value.trim().to_string();
+            // Multi-line arrays: keep consuming lines until brackets balance.
+            while value.starts_with('[') && !value.ends_with(']') {
+                let Some((_, next)) = lines.next() else {
+                    return Err(err(lineno, format!("unterminated array for `{key}`")));
+                };
+                value.push(' ');
+                value.push_str(strip_comment(next).trim());
+            }
+            apply_key(&mut cfg, &section, key, &value, lineno)?;
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        for decl in &self.locks {
+            if decl.class.is_empty() || decl.file.is_empty() || decl.receivers.is_empty() {
+                return Err(err(
+                    0,
+                    format!(
+                        "[[lock]] `{}` must set class, file, and receivers",
+                        decl.class
+                    ),
+                ));
+            }
+            if !self.hierarchy.contains(&decl.class) {
+                return Err(err(
+                    0,
+                    format!(
+                        "lock class `{}` is not listed in [lock_order].hierarchy",
+                        decl.class
+                    ),
+                ));
+            }
+        }
+        for class in &self.hierarchy {
+            if !self.locks.iter().any(|d| &d.class == class) {
+                return Err(err(
+                    0,
+                    format!("hierarchy entry `{class}` has no [[lock]] declaration"),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn apply_key(
+    cfg: &mut Config,
+    section: &str,
+    key: &str,
+    value: &str,
+    lineno: usize,
+) -> Result<(), ConfigError> {
+    match (section, key) {
+        ("[[lock]]", "class") => last_lock(cfg, lineno)?.class = parse_string(value, lineno)?,
+        ("[[lock]]", "file") => last_lock(cfg, lineno)?.file = parse_string(value, lineno)?,
+        ("[[lock]]", "receivers") => {
+            last_lock(cfg, lineno)?.receivers = parse_string_array(value, lineno)?;
+        }
+        ("lock_order", "hierarchy") => cfg.hierarchy = parse_string_array(value, lineno)?,
+        ("atomic_ordering", "audit") => cfg.atomic_audit = parse_string_array(value, lineno)?,
+        ("panic_freedom", "paths") => cfg.panic_paths = parse_string_array(value, lineno)?,
+        ("panic_freedom", "index_paths") => {
+            cfg.panic_index_paths = parse_string_array(value, lineno)?;
+        }
+        ("panic_freedom", "allow_lock_poisoning") => {
+            cfg.allow_lock_poisoning = parse_bool(value, lineno)?;
+        }
+        ("determinism", "paths") => cfg.determinism_paths = parse_string_array(value, lineno)?,
+        _ => {
+            return Err(err(
+                lineno,
+                format!("unknown key `{key}` in section `{section}`"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn last_lock(cfg: &mut Config, lineno: usize) -> Result<&mut LockDecl, ConfigError> {
+    cfg.locks
+        .last_mut()
+        .ok_or_else(|| err(lineno, "key outside a [[lock]] entry".into()))
+}
+
+fn parse_string(value: &str, lineno: usize) -> Result<String, ConfigError> {
+    value
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| err(lineno, format!("expected a quoted string, got `{value}`")))
+}
+
+fn parse_bool(value: &str, lineno: usize) -> Result<bool, ConfigError> {
+    match value {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        _ => Err(err(lineno, format!("expected true/false, got `{value}`"))),
+    }
+}
+
+fn parse_string_array(value: &str, lineno: usize) -> Result<Vec<String>, ConfigError> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| err(lineno, format!("expected an array, got `{value}`")))?;
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        out.push(parse_string(item, lineno)?);
+    }
+    Ok(out)
+}
+
+/// Strips a `#` comment, but not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn err(line: usize, message: String) -> ConfigError {
+    ConfigError { line, message }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# comment
+[[lock]]
+class = "live.rebuild"
+file = "sgq/src/live.rs"
+receivers = ["rebuild"]
+
+[[lock]]
+class = "live.current"
+file = "sgq/src/live.rs"
+receivers = ["current"]
+
+[lock_order]
+hierarchy = [
+    "live.rebuild",  # outer
+    "live.current",  # inner
+]
+
+[atomic_ordering]
+audit = ["sgq/src/trace.rs"]
+
+[panic_freedom]
+paths = ["sgq/src"]
+allow_lock_poisoning = true
+
+[determinism]
+paths = ["sgq/src/engine.rs"]
+"#;
+
+    #[test]
+    fn parses_the_full_shape() {
+        let cfg = Config::parse(SAMPLE).unwrap();
+        assert_eq!(cfg.locks.len(), 2);
+        assert_eq!(cfg.locks[0].class, "live.rebuild");
+        assert_eq!(cfg.locks[0].receivers, vec!["rebuild"]);
+        assert_eq!(cfg.hierarchy, vec!["live.rebuild", "live.current"]);
+        assert_eq!(cfg.atomic_audit, vec!["sgq/src/trace.rs"]);
+        assert!(cfg.allow_lock_poisoning);
+        assert_eq!(cfg.determinism_paths, vec!["sgq/src/engine.rs"]);
+    }
+
+    #[test]
+    fn rejects_undeclared_hierarchy_entries() {
+        let broken = SAMPLE.replace("\"live.current\",  # inner", "\"live.current\", \"ghost\",");
+        let e = Config::parse(&broken).unwrap_err();
+        assert!(e.message.contains("ghost"));
+    }
+
+    #[test]
+    fn rejects_unknown_keys() {
+        let e = Config::parse("[panic_freedom]\nnope = true\n").unwrap_err();
+        assert!(e.message.contains("nope"));
+    }
+}

@@ -1,0 +1,365 @@
+//! A hand-rolled Rust line scanner.
+//!
+//! The passes never look at raw source text: they look at [`SourceFile`],
+//! where every line has been split into *code* (string/char literals and
+//! comments blanked out, column positions preserved) and *comment* text
+//! (where `SAFETY:` justifications and `lint-ok` waivers live), plus the
+//! brace depth at the start of the line and whether the line sits inside
+//! test-only code (`#[cfg(test)]` modules, `#[test]`/`#[bench]` functions).
+//!
+//! This is deliberately not a full parser. The rules the passes enforce are
+//! lexical invariants (a token may not appear here without a justification
+//! there), and a masking scanner is enough to make the token search sound
+//! against the classic false positives — `"panic!"` inside a string, an
+//! `unwrap()` in a doc example, a `Mutex` mentioned in a comment.
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Code text with every string/char-literal byte and comment byte
+    /// replaced by a space — byte offsets match the original line, so a
+    /// match position is a real column.
+    pub code: String,
+    /// Concatenated comment text of the line (line comments and any block
+    /// comment content that crosses it).
+    pub comment: String,
+    /// Number of braces open *before* this line.
+    pub depth_before: u32,
+    /// Number of braces open *after* this line.
+    pub depth_after: u32,
+    /// True when the line is inside `#[cfg(test)]` / `#[test]` /
+    /// `#[bench]` scoped code (the passes skip these lines).
+    pub in_test: bool,
+}
+
+/// A scanned file: path (workspace-relative, `/`-separated) plus lines.
+#[derive(Debug)]
+pub struct SourceFile {
+    pub path: String,
+    pub lines: Vec<Line>,
+}
+
+impl SourceFile {
+    /// Scans `text` into masked lines (see module docs).
+    pub fn scan(path: impl Into<String>, text: &str) -> Self {
+        let mut lines = scan_lines(text);
+        mark_test_regions(&mut lines);
+        Self {
+            path: path.into(),
+            lines,
+        }
+    }
+
+    /// 1-indexed iteration over non-test lines.
+    pub fn code_lines(&self) -> impl Iterator<Item = (usize, &Line)> {
+        self.lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.in_test)
+            .map(|(i, l)| (i + 1, l))
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    /// Nested block comment depth.
+    Block(u32),
+    Str,
+    /// Raw string with this many `#`s.
+    RawStr(u32),
+}
+
+fn scan_lines(text: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    let mut mode = Mode::Code;
+    let mut depth: u32 = 0;
+    for raw in text.lines() {
+        let bytes = raw.as_bytes();
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let depth_before = depth;
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            match mode {
+                Mode::Block(d) => {
+                    if raw[i..].starts_with("/*") {
+                        mode = Mode::Block(d + 1);
+                        comment.push_str("/*");
+                        code.push_str("  ");
+                        i += 2;
+                    } else if raw[i..].starts_with("*/") {
+                        mode = if d == 1 {
+                            Mode::Code
+                        } else {
+                            Mode::Block(d - 1)
+                        };
+                        comment.push_str("*/");
+                        code.push_str("  ");
+                        i += 2;
+                    } else {
+                        comment.push(c);
+                        push_masked(&mut code, raw, i);
+                        i += raw[i..].chars().next().map_or(1, char::len_utf8);
+                    }
+                }
+                Mode::Str => {
+                    if c == '\\' {
+                        code.push_str("  ");
+                        i += 2; // skip the escaped byte (possibly the quote)
+                    } else {
+                        if c == '"' {
+                            mode = Mode::Code;
+                        }
+                        push_masked(&mut code, raw, i);
+                        i += raw[i..].chars().next().map_or(1, char::len_utf8);
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    if c == '"'
+                        && raw[i + 1..]
+                            .bytes()
+                            .take(hashes as usize)
+                            .eq(std::iter::repeat_n(b'#', hashes as usize))
+                    {
+                        for _ in 0..=hashes {
+                            code.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                        mode = Mode::Code;
+                    } else {
+                        push_masked(&mut code, raw, i);
+                        i += raw[i..].chars().next().map_or(1, char::len_utf8);
+                    }
+                }
+                Mode::Code => {
+                    if raw[i..].starts_with("//") {
+                        comment.push_str(&raw[i..]);
+                        for _ in raw[i..].chars() {
+                            code.push(' ');
+                        }
+                        i = bytes.len();
+                    } else if raw[i..].starts_with("/*") {
+                        mode = Mode::Block(1);
+                        comment.push_str("/*");
+                        code.push_str("  ");
+                        i += 2;
+                    } else if c == '"' {
+                        mode = Mode::Str;
+                        code.push(' ');
+                        i += 1;
+                    } else if let Some(hashes) = raw_string_open(raw, i) {
+                        // r"..." / r#"..."# / br##"..."## — mask the opener.
+                        let opener = 1 + hashes as usize + 1; // r + #s + "
+                        for _ in 0..opener {
+                            code.push(' ');
+                        }
+                        i += opener;
+                        mode = Mode::RawStr(hashes);
+                    } else if c == '\'' {
+                        // Char literal vs lifetime: 'x' / '\n' are literals,
+                        // 'a (no closing quote right after) is a lifetime.
+                        if let Some(len) = char_literal_len(raw, i) {
+                            for _ in 0..len {
+                                code.push(' ');
+                            }
+                            i += len;
+                        } else {
+                            code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        if c == '{' {
+                            depth += 1;
+                        } else if c == '}' {
+                            depth = depth.saturating_sub(1);
+                        }
+                        code.push(c);
+                        i += raw[i..].chars().next().map_or(1, char::len_utf8) - 1 + 1;
+                    }
+                }
+            }
+        }
+        out.push(Line {
+            code,
+            comment,
+            depth_before,
+            depth_after: depth,
+            in_test: false,
+        });
+    }
+    out
+}
+
+/// Pushes one space per byte of the char at `i` so byte columns stay true.
+fn push_masked(code: &mut String, raw: &str, i: usize) {
+    let len = raw[i..].chars().next().map_or(1, char::len_utf8);
+    for _ in 0..len {
+        code.push(' ');
+    }
+}
+
+/// Detects `r"`, `r#"`, `br##"` etc. at byte `i`; returns the hash count.
+fn raw_string_open(raw: &str, i: usize) -> Option<u32> {
+    let bytes = raw.as_bytes();
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return None;
+    }
+    // An identifier ending in `r`/`br` (e.g. `for`, `ptr`) must not open a
+    // raw string: require a non-ident char before position i.
+    if i > 0 && is_ident_byte(bytes[i - 1]) {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+/// Length in bytes of a char literal starting at `i` (which holds `'`), or
+/// `None` when it is a lifetime.
+fn char_literal_len(raw: &str, i: usize) -> Option<usize> {
+    let rest = &raw[i + 1..];
+    let mut chars = rest.char_indices();
+    let (_, first) = chars.next()?;
+    if first == '\\' {
+        // Escape: find the closing quote.
+        for (j, c) in chars {
+            if c == '\'' {
+                return Some(i + 1 + j + 1 - i);
+            }
+        }
+        None
+    } else {
+        let (j, next) = chars.next()?;
+        (next == '\'').then(|| 1 + j + 1)
+    }
+}
+
+pub(crate) fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Marks lines covered by `#[cfg(test)]` blocks and `#[test]`/`#[bench]`
+/// items. An attribute arms the *next* item; the item's whole brace block
+/// (to the depth the attribute was seen at) is marked.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut i = 0;
+    while i < lines.len() {
+        let code = lines[i].code.trim();
+        let arms = code.contains("#[cfg(test)]")
+            || code.contains("#[cfg(all(test")
+            || code == "#[test]"
+            || code.contains("#[test]")
+            || code.contains("#[bench]");
+        if arms && !lines[i].in_test {
+            let base = lines[i].depth_before;
+            lines[i].in_test = true;
+            // Mark until the armed item's block closes back to `base`.
+            let mut j = i + 1;
+            let mut entered = lines[i].depth_after > base;
+            while j < lines.len() {
+                lines[j].in_test = true;
+                if entered && lines[j].depth_after <= base {
+                    break;
+                }
+                if lines[j].depth_after > base {
+                    entered = true;
+                }
+                // An attribute armed a braceless item (e.g. `#[test] fn x();`
+                // can't happen, but a stray attribute shouldn't eat the file).
+                if !entered
+                    && j > i + 2
+                    && lines[j].depth_after <= base
+                    && lines[j].code.contains(';')
+                {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_masked() {
+        let f = SourceFile::scan(
+            "x.rs",
+            "let s = \"unwrap() panic!\"; // lint-ok(x): trailing\nlet c = 'a'; let lt: &'static str = \"\";\n",
+        );
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].comment.contains("lint-ok(x): trailing"));
+        assert!(f.lines[0].code.contains("let s ="));
+        assert!(!f.lines[1].code.contains("'a'"), "char literal masked");
+        assert!(f.lines[1].code.contains("static"), "lifetime kept");
+    }
+
+    #[test]
+    fn raw_strings_span_lines() {
+        let f = SourceFile::scan("x.rs", "let s = r#\"one\nunwrap()\ntwo\"#; done();\n");
+        assert!(!f.lines[1].code.contains("unwrap"));
+        assert!(f.lines[2].code.contains("done();"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let f = SourceFile::scan("x.rs", "/* a /* b */ still comment\nend */ code();\n");
+        assert!(!f.lines[0].code.contains("still"));
+        assert!(f.lines[1].code.contains("code();"));
+        assert!(f.lines[0].comment.contains("still comment"));
+    }
+
+    #[test]
+    fn depth_tracks_braces_outside_strings() {
+        let f = SourceFile::scan("x.rs", "fn f() {\n    let s = \"}\";\n}\n");
+        assert_eq!(f.lines[0].depth_before, 0);
+        assert_eq!(f.lines[0].depth_after, 1);
+        assert_eq!(f.lines[1].depth_after, 1, "brace in string must not count");
+        assert_eq!(f.lines[2].depth_after, 0);
+    }
+
+    #[test]
+    fn cfg_test_modules_are_skipped() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn live2() {}\n";
+        let f = SourceFile::scan("x.rs", src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test, "code after the test module is live");
+    }
+
+    #[test]
+    fn test_fns_outside_test_modules_are_skipped() {
+        let src = "#[test]\nfn t() {\n    x.unwrap();\n}\nfn live() {}\n";
+        let f = SourceFile::scan("x.rs", src);
+        assert!(f.lines[2].in_test);
+        assert!(!f.lines[4].in_test);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = SourceFile::scan("x.rs", "fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert!(f.lines[0].code.contains("fn f<'a>"));
+        assert_eq!(f.lines[0].depth_after, 0);
+    }
+}

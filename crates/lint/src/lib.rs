@@ -1,0 +1,300 @@
+//! `semkg-lint` — the workspace invariant analyzer.
+//!
+//! The repo's core guarantees — bit-identical answers across
+//! kernel/shard/trace/recovery paths, a serving tier that degrades instead
+//! of crashing, and lock-free stats that never overcount — are enforced
+//! dynamically by the differential tests. This crate writes the same
+//! contracts down as machine-checked *static* rules: five passes walk every
+//! workspace source file (through the masking lexer in [`lexer`]) and deny
+//! violations unless a waiver comment explains why the site is sound (see
+//! `crates/lint/README.md` for the syntax).
+//!
+//! Rules (see `crates/lint/README.md` for the full catalog):
+//!
+//! | rule             | contract it guards                                        |
+//! |------------------|-----------------------------------------------------------|
+//! | `lock-order`     | no hold-while-acquiring against the declared hierarchy    |
+//! | `atomic-ordering`| every `Relaxed` on the audit surface is justified; no `SeqCst` |
+//! | `panic-freedom`  | serving paths degrade, they do not `unwrap`               |
+//! | `determinism`    | answer-affecting modules stay clock- and hash-order-free  |
+//! | `unsafe-audit`   | every `unsafe` block carries a `SAFETY:` comment          |
+//!
+//! Waivers are themselves checked: an empty reason is a finding
+//! (`waiver-reason`), and a waiver that suppresses nothing is a finding
+//! (`unused-waiver`) — so the waiver inventory cannot silently rot.
+
+pub mod config;
+pub mod lexer;
+pub mod passes;
+
+pub use config::Config;
+pub use lexer::{Line, SourceFile};
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint finding, printed as `path:line: rule: message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub path: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A waiver comment (rule + reason) collected from one file.
+#[derive(Debug, Clone)]
+struct Waiver {
+    rule: String,
+    /// 1-indexed line of the waiver comment itself.
+    at: usize,
+    /// 1-indexed code line the waiver applies to (same line for trailing
+    /// waivers; the next code line for standalone comment lines).
+    target: usize,
+    used: bool,
+}
+
+/// Collects waivers from a scanned file.
+///
+/// A waiver written as a trailing comment applies to its own line; a waiver
+/// on a standalone comment line applies to the next line that contains code
+/// (consecutive standalone waivers may stack above one line). Waivers inside
+/// test regions are ignored, like everything else there.
+fn collect_waivers(file: &SourceFile) -> (Vec<Waiver>, Vec<Finding>) {
+    let mut waivers = Vec::new();
+    let mut findings = Vec::new();
+    for (lineno, line) in file.lines.iter().enumerate().map(|(i, l)| (i + 1, l)) {
+        if line.in_test {
+            continue;
+        }
+        let Some(pos) = line.comment.find("lint-ok(") else {
+            continue;
+        };
+        let rest = &line.comment[pos + "lint-ok(".len()..];
+        let Some(close) = rest.find(')') else {
+            findings.push(Finding {
+                path: file.path.clone(),
+                line: lineno,
+                rule: "waiver-reason",
+                message: "malformed waiver: missing `)` after lint-ok(rule".into(),
+            });
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let after = rest[close + 1..].trim_start();
+        let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            findings.push(Finding {
+                path: file.path.clone(),
+                line: lineno,
+                rule: "waiver-reason",
+                message: format!("waiver for `{rule}` must carry a reason: `// lint-ok({rule}): <why this site is sound>`"),
+            });
+        }
+        let standalone = line.code.trim().is_empty();
+        let target = if standalone {
+            // Applies to the next line that has code on it.
+            file.lines
+                .iter()
+                .enumerate()
+                .skip(lineno)
+                .find(|(_, l)| !l.code.trim().is_empty())
+                .map(|(i, _)| i + 1)
+                .unwrap_or(lineno)
+        } else {
+            lineno
+        };
+        waivers.push(Waiver {
+            rule,
+            at: lineno,
+            target,
+            used: false,
+        });
+    }
+    (waivers, findings)
+}
+
+/// Runs every pass over `files` and applies waiver suppression.
+///
+/// Returns the surviving findings, sorted by path then line. Waived
+/// findings are dropped; waivers that matched nothing surface as
+/// `unused-waiver` findings so stale waivers cannot accumulate.
+pub fn run(config: &Config, files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in files {
+        let (mut waivers, waiver_findings) = collect_waivers(file);
+        out.extend(waiver_findings);
+
+        let mut raw = Vec::new();
+        raw.extend(passes::lock_order::check(config, file));
+        raw.extend(passes::atomic_ordering::check(config, file));
+        raw.extend(passes::panic_freedom::check(config, file));
+        raw.extend(passes::determinism::check(config, file));
+        raw.extend(passes::unsafe_audit::check(file));
+
+        for finding in raw {
+            let waived = waivers
+                .iter_mut()
+                .find(|w| w.rule == finding.rule && w.target == finding.line);
+            match waived {
+                // A reasonless waiver still suppresses the underlying
+                // finding — its own `waiver-reason` finding already fails
+                // the build, and one clear message beats two.
+                Some(w) => w.used = true,
+                None => out.push(finding),
+            }
+        }
+
+        for w in waivers.iter().filter(|w| !w.used) {
+            out.push(Finding {
+                path: file.path.clone(),
+                line: w.at,
+                rule: "unused-waiver",
+                message: format!(
+                    "waiver for `{}` suppresses nothing on line {} — remove it or fix the target",
+                    w.rule, w.target
+                ),
+            });
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    out
+}
+
+/// Collects the workspace `.rs` files the lint walks: `src/**` of the root
+/// crate and of every crate under `crates/` — not `vendor/` (external shims
+/// with their own contracts), not `target/`, and not `tests/`/`benches/`
+/// (test-only code is exactly what the rules exempt).
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut out)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut entries: Vec<_> = std::fs::read_dir(&crates)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for krate in entries {
+            let src = krate.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut out)?;
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Loads and scans the workspace rooted at `root` and runs every pass.
+///
+/// `root` must contain `lint.toml`. Paths in findings are reported relative
+/// to `root` with `/` separators regardless of platform.
+pub fn run_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let config_text = std::fs::read_to_string(root.join("lint.toml"))
+        .map_err(|e| format!("{}: {e}", root.join("lint.toml").display()))?;
+    let config = Config::parse(&config_text).map_err(|e| e.to_string())?;
+    let paths = workspace_files(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut files = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        files.push(SourceFile::scan(rel, &text));
+    }
+    Ok(run(&config, &files))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_config() -> Config {
+        Config::default()
+    }
+
+    #[test]
+    fn trailing_waiver_suppresses_and_is_used() {
+        let cfg = empty_config();
+        let file = SourceFile::scan(
+            "x.rs",
+            "unsafe { core(); } // lint-ok(unsafe-audit): covered by outer invariant\n",
+        );
+        let findings = run(&cfg, &[file]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn standalone_waiver_applies_to_next_code_line() {
+        let cfg = empty_config();
+        let file = SourceFile::scan(
+            "x.rs",
+            "// lint-ok(unsafe-audit): covered by outer invariant\nunsafe { core(); }\n",
+        );
+        let findings = run(&cfg, &[file]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn waiver_without_reason_is_a_finding() {
+        let cfg = empty_config();
+        let file = SourceFile::scan("x.rs", "unsafe { core(); } // lint-ok(unsafe-audit)\n");
+        let findings = run(&cfg, &[file]);
+        assert!(findings.iter().any(|f| f.rule == "waiver-reason"));
+    }
+
+    #[test]
+    fn unused_waiver_is_a_finding() {
+        let cfg = empty_config();
+        let file = SourceFile::scan(
+            "x.rs",
+            "let x = 1; // lint-ok(unsafe-audit): nothing here\n",
+        );
+        let findings = run(&cfg, &[file]);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "unused-waiver");
+    }
+
+    #[test]
+    fn waiver_for_wrong_rule_does_not_suppress() {
+        let cfg = empty_config();
+        let file = SourceFile::scan(
+            "x.rs",
+            "unsafe { core(); } // lint-ok(determinism): wrong rule\n",
+        );
+        let findings = run(&cfg, &[file]);
+        assert!(findings.iter().any(|f| f.rule == "unsafe-audit"));
+        assert!(findings.iter().any(|f| f.rule == "unused-waiver"));
+    }
+}

@@ -1,0 +1,84 @@
+//! `semkg-lint` — walk the workspace, run every pass, print findings as
+//! `path:line: rule: message`, exit nonzero if anything un-waived survives.
+//!
+//! Usage: `cargo run -p semkg-lint [-- --root <dir>]`. Without `--root` the
+//! tool ascends from the current directory to the first ancestor holding a
+//! `lint.toml` (so it works from any crate directory and from CI).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("semkg-lint: --root requires a directory");
+                    return ExitCode::from(2);
+                };
+                root = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                println!("semkg-lint: workspace invariant analyzer");
+                println!("usage: semkg-lint [--root <dir>]");
+                println!(
+                    "rules: lock-order atomic-ordering panic-freedom determinism unsafe-audit"
+                );
+                println!("waive: // lint-ok(<rule>): <reason>");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("semkg-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => match discover_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("semkg-lint: no lint.toml found in any ancestor directory (pass --root)");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    match semkg_lint::run_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("semkg-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!(
+                "semkg-lint: {} finding{} — fix, or waive with `// lint-ok(<rule>): <reason>`",
+                findings.len(),
+                if findings.len() == 1 { "" } else { "s" }
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("semkg-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// First ancestor of the current directory containing `lint.toml`.
+fn discover_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! `atomic-ordering`: the audit surface for the lock-free counters.
+//!
+//! Two sides of the same contract:
+//!
+//! * `Ordering::Relaxed` in a file on the configured audit surface must be
+//!   waived with a written reason. Relaxed is usually right for monotone
+//!   telemetry counters, but "usually" is exactly what the PR 7
+//!   scheduler-counter race got wrong — so each site says *why* relaxed
+//!   cannot reorder into another thread's decision.
+//! * `Ordering::SeqCst` is denied everywhere unless waived: the workspace's
+//!   synchronization is acquire/release-shaped, and a SeqCst that "fixes"
+//!   something is hiding a protocol bug behind the strongest fence.
+
+use super::{path_matches, token_positions};
+use crate::config::Config;
+use crate::lexer::SourceFile;
+use crate::Finding;
+
+pub fn check(config: &Config, file: &SourceFile) -> Vec<Finding> {
+    let audited = path_matches(&file.path, &config.atomic_audit);
+    let mut out = Vec::new();
+    for (lineno, line) in file.code_lines() {
+        if audited && !token_positions(&line.code, "Ordering::Relaxed").is_empty() {
+            out.push(Finding {
+                path: file.path.clone(),
+                line: lineno,
+                rule: "atomic-ordering",
+                message: "`Ordering::Relaxed` on the audit surface — waive with the reason this cannot reorder into another thread's decision".into(),
+            });
+        }
+        if !token_positions(&line.code, "Ordering::SeqCst").is_empty() {
+            out.push(Finding {
+                path: file.path.clone(),
+                line: lineno,
+                rule: "atomic-ordering",
+                message: "`Ordering::SeqCst` is overly strong — use acquire/release and state the protocol, or waive with the reason a total order is required".into(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config {
+            atomic_audit: vec!["audited.rs".into()],
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn relaxed_in_audited_file_is_flagged() {
+        let f = SourceFile::scan("audited.rs", "x.fetch_add(1, Ordering::Relaxed);\n");
+        assert_eq!(check(&cfg(), &f).len(), 1);
+    }
+
+    #[test]
+    fn relaxed_outside_audit_surface_is_clean() {
+        let f = SourceFile::scan("other.rs", "x.fetch_add(1, Ordering::Relaxed);\n");
+        assert!(check(&cfg(), &f).is_empty());
+    }
+
+    #[test]
+    fn seqcst_is_flagged_everywhere() {
+        let f = SourceFile::scan("other.rs", "x.store(1, Ordering::SeqCst);\n");
+        assert_eq!(check(&cfg(), &f).len(), 1);
+    }
+
+    #[test]
+    fn acquire_release_are_clean() {
+        let f = SourceFile::scan(
+            "audited.rs",
+            "x.store(1, Ordering::Release);\nlet v = x.load(Ordering::Acquire);\n",
+        );
+        assert!(check(&cfg(), &f).is_empty());
+    }
+}

@@ -1,0 +1,89 @@
+//! `determinism`: the bit-identity contract behind every
+//! `tests/*_differential.rs`.
+//!
+//! Modules declared answer-affecting in `lint.toml` must produce identical
+//! results run-to-run and machine-to-machine, so they may not consult the
+//! clock (`Instant::now`, `SystemTime`) or iterate a randomized-seed
+//! `std::collections::HashMap`/`HashSet` (iteration order leaks into answer
+//! order). The workspace uses `FxHashMap` — a fixed-seed hasher — in
+//! answer-affecting code; the word-boundary match deliberately does not
+//! fire on it.
+
+use super::{path_matches, token_positions};
+use crate::config::Config;
+use crate::lexer::SourceFile;
+use crate::Finding;
+
+const TOKENS: &[(&str, &str)] = &[
+    (
+        "Instant::now",
+        "clock read in an answer-affecting module — time must not influence results (move to telemetry or waive with why it cannot)",
+    ),
+    (
+        "SystemTime",
+        "wall-clock in an answer-affecting module — time must not influence results",
+    ),
+    (
+        "HashMap",
+        "std HashMap in an answer-affecting module — iteration order is run-randomized; use FxHashMap",
+    ),
+    (
+        "HashSet",
+        "std HashSet in an answer-affecting module — iteration order is run-randomized; use FxHashSet",
+    ),
+];
+
+pub fn check(config: &Config, file: &SourceFile) -> Vec<Finding> {
+    if !path_matches(&file.path, &config.determinism_paths) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (lineno, line) in file.code_lines() {
+        for (token, message) in TOKENS {
+            if !token_positions(&line.code, token).is_empty() {
+                out.push(Finding {
+                    path: file.path.clone(),
+                    line: lineno,
+                    rule: "determinism",
+                    message: format!("`{token}`: {message}"),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config {
+            determinism_paths: vec!["engine.rs".into()],
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn clock_reads_are_flagged() {
+        let f = SourceFile::scan("engine.rs", "let t = Instant::now();\n");
+        assert_eq!(check(&cfg(), &f).len(), 1);
+    }
+
+    #[test]
+    fn std_hashmap_is_flagged_but_fxhashmap_is_not() {
+        let f = SourceFile::scan(
+            "engine.rs",
+            "let a: HashMap<u32, u32> = HashMap::new();\nlet b: FxHashMap<u32, u32> = FxHashMap::default();\n",
+        );
+        let findings = check(&cfg(), &f);
+        assert_eq!(findings.len(), 1, "{findings:?}"); // one finding per token kind per line
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn files_off_the_contract_are_clean() {
+        let f = SourceFile::scan("telemetry.rs", "let t = Instant::now();\n");
+        assert!(check(&cfg(), &f).is_empty());
+    }
+}

@@ -1,0 +1,384 @@
+//! `lock-order`: no hold-while-acquiring against the declared hierarchy.
+//!
+//! `lint.toml` declares every lock in the workspace as a `[[lock]]` entry
+//! (class name + file + receiver identifiers) and a total order over the
+//! classes (`[lock_order].hierarchy`). This pass walks each function's
+//! statements tracking which lock guards are live, and on every acquisition
+//! checks that the new lock ranks strictly *after* everything currently
+//! held. A back-edge (or re-acquiring a held class) is the textbook
+//! two-thread deadlock shape, so it is denied even if today only one code
+//! path takes it.
+//!
+//! The analysis is intra-procedural and lexical, which is the documented
+//! limitation: a guard returned from a helper and held across a call into
+//! another locking function is invisible here (the differential and stress
+//! tests remain the dynamic backstop). What the pass *can* see it tracks
+//! precisely:
+//!
+//! * a guard is **held** when the statement binds it and nothing trails the
+//!   acquisition — `let g = x.lock().unwrap();`, `let Ok(g) = x.try_lock()
+//!   else { .. }`, `if let Ok(g) = x.try_lock() {`. A chain that continues
+//!   (`x.lock().unwrap().clone()`) is a statement temporary: it still
+//!   records held-while-acquiring edges at the acquisition instant, but is
+//!   released at the semicolon;
+//! * a guard dies at `drop(g)` or when its enclosing block closes;
+//! * `.lock()`/`.try_lock()` receivers must be declared (the inventory is
+//!   part of the contract: an undeclared Mutex is a finding);
+//!   `.read()`/`.write()` count only for declared receivers, so
+//!   `io::Read`/`io::Write` calls do not alias into the analysis.
+
+use super::token_positions;
+use crate::config::{Config, LockDecl};
+use crate::lexer::{is_ident_byte, SourceFile};
+use crate::Finding;
+
+/// A live guard: hierarchy rank, the depth its block opened at, and the
+/// binding name (`None` for statement temporaries, which die immediately).
+struct Held {
+    rank: usize,
+    class: String,
+    depth: u32,
+    guard: Option<String>,
+}
+
+pub fn check(config: &Config, file: &SourceFile) -> Vec<Finding> {
+    if config.hierarchy.is_empty() {
+        return Vec::new();
+    }
+    let declared: Vec<&LockDecl> = config
+        .locks
+        .iter()
+        .filter(|d| file.path.ends_with(&d.file))
+        .collect();
+    let rank_of = |class: &str| config.hierarchy.iter().position(|c| c == class);
+
+    let mut out = Vec::new();
+    let mut held: Vec<Held> = Vec::new();
+    for (lineno, line) in file.code_lines() {
+        // Block closings release guards scoped to deeper blocks: a guard
+        // bound at depth d is dead once the line depth drops below d. This
+        // also resets the held set at function boundaries, since a sibling
+        // function's opening line sits below any guard's binding depth.
+        held.retain(|h| line.depth_after >= h.depth);
+
+        // drop(guard) releases by name.
+        for pos in token_positions(&line.code, "drop(") {
+            let inner: String = line.code[pos + "drop(".len()..]
+                .chars()
+                .take_while(|c| is_ident_byte(*c as u8) || *c == '.')
+                .collect();
+            let name = inner.rsplit('.').next().unwrap_or("").to_string();
+            held.retain(|h| h.guard.as_deref() != Some(name.as_str()));
+        }
+
+        let acquisitions = find_acquisitions(&line.code);
+        if acquisitions.is_empty() {
+            continue;
+        }
+        let bound_guard = binding_of(&line.code);
+        for acq in &acquisitions {
+            let decl = declared
+                .iter()
+                .find(|d| d.receivers.iter().any(|r| r == &acq.receiver));
+            let class = match (decl, acq.mutex_method) {
+                (Some(d), _) => d.class.clone(),
+                // Undeclared Mutex methods: the lock inventory is stale.
+                (None, true) => {
+                    out.push(Finding {
+                        path: file.path.clone(),
+                        line: lineno,
+                        rule: "lock-order",
+                        message: format!(
+                            "`.{}()` on undeclared lock `{}` — add a [[lock]] entry to lint.toml and place it in the hierarchy",
+                            acq.method, acq.receiver
+                        ),
+                    });
+                    continue;
+                }
+                // Undeclared .read()/.write(): not a lock (io traits etc.).
+                (None, false) => continue,
+            };
+            let Some(rank) = rank_of(&class) else {
+                continue; // Config::validate guarantees this; belt and braces.
+            };
+            for h in &held {
+                if rank <= h.rank {
+                    out.push(Finding {
+                        path: file.path.clone(),
+                        line: lineno,
+                        rule: "lock-order",
+                        message: if h.class == class {
+                            format!("re-acquiring `{class}` while already held — self-deadlock")
+                        } else {
+                            format!(
+                                "acquiring `{}` while holding `{}` violates the declared hierarchy ({} must come first)",
+                                class, h.class, class
+                            )
+                        },
+                    });
+                }
+            }
+            // Only a clean `let`-binding keeps the guard live past the
+            // statement; a continued chain is a temporary. An `if let` /
+            // `while let` binding scopes the guard to the block it opens;
+            // a plain `let` (including `let .. else {`) scopes it to the
+            // block the statement sits in.
+            if acq.clean_binding {
+                let t = line.code.trim_start();
+                let opens_block = t.starts_with("if let")
+                    || t.starts_with("while let")
+                    || t.starts_with("} else if let");
+                held.push(Held {
+                    rank,
+                    class,
+                    depth: if opens_block {
+                        line.depth_after
+                    } else {
+                        line.depth_before
+                    },
+                    guard: bound_guard.clone(),
+                });
+            }
+        }
+    }
+    out
+}
+
+struct Acquisition {
+    receiver: String,
+    method: &'static str,
+    /// `.lock()`/`.try_lock()` — always significant, even undeclared.
+    mutex_method: bool,
+    /// The statement binds the guard and ends right after the acquisition
+    /// (plus an optional `.unwrap()`/`.expect(..)`).
+    clean_binding: bool,
+}
+
+/// Finds lock-method calls on the line and classifies each.
+fn find_acquisitions(code: &str) -> Vec<Acquisition> {
+    let mut out = Vec::new();
+    for (method, mutex_method) in [
+        ("lock", true),
+        ("try_lock", true),
+        ("read", false),
+        ("write", false),
+    ] {
+        let needle = format!(".{method}()");
+        for pos in token_positions(code, &needle) {
+            let receiver = receiver_before(code, pos);
+            if receiver.is_empty() {
+                continue;
+            }
+            out.push(Acquisition {
+                receiver,
+                method,
+                mutex_method,
+                clean_binding: is_clean_binding(code, pos + needle.len()),
+            });
+        }
+    }
+    out
+}
+
+/// The final identifier of the receiver chain ending at byte `pos` (the
+/// `.` of the method call): `self.shared.state` → `state`.
+fn receiver_before(code: &str, pos: usize) -> String {
+    let bytes = code.as_bytes();
+    let mut end = pos;
+    let mut start = end;
+    while start > 0 && is_ident_byte(bytes[start - 1]) {
+        start -= 1;
+    }
+    // Tolerate one trailing `()` hop like `self.inner().lock()` — take the
+    // identifier anyway; receivers in lint.toml are final field names.
+    if start == end && start >= 2 && bytes[start - 1] == b')' && bytes[start - 2] == b'(' {
+        end = start - 2;
+        start = end;
+        while start > 0 && is_ident_byte(bytes[start - 1]) {
+            start -= 1;
+        }
+    }
+    code[start..end].to_string()
+}
+
+/// Whether the statement is `let [mut] g = recv.method()…;` (or a
+/// `let Ok(g) = … else {` / `if let Ok(g) = … {` form) with nothing after
+/// the acquisition except `.unwrap()` / `.expect(..)`.
+fn is_clean_binding(code: &str, after: usize) -> bool {
+    let trimmed = code.trim_start();
+    let binds = trimmed.starts_with("let ")
+        || trimmed.starts_with("if let ")
+        || trimmed.starts_with("while let ")
+        || trimmed.starts_with("} else if let ");
+    if !binds {
+        return false;
+    }
+    let mut rest = &code[after..];
+    if let Some(r) = rest.strip_prefix(".unwrap()") {
+        rest = r;
+    } else if let Some(r) = rest.strip_prefix(".expect(") {
+        // Masked string content: skip to the closing paren.
+        rest = r.split_once(')').map(|(_, r)| r).unwrap_or("");
+    }
+    matches!(rest.trim(), "" | ";" | "{" | "else {")
+}
+
+fn binding_of(code: &str) -> Option<String> {
+    let t = code.trim_start();
+    let t = t.strip_prefix("} else ").unwrap_or(t);
+    let t = t.strip_prefix("if ").unwrap_or(t);
+    let t = t.strip_prefix("while ").unwrap_or(t);
+    let t = t.strip_prefix("let ")?;
+    let t = t.strip_prefix("Ok(").unwrap_or(t);
+    let t = t.strip_prefix("mut ").unwrap_or(t);
+    let name: String = t.chars().take_while(|c| is_ident_byte(*c as u8)).collect();
+    (!name.is_empty()).then_some(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LockDecl;
+
+    fn cfg() -> Config {
+        Config {
+            locks: vec![
+                LockDecl {
+                    class: "outer".into(),
+                    file: "x.rs".into(),
+                    receivers: vec!["outer_lock".into()],
+                },
+                LockDecl {
+                    class: "inner".into(),
+                    file: "x.rs".into(),
+                    receivers: vec!["inner_lock".into()],
+                },
+            ],
+            hierarchy: vec!["outer".into(), "inner".into()],
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn forward_nesting_is_clean() {
+        let f = SourceFile::scan(
+            "x.rs",
+            "fn f(&self) {\n    let a = self.outer_lock.lock().unwrap();\n    let b = self.inner_lock.lock().unwrap();\n}\n",
+        );
+        assert!(check(&cfg(), &f).is_empty());
+    }
+
+    #[test]
+    fn back_edge_is_denied() {
+        let f = SourceFile::scan(
+            "x.rs",
+            "fn f(&self) {\n    let b = self.inner_lock.lock().unwrap();\n    let a = self.outer_lock.lock().unwrap();\n}\n",
+        );
+        let findings = check(&cfg(), &f);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0]
+            .message
+            .contains("violates the declared hierarchy"));
+    }
+
+    #[test]
+    fn reacquisition_is_denied() {
+        let f = SourceFile::scan(
+            "x.rs",
+            "fn f(&self) {\n    let a = self.outer_lock.lock().unwrap();\n    let b = self.outer_lock.lock().unwrap();\n}\n",
+        );
+        let findings = check(&cfg(), &f);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("self-deadlock"));
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        let f = SourceFile::scan(
+            "x.rs",
+            "fn f(&self) {\n    let b = self.inner_lock.lock().unwrap();\n    drop(b);\n    let a = self.outer_lock.lock().unwrap();\n}\n",
+        );
+        assert!(check(&cfg(), &f).is_empty());
+    }
+
+    #[test]
+    fn block_close_releases_the_guard() {
+        let f = SourceFile::scan(
+            "x.rs",
+            "fn f(&self) {\n    {\n        let b = self.inner_lock.lock().unwrap();\n    }\n    let a = self.outer_lock.lock().unwrap();\n}\n",
+        );
+        assert!(check(&cfg(), &f).is_empty());
+    }
+
+    #[test]
+    fn statement_temporary_does_not_stay_held() {
+        let f = SourceFile::scan(
+            "x.rs",
+            "fn f(&self) {\n    let n = self.inner_lock.lock().unwrap().len();\n    let a = self.outer_lock.lock().unwrap();\n}\n",
+        );
+        assert!(check(&cfg(), &f).is_empty());
+    }
+
+    #[test]
+    fn temporary_acquisition_while_held_still_records_the_edge() {
+        let f = SourceFile::scan(
+            "x.rs",
+            "fn f(&self) {\n    let b = self.inner_lock.lock().unwrap();\n    let n = self.outer_lock.lock().unwrap().len();\n}\n",
+        );
+        assert_eq!(check(&cfg(), &f).len(), 1);
+    }
+
+    #[test]
+    fn undeclared_mutex_is_flagged_but_undeclared_read_is_not() {
+        let f = SourceFile::scan(
+            "x.rs",
+            "fn f(&self) {\n    let g = self.mystery.lock().unwrap();\n    let n = file.read().unwrap();\n}\n",
+        );
+        let findings = check(&cfg(), &f);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("undeclared lock `mystery`"));
+    }
+
+    #[test]
+    fn try_lock_let_else_holds_the_guard() {
+        let f = SourceFile::scan(
+            "x.rs",
+            "fn f(&self) {\n    let Ok(b) = self.inner_lock.try_lock() else {\n        return;\n    };\n    let a = self.outer_lock.lock().unwrap();\n}\n",
+        );
+        assert_eq!(check(&cfg(), &f).len(), 1);
+    }
+
+    #[test]
+    fn functions_reset_the_held_set() {
+        let f = SourceFile::scan(
+            "x.rs",
+            "fn f(&self) {\n    let b = self.inner_lock.lock().unwrap();\n}\nfn g(&self) {\n    let a = self.outer_lock.lock().unwrap();\n}\n",
+        );
+        assert!(check(&cfg(), &f).is_empty());
+    }
+
+    #[test]
+    fn declared_rwlock_read_counts() {
+        let cfg = Config {
+            locks: vec![
+                LockDecl {
+                    class: "rw".into(),
+                    file: "x.rs".into(),
+                    receivers: vec!["table".into()],
+                },
+                LockDecl {
+                    class: "m".into(),
+                    file: "x.rs".into(),
+                    receivers: vec!["meta".into()],
+                },
+            ],
+            hierarchy: vec!["m".into(), "rw".into()],
+            ..Config::default()
+        };
+        let f = SourceFile::scan(
+            "x.rs",
+            "fn f(&self) {\n    let r = self.table.read().unwrap();\n    let g = self.meta.lock().unwrap();\n}\n",
+        );
+        assert_eq!(check(&cfg, &f).len(), 1, "read guard held, then back-edge");
+    }
+}

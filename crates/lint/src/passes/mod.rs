@@ -1,0 +1,53 @@
+//! The lint passes. Each pass is a free function
+//! `check(&Config, &SourceFile) -> Vec<Finding>` over masked lines; waiver
+//! suppression happens in [`crate::run`], not here.
+
+pub mod atomic_ordering;
+pub mod determinism;
+pub mod lock_order;
+pub mod panic_freedom;
+pub mod unsafe_audit;
+
+use crate::lexer::is_ident_byte;
+
+/// Byte offsets of word-boundary occurrences of `token` in `code`: the
+/// character before the match must not be an identifier character (so
+/// `HashMap` does not match inside `FxHashMap`), and when the token ends in
+/// an identifier character the one after must not be either.
+pub(crate) fn token_positions(code: &str, token: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let tbytes = token.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(token) {
+        let at = start + pos;
+        let pre_ok =
+            !is_ident_byte(tbytes[0]) || at == 0 || !is_ident_byte(code.as_bytes()[at - 1]);
+        let end = at + token.len();
+        let post_ok = !is_ident_byte(tbytes[tbytes.len() - 1])
+            || end >= code.len()
+            || !is_ident_byte(code.as_bytes()[end]);
+        if pre_ok && post_ok {
+            out.push(at);
+        }
+        start = at + token.len();
+    }
+    out
+}
+
+/// Whether `path` falls under any of the configured path fragments.
+pub(crate) fn path_matches(path: &str, fragments: &[String]) -> bool {
+    fragments.iter().any(|f| path.contains(f.as_str()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_positions_respect_word_boundaries() {
+        assert_eq!(token_positions("HashMap<u32, u32>", "HashMap"), vec![0]);
+        assert!(token_positions("FxHashMap<u32, u32>", "HashMap").is_empty());
+        assert!(token_positions("HashMapLike", "HashMap").is_empty());
+        assert_eq!(token_positions("x.unwrap();", ".unwrap()"), vec![1]);
+    }
+}

@@ -1,0 +1,205 @@
+//! `panic-freedom`: serving paths degrade, they do not panic.
+//!
+//! In files under the configured serving paths, non-test code may not call
+//! `unwrap`/`expect`, invoke a panicking macro, or (in the request-facing
+//! subset listed in `index_paths`) index a slice with `[...]` — every one
+//! of those is a reachable abort on a query path that has an error channel
+//! (`SgqError`) built for exactly this.
+//!
+//! Two deliberate carve-outs, both visible in `lint.toml`:
+//!
+//! * `allow_lock_poisoning` pre-waives `.lock().unwrap()` /
+//!   `.read().unwrap()` / `.write().unwrap()` and `Condvar::wait(..)`
+//!   unwraps. A poisoned lock means another thread already panicked while
+//!   holding it; propagating the panic is the documented policy (shared
+//!   state may be torn), and demanding per-site waivers would bury the
+//!   signal in boilerplate.
+//! * `assert!`/`debug_assert!` are not flagged: asserts state invariants
+//!   whose violation is a logic bug, and the differential tests exercise
+//!   them. Denying asserts would push invariant checks out of the code.
+
+use super::path_matches;
+use crate::config::Config;
+use crate::lexer::{is_ident_byte, Line, SourceFile};
+use crate::Finding;
+
+pub fn check(config: &Config, file: &SourceFile) -> Vec<Finding> {
+    if !path_matches(&file.path, &config.panic_paths) {
+        return Vec::new();
+    }
+    let check_indexing = path_matches(&file.path, &config.panic_index_paths);
+    let mut out = Vec::new();
+    let mut prev_code_tail = String::new();
+    for (lineno, line) in file.code_lines() {
+        let code = &line.code;
+        for pos in super::token_positions(code, ".unwrap()") {
+            if config.allow_lock_poisoning && is_lock_unwrap(code, pos, &prev_code_tail) {
+                continue;
+            }
+            out.push(finding(file, lineno, "`.unwrap()` on a serving path — propagate `SgqError` (or waive with why this cannot fail)"));
+        }
+        for pos in super::token_positions(code, ".expect(") {
+            if config.allow_lock_poisoning && contains_wait_before(code, pos) {
+                continue;
+            }
+            out.push(finding(file, lineno, "`.expect(..)` on a serving path — propagate `SgqError` (or waive with why this cannot fail)"));
+        }
+        for mac in ["panic!", "unreachable!", "todo!", "unimplemented!"] {
+            if !super::token_positions(code, mac).is_empty() {
+                out.push(finding(
+                    file,
+                    lineno,
+                    &format!("`{mac}` on a serving path — return an error or waive with the invariant that makes this unreachable"),
+                ));
+            }
+        }
+        if check_indexing {
+            if let Some(col) = slice_index_position(line) {
+                out.push(finding(
+                    file,
+                    lineno,
+                    &format!("slice index `[` at column {} — a bad index aborts the query; use `.get(..)` or waive with the bound that holds", col + 1),
+                ));
+            }
+        }
+        if !code.trim().is_empty() {
+            prev_code_tail = code.trim_end().to_string();
+        }
+    }
+    out
+}
+
+fn finding(file: &SourceFile, line: usize, message: &str) -> Finding {
+    Finding {
+        path: file.path.clone(),
+        line,
+        rule: "panic-freedom",
+        message: message.to_string(),
+    }
+}
+
+/// Whether the `.unwrap()` at `pos` unwraps a lock acquisition: the text
+/// before it (or, when the unwrap starts the line, the previous code line's
+/// tail) ends with `.lock()`, `.read()`, `.write()`, a `try_lock`, or a
+/// `Condvar::wait` chain.
+fn is_lock_unwrap(code: &str, pos: usize, prev_tail: &str) -> bool {
+    let before = code[..pos].trim_end();
+    let target = if before.is_empty() { prev_tail } else { before };
+    target.ends_with(".lock()")
+        || target.ends_with(".try_lock()")
+        || target.ends_with(".read()")
+        || target.ends_with(".write()")
+        || contains_wait_tail(target)
+}
+
+/// `cv.wait(guard).unwrap()` / `cv.wait_timeout(guard, d).unwrap()` — the
+/// call before the unwrap is a Condvar wait (its argument may contain
+/// nested parens, so `ends_with` on a fixed suffix is not enough).
+fn contains_wait_tail(target: &str) -> bool {
+    (target.contains(".wait(") || target.contains(".wait_timeout(")) && target.ends_with(')')
+}
+
+fn contains_wait_before(code: &str, pos: usize) -> bool {
+    contains_wait_tail(code[..pos].trim_end())
+}
+
+/// Column of the first raw slice-index on the line: a `[` immediately
+/// preceded by an identifier char, `)`, or `]` — excluding attribute lines
+/// (`#[...]`) and macro invocations (`vec![...]`).
+fn slice_index_position(line: &Line) -> Option<usize> {
+    let trimmed = line.code.trim_start();
+    if trimmed.starts_with("#[") || trimmed.starts_with("#![") {
+        return None;
+    }
+    let bytes = line.code.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 {
+            continue;
+        }
+        let prev = bytes[i - 1];
+        if prev == b'!' {
+            continue; // macro: vec![..], matches![..]
+        }
+        if is_ident_byte(prev) || prev == b')' || prev == b']' {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config {
+            panic_paths: vec!["serving/".into()],
+            panic_index_paths: vec!["serving/front.rs".into()],
+            allow_lock_poisoning: true,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn unwrap_and_macros_are_flagged_on_serving_paths() {
+        let f = SourceFile::scan(
+            "serving/x.rs",
+            "let v = maybe.unwrap();\npanic!(\"boom\");\nunreachable!();\n",
+        );
+        let findings = check(&cfg(), &f);
+        assert_eq!(findings.len(), 3, "{findings:?}");
+    }
+
+    #[test]
+    fn lock_poisoning_unwraps_are_pre_waived() {
+        let f = SourceFile::scan(
+            "serving/x.rs",
+            "let g = self.state.lock().unwrap();\nlet r = self.map.read().unwrap();\nlet w = self.map.write().unwrap();\nguard = self.cv.wait(guard).unwrap();\n",
+        );
+        assert!(check(&cfg(), &f).is_empty());
+    }
+
+    #[test]
+    fn wrapped_lock_unwrap_on_next_line_is_pre_waived() {
+        let f = SourceFile::scan(
+            "serving/x.rs",
+            "let g = self.some.long.path.state.lock()\n    .unwrap();\n",
+        );
+        assert!(check(&cfg(), &f).is_empty());
+    }
+
+    #[test]
+    fn non_lock_unwrap_is_still_flagged_with_poisoning_allowed() {
+        let f = SourceFile::scan("serving/x.rs", "let v = list.first().unwrap();\n");
+        assert_eq!(check(&cfg(), &f).len(), 1);
+    }
+
+    #[test]
+    fn slice_index_flagged_only_in_index_paths() {
+        let front = SourceFile::scan("serving/front.rs", "counts[i] += 1;\n");
+        assert_eq!(check(&cfg(), &front).len(), 1);
+        let deep = SourceFile::scan("serving/kernel.rs", "counts[i] += 1;\n");
+        assert!(check(&cfg(), &deep).is_empty());
+    }
+
+    #[test]
+    fn attributes_and_macros_are_not_slice_indexes() {
+        let f = SourceFile::scan(
+            "serving/front.rs",
+            "#[derive(Clone)]\nlet v = vec![1, 2];\nlet t: [u8; 4] = x;\n",
+        );
+        assert!(check(&cfg(), &f).is_empty());
+    }
+
+    #[test]
+    fn files_off_serving_paths_are_clean() {
+        let f = SourceFile::scan("other/x.rs", "let v = maybe.unwrap(); panic!();\n");
+        assert!(check(&cfg(), &f).is_empty());
+    }
+
+    #[test]
+    fn asserts_are_not_flagged() {
+        let f = SourceFile::scan("serving/x.rs", "assert!(ok);\ndebug_assert_eq!(a, b);\n");
+        assert!(check(&cfg(), &f).is_empty());
+    }
+}

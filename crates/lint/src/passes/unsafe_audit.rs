@@ -1,0 +1,96 @@
+//! `unsafe-audit`: every `unsafe` block must carry a `SAFETY:` comment —
+//! on the same line, or in the contiguous comment-only block directly above.
+//! The comment is the proof obligation: it must say which invariant makes
+//! the operation sound and who maintains it.
+
+use super::token_positions;
+use crate::lexer::SourceFile;
+use crate::Finding;
+
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (lineno, line) in file.code_lines() {
+        if token_positions(&line.code, "unsafe").is_empty() {
+            continue;
+        }
+        if line.comment.contains("SAFETY:") || justified_above(file, lineno) {
+            continue;
+        }
+        out.push(Finding {
+            path: file.path.clone(),
+            line: lineno,
+            rule: "unsafe-audit",
+            message: "`unsafe` without a `SAFETY:` comment — state the invariant that makes this sound and who maintains it".into(),
+        });
+    }
+    out
+}
+
+/// Walks the contiguous comment-only lines directly above `lineno` looking
+/// for `SAFETY:`.
+fn justified_above(file: &SourceFile, lineno: usize) -> bool {
+    let mut i = lineno - 1; // index of the line above (0-based)
+    while i > 0 {
+        let above = &file.lines[i - 1];
+        if !above.code.trim().is_empty() {
+            return false;
+        }
+        if above.comment.contains("SAFETY:") {
+            return true;
+        }
+        if above.comment.is_empty() {
+            return false; // blank line breaks the block
+        }
+        i -= 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_unsafe_is_flagged() {
+        let f = SourceFile::scan("x.rs", "let p = unsafe { ptr.read() };\n");
+        let findings = check(&f);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "unsafe-audit");
+    }
+
+    #[test]
+    fn same_line_safety_comment_passes() {
+        let f = SourceFile::scan(
+            "x.rs",
+            "let p = unsafe { ptr.read() }; // SAFETY: ptr is valid for reads, checked above\n",
+        );
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn safety_block_above_passes() {
+        let f = SourceFile::scan(
+            "x.rs",
+            "// SAFETY: the scope joins before 'env ends, so the borrow\n// outlives every job.\nlet job = unsafe { transmute(job) };\n",
+        );
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn blank_line_breaks_the_safety_block() {
+        let f = SourceFile::scan(
+            "x.rs",
+            "// SAFETY: stale justification\n\nlet job = unsafe { transmute(job) };\n",
+        );
+        assert_eq!(check(&f).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_in_strings_and_tests_is_ignored() {
+        let f = SourceFile::scan(
+            "x.rs",
+            "let s = \"unsafe\";\n#[cfg(test)]\nmod tests {\n    fn t() { unsafe { x() } }\n}\n",
+        );
+        assert!(check(&f).is_empty());
+    }
+}

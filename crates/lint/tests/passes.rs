@@ -1,0 +1,194 @@
+//! Fixture-based self-tests: for every pass, a known-bad snippet is
+//! flagged, and known-good / properly waived snippets come back clean.
+//! These run through the full pipeline (`semkg_lint::run`), so waiver
+//! resolution and the unused-waiver back-pressure are exercised too.
+
+use semkg_lint::config::{Config, LockDecl};
+use semkg_lint::{run, Finding, SourceFile};
+
+/// A config exercising every rule: two ordered locks, an atomic audit
+/// surface, a serving path with the index-denied tier, and an
+/// answer-affecting module.
+fn fixture_config() -> Config {
+    Config {
+        locks: vec![
+            LockDecl {
+                class: "outer".into(),
+                file: "fixture/serving/locks.rs".into(),
+                receivers: vec!["outer_lock".into()],
+            },
+            LockDecl {
+                class: "inner".into(),
+                file: "fixture/serving/locks.rs".into(),
+                receivers: vec!["inner_lock".into()],
+            },
+            LockDecl {
+                class: "query.state".into(),
+                file: "fixture/serving/query.rs".into(),
+                receivers: vec!["state".into()],
+            },
+            LockDecl {
+                class: "query.map".into(),
+                file: "fixture/serving/query.rs".into(),
+                receivers: vec!["map".into()],
+            },
+        ],
+        hierarchy: vec![
+            "outer".into(),
+            "inner".into(),
+            "query.state".into(),
+            "query.map".into(),
+        ],
+        atomic_audit: vec!["fixture/counters.rs".into()],
+        panic_paths: vec!["fixture/serving/".into()],
+        panic_index_paths: vec!["fixture/serving/front.rs".into()],
+        allow_lock_poisoning: true,
+        determinism_paths: vec!["fixture/exact.rs".into()],
+    }
+}
+
+fn lint(path: &str, source: &str) -> Vec<Finding> {
+    run(&fixture_config(), &[SourceFile::scan(path, source)])
+}
+
+fn rules(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+// --- lock-order ---------------------------------------------------------
+
+#[test]
+fn lock_order_flags_back_edge_and_accepts_forward_nesting() {
+    let bad = "fn f(&self) {\n    let b = self.inner_lock.lock().unwrap();\n    let a = self.outer_lock.lock().unwrap();\n}\n";
+    let findings = lint("fixture/serving/locks.rs", bad);
+    assert_eq!(rules(&findings), vec!["lock-order"], "{findings:?}");
+    assert!(findings[0].message.contains("hierarchy"));
+
+    let good = "fn f(&self) {\n    let a = self.outer_lock.lock().unwrap();\n    let b = self.inner_lock.lock().unwrap();\n}\n";
+    assert!(lint("fixture/serving/locks.rs", good).is_empty());
+}
+
+#[test]
+fn lock_order_flags_undeclared_mutex() {
+    let bad = "fn f(&self) {\n    let g = self.mystery.lock().unwrap();\n}\n";
+    let findings = lint("fixture/serving/locks.rs", bad);
+    assert_eq!(rules(&findings), vec!["lock-order"]);
+    assert!(findings[0].message.contains("undeclared"));
+}
+
+#[test]
+fn lock_order_waiver_suppresses() {
+    let waived = "fn f(&self) {\n    let b = self.inner_lock.lock().unwrap();\n    let a = self.outer_lock.lock().unwrap(); // lint-ok(lock-order): startup-only path, single-threaded at this point\n}\n";
+    assert!(lint("fixture/serving/locks.rs", waived).is_empty());
+}
+
+// --- atomic-ordering ----------------------------------------------------
+
+#[test]
+fn atomic_ordering_flags_unwaived_relaxed_on_audit_surface() {
+    let bad = "fn f(&self) {\n    self.hits.fetch_add(1, Ordering::Relaxed);\n}\n";
+    assert_eq!(
+        rules(&lint("fixture/counters.rs", bad)),
+        vec!["atomic-ordering"]
+    );
+    // The same code outside the audit surface is clean.
+    assert!(lint("fixture/other.rs", bad).is_empty());
+}
+
+#[test]
+fn atomic_ordering_flags_seqcst_everywhere() {
+    let bad = "fn f(&self) {\n    self.flag.store(true, Ordering::SeqCst);\n}\n";
+    assert_eq!(
+        rules(&lint("fixture/other.rs", bad)),
+        vec!["atomic-ordering"]
+    );
+}
+
+#[test]
+fn atomic_ordering_waiver_and_acq_rel_are_clean() {
+    let ok = "fn f(&self) {\n    self.hits.fetch_add(1, Ordering::Relaxed); // lint-ok(atomic-ordering): monotone counter, no decision reads it\n    self.flag.store(true, Ordering::Release);\n    let v = self.flag.load(Ordering::Acquire);\n}\n";
+    assert!(lint("fixture/counters.rs", ok).is_empty());
+}
+
+// --- panic-freedom ------------------------------------------------------
+
+#[test]
+fn panic_freedom_flags_unwrap_expect_and_macros() {
+    let bad = "fn f() {\n    let v = maybe.unwrap();\n    let w = maybe.expect(\"present\");\n    panic!(\"boom\");\n    unreachable!();\n}\n";
+    let findings = lint("fixture/serving/query.rs", bad);
+    assert_eq!(findings.len(), 4, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "panic-freedom"));
+    // Same code off the serving paths is clean.
+    assert!(lint("fixture/other.rs", bad).is_empty());
+}
+
+#[test]
+fn panic_freedom_pre_waives_lock_poisoning() {
+    let ok = "fn f(&self) {\n    let g = self.state.lock().unwrap();\n    let r = self.map.read().unwrap();\n    guard = self.cv.wait(guard).unwrap();\n}\n";
+    assert!(lint("fixture/serving/query.rs", ok).is_empty());
+}
+
+#[test]
+fn panic_freedom_flags_slice_index_only_in_front_tier() {
+    let code = "fn f(counts: &mut [u64], i: usize) {\n    counts[i] += 1;\n}\n";
+    assert_eq!(
+        rules(&lint("fixture/serving/front.rs", code)),
+        vec!["panic-freedom"]
+    );
+    assert!(lint("fixture/serving/kernel.rs", code).is_empty());
+}
+
+#[test]
+fn panic_freedom_skips_test_code_and_strings() {
+    let ok = "fn f() -> &'static str {\n    \"panic! unwrap()\"\n}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        maybe.unwrap();\n        panic!(\"test-only\");\n    }\n}\n";
+    assert!(lint("fixture/serving/query.rs", ok).is_empty());
+}
+
+// --- determinism --------------------------------------------------------
+
+#[test]
+fn determinism_flags_clock_and_std_hash_iteration() {
+    let bad = "fn f() {\n    let t = Instant::now();\n    let m: HashMap<u32, u32> = HashMap::new();\n    let s: HashSet<u32> = HashSet::new();\n}\n";
+    let findings = lint("fixture/exact.rs", bad);
+    assert_eq!(findings.len(), 3, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "determinism"));
+}
+
+#[test]
+fn determinism_accepts_fx_maps_and_waived_telemetry() {
+    let ok = "fn f() {\n    let m: FxHashMap<u32, u32> = FxHashMap::default();\n    let s: FxHashSet<u32> = FxHashSet::default();\n    let t = Instant::now(); // lint-ok(determinism): telemetry only, never feeds results\n}\n";
+    assert!(lint("fixture/exact.rs", ok).is_empty());
+}
+
+// --- unsafe-audit -------------------------------------------------------
+
+#[test]
+fn unsafe_audit_requires_safety_comment() {
+    let bad = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+    assert_eq!(rules(&lint("fixture/other.rs", bad)), vec!["unsafe-audit"]);
+
+    let ok = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller contract — p is valid for reads.\n    unsafe { *p }\n}\n";
+    assert!(lint("fixture/other.rs", ok).is_empty());
+}
+
+// --- waiver hygiene -----------------------------------------------------
+
+#[test]
+fn waiver_without_reason_is_rejected() {
+    let bad = "fn f(p: *const u8) -> u8 {\n    unsafe { *p } // lint-ok(unsafe-audit)\n}\n";
+    let findings = lint("fixture/other.rs", bad);
+    assert_eq!(rules(&findings), vec!["waiver-reason"], "{findings:?}");
+}
+
+#[test]
+fn unused_waiver_is_rejected() {
+    let bad = "fn f() {\n    let x = 1; // lint-ok(panic-freedom): nothing to suppress here\n}\n";
+    let findings = lint("fixture/serving/query.rs", bad);
+    assert_eq!(rules(&findings), vec!["unused-waiver"]);
+}
+
+#[test]
+fn standalone_waiver_covers_the_next_code_line() {
+    let ok = "fn f() {\n    // lint-ok(panic-freedom): upheld by construction in new()\n    let v = maybe.unwrap();\n}\n";
+    assert!(lint("fixture/serving/query.rs", ok).is_empty());
+}

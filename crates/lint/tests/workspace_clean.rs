@@ -1,0 +1,65 @@
+//! Meta-test: the real workspace must lint clean. A change that introduces
+//! an un-waived violation of any rule fails `cargo test`, not just CI.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_unwaived_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the workspace root");
+    assert!(
+        root.join("lint.toml").is_file(),
+        "lint.toml missing at {}",
+        root.display()
+    );
+    let findings = semkg_lint::run_workspace(root).expect("lint run failed");
+    assert!(
+        findings.is_empty(),
+        "workspace has {} un-waived lint finding(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn workspace_walk_covers_every_crate() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let files = semkg_lint::workspace_files(root).expect("walk failed");
+    let paths: Vec<String> = files
+        .iter()
+        .map(|p| p.to_string_lossy().replace('\\', "/"))
+        .collect();
+    for krate in [
+        "kgraph",
+        "obs",
+        "embedding",
+        "lexicon",
+        "sgq",
+        "baselines",
+        "datagen",
+        "bench",
+        "lint",
+    ] {
+        assert!(
+            paths
+                .iter()
+                .any(|p| p.contains(&format!("crates/{krate}/src"))),
+            "walk missed crates/{krate}"
+        );
+    }
+    assert!(
+        paths
+            .iter()
+            .all(|p| !p.contains("vendor/") && !p.contains("target/")),
+        "walk must not descend into vendor/ or target/"
+    );
+}

@@ -97,9 +97,9 @@ impl AtomicHistogram {
     /// Records one observation.
     #[inline]
     pub fn record(&self, value: u64) {
-        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(value, Ordering::Relaxed);
-        self.max.fetch_max(value, Ordering::Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed); // lint-ok(atomic-ordering): independent monotone bucket counter; RMW atomicity prevents lost increments
+        self.sum.fetch_add(value, Ordering::Relaxed); // lint-ok(atomic-ordering): monotone sum; snapshots tolerate a sum/bucket skew of in-flight records
+        self.max.fetch_max(value, Ordering::Relaxed); // lint-ok(atomic-ordering): fetch_max is order-insensitive — the high-water mark converges regardless
     }
 
     /// Point-in-time copy of all buckets. The observation count is derived
@@ -109,14 +109,14 @@ impl AtomicHistogram {
         let counts: Vec<u64> = self
             .buckets
             .iter()
-            .map(|b| b.load(Ordering::Relaxed))
+            .map(|b| b.load(Ordering::Relaxed)) // lint-ok(atomic-ordering): snapshot derives count from these same loads, so it is internally coherent
             .collect();
         let count = counts.iter().sum();
         HistogramSnapshot {
             counts,
             count,
-            sum: self.sum.load(Ordering::Relaxed),
-            max: self.max.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed), // lint-ok(atomic-ordering): telemetry snapshot; may trail in-flight records by design
+            max: self.max.load(Ordering::Relaxed), // lint-ok(atomic-ordering): telemetry snapshot; may trail in-flight records by design
         }
     }
 }
@@ -233,19 +233,19 @@ impl Counter {
     /// Adds 1.
     #[inline]
     pub fn inc(&self) {
-        self.0.fetch_add(1, Ordering::Relaxed);
+        self.0.fetch_add(1, Ordering::Relaxed); // lint-ok(atomic-ordering): monotone counter; RMW atomicity prevents lost increments, no decision reads it
     }
 
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        self.0.fetch_add(n, Ordering::Relaxed); // lint-ok(atomic-ordering): monotone counter; RMW atomicity prevents lost increments, no decision reads it
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.load(Ordering::Relaxed) // lint-ok(atomic-ordering): scrape-time read of telemetry; staleness is acceptable
     }
 }
 
@@ -263,25 +263,25 @@ impl Gauge {
     /// Sets the value.
     #[inline]
     pub fn set(&self, v: i64) {
-        self.0.store(v, Ordering::Relaxed);
+        self.0.store(v, Ordering::Relaxed); // lint-ok(atomic-ordering): last-writer-wins gauge; readers are scrape-time only
     }
 
     /// Adds a (possibly negative) delta.
     #[inline]
     pub fn add(&self, delta: i64) {
-        self.0.fetch_add(delta, Ordering::Relaxed);
+        self.0.fetch_add(delta, Ordering::Relaxed); // lint-ok(atomic-ordering): gauge delta; RMW atomicity prevents lost updates, readers are scrape-time only
     }
 
     /// Raises the gauge to `v` if `v` is larger (high-water mark).
     #[inline]
     pub fn set_max(&self, v: i64) {
-        self.0.fetch_max(v, Ordering::Relaxed);
+        self.0.fetch_max(v, Ordering::Relaxed); // lint-ok(atomic-ordering): fetch_max is order-insensitive — the high-water mark converges regardless
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> i64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.load(Ordering::Relaxed) // lint-ok(atomic-ordering): scrape-time read of telemetry; staleness is acceptable
     }
 }
 
@@ -357,6 +357,7 @@ impl MetricsRegistry {
         for e in entries.iter() {
             if e.name == name && e.label.as_ref().map(|(k, v)| (k.as_str(), v.as_str())) == label {
                 return get(&e.instrument).unwrap_or_else(|| {
+                    // lint-ok(panic-freedom): registration-time type conflict is a programming error caught in tests, not a query path
                     panic!(
                         "metric `{name}` already registered as a {}",
                         e.instrument.kind()

@@ -119,7 +119,7 @@ impl QueryResult {
     /// than the pivot (e.g. Table V evaluates the Person target while
     /// forcing a SoccerClub pivot).
     pub fn bindings_for(&self, qnode: crate::query::QNodeId) -> Vec<NodeId> {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = rustc_hash::FxHashSet::default();
         let mut out = Vec::new();
         for m in &self.matches {
             for part in &m.parts {

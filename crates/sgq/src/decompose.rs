@@ -39,7 +39,7 @@ impl SubQuery {
 
     /// The pivot node the search must reach.
     pub fn pivot(&self) -> QNodeId {
-        *self.nodes.last().expect("sub-query has at least one node")
+        *self.nodes.last().expect("sub-query has at least one node") // lint-ok(panic-freedom): SubQuery construction pushes the pivot last; nodes is never empty
     }
 
     /// Number of query edges (the paper's "L-hop sub-query").
@@ -182,7 +182,7 @@ fn best_cover_for_pivot(
     let mut subqueries = Vec::new();
     let mut cursor = full;
     while cursor != 0 {
-        let (i, prev) = choice[cursor as usize].expect("reachable state has a choice");
+        let (i, prev) = choice[cursor as usize].expect("reachable state has a choice"); // lint-ok(panic-freedom): the DP loop records a choice for every state it marks reachable
         subqueries.push(paths[i].clone());
         cursor = prev;
     }
@@ -212,7 +212,7 @@ fn dfs_paths(
     edges: &mut Vec<QEdgeId>,
     out: &mut Vec<SubQuery>,
 ) {
-    let here = *nodes.last().expect("path non-empty");
+    let here = *nodes.last().expect("path non-empty"); // lint-ok(panic-freedom): recursion invariant — callers seed `nodes` with the start node
     if here == pivot && !edges.is_empty() {
         out.push(SubQuery {
             nodes: nodes.clone(),
@@ -224,7 +224,7 @@ fn dfs_paths(
         if edges.contains(&eid) {
             continue;
         }
-        let next = query.edge(eid).other(here).expect("incident edge");
+        let next = query.edge(eid).other(here).expect("incident edge"); // lint-ok(panic-freedom): eid came from incident_edges(here), so `here` is an endpoint
         if nodes.contains(&next) {
             continue; // keep paths simple
         }

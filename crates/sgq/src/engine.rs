@@ -130,7 +130,7 @@ impl<'a, G: GraphView + Clone> SgqEngine<'a, G> {
     }
 
     /// Like [`SgqEngine::new`], but reusing an existing similarity-row
-    /// index (it must carry [`weight_transform`]). The index is grown (and
+    /// index (it must carry `weight_transform`). The index is grown (and
     /// its stale rows invalidated) here when the graph's vocabulary
     /// outgrew it.
     pub fn with_shared_index(
@@ -205,6 +205,7 @@ impl<'a, G: GraphView + Clone> SgqEngine<'a, G> {
                 library,
                 slots
                     .into_iter()
+                    // lint-ok(panic-freedom): scope() joins before returning, so every spawned job has filled its slot
                     .map(|s| s.expect("shard index job reported its outcome"))
                     .collect(),
             )
@@ -330,7 +331,7 @@ impl<'a, G: GraphView + Clone> SgqEngine<'a, G> {
     /// untraced path — tracing only reads clocks between phases.
     pub fn query_with_trace(&self, query: &QueryGraph) -> Result<(QueryResult, QueryTrace)> {
         let mut trace = QueryTrace::default();
-        let plan_t = Instant::now();
+        let plan_t = Instant::now(); // lint-ok(determinism): phase telemetry only — never feeds search decisions; trace_differential proves bit-identity
         let (_, plans) = self.plan(query)?;
         trace.plan_ns = plan_t.elapsed().as_nanos() as u64;
         let result = self.run_exact(&plans, &self.config, Some(&mut trace))?;
@@ -374,27 +375,27 @@ impl<'a, G: GraphView + Clone> SgqEngine<'a, G> {
         config: &SgqConfig,
         mut trace: Option<&mut QueryTrace>,
     ) -> Result<QueryResult> {
-        let start = Instant::now();
+        let start = Instant::now(); // lint-ok(determinism): phase telemetry only — never feeds search decisions; trace_differential proves bit-identity
         let n = plans.len();
         let cap = config.max_matches_per_subquery;
 
-        let seed_t = trace.as_ref().map(|_| Instant::now());
+        let seed_t = trace.as_ref().map(|_| Instant::now()); // lint-ok(determinism): phase telemetry only — never feeds search decisions; trace_differential proves bit-identity
         let mut searches: Vec<AStarSearch<'_, G>> = plans
             .iter()
             .map(|p| AStarSearch::new_on_pool(&self.graph, p, &self.pool))
             .collect();
-        if let Some(tr) = trace.as_deref_mut() {
-            tr.seed_ns = seed_t.unwrap().elapsed().as_nanos() as u64;
+        if let (Some(tr), Some(t0)) = (trace.as_deref_mut(), seed_t) {
+            tr.seed_ns = t0.elapsed().as_nanos() as u64;
         }
         let mut streams: Vec<Vec<crate::answer::SubMatch>> = vec![Vec::new(); n];
         let mut per_subquery_us = vec![0u64; n];
         let mut batch = config.effective_batch();
 
         let outcome = loop {
-            let expand_t = trace.as_ref().map(|_| Instant::now());
-            // One parallel round: each sub-query search fetches up to
-            // `batch` further matches (§V-B Remark 1: one job per gᵢ),
-            // resumed on the persistent pool — no thread spawning here.
+            let expand_t = trace.as_ref().map(|_| Instant::now()); // lint-ok(determinism): phase telemetry only — never feeds search decisions; trace_differential proves bit-identity
+                                                                   // One parallel round: each sub-query search fetches up to
+                                                                   // `batch` further matches (§V-B Remark 1: one job per gᵢ),
+                                                                   // resumed on the persistent pool — no thread spawning here.
             self.pool.scope(|scope| {
                 for ((search, stream), us) in searches
                     .iter_mut()
@@ -402,7 +403,7 @@ impl<'a, G: GraphView + Clone> SgqEngine<'a, G> {
                     .zip(per_subquery_us.iter_mut())
                 {
                     scope.spawn(move || {
-                        let t0 = Instant::now();
+                        let t0 = Instant::now(); // lint-ok(determinism): phase telemetry only — never feeds search decisions; trace_differential proves bit-identity
                         for _ in 0..batch {
                             if cap > 0 && stream.len() >= cap {
                                 break;
@@ -417,10 +418,10 @@ impl<'a, G: GraphView + Clone> SgqEngine<'a, G> {
                 }
             });
 
-            let merge_t = if let Some(tr) = trace.as_deref_mut() {
-                tr.expand_ns += expand_t.unwrap().elapsed().as_nanos() as u64;
+            let merge_t = if let (Some(tr), Some(t0)) = (trace.as_deref_mut(), expand_t) {
+                tr.expand_ns += t0.elapsed().as_nanos() as u64;
                 tr.rounds += 1;
-                Some(Instant::now())
+                Some(Instant::now()) // lint-ok(determinism): phase telemetry only — never feeds search decisions; trace_differential proves bit-identity
             } else {
                 None
             };
@@ -430,8 +431,8 @@ impl<'a, G: GraphView + Clone> SgqEngine<'a, G> {
                 .map(|(s, st)| s.is_exhausted() || (cap > 0 && st.len() >= cap))
                 .collect();
             let outcome = ta::assemble(&streams, &exhausted, config.k);
-            if let Some(tr) = trace.as_deref_mut() {
-                tr.merge_ns += merge_t.unwrap().elapsed().as_nanos() as u64;
+            if let (Some(tr), Some(t0)) = (trace.as_deref_mut(), merge_t) {
+                tr.merge_ns += t0.elapsed().as_nanos() as u64;
             }
             if outcome.certified || exhausted.iter().all(|&e| e) {
                 break outcome;
@@ -503,7 +504,7 @@ impl<'a, G: GraphView + Clone> SgqEngine<'a, G> {
         config: &SgqConfig,
         tb: &TimeBoundConfig,
     ) -> Result<QueryResult> {
-        let start = Instant::now();
+        let start = Instant::now(); // lint-ok(determinism): phase telemetry only — never feeds search decisions; trace_differential proves bit-identity
         let outcome = timebound::run_anytime(
             &self.graph,
             plans,

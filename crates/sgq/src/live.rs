@@ -459,7 +459,10 @@ impl<'a> LiveQueryService<'a> {
                 _ => {
                     let mut counts = vec![0u64; partitioner.shards()];
                     for (_, rec) in snapshot.edges() {
-                        counts[partitioner.shard_of_label(snapshot.node_name(rec.src))] += 1;
+                        let shard = partitioner.shard_of_label(snapshot.node_name(rec.src));
+                        if let Some(c) = counts.get_mut(shard) {
+                            *c += 1;
+                        }
                     }
                     let max = counts.into_iter().max().unwrap_or(0);
                     *cache = Some((epoch, max));

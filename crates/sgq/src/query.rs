@@ -245,7 +245,7 @@ impl QueryGraph {
         seen[0] = true;
         while let Some(n) = stack.pop() {
             for eid in self.incident_edges(n) {
-                let other = self.edge(eid).other(n).expect("incident");
+                let other = self.edge(eid).other(n).expect("incident"); // lint-ok(panic-freedom): eid came from incident_edges(n), so `n` is an endpoint
                 if !seen[other.index()] {
                     seen[other.index()] = true;
                     stack.push(other);

@@ -111,6 +111,7 @@ impl WorkerPool {
                             job();
                         }
                     })
+                    // lint-ok(panic-freedom): pool construction, not a query path — no request exists yet to degrade
                     .expect("failed to spawn sgq worker thread")
             })
             .collect();
@@ -223,7 +224,20 @@ impl<'env> Scope<'_, 'env> {
         *self.state.pending.lock().unwrap() += 1;
         let state = Arc::clone(&self.state);
         let job: Box<dyn FnOnce() + Send + 'env> = Box::new(f);
-        // SAFETY: see the doc comment — the scope joins before 'env ends.
+        // SAFETY: lifetime erasure of the boxed closure from 'env to
+        // 'static. Sound because the job cannot outlive 'env:
+        //  1. spawn() incremented this scope's `pending` count above,
+        //     *before* the job became reachable from the shared queue;
+        //  2. the job wrapper below decrements `pending` only after the
+        //     job has run (or panicked) and been dropped;
+        //  3. every exit from `WorkerPool::scope` — normal return, closure
+        //     panic, job panic — goes through `ScopeState::join`, which
+        //     drains this scope's queued jobs inline and then blocks on
+        //     `done_cv` until `pending == 0`;
+        //  4. `'env` borrows are live for the whole `scope` call, so by
+        //     the time they can expire the job is finished and dropped.
+        // The transmute only erases the lifetime parameter: source and
+        // target are both `Box<dyn FnOnce() + Send>`, identical layout.
         let job: Job = unsafe { std::mem::transmute(job) };
         let tracked: Job = Box::new(move || {
             let outcome = catch_unwind(AssertUnwindSafe(job));

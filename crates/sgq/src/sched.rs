@@ -326,7 +326,7 @@ impl<'a> SchedBackend for LiveQueryService<'a> {
 }
 
 /// Structural hash of a query graph — the batch-grouping prefilter. Equal
-/// graphs hash equal; the [`Batcher`] additionally compares full structural
+/// graphs hash equal; the `Batcher` additionally compares full structural
 /// equality before merging, so a collision can never merge distinct
 /// queries.
 pub fn query_signature(query: &QueryGraph) -> u64 {
@@ -1260,7 +1260,12 @@ fn scheduler_main<B: SchedBackend>(backend: &B, shared: &Shared<B>) {
                     }
                     st.inflight += 1;
                 }
-                let batch = batcher.pop_earliest().expect("batcher checked non-empty");
+                let Some(batch) = batcher.pop_earliest() else {
+                    // Unreachable given the loop guard, but inflight was
+                    // already claimed — release it rather than panic.
+                    shared.state.lock().unwrap().inflight -= 1;
+                    break;
+                };
                 shared.stats.batches.inc();
                 shared
                     .stats
@@ -1376,8 +1381,8 @@ fn run_batch<B: SchedBackend>(backend: &B, shared: &Shared<B>, mut batch: Batch)
         for m in &exact_members {
             shared.resolve_served(m, outcome.clone());
         }
-        if let Some(mut tr) = trace.take() {
-            tr.fan_out_ns = fan_t.unwrap().elapsed().as_nanos() as u64;
+        if let (Some(mut tr), Some(t0)) = (trace.take(), fan_t) {
+            tr.fan_out_ns = t0.elapsed().as_nanos() as u64;
             shared.stats.fan_out_ns.record(tr.fan_out_ns);
             shared.traces.push(tr);
         }

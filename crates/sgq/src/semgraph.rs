@@ -141,7 +141,7 @@ impl SubQueryPlan {
     }
 
     /// Resolves `subquery` against the graph, borrowing similarity rows
-    /// from `index` (which must carry the [`weight_transform`] so rows live
+    /// from `index` (which must carry the `weight_transform` so rows live
     /// in the clamped weight domain).
     pub fn build_with_index<G: GraphView, M: GraphView>(
         graph: &G,

@@ -179,17 +179,17 @@ pub(crate) fn run_anytime<G: GraphView>(
                     if tick.is_multiple_of(16) {
                         let found = search.discovered_len();
                         if found > reported {
-                            total_collected.fetch_add(found - reported, Ordering::Relaxed);
+                            total_collected.fetch_add(found - reported, Ordering::Relaxed); // lint-ok(atomic-ordering): monotone estimator input; Algorithm 3 tolerates stale sums by design
                             reported = found;
                         }
-                        if stop.load(Ordering::Relaxed) {
+                        if stop.load(Ordering::Acquire) {
                             break;
                         }
-                        let collected = total_collected.load(Ordering::Relaxed);
+                        let collected = total_collected.load(Ordering::Relaxed); // lint-ok(atomic-ordering): a stale sum only delays the alert by one 16-step tick; never affects answer content
                         let t_hat = estimate_ns(start.elapsed(), per_match_ns, collected);
                         if t_hat >= deadline_ns {
-                            stop.store(true, Ordering::Relaxed);
-                            bound_hit_flag.store(true, Ordering::Relaxed);
+                            stop.store(true, Ordering::Release);
+                            bound_hit_flag.store(true, Ordering::Relaxed); // lint-ok(atomic-ordering): read only after scope() joins, which synchronizes
                             break;
                         }
                     }
@@ -201,6 +201,7 @@ pub(crate) fn run_anytime<G: GraphView>(
                 }
                 let found = search.discovered_len();
                 if found > reported {
+                    // lint-ok(atomic-ordering): final publish before the scope join; join synchronizes
                     total_collected.fetch_add(found - reported, Ordering::Relaxed);
                 }
                 let mut matches = search.take_discovered();
@@ -218,7 +219,7 @@ pub(crate) fn run_anytime<G: GraphView>(
     let mut stats = SearchStats::default();
     for slot in slots {
         let (matches, drained, elapsed, s) =
-            slot.expect("pooled search job did not report its outcome");
+            slot.expect("pooled search job did not report its outcome"); // lint-ok(panic-freedom): scope() joins before returning, so every spawned job has filled its slot
         streams.push(matches);
         exhausted.push(drained);
         per_subquery_us.push(elapsed.as_micros() as u64);
@@ -233,7 +234,7 @@ pub(crate) fn run_anytime<G: GraphView>(
         exhausted,
         per_subquery_us,
         stats,
-        bound_hit: bound_hit_flag.load(Ordering::Relaxed),
+        bound_hit: bound_hit_flag.load(Ordering::Relaxed), // lint-ok(atomic-ordering): scope() joined above; all worker stores happen-before this load
     }
 }
 

@@ -97,7 +97,7 @@ impl TraceSink {
 
     /// Total traces ever pushed (including those evicted from the ring).
     pub fn recorded(&self) -> u64 {
-        self.recorded.load(Ordering::Relaxed)
+        self.recorded.load(Ordering::Relaxed) // lint-ok(atomic-ordering): monotone telemetry counter; an off-by-a-push read is harmless
     }
 
     /// Number of traces currently retained.
@@ -117,7 +117,7 @@ impl TraceSink {
             ring.pop_front();
         }
         ring.push_back(trace);
-        self.recorded.fetch_add(1, Ordering::Relaxed);
+        self.recorded.fetch_add(1, Ordering::Relaxed); // lint-ok(atomic-ordering): monotone telemetry counter; the ring mutex already orders push/recent pairs
     }
 
     /// The retained traces, oldest first.
@@ -131,6 +131,7 @@ impl TraceSink {
 /// query). `every == 0` disables sampling without touching the counter.
 #[inline]
 pub(crate) fn tick_sampled(tick: &AtomicU64, every: u64) -> bool {
+    // lint-ok(atomic-ordering): the RMW hands each caller a unique tick; sampling needs only that atomicity, no cross-variable ordering
     every != 0 && tick.fetch_add(1, Ordering::Relaxed).is_multiple_of(every)
 }
 
