@@ -252,7 +252,12 @@ impl Sections {
             tag::EDGES => {
                 let mut c = Cursor::new(payload);
                 let m = c.u32("edge count")? as usize;
-                let raw = c.take(m * 12, "edge records")?;
+                // checked_mul: a corrupt count must not wrap usize into a
+                // small in-bounds read on 32-bit targets.
+                let byte_len = m
+                    .checked_mul(12)
+                    .ok_or_else(|| format!("corrupt edge count {m}: byte length overflows"))?;
+                let raw = c.take(byte_len, "edge records")?;
                 if c.remaining() != 0 {
                     return Err(format!("edges: {} trailing bytes", c.remaining()));
                 }

@@ -99,9 +99,18 @@ impl<'a> Cursor<'a> {
     }
 
     /// Reads a `u32` count followed by that many little-endian `u32`s.
+    ///
+    /// The byte length is computed with `checked_mul`: a hostile or corrupt
+    /// count cannot wrap `usize` on 32-bit targets into a small in-bounds
+    /// read (or panic in debug builds) — it fails as a decode error, and
+    /// [`Cursor::take`] bounds the read itself, so no allocation larger
+    /// than the buffer ever happens.
     pub fn u32_array(&mut self, what: &str) -> Result<Vec<u32>, String> {
         let n = self.u32(what)? as usize;
-        let bytes = self.take(n * 4, what)?;
+        let byte_len = n
+            .checked_mul(4)
+            .ok_or_else(|| format!("corrupt length for {what}: {n} u32s overflows usize"))?;
+        let bytes = self.take(byte_len, what)?;
         Ok(bytes
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk"))) // lint-ok(panic-freedom): chunks_exact(4) yields exactly 4-byte chunks
@@ -155,6 +164,25 @@ mod tests {
         let err = c.u32("epoch").unwrap_err();
         assert!(err.contains("epoch"), "{err}");
         assert!(err.contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn u32_array_with_hostile_count_fails_cleanly() {
+        // A length prefix of u32::MAX (satellite regression: the unchecked
+        // `n * 4` used to wrap `usize` on 32-bit targets) must surface as a
+        // clean decode error — truncation on 64-bit hosts, checked_mul
+        // overflow where usize is 32-bit — never a wrapped multiply that
+        // reads a short slice, and never a panic or huge allocation.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        buf.extend_from_slice(&[0u8; 16]);
+        let err = Cursor::new(&buf).u32_array("hostile").unwrap_err();
+        assert!(err.contains("hostile"), "{err}");
+        // The same guard on every u32 count the codec can hand back.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX - 3);
+        let err = Cursor::new(&buf).u32_array("edge ids").unwrap_err();
+        assert!(err.contains("edge ids"), "{err}");
     }
 
     #[test]

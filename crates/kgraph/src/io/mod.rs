@@ -12,6 +12,12 @@
 //! [`crate::VersionedGraph`]'s committed epochs survive a crash; see
 //! [`crate::VersionedGraph::recover`].
 //!
+//! The [`codec`] primitives (little-endian cursors, checked length-prefixed
+//! containers, `checksum64`) also back the `semkg-server` wire protocol, so
+//! the framing rules that make snapshots safe against corrupt files make
+//! the socket tier safe against hostile peers; see `crates/server/README.md`
+//! for the frame layout.
+//!
 //! All loaders wrap underlying parse/serde failures in
 //! [`KgError::Snapshot`] so errors always carry the offending path and
 //! format.

@@ -349,7 +349,14 @@ pub fn load_sharded(dir: impl AsRef<Path>) -> Result<(KnowledgeGraph, Partitione
             )));
         }
         let count = c.u32("entry count").map_err(wrap)? as usize;
-        let raw = c.take(count * 16, "edge entries").map_err(wrap)?;
+        // checked_mul: a corrupt count must not wrap usize into a small
+        // in-bounds read on 32-bit targets.
+        let byte_len = count.checked_mul(16).ok_or_else(|| {
+            wrap(format!(
+                "corrupt entry count {count}: byte length overflows"
+            ))
+        })?;
+        let raw = c.take(byte_len, "edge entries").map_err(wrap)?;
         if c.remaining() != 0 {
             return Err(wrap(format!("{} trailing bytes", c.remaining())));
         }

@@ -538,6 +538,14 @@ fn escape_label(v: &str) -> String {
         .replace('\n', "\\n")
 }
 
+/// Escapes `# HELP` text per the exposition format: only `\` and newline
+/// (quotes stay literal — help text is not quoted). Help strings were all
+/// static literals until the serving tier; now anything reaching a snapshot
+/// must render to a single well-formed line.
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
 fn escape_json(v: &str) -> String {
     let mut out = String::with_capacity(v.len());
     for c in v.chars() {
@@ -606,7 +614,7 @@ impl MetricsSnapshot {
                     MetricValue::Gauge(_) => "gauge",
                     MetricValue::Histogram(_) => "summary",
                 };
-                out.push_str(&format!("# HELP {} {}\n", s.name, s.help));
+                out.push_str(&format!("# HELP {} {}\n", s.name, escape_help(&s.help)));
                 out.push_str(&format!("# TYPE {} {}\n", s.name, kind));
                 // Emit every variant of this name right after its header.
                 for v in self.samples.iter().filter(|v| v.name == s.name) {
@@ -901,6 +909,42 @@ mod tests {
             assert!(
                 text.contains(&format!("# TYPE {base} ")),
                 "no TYPE header for {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_escapes_hostile_label_values_and_help() {
+        // Regression for the serving tier: label values and help text can
+        // now be peer/endpoint-derived, so quotes, backslashes, and
+        // newlines must render per the exposition format instead of
+        // corrupting the scrape line structure.
+        let r = MetricsRegistry::new();
+        r.counter_labeled(
+            "srv_requests_total",
+            "peer",
+            "10.0.0.1 \"spoof\" \\ line\nbreak",
+            "per-peer requests",
+        )
+        .inc();
+        let text = r.snapshot().to_prometheus();
+        assert!(
+            text.contains("peer=\"10.0.0.1 \\\"spoof\\\" \\\\ line\\nbreak\""),
+            "{text}"
+        );
+
+        let r = MetricsRegistry::new();
+        let _ = r.gauge("srv_info", "addr of listener\nsecond \\ line");
+        let text = r.snapshot().to_prometheus();
+        assert!(
+            text.contains("# HELP srv_info addr of listener\\nsecond \\\\ line\n"),
+            "{text}"
+        );
+        // No raw newline may split a HELP header across scrape lines.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.starts_with("srv_info"),
+                "stray line {line:?} in {text}"
             );
         }
     }

@@ -1,0 +1,198 @@
+//! A small blocking client for the `semkg-server` wire protocol — used by
+//! `loadgen`, the end-to-end tests, and anything else that wants to talk
+//! to a serving tier from Rust without pulling in an async runtime.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use sgq::{Priority, QueryGraph};
+
+use crate::proto::{
+    self, decode_frame, encode_request, frame, ErrorCode, Request, Response, WireOutcome, MAGIC,
+};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server spoke something that is not the protocol.
+    Protocol(String),
+    /// The server rejected a request with a typed error frame.
+    Server {
+        /// Rejection class.
+        code: ErrorCode,
+        /// Human-readable detail from the server.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io: {e}"),
+            Self::Protocol(detail) => write!(f, "protocol: {detail}"),
+            Self::Server { code, detail } => write!(f, "server {code}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// A connected protocol client. Requests can be pipelined with
+/// [`Client::send_request`] / [`Client::recv_response`]; replies come back
+/// in request order.
+pub struct Client {
+    stream: TcpStream,
+    max_frame_len: u32,
+}
+
+/// Default per-operation socket timeout — generous, the server enforces
+/// the tight deadlines.
+const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+impl Client {
+    /// Connects and performs the magic exchange with default limits.
+    pub fn connect(addr: SocketAddr) -> Result<Self, ClientError> {
+        Self::connect_with(addr, proto::DEFAULT_MAX_FRAME_LEN, DEFAULT_IO_TIMEOUT)
+    }
+
+    /// Connects with an explicit frame cap and socket timeout.
+    pub fn connect_with(
+        addr: SocketAddr,
+        max_frame_len: u32,
+        io_timeout: Duration,
+    ) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect_timeout(&addr, io_timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(io_timeout))?;
+        stream.set_write_timeout(Some(io_timeout))?;
+        let mut client = Self {
+            stream,
+            max_frame_len,
+        };
+        let mut magic = [0u8; 8];
+        client.stream.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(ClientError::Protocol(format!(
+                "server preamble {magic:02x?} is not SKGWIRE1"
+            )));
+        }
+        client.stream.write_all(&MAGIC)?;
+        Ok(client)
+    }
+
+    /// Clones the connection for a reader/writer split (open-loop load
+    /// generation): one half sends, the other receives.
+    pub fn try_clone(&self) -> Result<Self, ClientError> {
+        Ok(Self {
+            stream: self.stream.try_clone()?,
+            max_frame_len: self.max_frame_len,
+        })
+    }
+
+    /// Sends one request frame without waiting for the reply.
+    pub fn send_request(&mut self, req: &Request) -> Result<(), ClientError> {
+        let payload = encode_request(req);
+        if payload.len() > self.max_frame_len as usize {
+            return Err(ClientError::Protocol(format!(
+                "request payload {} exceeds frame cap {}",
+                payload.len(),
+                self.max_frame_len
+            )));
+        }
+        self.stream.write_all(&frame(&payload))?;
+        Ok(())
+    }
+
+    /// Receives the next response frame (replies arrive in request order).
+    pub fn recv_response(&mut self) -> Result<Response, ClientError> {
+        let mut header = [0u8; 4];
+        self.stream.read_exact(&mut header)?;
+        let len = u32::from_le_bytes(header);
+        proto::validate_frame_len(len, self.max_frame_len)
+            .map_err(|e| ClientError::Protocol(e.to_string()))?;
+        let mut rest = vec![0u8; len as usize + 8];
+        self.stream.read_exact(&mut rest)?;
+        let mut buf = Vec::with_capacity(4 + rest.len());
+        buf.extend_from_slice(&header);
+        buf.extend_from_slice(&rest);
+        let payload = decode_frame(&buf, self.max_frame_len)
+            .map_err(|e| ClientError::Protocol(e.to_string()))?;
+        proto::decode_response(payload).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// One request/response round trip.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.send_request(req)?;
+        self.recv_response()
+    }
+
+    /// Submits a query and waits for its outcome.
+    pub fn query(
+        &mut self,
+        query: &QueryGraph,
+        deadline: Duration,
+        priority: Priority,
+    ) -> Result<WireOutcome, ClientError> {
+        let req = Request::Query {
+            query: query.clone(),
+            deadline_us: deadline.as_micros().min(u128::from(u64::MAX)) as u64,
+            priority,
+        };
+        match self.call(&req)? {
+            Response::Query(outcome) => Ok(outcome),
+            Response::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            other => Err(ClientError::Protocol(format!(
+                "expected a query reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the merged Prometheus scrape.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(text) => Ok(text),
+            Response::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            other => Err(ClientError::Protocol(format!(
+                "expected a metrics reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness probe; returns the backend's published epoch.
+    pub fn ping(&mut self) -> Result<u64, ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong(epoch) => Ok(epoch),
+            Response::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            other => Err(ClientError::Protocol(format!(
+                "expected a pong, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the server to drain and exit; returns once acknowledged.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            Response::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            other => Err(ClientError::Protocol(format!(
+                "expected a shutdown ack, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Writes raw bytes to the socket — test hook for sending hostile
+    /// frames (oversized prefixes, corrupt checksums, torn frames).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        self.stream.write_all(bytes)?;
+        Ok(())
+    }
+}

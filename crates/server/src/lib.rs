@@ -1,0 +1,32 @@
+//! `semkg-server` — the socket serving tier.
+//!
+//! Puts the deadline-aware query contract (`Exact` / `Degraded` / `Shed`,
+//! never silently wrong) on a network boundary: a std-only `TcpListener`
+//! front end over [`sgq::sched::BatchScheduler`] and a
+//! [`sgq::ShardedDeployment`]-backed service, speaking a minimal
+//! length-prefixed binary protocol built on the same
+//! [`kgraph::io::codec`] primitives as the on-disk formats.
+//!
+//! Three layers:
+//!
+//! * [`proto`] — the wire format: framing, checksums, request/response
+//!   encoding. Hardened against untrusted input by construction; on the
+//!   workspace panic-freedom and determinism lint tiers.
+//! * [`server`] — [`server::serve`]: accept loop, per-connection
+//!   reader/writer thread pairs, slowloris timeouts, connection caps,
+//!   graceful drain, and the merged metrics scrape.
+//! * [`client`] — a small blocking [`client::Client`] used by `loadgen`
+//!   and the end-to-end tests.
+//!
+//! The crate ships two binaries: `semkg-server` (stand up a deployment and
+//! serve it) and `loadgen` (closed/open-loop load with per-priority
+//! latency histograms). See `crates/server/README.md` for the wire-format
+//! specification.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use proto::{ErrorCode, Request, Response, WireError, WireOutcome};
+pub use server::{serve, ServerConfig, ServerHandle};

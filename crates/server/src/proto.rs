@@ -1,0 +1,975 @@
+//! Wire protocol for `semkg-server`: a minimal length-prefixed binary
+//! format built on the same [`kgraph::io::codec`] primitives (little-endian
+//! put/take helpers and [`checksum64`]) as the on-disk snapshot and WAL
+//! formats — one codec, three transports.
+//!
+//! Every byte that enters this module comes from an untrusted socket, so
+//! the decode path is hardened **by construction**:
+//!
+//! - the frame length is validated against a hard cap *before any
+//!   allocation* (a 4-byte prefix cannot drive a multi-GiB buffer);
+//! - every count decoded from the payload is capped by what the remaining
+//!   bytes could possibly encode before a `Vec` is sized from it;
+//! - all multiplies on decoded lengths are checked;
+//! - the payload checksum is verified before a request is dispatched;
+//! - malformed input is a typed [`WireError`], never a panic — this module
+//!   is on the workspace panic-freedom and determinism lint tiers.
+//!
+//! See `crates/server/README.md` for the full frame-layout specification.
+
+use std::time::Duration;
+
+use kgraph::io::codec::{checksum64, put_str, put_u32, put_u32_array, put_u64, Cursor};
+use kgraph::{EdgeId, NodeId};
+use sgq::{
+    FinalMatch, Priority, QNodeId, QueryGraph, QueryNodeKind, QueryResult, QueryStats,
+    SchedOutcome, ShedReason, SubMatch,
+};
+
+/// Connection preamble: the server writes these 8 bytes immediately after
+/// `accept`, the client echoes them back before its first frame. Anything
+/// else (an HTTP request, a stray port scan) fails fast with
+/// [`ErrorCode::BadMagic`] instead of being parsed as a frame header.
+pub const MAGIC: [u8; 8] = *b"SKGWIRE1";
+
+/// Default hard cap on a frame's payload length (1 MiB). Applies to both
+/// directions; the metrics scrape is truncated server-side to honour it.
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// Bytes of framing around a payload: `len: u32` + `checksum64: u64`.
+pub const FRAME_OVERHEAD: usize = 12;
+
+/// Request payload kind tags (first payload byte, client → server).
+pub mod kind {
+    /// Submit a query: deadline, priority, query graph.
+    pub const QUERY: u8 = 0x01;
+    /// Fetch the merged Prometheus scrape.
+    pub const METRICS: u8 = 0x02;
+    /// Liveness probe; answered with the backend's published epoch.
+    pub const PING: u8 = 0x03;
+    /// Ask the server to drain and exit.
+    pub const SHUTDOWN: u8 = 0x04;
+    /// Reply to [`QUERY`] (server → client).
+    pub const QUERY_REPLY: u8 = 0x81;
+    /// Reply to [`METRICS`].
+    pub const METRICS_REPLY: u8 = 0x82;
+    /// Reply to [`PING`].
+    pub const PONG: u8 = 0x83;
+    /// Reply to [`SHUTDOWN`].
+    pub const SHUTDOWN_ACK: u8 = 0x84;
+    /// Typed error frame; carries an [`super::ErrorCode`] and detail text.
+    pub const ERROR: u8 = 0xEE;
+}
+
+/// Why the server rejected a frame (carried in an error frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Length prefix exceeds the negotiated cap (or is zero).
+    FrameTooLarge = 1,
+    /// Payload checksum did not verify; the frame was dropped undispatched.
+    ChecksumMismatch = 2,
+    /// Payload failed structural decoding.
+    Malformed = 3,
+    /// Unrecognised payload kind byte.
+    UnknownKind = 4,
+    /// Connection limit reached; retry later.
+    Busy = 5,
+    /// Connection preamble was not [`MAGIC`].
+    BadMagic = 6,
+}
+
+impl ErrorCode {
+    /// Wire byte for this code.
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Parses a wire byte; unknown bytes decode as [`ErrorCode::Malformed`]
+    /// so a response from a newer server still surfaces as an error.
+    pub fn from_u8(b: u8) -> Self {
+        match b {
+            1 => Self::FrameTooLarge,
+            2 => Self::ChecksumMismatch,
+            4 => Self::UnknownKind,
+            5 => Self::Busy,
+            6 => Self::BadMagic,
+            _ => Self::Malformed,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Self::FrameTooLarge => "frame-too-large",
+            Self::ChecksumMismatch => "checksum-mismatch",
+            Self::Malformed => "malformed",
+            Self::UnknownKind => "unknown-kind",
+            Self::Busy => "busy",
+            Self::BadMagic => "bad-magic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A typed decode/validation failure: the error code to send back plus a
+/// human-readable detail string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Code carried in the error frame.
+    pub code: ErrorCode,
+    /// Detail text carried in the error frame.
+    pub detail: String,
+}
+
+impl WireError {
+    fn malformed(detail: impl Into<String>) -> Self {
+        Self {
+            code: ErrorCode::Malformed,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.detail)
+    }
+}
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a query to the scheduler.
+    Query {
+        /// The query graph (triples) to answer.
+        query: QueryGraph,
+        /// Response deadline in microseconds from receipt. The scheduler
+        /// clamps absurd values safely, so `u64::MAX` is merely "no bound".
+        deadline_us: u64,
+        /// Scheduling class.
+        priority: Priority,
+    },
+    /// Fetch the merged service ∪ scheduler ∪ server metrics scrape.
+    Metrics,
+    /// Liveness probe.
+    Ping,
+    /// Request graceful drain: in-flight tickets resolve, new submits shed.
+    Shutdown,
+}
+
+/// A decoded server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Outcome of a [`Request::Query`].
+    Query(WireOutcome),
+    /// Prometheus text scrape.
+    Metrics(String),
+    /// Backend's published epoch.
+    Pong(u64),
+    /// The server acknowledged a shutdown request and is draining.
+    ShutdownAck,
+    /// The request was rejected before dispatch.
+    Error {
+        /// Rejection class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+/// [`SchedOutcome`] as it crosses the wire — identical semantics, but the
+/// `Failed` variant carries the rendered error text rather than the typed
+/// [`sgq::SgqError`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireOutcome {
+    /// Full answer within the deadline.
+    Exact(QueryResult),
+    /// Best-effort answer; `bound` is the certified score bound gap window.
+    Degraded {
+        /// The partial result.
+        result: QueryResult,
+        /// How far past certification the scheduler got.
+        bound: Duration,
+    },
+    /// Load-shed before execution.
+    Shed(ShedReason),
+    /// The engine rejected the query.
+    Failed(String),
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Validates a frame length prefix against `max_len` *before* the caller
+/// allocates anything. Zero-length frames are invalid (every payload starts
+/// with a kind byte).
+pub fn validate_frame_len(len: u32, max_len: u32) -> Result<(), WireError> {
+    if len == 0 {
+        return Err(WireError {
+            code: ErrorCode::FrameTooLarge,
+            detail: "zero-length frame".into(),
+        });
+    }
+    if len > max_len {
+        return Err(WireError {
+            code: ErrorCode::FrameTooLarge,
+            detail: format!("frame length {len} exceeds cap {max_len}"),
+        });
+    }
+    Ok(())
+}
+
+/// Wraps a payload in a frame: `len: u32 | payload | checksum64(payload)`.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(payload);
+    put_u64(&mut out, checksum64(payload));
+    out
+}
+
+/// Decodes one complete frame from `buf`: validates the length prefix
+/// against `max_len` (before touching the payload), checks that the buffer
+/// holds exactly one frame, and verifies the checksum. Returns the payload.
+///
+/// This is the pure-function core the socket read loop and the proptests
+/// share; the server performs the same steps incrementally against the
+/// stream.
+pub fn decode_frame(buf: &[u8], max_len: u32) -> Result<&[u8], WireError> {
+    let mut c = Cursor::new(buf);
+    let len = c.u32("frame length").map_err(WireError::malformed)?;
+    validate_frame_len(len, max_len)?;
+    let payload = c
+        .take(len as usize, "frame payload")
+        .map_err(WireError::malformed)?;
+    let stated = c.u64("frame checksum").map_err(WireError::malformed)?;
+    if c.remaining() != 0 {
+        return Err(WireError::malformed(format!(
+            "{} trailing bytes after frame",
+            c.remaining()
+        )));
+    }
+    let actual = checksum64(payload);
+    if stated != actual {
+        return Err(WireError {
+            code: ErrorCode::ChecksumMismatch,
+            detail: format!("checksum mismatch: stated {stated:#018x}, actual {actual:#018x}"),
+        });
+    }
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------------
+// Small decode helpers (all bounds-checked, no indexing)
+// ---------------------------------------------------------------------------
+
+fn u8_of(c: &mut Cursor<'_>, what: &str) -> Result<u8, WireError> {
+    let bytes = c.take(1, what).map_err(WireError::malformed)?;
+    Ok(bytes.first().copied().unwrap_or(0))
+}
+
+fn bool_of(c: &mut Cursor<'_>, what: &str) -> Result<bool, WireError> {
+    match u8_of(c, what)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        b => Err(WireError::malformed(format!("{what}: invalid bool {b}"))),
+    }
+}
+
+fn usize_of(v: u64, what: &str) -> Result<usize, WireError> {
+    usize::try_from(v).map_err(|_| WireError::malformed(format!("{what}: {v} overflows usize")))
+}
+
+/// Reads a `u32` element count and refuses it unless the remaining bytes
+/// could actually hold `count * min_elem_bytes` — so a hostile count can
+/// never size an allocation beyond the (already capped) frame length.
+fn checked_count(
+    c: &mut Cursor<'_>,
+    min_elem_bytes: usize,
+    what: &str,
+) -> Result<usize, WireError> {
+    let n = c.u32(what).map_err(WireError::malformed)? as usize;
+    let need = n
+        .checked_mul(min_elem_bytes)
+        .ok_or_else(|| WireError::malformed(format!("{what}: count {n} overflows byte length")))?;
+    if need > c.remaining() {
+        return Err(WireError::malformed(format!(
+            "{what}: count {n} needs ≥{need} bytes, {} remain",
+            c.remaining()
+        )));
+    }
+    Ok(n)
+}
+
+fn priority_to_u8(p: Priority) -> u8 {
+    p.rank() as u8
+}
+
+fn priority_from_u8(b: u8) -> Result<Priority, WireError> {
+    match b {
+        0 => Ok(Priority::High),
+        1 => Ok(Priority::Normal),
+        2 => Ok(Priority::Low),
+        _ => Err(WireError::malformed(format!("invalid priority byte {b}"))),
+    }
+}
+
+fn shed_reason_to_u8(r: ShedReason) -> u8 {
+    match r {
+        ShedReason::QueueFull => 0,
+        ShedReason::Expired => 1,
+        ShedReason::Unmeetable => 2,
+        ShedReason::Shutdown => 3,
+    }
+}
+
+fn shed_reason_from_u8(b: u8) -> Result<ShedReason, WireError> {
+    match b {
+        0 => Ok(ShedReason::QueueFull),
+        1 => Ok(ShedReason::Expired),
+        2 => Ok(ShedReason::Unmeetable),
+        3 => Ok(ShedReason::Shutdown),
+        _ => Err(WireError::malformed(format!(
+            "invalid shed reason byte {b}"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Query graph
+// ---------------------------------------------------------------------------
+
+/// Minimum encoded size of a query node (tag + one length-prefixed string).
+const MIN_NODE_BYTES: usize = 5;
+/// Minimum encoded size of a query edge (from + to + string length prefix).
+const MIN_EDGE_BYTES: usize = 12;
+
+fn encode_query_graph(out: &mut Vec<u8>, q: &QueryGraph) {
+    put_u32(out, q.nodes().len() as u32);
+    for node in q.nodes() {
+        match &node.kind {
+            QueryNodeKind::Specific { name, ty } => {
+                out.push(0);
+                put_str(out, name);
+                put_str(out, ty);
+            }
+            QueryNodeKind::Target { ty } => {
+                out.push(1);
+                put_str(out, ty);
+            }
+        }
+    }
+    put_u32(out, q.edges().len() as u32);
+    for edge in q.edges() {
+        put_u32(out, edge.from.0);
+        put_u32(out, edge.to.0);
+        put_str(out, &edge.predicate);
+    }
+}
+
+fn decode_query_graph(c: &mut Cursor<'_>) -> Result<QueryGraph, WireError> {
+    let mut q = QueryGraph::new();
+    let node_count = checked_count(c, MIN_NODE_BYTES, "query node count")?;
+    for _ in 0..node_count {
+        match u8_of(c, "query node tag")? {
+            0 => {
+                let name = c.str("specific node name").map_err(WireError::malformed)?;
+                let ty = c.str("specific node type").map_err(WireError::malformed)?;
+                q.add_specific(name, ty);
+            }
+            1 => {
+                let ty = c.str("target node type").map_err(WireError::malformed)?;
+                q.add_target(ty);
+            }
+            t => {
+                return Err(WireError::malformed(format!("invalid query node tag {t}")));
+            }
+        }
+    }
+    let edge_count = checked_count(c, MIN_EDGE_BYTES, "query edge count")?;
+    for _ in 0..edge_count {
+        let from = c.u32("query edge from").map_err(WireError::malformed)?;
+        let to = c.u32("query edge to").map_err(WireError::malformed)?;
+        let predicate = c
+            .str("query edge predicate")
+            .map_err(WireError::malformed)?;
+        let n = node_count as u32;
+        if from >= n || to >= n {
+            return Err(WireError::malformed(format!(
+                "query edge endpoint out of range: {from}->{to} with {n} nodes"
+            )));
+        }
+        q.add_edge(QNodeId(from), predicate, QNodeId(to));
+    }
+    Ok(q)
+}
+
+// ---------------------------------------------------------------------------
+// Query results (bit-exact: f64 via to_bits/from_bits)
+// ---------------------------------------------------------------------------
+
+fn encode_sub_match(out: &mut Vec<u8>, p: &SubMatch) {
+    put_u32(out, p.source.0);
+    put_u32(out, p.pivot.0);
+    put_u64(out, p.pss.to_bits());
+    put_u32_array(out, p.nodes.iter().map(|n| n.0));
+    put_u32_array(out, p.edges.iter().map(|e| e.0));
+    put_u32(out, p.bindings.len() as u32);
+    for (qn, n) in &p.bindings {
+        put_u32(out, *qn);
+        put_u32(out, n.0);
+    }
+}
+
+fn decode_sub_match(c: &mut Cursor<'_>) -> Result<SubMatch, WireError> {
+    let source = NodeId::new(c.u32("sub-match source").map_err(WireError::malformed)?);
+    let pivot = NodeId::new(c.u32("sub-match pivot").map_err(WireError::malformed)?);
+    let pss = f64::from_bits(c.u64("sub-match pss").map_err(WireError::malformed)?);
+    let nodes = c
+        .u32_array("sub-match nodes")
+        .map_err(WireError::malformed)?
+        .into_iter()
+        .map(NodeId::new)
+        .collect();
+    let edges = c
+        .u32_array("sub-match edges")
+        .map_err(WireError::malformed)?
+        .into_iter()
+        .map(EdgeId::new)
+        .collect();
+    let binding_count = checked_count(c, 8, "sub-match binding count")?;
+    let mut bindings = Vec::with_capacity(binding_count);
+    for _ in 0..binding_count {
+        let qn = c.u32("binding query node").map_err(WireError::malformed)?;
+        let n = c.u32("binding graph node").map_err(WireError::malformed)?;
+        bindings.push((qn, NodeId::new(n)));
+    }
+    Ok(SubMatch {
+        source,
+        pivot,
+        pss,
+        nodes,
+        edges,
+        bindings,
+    })
+}
+
+/// Minimum encoded size of a [`FinalMatch`]: pivot + score + parts count.
+const MIN_MATCH_BYTES: usize = 16;
+/// Minimum encoded size of a [`SubMatch`]: two ids, pss, three counts.
+const MIN_PART_BYTES: usize = 28;
+
+fn encode_query_result(out: &mut Vec<u8>, r: &QueryResult) {
+    put_u32(out, r.matches.len() as u32);
+    for m in &r.matches {
+        put_u32(out, m.pivot.0);
+        put_u64(out, m.score.to_bits());
+        put_u32(out, m.parts.len() as u32);
+        for p in &m.parts {
+            encode_sub_match(out, p);
+        }
+    }
+    let s = &r.stats;
+    put_u64(out, s.elapsed_us);
+    put_u64(out, s.popped as u64);
+    put_u64(out, s.pushed as u64);
+    put_u64(out, s.tau_pruned as u64);
+    put_u64(out, s.edges_examined as u64);
+    put_u64(out, s.ta_accesses as u64);
+    out.push(s.ta_certified as u8);
+    put_u64(out, s.subqueries as u64);
+    put_u32(out, s.per_subquery_us.len() as u32);
+    for us in &s.per_subquery_us {
+        put_u64(out, *us);
+    }
+    out.push(s.time_bound_hit as u8);
+}
+
+fn decode_query_result(c: &mut Cursor<'_>) -> Result<QueryResult, WireError> {
+    let match_count = checked_count(c, MIN_MATCH_BYTES, "match count")?;
+    let mut matches = Vec::with_capacity(match_count);
+    for _ in 0..match_count {
+        let pivot = NodeId::new(c.u32("match pivot").map_err(WireError::malformed)?);
+        let score = f64::from_bits(c.u64("match score").map_err(WireError::malformed)?);
+        let part_count = checked_count(c, MIN_PART_BYTES, "part count")?;
+        let mut parts = Vec::with_capacity(part_count);
+        for _ in 0..part_count {
+            parts.push(decode_sub_match(c)?);
+        }
+        matches.push(FinalMatch {
+            pivot,
+            score,
+            parts,
+        });
+    }
+    let elapsed_us = c.u64("stats elapsed").map_err(WireError::malformed)?;
+    let popped = usize_of(
+        c.u64("stats popped").map_err(WireError::malformed)?,
+        "popped",
+    )?;
+    let pushed = usize_of(
+        c.u64("stats pushed").map_err(WireError::malformed)?,
+        "pushed",
+    )?;
+    let tau_pruned = usize_of(
+        c.u64("stats tau_pruned").map_err(WireError::malformed)?,
+        "tau_pruned",
+    )?;
+    let edges_examined = usize_of(
+        c.u64("stats edges_examined")
+            .map_err(WireError::malformed)?,
+        "edges_examined",
+    )?;
+    let ta_accesses = usize_of(
+        c.u64("stats ta_accesses").map_err(WireError::malformed)?,
+        "ta_accesses",
+    )?;
+    let ta_certified = bool_of(c, "stats ta_certified")?;
+    let subqueries = usize_of(
+        c.u64("stats subqueries").map_err(WireError::malformed)?,
+        "subqueries",
+    )?;
+    let per_count = checked_count(c, 8, "per-subquery count")?;
+    let mut per_subquery_us = Vec::with_capacity(per_count);
+    for _ in 0..per_count {
+        per_subquery_us.push(c.u64("per-subquery µs").map_err(WireError::malformed)?);
+    }
+    let time_bound_hit = bool_of(c, "stats time_bound_hit")?;
+    Ok(QueryResult {
+        matches,
+        stats: QueryStats {
+            elapsed_us,
+            popped,
+            pushed,
+            tau_pruned,
+            edges_examined,
+            ta_accesses,
+            ta_certified,
+            subqueries,
+            per_subquery_us,
+            time_bound_hit,
+        },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// Encodes a request payload (not yet framed — pass through [`frame`]).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    match req {
+        Request::Query {
+            query,
+            deadline_us,
+            priority,
+        } => {
+            out.push(kind::QUERY);
+            put_u64(&mut out, *deadline_us);
+            out.push(priority_to_u8(*priority));
+            encode_query_graph(&mut out, query);
+        }
+        Request::Metrics => out.push(kind::METRICS),
+        Request::Ping => out.push(kind::PING),
+        Request::Shutdown => out.push(kind::SHUTDOWN),
+    }
+    out
+}
+
+/// Decodes a request payload (the bytes inside a verified frame).
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut c = Cursor::new(payload);
+    let tag = u8_of(&mut c, "request kind")?;
+    let req = match tag {
+        kind::QUERY => {
+            let deadline_us = c.u64("deadline µs").map_err(WireError::malformed)?;
+            let priority = priority_from_u8(u8_of(&mut c, "priority")?)?;
+            let query = decode_query_graph(&mut c)?;
+            Request::Query {
+                query,
+                deadline_us,
+                priority,
+            }
+        }
+        kind::METRICS => Request::Metrics,
+        kind::PING => Request::Ping,
+        kind::SHUTDOWN => Request::Shutdown,
+        t => {
+            return Err(WireError {
+                code: ErrorCode::UnknownKind,
+                detail: format!("unknown request kind {t:#04x}"),
+            });
+        }
+    };
+    if c.remaining() != 0 {
+        return Err(WireError::malformed(format!(
+            "{} trailing bytes in request",
+            c.remaining()
+        )));
+    }
+    Ok(req)
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+const OUTCOME_EXACT: u8 = 0;
+const OUTCOME_DEGRADED: u8 = 1;
+const OUTCOME_SHED: u8 = 2;
+const OUTCOME_FAILED: u8 = 3;
+
+/// Encodes a scheduler outcome as a `QUERY_REPLY` payload.
+pub fn encode_query_reply(outcome: &SchedOutcome) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.push(kind::QUERY_REPLY);
+    match outcome {
+        SchedOutcome::Exact(result) => {
+            out.push(OUTCOME_EXACT);
+            encode_query_result(&mut out, result);
+        }
+        SchedOutcome::Degraded { result, bound } => {
+            out.push(OUTCOME_DEGRADED);
+            put_u64(&mut out, bound.as_micros() as u64);
+            encode_query_result(&mut out, result);
+        }
+        SchedOutcome::Shed(reason) => {
+            out.push(OUTCOME_SHED);
+            out.push(shed_reason_to_u8(*reason));
+        }
+        SchedOutcome::Failed(err) => {
+            out.push(OUTCOME_FAILED);
+            put_str(&mut out, &err.to_string());
+        }
+    }
+    out
+}
+
+/// Encodes a non-query response payload.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    match resp {
+        Response::Query(outcome) => {
+            out.push(kind::QUERY_REPLY);
+            match outcome {
+                WireOutcome::Exact(result) => {
+                    out.push(OUTCOME_EXACT);
+                    encode_query_result(&mut out, result);
+                }
+                WireOutcome::Degraded { result, bound } => {
+                    out.push(OUTCOME_DEGRADED);
+                    put_u64(&mut out, bound.as_micros() as u64);
+                    encode_query_result(&mut out, result);
+                }
+                WireOutcome::Shed(reason) => {
+                    out.push(OUTCOME_SHED);
+                    out.push(shed_reason_to_u8(*reason));
+                }
+                WireOutcome::Failed(msg) => {
+                    out.push(OUTCOME_FAILED);
+                    put_str(&mut out, msg);
+                }
+            }
+        }
+        Response::Metrics(text) => {
+            out.push(kind::METRICS_REPLY);
+            put_str(&mut out, text);
+        }
+        Response::Pong(epoch) => {
+            out.push(kind::PONG);
+            put_u64(&mut out, *epoch);
+        }
+        Response::ShutdownAck => out.push(kind::SHUTDOWN_ACK),
+        Response::Error { code, detail } => {
+            out.push(kind::ERROR);
+            out.push(code.as_u8());
+            put_str(&mut out, detail);
+        }
+    }
+    out
+}
+
+/// Decodes a response payload (the bytes inside a verified frame).
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut c = Cursor::new(payload);
+    let tag = u8_of(&mut c, "response kind")?;
+    let resp = match tag {
+        kind::QUERY_REPLY => {
+            let outcome = match u8_of(&mut c, "outcome tag")? {
+                OUTCOME_EXACT => WireOutcome::Exact(decode_query_result(&mut c)?),
+                OUTCOME_DEGRADED => {
+                    let bound_us = c.u64("degrade bound µs").map_err(WireError::malformed)?;
+                    let result = decode_query_result(&mut c)?;
+                    WireOutcome::Degraded {
+                        result,
+                        bound: Duration::from_micros(bound_us),
+                    }
+                }
+                OUTCOME_SHED => {
+                    WireOutcome::Shed(shed_reason_from_u8(u8_of(&mut c, "shed reason")?)?)
+                }
+                OUTCOME_FAILED => WireOutcome::Failed(
+                    c.str("failure detail")
+                        .map_err(WireError::malformed)?
+                        .to_string(),
+                ),
+                t => {
+                    return Err(WireError::malformed(format!("invalid outcome tag {t}")));
+                }
+            };
+            Response::Query(outcome)
+        }
+        kind::METRICS_REPLY => Response::Metrics(
+            c.str("metrics text")
+                .map_err(WireError::malformed)?
+                .to_string(),
+        ),
+        kind::PONG => Response::Pong(c.u64("epoch").map_err(WireError::malformed)?),
+        kind::SHUTDOWN_ACK => Response::ShutdownAck,
+        kind::ERROR => {
+            let code = ErrorCode::from_u8(u8_of(&mut c, "error code")?);
+            let detail = c
+                .str("error detail")
+                .map_err(WireError::malformed)?
+                .to_string();
+            Response::Error { code, detail }
+        }
+        t => {
+            return Err(WireError {
+                code: ErrorCode::UnknownKind,
+                detail: format!("unknown response kind {t:#04x}"),
+            });
+        }
+    };
+    if c.remaining() != 0 {
+        return Err(WireError::malformed(format!(
+            "{} trailing bytes in response",
+            c.remaining()
+        )));
+    }
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_query() -> QueryGraph {
+        let mut q = QueryGraph::new();
+        let germany = q.add_specific("Germany", "Country");
+        let bmw = q.add_specific("BMW", "Company");
+        let car = q.add_target("Automobile");
+        q.add_edge(car, "assembly", germany);
+        q.add_edge(car, "manufacturer", bmw);
+        q
+    }
+
+    fn sample_result() -> QueryResult {
+        QueryResult {
+            matches: vec![FinalMatch {
+                pivot: NodeId::new(42),
+                score: 0.1 + 0.2, // deliberately non-representable exactly
+                parts: vec![SubMatch {
+                    source: NodeId::new(7),
+                    pivot: NodeId::new(42),
+                    pss: f64::NAN,
+                    nodes: vec![NodeId::new(7), NodeId::new(42)],
+                    edges: vec![EdgeId::new(3)],
+                    bindings: vec![(0, NodeId::new(7)), (2, NodeId::new(42))],
+                }],
+            }],
+            stats: QueryStats {
+                elapsed_us: 123,
+                popped: 4,
+                pushed: 5,
+                tau_pruned: 6,
+                edges_examined: 7,
+                ta_accesses: 8,
+                ta_certified: true,
+                subqueries: 2,
+                per_subquery_us: vec![60, 63],
+                time_bound_hit: false,
+            },
+        }
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request::Query {
+            query: sample_query(),
+            deadline_us: 25_000,
+            priority: Priority::High,
+        };
+        let payload = encode_request(&req);
+        assert_eq!(decode_request(&payload).unwrap(), req);
+        for req in [Request::Metrics, Request::Ping, Request::Shutdown] {
+            assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn query_reply_roundtrip_is_bit_exact() {
+        let result = sample_result();
+        let payload = encode_query_reply(&SchedOutcome::Exact(result.clone()));
+        let Response::Query(WireOutcome::Exact(back)) = decode_response(&payload).unwrap() else {
+            panic!("wrong variant");
+        };
+        // PartialEq on f64 treats NaN != NaN; compare bits explicitly.
+        assert_eq!(back.matches.len(), 1);
+        assert_eq!(
+            back.matches[0].score.to_bits(),
+            result.matches[0].score.to_bits()
+        );
+        assert_eq!(
+            back.matches[0].parts[0].pss.to_bits(),
+            result.matches[0].parts[0].pss.to_bits()
+        );
+        assert_eq!(
+            back.matches[0].parts[0].nodes,
+            result.matches[0].parts[0].nodes
+        );
+        assert_eq!(
+            back.matches[0].parts[0].edges,
+            result.matches[0].parts[0].edges
+        );
+        assert_eq!(
+            back.matches[0].parts[0].bindings,
+            result.matches[0].parts[0].bindings
+        );
+        assert_eq!(back.stats, result.stats);
+    }
+
+    #[test]
+    fn outcome_variants_roundtrip() {
+        let degraded = encode_query_reply(&SchedOutcome::Degraded {
+            result: sample_result(),
+            bound: Duration::from_micros(777),
+        });
+        let Response::Query(WireOutcome::Degraded { bound, .. }) =
+            decode_response(&degraded).unwrap()
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(bound, Duration::from_micros(777));
+
+        for reason in [
+            ShedReason::QueueFull,
+            ShedReason::Expired,
+            ShedReason::Unmeetable,
+            ShedReason::Shutdown,
+        ] {
+            let payload = encode_query_reply(&SchedOutcome::Shed(reason));
+            assert_eq!(
+                decode_response(&payload).unwrap(),
+                Response::Query(WireOutcome::Shed(reason))
+            );
+        }
+
+        let failed = encode_query_reply(&SchedOutcome::Failed(sgq::SgqError::NoTargetNode));
+        let Response::Query(WireOutcome::Failed(msg)) = decode_response(&failed).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert!(!msg.is_empty());
+    }
+
+    #[test]
+    fn non_query_responses_roundtrip() {
+        for resp in [
+            Response::Metrics("# TYPE x counter\nx 1\n".into()),
+            Response::Pong(9),
+            Response::ShutdownAck,
+            Response::Error {
+                code: ErrorCode::Busy,
+                detail: "try later".into(),
+            },
+        ] {
+            assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip_and_rejections() {
+        let payload = encode_request(&Request::Ping);
+        let framed = frame(&payload);
+        assert_eq!(
+            decode_frame(&framed, DEFAULT_MAX_FRAME_LEN).unwrap(),
+            &payload[..]
+        );
+
+        // Oversized length prefix is rejected before any allocation.
+        let mut oversize = Vec::new();
+        put_u32(&mut oversize, DEFAULT_MAX_FRAME_LEN + 1);
+        let err = decode_frame(&oversize, DEFAULT_MAX_FRAME_LEN).unwrap_err();
+        assert_eq!(err.code, ErrorCode::FrameTooLarge);
+
+        // Zero-length frames are invalid.
+        let err = decode_frame(&frame(&[])[..], DEFAULT_MAX_FRAME_LEN).unwrap_err();
+        assert_eq!(err.code, ErrorCode::FrameTooLarge);
+
+        // A flipped payload bit fails the checksum.
+        let mut corrupt = frame(&payload);
+        corrupt[5] ^= 0x40;
+        let err = decode_frame(&corrupt, DEFAULT_MAX_FRAME_LEN).unwrap_err();
+        assert_eq!(err.code, ErrorCode::ChecksumMismatch);
+
+        // A torn frame (truncated mid-payload) is malformed, not a panic.
+        let torn = &framed[..framed.len() - 3];
+        let err = decode_frame(torn, DEFAULT_MAX_FRAME_LEN).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Malformed);
+    }
+
+    #[test]
+    fn hostile_counts_cannot_drive_allocations() {
+        // A query frame claiming u32::MAX nodes in a tiny payload must fail
+        // on the count check, not after allocating.
+        let mut payload = vec![kind::QUERY];
+        put_u64(&mut payload, 1_000);
+        payload.push(1); // Normal
+        put_u32(&mut payload, u32::MAX); // node count
+        let err = decode_request(&payload).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Malformed);
+        assert!(err.detail.contains("node count"), "{err}");
+
+        // Same for a reply claiming u32::MAX matches.
+        let mut payload = vec![kind::QUERY_REPLY, OUTCOME_EXACT];
+        put_u32(&mut payload, u32::MAX);
+        let err = decode_response(&payload).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Malformed);
+    }
+
+    #[test]
+    fn unknown_kinds_are_typed_errors() {
+        assert_eq!(
+            decode_request(&[0x7f]).unwrap_err().code,
+            ErrorCode::UnknownKind
+        );
+        assert_eq!(
+            decode_response(&[0x33]).unwrap_err().code,
+            ErrorCode::UnknownKind
+        );
+        // Empty payloads are malformed (never reachable through a valid
+        // frame, but decode functions must stand alone).
+        assert_eq!(decode_request(&[]).unwrap_err().code, ErrorCode::Malformed);
+    }
+
+    #[test]
+    fn edge_endpoints_are_validated() {
+        let mut q = QueryGraph::new();
+        let a = q.add_specific("A", "T");
+        let b = q.add_target("T");
+        q.add_edge(a, "p", b);
+        let mut payload = encode_request(&Request::Query {
+            query: q,
+            deadline_us: 1,
+            priority: Priority::Low,
+        });
+        // Corrupt the edge's `from` field (last edge bytes: from, to, len, "p").
+        let from_off = payload.len() - 1 - 4 - 4 - 4;
+        payload[from_off] = 9;
+        let err = decode_request(&payload).unwrap_err();
+        assert!(err.detail.contains("out of range"), "{err}");
+    }
+}

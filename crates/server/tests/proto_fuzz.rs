@@ -1,0 +1,51 @@
+//! Property tests for the wire codec: arbitrary bytes must never panic
+//! the decoders, and hostile length fields must never drive allocations
+//! past what the input itself can justify.
+
+use proptest::prelude::*;
+use semkg_server::proto::{self, Request};
+
+proptest! {
+    /// The frame decoder tolerates arbitrary bytes: typed error or clean
+    /// payload, never a panic, and any accepted payload fits the cap.
+    #[test]
+    fn decode_frame_never_panics(bytes in proptest::collection::vec(0u8..=255u8, 0..4096), cap in 1u32..8192) {
+        if let Ok(payload) = proto::decode_frame(&bytes, cap) {
+            prop_assert!(payload.len() <= cap as usize);
+        }
+    }
+
+    /// Request decoding tolerates arbitrary payloads.
+    #[test]
+    fn decode_request_never_panics(bytes in proptest::collection::vec(0u8..=255u8, 0..4096)) {
+        let _ = proto::decode_request(&bytes);
+    }
+
+    /// Arbitrary bytes forced down the query path: the graph decoder's
+    /// element counts are checked against the remaining input, so any
+    /// accepted query is no larger than the bytes that encoded it.
+    #[test]
+    fn decode_query_requests_bound_allocations(tail in proptest::collection::vec(0u8..=255u8, 0..4096)) {
+        let mut bytes = vec![0x01u8];
+        bytes.extend_from_slice(&tail);
+        if let Ok(Request::Query { query, .. }) = proto::decode_request(&bytes) {
+            prop_assert!(query.nodes().len() <= bytes.len());
+            prop_assert!(query.edges().len() <= bytes.len());
+        }
+    }
+
+    /// Response decoding tolerates arbitrary payloads (a hostile *server*
+    /// must not be able to panic a client).
+    #[test]
+    fn decode_response_never_panics(bytes in proptest::collection::vec(0u8..=255u8, 0..4096)) {
+        let _ = proto::decode_response(&bytes);
+    }
+
+    /// Well-formed frames always round-trip.
+    #[test]
+    fn frame_roundtrips(payload in proptest::collection::vec(0u8..=255u8, 1..2048)) {
+        let framed = proto::frame(&payload);
+        let decoded = proto::decode_frame(&framed, 4096).unwrap();
+        prop_assert_eq!(decoded, &payload[..]);
+    }
+}

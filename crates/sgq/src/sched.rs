@@ -57,6 +57,12 @@
 //! prepared queries pinned to their build epoch, so a commit or compaction
 //! landing mid-batch drains cleanly — the batch finishes on the snapshot it
 //! planned against while the next batch adopts the new epoch.
+//!
+//! The `semkg-server` crate fronts this scheduler over a TCP socket: the
+//! full response contract — including every [`SchedOutcome`] variant and
+//! its [`ShedReason`] — crosses the wire bit-identically, so remote
+//! clients get the same never-silently-wrong guarantee as in-process
+//! callers (see `crates/server/README.md`).
 
 use crate::answer::{QueryResult, QueryStats};
 use crate::config::{SchedConfig, SgqConfig};
