@@ -16,9 +16,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use datagen::dataset::DatasetSpec;
-use datagen::workload::produced_workload;
+use datagen::workload::{produced_workload, RequestMix};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use sgq::sched::{BatchScheduler, Priority, SchedOutcome, Ticket};
 use sgq::{QueryGraph, QueryService, SchedConfig, SgqConfig};
 use std::hint::black_box;
@@ -26,16 +26,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 const CLIENTS: usize = 16;
-/// Hot-set skew: this fraction of requests draws from `HOT_QUERIES`.
-const HOT_FRACTION: u64 = 80;
-const HOT_QUERIES: usize = 4;
+/// The shared 80/20 hot-set mix (`datagen::workload::RequestMix`).
+const MIX: RequestMix = RequestMix {
+    hot_fraction: 80,
+    hot_set: 4,
+};
 
 fn pick(rng: &mut StdRng, len: usize) -> usize {
-    if rng.random_range(0u64..100) < HOT_FRACTION {
-        rng.random_range(0..HOT_QUERIES.min(len))
-    } else {
-        rng.random_range(0..len)
-    }
+    MIX.pick(rng, len)
 }
 
 fn percentile(samples: &mut [f64], p: f64) -> f64 {
@@ -225,7 +223,10 @@ fn bench_scheduler(c: &mut Criterion) {
     let unscheduled_qps = run_unscheduled(&service, &queries, phase);
     let scheduled_qps = run_scheduled(&service, &queries, phase);
     let speedup = scheduled_qps / unscheduled_qps;
-    println!("\nsustained throughput at {CLIENTS} clients (80% of traffic on {HOT_QUERIES} hot queries):");
+    println!(
+        "\nsustained throughput at {CLIENTS} clients ({}% of traffic on {} hot queries):",
+        MIX.hot_fraction, MIX.hot_set
+    );
     println!("  unscheduled (direct service.query)  {unscheduled_qps:>10.0} q/s");
     println!("  scheduled   (batched, EDF)          {scheduled_qps:>10.0} q/s");
     println!("  speedup                             {speedup:>10.2}x  (target >= 1.30x)");

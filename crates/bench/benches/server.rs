@@ -18,8 +18,9 @@
 //! The numbers land in `BENCH_server.json` at the workspace root.
 
 use datagen::dataset::DatasetSpec;
+use datagen::workload::RequestMix;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use semkg_server::server::{self, ServerConfig};
 use semkg_server::{Client, WireOutcome};
 use serde::Serialize;
@@ -28,29 +29,22 @@ use std::net::{SocketAddr, TcpListener};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-/// Hot-set skew, mirroring `benches/scheduler.rs`.
-const HOT_FRACTION: u64 = 80;
-const HOT_QUERIES: usize = 4;
+/// The shared 80/20 hot-set + 20/60/20-priority mix, mirroring
+/// `benches/scheduler.rs` (`datagen::workload::RequestMix`).
+const MIX: RequestMix = RequestMix {
+    hot_fraction: 80,
+    hot_set: 4,
+};
 const DEADLINE: Duration = Duration::from_millis(25);
 const CLOSED_SECS: f64 = 1.2;
 const OVERLOAD_SECS: f64 = 2.5;
 
 fn pick(rng: &mut StdRng, len: usize) -> usize {
-    if rng.random_range(0u64..100) < HOT_FRACTION {
-        rng.random_range(0..HOT_QUERIES.min(len))
-    } else {
-        rng.random_range(0..len)
-    }
+    MIX.pick(rng, len)
 }
 
-/// 20/60/20 High/Normal/Low — the scheduler-bench mix, so the overload
-/// gate on the high-priority histogram actually has samples.
 fn pick_priority(rng: &mut StdRng) -> Priority {
-    match rng.random_range(0u64..100) {
-        0..=19 => Priority::High,
-        20..=79 => Priority::Normal,
-        _ => Priority::Low,
-    }
+    MIX.pick_priority(rng)
 }
 
 fn percentile(samples: &mut [f64], p: f64) -> f64 {

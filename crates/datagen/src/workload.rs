@@ -167,6 +167,56 @@ pub fn soccer_query(ds: &BenchDataset, i: usize) -> (BenchQuery, u32, u32) {
     )
 }
 
+/// The production-shaped request mix shared by `benches/scheduler.rs`,
+/// `benches/server.rs`, and the `loadgen` binary: a fraction of traffic
+/// concentrates on a small hot set of queries (the classic 80/20 skew),
+/// and priorities split 20/60/20 High/Normal/Low. Keeping the mix here —
+/// instead of three hand-rolled copies — means every serving-tier
+/// measurement shapes its traffic identically, so their numbers compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestMix {
+    /// Percent of requests (0..=100) drawn from the hot set.
+    pub hot_fraction: u64,
+    /// Size of the hot set (the first `hot_set` queries of the workload).
+    pub hot_set: usize,
+}
+
+impl Default for RequestMix {
+    /// The benches' canonical 80/20 skew over 4 hot queries.
+    fn default() -> Self {
+        Self {
+            hot_fraction: 80,
+            hot_set: 4,
+        }
+    }
+}
+
+impl RequestMix {
+    /// Picks a workload index: with probability `hot_fraction`% one of the
+    /// first `hot_set` queries, otherwise uniform over the whole workload.
+    pub fn pick<R: Rng>(&self, rng: &mut R, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        if rng.random_range(0u64..100) < self.hot_fraction.min(100) {
+            rng.random_range(0..self.hot_set.clamp(1, len))
+        } else {
+            rng.random_range(0..len)
+        }
+    }
+
+    /// The 20/60/20 High/Normal/Low priority split used by the serving
+    /// benches (so overload gates on the high-priority histogram always
+    /// have samples).
+    pub fn pick_priority<R: Rng>(&self, rng: &mut R) -> sgq::Priority {
+        match rng.random_range(0u64..100) {
+            0..=19 => sgq::Priority::High,
+            20..=79 => sgq::Priority::Normal,
+            _ => sgq::Priority::Low,
+        }
+    }
+}
+
 /// Parameters of the **shard-hostile skew mode**: a seeded synthetic triple
 /// stream whose source popularity is zipfian with ranks laid out in
 /// source-node-hash order — the distribution's heavy head lands inside the
@@ -354,6 +404,37 @@ mod tests {
         );
         // No self loops.
         assert!(a.iter().all(|t| t.head != t.tail));
+    }
+
+    /// The shared bench/loadgen mix: deterministic under a seed, skewed
+    /// toward the hot set at 80/20, degenerating to uniform at 0%.
+    #[test]
+    fn request_mix_skews_toward_the_hot_set() {
+        let mix = RequestMix::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 10_000;
+        let hot = (0..n)
+            .filter(|_| mix.pick(&mut rng, 100) < mix.hot_set)
+            .count();
+        assert!(
+            (0.75..0.88).contains(&(hot as f64 / n as f64)),
+            "~80% of picks hit the hot set, got {hot}/{n}"
+        );
+        // Degenerate workloads never panic or go out of range.
+        assert_eq!(mix.pick(&mut rng, 0), 0);
+        assert!(mix.pick(&mut rng, 2) < 2);
+        // Priorities follow the 20/60/20 split.
+        let mut highs = 0usize;
+        let mut normals = 0usize;
+        for _ in 0..n {
+            match mix.pick_priority(&mut rng) {
+                sgq::Priority::High => highs += 1,
+                sgq::Priority::Normal => normals += 1,
+                sgq::Priority::Low => {}
+            }
+        }
+        assert!((0.15..0.25).contains(&(highs as f64 / n as f64)));
+        assert!((0.55..0.65).contains(&(normals as f64 / n as f64)));
     }
 
     #[test]

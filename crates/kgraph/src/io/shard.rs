@@ -87,13 +87,22 @@ pub fn wal_path(dir: &Path, shard: usize) -> PathBuf {
     dir.join(format!("wal-{shard:04}.log"))
 }
 
-/// What the manifest records: the one epoch every shard file must match.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// What the manifest records: the one epoch every shard file must match,
+/// and (for rebalanced layouts) the explicit bucket → shard assignment that
+/// routed the referenced file set. Readers always observe the assignment
+/// and the epoch together — the manifest flip is the single commit point
+/// for both, so a recovering process can never pair a new assignment with
+/// an old file set or vice versa.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Manifest {
     /// Epoch of the referenced snapshot file set.
     pub epoch: u64,
     /// Number of shards in the layout.
     pub shards: u32,
+    /// Explicit bucket → shard table of a rebalanced layout; `None` means
+    /// hash routing (and encodes byte-identically to the pre-rebalance
+    /// manifest format).
+    pub assignment: Option<Vec<u8>>,
 }
 
 /// Writes a small checksummed blob atomically: tmp + fsync + rename, then
@@ -161,6 +170,10 @@ pub fn write_manifest(dir: &Path, manifest: &Manifest) -> Result<()> {
     let mut body = Vec::with_capacity(12);
     put_u64(&mut body, manifest.epoch);
     put_u32(&mut body, manifest.shards);
+    if let Some(table) = &manifest.assignment {
+        put_u32(&mut body, table.len() as u32);
+        body.extend_from_slice(table);
+    }
     write_blob_atomic(&manifest_path(dir), MANIFEST_MAGIC, &body)
 }
 
@@ -172,10 +185,22 @@ pub fn read_manifest(dir: &Path) -> Result<Manifest> {
     let mut c = Cursor::new(&body);
     let epoch = c.u64("epoch").map_err(wrap)?;
     let shards = c.u32("shard count").map_err(wrap)?;
+    // Hash-routed manifests end here; rebalanced ones append the table.
+    let assignment = if c.remaining() == 0 {
+        None
+    } else {
+        let len = c.u32("assignment length").map_err(wrap)? as usize;
+        let table = c.take(len, "bucket assignment").map_err(wrap)?.to_vec();
+        Some(table)
+    };
     if c.remaining() != 0 {
         return Err(wrap(format!("{} trailing bytes", c.remaining())));
     }
-    Ok(Manifest { epoch, shards })
+    Ok(Manifest {
+        epoch,
+        shards,
+        assignment,
+    })
 }
 
 /// Saves `graph` as a per-shard snapshot set at `epoch` and flips the
@@ -228,12 +253,14 @@ pub fn save_sharded(
     }
 
     // The commit point: all files for `epoch` are durable, flip the
-    // coordinator.
+    // coordinator. A rebalanced partitioner's assignment travels with the
+    // same flip, so the file set and its routing publish together.
     write_manifest(
         dir,
         &Manifest {
             epoch,
             shards: k as u32,
+            assignment: partitioner.assignment().map(<[u8]>::to_vec),
         },
     )?;
 
@@ -274,7 +301,10 @@ fn parse_epoch_suffix(name: &str, prefix: &str) -> Option<u64> {
 pub fn load_sharded(dir: impl AsRef<Path>) -> Result<(KnowledgeGraph, Partitioner, u64)> {
     let dir = dir.as_ref();
     let manifest = read_manifest(dir)?;
-    let partitioner = Partitioner::new(manifest.shards as usize)?;
+    let partitioner = match manifest.assignment.clone() {
+        Some(table) => Partitioner::with_assignment(manifest.shards as usize, table)?,
+        None => Partitioner::new(manifest.shards as usize)?,
+    };
     let epoch = manifest.epoch;
 
     let meta_file = meta_path(dir, epoch);
@@ -587,7 +617,7 @@ impl ShardedWalWriter {
 
     /// The layout's partitioner.
     pub fn partitioner(&self) -> Partitioner {
-        self.partitioner
+        self.partitioner.clone()
     }
 
     /// Appends one record. Inserts/deletes go to the source-label shard
@@ -901,6 +931,7 @@ mod tests {
             &Manifest {
                 epoch: 1,
                 shards: 3,
+                assignment: None,
             },
         )
         .unwrap();
@@ -912,7 +943,7 @@ mod tests {
     fn wal_routes_by_source_and_merges_by_seq() {
         let dir = TestDir::new("shard_wal");
         let p = Partitioner::new(4).unwrap();
-        let mut w = ShardedWalWriter::create(dir.path(""), p).unwrap();
+        let mut w = ShardedWalWriter::create(dir.path(""), p.clone()).unwrap();
         let ops = vec![
             insert("A", "p", "B"),
             insert("C", "p", "D"),
@@ -946,7 +977,7 @@ mod tests {
     fn uncommitted_tail_is_discarded_and_truncated() {
         let dir = TestDir::new("shard_wal_tail");
         let p = Partitioner::new(2).unwrap();
-        let mut w = ShardedWalWriter::create(dir.path(""), p).unwrap();
+        let mut w = ShardedWalWriter::create(dir.path(""), p.clone()).unwrap();
         w.append(&insert("A", "p", "B")).unwrap();
         w.append(&WalOp::Commit { epoch: 1 }).unwrap();
         w.append(&insert("C", "q", "D")).unwrap(); // never committed
@@ -973,6 +1004,52 @@ mod tests {
                 WalOp::Commit { epoch: 2 },
             ]
         );
+    }
+
+    #[test]
+    fn rebalanced_manifest_roundtrips_assignment_with_the_file_set() {
+        let dir = TestDir::new("shard_rebal_manifest");
+        let g = sample();
+        // Hash-routed first: the manifest must stay in the legacy format.
+        let hash = Partitioner::new(4).unwrap();
+        save_sharded(&g, &hash, 1, dir.path("")).unwrap();
+        let m = read_manifest(&dir.path("")).unwrap();
+        assert_eq!(m.assignment, None, "legacy layout keeps legacy manifest");
+
+        // Rebalanced: assignment publishes with the same manifest flip and
+        // the loaded partitioner routes through it.
+        let rebalanced = hash.rebalanced(&vec![1u64; Partitioner::BUCKETS]).unwrap();
+        save_sharded(&g, &rebalanced, 2, dir.path("")).unwrap();
+        let m = read_manifest(&dir.path("")).unwrap();
+        assert_eq!(
+            m.assignment.as_deref(),
+            rebalanced.assignment(),
+            "assignment travels with the epoch flip"
+        );
+        let (back, p, epoch) = load_sharded(dir.path("")).unwrap();
+        assert_eq!(epoch, 2);
+        assert_eq!(p, rebalanced);
+        assert_eq!(back.edge_count(), g.edge_count());
+        for node in g.nodes() {
+            assert_eq!(
+                back.neighbors(node).collect::<Vec<_>>(),
+                g.neighbors(node).collect::<Vec<_>>(),
+                "adjacency diverged at {node} after rebalanced reload"
+            );
+        }
+
+        // A corrupt table (shard out of range) is rejected at load.
+        write_manifest(
+            &dir.path(""),
+            &Manifest {
+                epoch: 2,
+                shards: 4,
+                assignment: Some(vec![9u8; Partitioner::BUCKETS]),
+            },
+        )
+        .unwrap();
+        let err = load_sharded(dir.path("")).unwrap_err();
+        assert!(err.to_string().contains("outside"), "{err}");
     }
 
     #[test]

@@ -836,6 +836,84 @@ impl VersionedGraph {
         Ok(snapshot)
     }
 
+    /// The partitioner the attached sharded WAL routes by, `None` when no
+    /// sharded log is attached. This is the authoritative live assignment:
+    /// [`Self::rebalance_sharded`] swaps it together with the manifest flip,
+    /// so callers that cache a copy must refresh it on every epoch change.
+    pub fn sharded_partitioner(&self) -> Option<Partitioner> {
+        let state = self.state.lock().unwrap();
+        state
+            .wal
+            .as_ref()
+            .and_then(|w| w.sharded_layout())
+            .map(|(_, p)| p)
+    }
+
+    /// Re-partitions a sharded deployment in place: compacts (implying a
+    /// commit of staged changes), writes the snapshot set sliced by
+    /// `new_partitioner`, flips the epoch manifest (the commit point — the
+    /// new assignment and the new epoch become visible together or not at
+    /// all), and truncates + re-attaches the shard WALs routing by the new
+    /// assignment. Readers keep answering from pinned snapshots and never
+    /// observe a mixed assignment; the rebalance always publishes a fresh
+    /// epoch, which is the invalidation signal for every epoch-keyed cache
+    /// above this layer.
+    ///
+    /// Crash safety mirrors [`Self::checkpoint_sharded`]: before the
+    /// manifest flip the old manifest + old logs recover the pre-rebalance
+    /// store (the compact marker replays, preserving content); after the
+    /// flip the new snapshot set recovers and replay skips the stale WAL
+    /// prefix — WAL replay merges by global sequence number, so how the
+    /// leftover records were routed is irrelevant. The shard *count* must
+    /// be unchanged: growing or shrinking the fleet is a deployment change,
+    /// not a rebalance.
+    pub fn rebalance_sharded(
+        &self,
+        dir: impl AsRef<Path>,
+        new_partitioner: Partitioner,
+    ) -> Result<GraphSnapshot> {
+        let dir = dir.as_ref();
+        let mut state = self.state.lock().unwrap();
+        self.checkpoint_guard(&state, true)?;
+        if let Some((wal_dir, wal_partitioner)) =
+            state.wal.as_ref().and_then(|w| w.sharded_layout())
+        {
+            if wal_dir != dir || wal_partitioner.shards() != new_partitioner.shards() {
+                return Err(KgError::Shard(format!(
+                    "rebalance targets {} at {} shards but the attached logs live in {} at \
+                     {} shards — refusing to split the deployment",
+                    dir.display(),
+                    new_partitioner.shards(),
+                    wal_dir.display(),
+                    wal_partitioner.shards(),
+                )));
+            }
+        }
+        // Force an epoch bump even when nothing is staged: the new epoch is
+        // what invalidates plan caches, answer caches, and shard gauges
+        // keyed on the old assignment.
+        state.dirty = true;
+        let snapshot = self.compact_locked(&mut state);
+        crate::io::shard::save_sharded(snapshot.base(), &new_partitioner, snapshot.epoch(), dir)?;
+        // Swap the logs to route by the new assignment — same sticky-error
+        // contract as `truncate_wal_after_checkpoint`, but the fresh sink
+        // carries the new partitioner instead of the old sink's copy.
+        if let Some(w) = state.wal.take() {
+            let wal_dir = w.target();
+            drop(w);
+            match ShardedWalWriter::create(wal_dir, new_partitioner) {
+                Ok(fresh) => state.wal = Some(Box::new(fresh)),
+                Err(e) => {
+                    let _ = state
+                        .wal_error
+                        .get_or_insert_with(|| format!("rebalance could not recreate logs: {e}"));
+                    return Err(e);
+                }
+            }
+        }
+        Ok(snapshot)
+    }
+
     /// Shared checkpoint preconditions: a healthy WAL, and a WAL layout
     /// matching the checkpoint flavour (a single-file checkpoint over
     /// per-shard logs — or vice versa — would leave a directory no
@@ -1500,8 +1578,8 @@ mod tests {
         // Lay out epoch 0 and attach sharded logs.
         crate::io::shard::save_sharded(&base_graph(), &p, 0, &root).unwrap();
         let (loaded, p2, epoch) = crate::io::shard::load_sharded(&root).unwrap();
-        assert_eq!((epoch, p2), (0, p));
-        let (v, report) = VersionedGraph::recover_sharded(loaded, 0, &root, p).unwrap();
+        assert_eq!((epoch, &p2), (0, &p));
+        let (v, report) = VersionedGraph::recover_sharded(loaded, 0, &root, p.clone()).unwrap();
         assert_eq!(report.recovered_epoch, 0);
 
         // Mutate across several epochs, including a compaction (edge-id
@@ -1515,7 +1593,7 @@ mod tests {
         v.commit();
         v.insert_triple(("Peter", "Person"), "designer", ("KIA_K5", "Automobile"));
         v.compact();
-        let checkpointed = v.checkpoint_sharded(&root, p).unwrap();
+        let checkpointed = v.checkpoint_sharded(&root, p.clone()).unwrap();
         assert_eq!(checkpointed.epoch(), 2);
         assert_eq!(
             crate::io::shard::read_manifest(&root).unwrap().epoch,
@@ -1533,8 +1611,9 @@ mod tests {
         drop(v); // crash: Ghost staged but never committed
 
         let (loaded, p3, epoch) = crate::io::shard::load_sharded(&root).unwrap();
-        assert_eq!((epoch, p3), (2, p));
-        let (recovered, report) = VersionedGraph::recover_sharded(loaded, epoch, &root, p).unwrap();
+        assert_eq!((epoch, &p3), (2, &p));
+        let (recovered, report) =
+            VersionedGraph::recover_sharded(loaded, epoch, &root, p.clone()).unwrap();
         assert_eq!(report.recovered_epoch, 3);
         assert_eq!(report.epochs_replayed, 1);
         assert_eq!(report.discarded_ops, 1, "Ghost never committed");
@@ -1567,6 +1646,78 @@ mod tests {
         assert!(err.to_string().contains("refusing to split"), "{err}");
         let err = recovered
             .checkpoint_sharded(dir.path("elsewhere"), p)
+            .unwrap_err();
+        assert!(err.to_string().contains("refusing to split"), "{err}");
+    }
+
+    /// Rebalancing a sharded deployment re-slices the snapshot set under a
+    /// new assignment without changing a single answer-visible bit relative
+    /// to a plain compaction at the same point: node ids, edge ids,
+    /// adjacency order, and epochs all match a twin in-memory store that
+    /// never sharded anything — including through a crash that leaves an
+    /// uncommitted tail in the new logs.
+    #[test]
+    fn sharded_rebalance_preserves_fingerprint_across_recovery() {
+        let dir = TestDir::new("versioned_rebalance");
+        let root = dir.path("dep");
+        let p = Partitioner::new(4).unwrap();
+        crate::io::shard::save_sharded(&base_graph(), &p, 0, &root).unwrap();
+        let (loaded, _, epoch) = crate::io::shard::load_sharded(&root).unwrap();
+        let (v, _) = VersionedGraph::recover_sharded(loaded, epoch, &root, p.clone()).unwrap();
+        assert_eq!(v.sharded_partitioner(), Some(p.clone()));
+        // The twin sees the same ops; where the primary rebalances, the
+        // twin compacts — the answer-visible effect must be identical.
+        let twin = VersionedGraph::new(base_graph());
+
+        for store in [&v, &twin] {
+            store.insert_triple(("Peter", "Person"), "designer", ("KIA_K5", "Automobile"));
+            store.delete_triple("Audi_TT", "export", "Korea");
+            store.commit();
+        }
+        let before = v.snapshot();
+
+        // Derive a deliberately different assignment and migrate to it.
+        let weights = crate::shard::bucket_weights(&before);
+        let rebalanced = p.rebalanced(&weights).unwrap();
+        assert_ne!(rebalanced, p, "plan must actually move buckets");
+        let published = v.rebalance_sharded(&root, rebalanced.clone()).unwrap();
+        twin.compact();
+        assert_eq!(
+            published.epoch(),
+            before.epoch() + 1,
+            "rebalance bumps the epoch"
+        );
+        assert_eq!(v.sharded_partitioner(), Some(rebalanced.clone()));
+        let manifest = crate::io::shard::read_manifest(&root).unwrap();
+        assert_eq!(manifest.epoch, published.epoch());
+        assert_eq!(manifest.assignment.as_deref(), rebalanced.assignment());
+        assert_eq!(fingerprint(&published), fingerprint(&twin.snapshot()));
+
+        // Keep writing under the new assignment, then crash with a staged
+        // tail; recovery must come back bit-identical on the new layout.
+        for store in [&v, &twin] {
+            store.insert_triple(
+                ("Lamando", "Automobile"),
+                "assembly",
+                ("Germany", "Country"),
+            );
+            store.commit();
+        }
+        v.insert_triple(("Ghost", "Automobile"), "assembly", ("Germany", "Country"));
+        let reference = v.snapshot();
+        assert_eq!(fingerprint(&reference), fingerprint(&twin.snapshot()));
+        drop(v);
+        let (loaded, p2, epoch) = crate::io::shard::load_sharded(&root).unwrap();
+        assert_eq!((epoch, &p2), (published.epoch(), &rebalanced));
+        let (back, report) =
+            VersionedGraph::recover_sharded(loaded, epoch, &root, p2.clone()).unwrap();
+        assert_eq!(report.discarded_ops, 1, "Ghost never committed");
+        assert_eq!(back.epoch(), reference.epoch());
+        assert_eq!(fingerprint(&back.snapshot()), fingerprint(&reference));
+
+        // Changing the shard count is not a rebalance.
+        let err = back
+            .rebalance_sharded(&root, Partitioner::new(2).unwrap())
             .unwrap_err();
         assert!(err.to_string().contains("refusing to split"), "{err}");
     }

@@ -6,7 +6,8 @@
 //! ```text
 //! loadgen --addr HOST:PORT [--mode closed|open|overload] [--connections 8]
 //!         [--rate 400] [--overload 2.0] [--duration-ms 3000]
-//!         [--deadline-ms 25] [--scale 1.0] [--check] [--shutdown]
+//!         [--deadline-ms 25] [--scale 1.0] [--hot-set 4] [--hot-fraction 80]
+//!         [--check] [--shutdown]
 //! ```
 //!
 //! * `closed`: each connection round-trips one query at a time (measures
@@ -27,34 +28,13 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use datagen::dataset::DatasetSpec;
-use datagen::workload::produced_workload;
+use datagen::workload::{produced_workload, RequestMix};
 use obs::{Histogram, MetricsRegistry};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use semkg_server::proto::{Request, Response, WireOutcome};
 use semkg_server::Client;
 use sgq::{Priority, QueryGraph};
-
-/// Hot-set skew, mirroring `benches/scheduler.rs`.
-const HOT_FRACTION: u64 = 80;
-const HOT_QUERIES: usize = 4;
-
-fn pick(rng: &mut StdRng, len: usize) -> usize {
-    if rng.random_range(0u64..100) < HOT_FRACTION {
-        rng.random_range(0..HOT_QUERIES.min(len))
-    } else {
-        rng.random_range(0..len)
-    }
-}
-
-/// 20/60/20 High/Normal/Low.
-fn pick_priority(rng: &mut StdRng) -> Priority {
-    match rng.random_range(0u64..100) {
-        0..=19 => Priority::High,
-        20..=79 => Priority::Normal,
-        _ => Priority::Low,
-    }
-}
 
 fn priority_name(p: Priority) -> &'static str {
     match p {
@@ -80,6 +60,7 @@ struct Args {
     duration: Duration,
     deadline: Duration,
     scale: f64,
+    mix: RequestMix,
     check: bool,
     shutdown: bool,
 }
@@ -94,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
         duration: Duration::from_millis(3000),
         deadline: Duration::from_millis(25),
         scale: 1.0,
+        mix: RequestMix::default(),
         check: false,
         shutdown: false,
     };
@@ -144,6 +126,16 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--scale: {e}"))?;
             }
+            "--hot-set" => {
+                args.mix.hot_set = value("--hot-set")?
+                    .parse()
+                    .map_err(|e| format!("--hot-set: {e}"))?;
+            }
+            "--hot-fraction" => {
+                args.mix.hot_fraction = value("--hot-fraction")?
+                    .parse()
+                    .map_err(|e| format!("--hot-fraction: {e}"))?;
+            }
             "--check" => args.check = true,
             "--shutdown" => args.shutdown = true,
             other => return Err(format!("unknown flag {other}")),
@@ -154,6 +146,12 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.connections == 0 {
         return Err("--connections must be >= 1".into());
+    }
+    if args.mix.hot_fraction > 100 {
+        return Err("--hot-fraction is a percentage (0..=100)".into());
+    }
+    if args.mix.hot_set == 0 {
+        return Err("--hot-set must be >= 1".into());
     }
     Ok(args)
 }
@@ -258,8 +256,8 @@ fn run_closed(
                     let mut tally = Tally::default();
                     let start = Instant::now();
                     while start.elapsed() < duration {
-                        let idx = pick(&mut rng, queries.len());
-                        let priority = pick_priority(&mut rng);
+                        let idx = args.mix.pick(&mut rng, queries.len());
+                        let priority = args.mix.pick_priority(&mut rng);
                         let sent = Instant::now();
                         let outcome = client
                             .query(&queries[idx], args.deadline, priority)
@@ -321,8 +319,8 @@ fn run_open(
                                 if now < due {
                                     std::thread::sleep(due - now);
                                 }
-                                let idx = pick(&mut rng, queries.len());
-                                let priority = pick_priority(&mut rng);
+                                let idx = args.mix.pick(&mut rng, queries.len());
+                                let priority = args.mix.pick_priority(&mut rng);
                                 let req = Request::Query {
                                     query: queries[idx].clone(),
                                     deadline_us: args.deadline.as_micros().min(u128::from(u64::MAX))
@@ -502,6 +500,28 @@ fn run() -> Result<(), String> {
     let scrape = client.metrics().map_err(|e| format!("metrics: {e}"))?;
     println!("--- server scrape ---");
     println!("{scrape}");
+
+    // Answer-cache effectiveness, from the scheduler's own counters: the
+    // hit rate the configured --hot-set / --hot-fraction skew achieved.
+    let cache_hits = scrape_sum(&scrape, "sgq_sched_answer_cache_hits_total");
+    let cache_dominance = scrape_sum(&scrape, "sgq_sched_answer_cache_dominance_hits_total");
+    let cache_misses = scrape_sum(&scrape, "sgq_sched_answer_cache_misses_total");
+    let cache_stale = scrape_sum(&scrape, "sgq_sched_answer_cache_stale_total");
+    let probes = cache_hits + cache_dominance + cache_misses;
+    println!(
+        "answer cache: {:.0} exact hits, {:.0} dominance hits, {:.0} misses ({:.0} stale) — hit rate {:.1}% ({}% of traffic on {} hot queries)",
+        cache_hits,
+        cache_dominance,
+        cache_misses,
+        cache_stale,
+        if probes > 0.0 {
+            (cache_hits + cache_dominance) / probes * 100.0
+        } else {
+            0.0
+        },
+        args.mix.hot_fraction,
+        args.mix.hot_set,
+    );
 
     let mut failures: Vec<String> = Vec::new();
     if args.check {

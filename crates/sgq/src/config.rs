@@ -160,6 +160,15 @@ pub struct SchedConfig {
     pub per_match_ta_cost: Duration,
     /// Entries kept in the prepared-plan and cost-profile caches.
     pub plan_cache_capacity: usize,
+    /// Entries kept in the epoch-keyed semantic answer cache in front of
+    /// batching ([`crate::sched`] module docs): certified results are
+    /// reused for repeat signatures — exactly, or by dominance-trimming a
+    /// cached superset answer (entry τ = request τ, entry k ≥ request k).
+    /// `0` disables the cache — including when the field is absent from a
+    /// hand-written config (full round-trips always carry it). Answers are
+    /// bit-identical either way (`tests/cache_differential.rs`).
+    #[serde(default)]
+    pub answer_cache_capacity: usize,
 }
 
 impl Default for SchedConfig {
@@ -172,6 +181,7 @@ impl Default for SchedConfig {
             degrade_alert_ratio: 0.8,
             per_match_ta_cost: Duration::from_nanos(300),
             plan_cache_capacity: 256,
+            answer_cache_capacity: 256,
         }
     }
 }
@@ -196,6 +206,42 @@ impl SchedConfig {
             return Err(InvalidConfig(
                 "plan_cache_capacity must be at least 1".into(),
             ));
+        }
+        Ok(())
+    }
+}
+
+/// Parameters of the skew-driven rebalance controller
+/// ([`crate::rebalance::Rebalancer`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RebalanceConfig {
+    /// `shard_skew()` level (heaviest shard ÷ ideal share; 1.0 = perfectly
+    /// level) at or above which an observation counts as skewed.
+    pub skew_threshold: f64,
+    /// Consecutive skewed observations required before a rebalance fires.
+    /// Counted in observations, not wall-clock time, so the controller
+    /// stays deterministic; `0` behaves like `1`.
+    pub window: u32,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        Self {
+            skew_threshold: 1.5,
+            window: 3,
+        }
+    }
+}
+
+impl RebalanceConfig {
+    /// Validates parameter consistency.
+    pub fn validate(&self) -> Result<(), crate::error::SgqError> {
+        use crate::error::SgqError::InvalidConfig;
+        if !self.skew_threshold.is_finite() || self.skew_threshold < 1.0 {
+            return Err(InvalidConfig(format!(
+                "skew_threshold must be a finite value ≥ 1.0, got {}",
+                self.skew_threshold
+            )));
         }
         Ok(())
     }
@@ -271,6 +317,49 @@ mod tests {
         .is_err());
         assert!(SchedConfig {
             plan_cache_capacity: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        // 0 answer-cache entries is valid: it disables the cache.
+        assert!(SchedConfig {
+            answer_cache_capacity: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn answer_cache_capacity_serde_round_trip() {
+        // A full round-trip preserves the capacity; a pre-cache config
+        // with the field absent parses as 0 (cache off) rather than
+        // failing to deserialize.
+        let full = serde_json::to_string(&SchedConfig::default()).unwrap();
+        let parsed: SchedConfig = serde_json::from_str(&full).unwrap();
+        assert_eq!(parsed.answer_cache_capacity, 256);
+        let old = r#"{
+            "queue_capacity": 64, "max_batch": 8, "max_inflight": 0,
+            "shed_margin": {"secs": 0, "nanos": 200000},
+            "degrade_alert_ratio": 0.8,
+            "per_match_ta_cost": {"secs": 0, "nanos": 300},
+            "plan_cache_capacity": 16
+        }"#;
+        let parsed: SchedConfig = serde_json::from_str(old).unwrap();
+        assert_eq!(parsed.answer_cache_capacity, 0);
+    }
+
+    #[test]
+    fn rebalance_config_validation() {
+        assert!(RebalanceConfig::default().validate().is_ok());
+        assert!(RebalanceConfig {
+            skew_threshold: 0.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RebalanceConfig {
+            skew_threshold: f64::NAN,
             ..Default::default()
         }
         .validate()

@@ -282,8 +282,20 @@ impl<'a, G: GraphView + Clone> SgqEngine<'a, G> {
     /// query paths (which skip the `QueryGraph` clone a `PreparedQuery`
     /// keeps).
     fn plan(&self, query: &QueryGraph) -> Result<(Decomposition, Vec<SubQueryPlan>)> {
-        self.config.validate()?;
-        let decomposition = self.decompose_query(query)?;
+        self.plan_with(query, &self.config)
+    }
+
+    /// [`SgqEngine::plan`] under an explicit configuration — the scheduler
+    /// uses this to honour per-request (k, τ) overrides without building a
+    /// whole new engine. The graph, similarity index, and worker pool are
+    /// the engine's; only the query-shaping parameters come from `config`.
+    fn plan_with(
+        &self,
+        query: &QueryGraph,
+        config: &SgqConfig,
+    ) -> Result<(Decomposition, Vec<SubQueryPlan>)> {
+        config.validate()?;
+        let decomposition = decompose(query, config.pivot, self.avg_degree, config.n_hat)?;
         let plans = decomposition
             .subqueries
             .iter()
@@ -294,10 +306,10 @@ impl<'a, G: GraphView + Clone> SgqEngine<'a, G> {
                     &self.matcher,
                     query,
                     sq,
-                    self.config.n_hat,
-                    self.config.tau,
+                    config.n_hat,
+                    config.tau,
                 );
-                p.scan = self.config.scan;
+                p.scan = config.scan;
                 p
             })
             .collect();
@@ -307,12 +319,20 @@ impl<'a, G: GraphView + Clone> SgqEngine<'a, G> {
     /// Compiles `query` into a reusable [`PreparedQuery`]: validation,
     /// decomposition and plan building happen here, once.
     pub fn prepare(&self, query: &QueryGraph) -> Result<PreparedQuery> {
-        let (decomposition, plans) = self.plan(query)?;
+        self.prepare_with(query, &self.config)
+    }
+
+    /// [`SgqEngine::prepare`] under an explicit configuration, snapshotted
+    /// into the returned plan. With `config == &self.config` this is
+    /// exactly `prepare`; with a tuned (k, τ) the prepared query executes
+    /// as if the engine had been built with those values.
+    pub fn prepare_with(&self, query: &QueryGraph, config: &SgqConfig) -> Result<PreparedQuery> {
+        let (decomposition, plans) = self.plan_with(query, config)?;
         Ok(PreparedQuery {
             query: query.clone(),
             decomposition,
             plans,
-            config: self.config.clone(),
+            config: config.clone(),
             engine_id: self.engine_id,
         })
     }

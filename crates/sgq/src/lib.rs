@@ -84,6 +84,7 @@ pub mod error;
 pub mod live;
 pub mod pss;
 pub mod query;
+pub mod rebalance;
 pub mod runtime;
 pub mod sched;
 pub mod semgraph;
@@ -95,19 +96,20 @@ pub mod trace;
 pub use obs;
 
 pub use answer::{FinalMatch, QueryResult, QueryStats, SubMatch};
-pub use config::{PivotStrategy, ScanMode, SchedConfig, SgqConfig};
+pub use config::{PivotStrategy, RebalanceConfig, ScanMode, SchedConfig, SgqConfig};
 pub use decompose::{Decomposition, SubQuery};
 pub use engine::{PreparedQuery, SgqEngine};
 pub use error::{Result, SgqError};
 pub use live::{
     CheckpointReport, EpochEngine, LiveDeployment, LivePreparedQuery, LiveQueryService,
-    ShardedDeployment, LIBRARY_FILE, SNAPSHOT_FILE, SPACE_FILE, WAL_FILE,
+    RebalanceReport, ShardedDeployment, LIBRARY_FILE, SNAPSHOT_FILE, SPACE_FILE, WAL_FILE,
 };
 pub use query::{QEdgeId, QNodeId, QueryEdge, QueryGraph, QueryNode, QueryNodeKind};
+pub use rebalance::Rebalancer;
 pub use runtime::WorkerPool;
 pub use sched::{
-    BatchScheduler, Priority, SchedBackend, SchedHandle, SchedOutcome, SchedResponse, SchedStats,
-    ShedReason, Ticket,
+    BatchScheduler, Priority, QueryParams, SchedBackend, SchedHandle, SchedOutcome, SchedResponse,
+    SchedStats, ShedReason, Ticket,
 };
 pub use service::{QueryService, ServiceStats, ShardedQueryService};
 pub use timebound::TimeBoundConfig;

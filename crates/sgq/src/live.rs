@@ -106,6 +106,7 @@ pub struct LiveQueryService<'a> {
     trace_tick: AtomicU64,
     refreshes: Counter,
     checkpoints: Counter,
+    rebalances: Counter,
     /// On-disk layout when built via [`LiveDeployment::service`] or
     /// [`ShardedDeployment::service`]; enables [`Self::checkpoint`].
     durable: Option<DurableLayout>,
@@ -116,16 +117,17 @@ pub struct LiveQueryService<'a> {
 }
 
 /// How a durable deployment lays its files out — one snapshot + one WAL,
-/// or the per-shard set coordinated by an epoch manifest.
+/// or the per-shard set coordinated by an epoch manifest. The sharded
+/// layout deliberately does **not** store a partitioner: the authoritative
+/// assignment lives with the attached shard WALs
+/// ([`VersionedGraph::sharded_partitioner`]), so a rebalance swaps it in
+/// one place and no stale copy survives here.
 #[derive(Debug, Clone)]
 enum DurableLayout {
     /// `snapshot.kgb` + `wal.log` under the directory.
     Single(PathBuf),
     /// `manifest.kgm` + `meta-*.kgb` + `shard-*-*.kgb` + `wal-*.log`.
-    Sharded {
-        dir: PathBuf,
-        partitioner: Partitioner,
-    },
+    Sharded { dir: PathBuf },
 }
 
 impl<'a> LiveQueryService<'a> {
@@ -169,6 +171,10 @@ impl<'a> LiveQueryService<'a> {
             "sgq_checkpoints_total",
             "snapshot checkpoints written back to the deployment directory",
         );
+        let rebalances = registry.counter(
+            "sgq_rebalances_total",
+            "shard rebalances migrated through the epoch manifest",
+        );
         Self {
             versioned,
             space,
@@ -186,6 +192,7 @@ impl<'a> LiveQueryService<'a> {
             trace_tick: AtomicU64::new(0),
             refreshes,
             checkpoints,
+            rebalances,
             durable,
             shard_gauge_cache: Mutex::new(None),
         }
@@ -354,6 +361,19 @@ impl<'a> LiveQueryService<'a> {
         Ok(LivePreparedQuery { prepared, engine })
     }
 
+    /// [`Self::prepare`] under an explicit configuration — the scheduler's
+    /// per-request (k, τ) override path. Pins the current epoch exactly
+    /// like `prepare`.
+    pub fn prepare_with(
+        &self,
+        query: &QueryGraph,
+        config: &SgqConfig,
+    ) -> Result<LivePreparedQuery<'a>> {
+        let engine = self.pin();
+        let prepared = engine.prepare_with(query, config)?;
+        Ok(LivePreparedQuery { prepared, engine })
+    }
+
     /// Executes a prepared query on its pinned epoch (bit-identical replay
     /// regardless of commits since preparation), with the same invisible
     /// sampling as [`Self::query`].
@@ -450,27 +470,35 @@ impl<'a> LiveQueryService<'a> {
             ..self.counters.snapshot()
         };
         shard_gauges(snapshot, &mut stats);
-        if let Some(DurableLayout::Sharded { partitioner, .. }) = &self.durable {
-            stats.shard_count = partitioner.shards() as u64;
-            let epoch = snapshot.epoch();
-            let mut cache = self.shard_gauge_cache.lock().unwrap();
-            stats.max_shard_edges = match *cache {
-                Some((cached_epoch, max)) if cached_epoch == epoch => max,
-                _ => {
-                    let mut counts = vec![0u64; partitioner.shards()];
-                    for (_, rec) in snapshot.edges() {
-                        let shard = partitioner.shard_of_label(snapshot.node_name(rec.src));
-                        if let Some(c) = counts.get_mut(shard) {
-                            *c += 1;
-                        }
+        if matches!(self.durable, Some(DurableLayout::Sharded { .. })) {
+            if let Some(partitioner) = self.versioned.sharded_partitioner() {
+                stats.shard_count = partitioner.shards() as u64;
+                let epoch = snapshot.epoch();
+                let mut cache = self.shard_gauge_cache.lock().unwrap();
+                stats.max_shard_edges = match *cache {
+                    Some((cached_epoch, max)) if cached_epoch == epoch => max,
+                    _ => {
+                        let max = Self::max_shard_edges(snapshot, &partitioner);
+                        *cache = Some((epoch, max));
+                        max
                     }
-                    let max = counts.into_iter().max().unwrap_or(0);
-                    *cache = Some((epoch, max));
-                    max
-                }
-            };
+                };
+            }
         }
         stats
+    }
+
+    /// The heaviest shard's triple count under `partitioner` — one O(m)
+    /// ownership scan over the snapshot.
+    fn max_shard_edges(snapshot: &GraphSnapshot, partitioner: &Partitioner) -> u64 {
+        let mut counts = vec![0u64; partitioner.shards()];
+        for (_, rec) in snapshot.edges() {
+            let shard = partitioner.shard_of_label(snapshot.node_name(rec.src));
+            if let Some(c) = counts.get_mut(shard) {
+                *c += 1;
+            }
+        }
+        counts.into_iter().max().unwrap_or(0)
     }
 
     /// Similarity-row cache counters of the shared cross-epoch index.
@@ -527,8 +555,11 @@ impl<'a> LiveQueryService<'a> {
                     .unwrap_or(0);
                 (snapshot, bytes)
             }
-            DurableLayout::Sharded { dir, partitioner } => {
-                let snapshot = self.versioned.checkpoint_sharded(dir, *partitioner)?;
+            DurableLayout::Sharded { dir } => {
+                let partitioner = self.sharded_partitioner()?;
+                let snapshot = self
+                    .versioned
+                    .checkpoint_sharded(dir, partitioner.clone())?;
                 let epoch = snapshot.epoch();
                 let mut bytes = std::fs::metadata(kgraph::io::shard::meta_path(dir, epoch))
                     .map(|m| m.len())
@@ -562,6 +593,124 @@ impl<'a> LiveQueryService<'a> {
             edges: snapshot.edge_count(),
             snapshot_bytes,
         })
+    }
+
+    /// The current durable-layout partitioner of a sharded deployment.
+    fn sharded_partitioner(&self) -> Result<Partitioner> {
+        self.versioned.sharded_partitioner().ok_or_else(|| {
+            SgqError::Storage(
+                "service has no sharded deployment (build it via ShardedDeployment::service)"
+                    .into(),
+            )
+        })
+    }
+
+    /// Re-partitions the sharded deployment to level the observed edge
+    /// skew: derives a fresh assignment from the published snapshot's
+    /// per-bucket edge counts ([`Partitioner::rebalanced`] — greedy
+    /// longest-processing-time packing of the 512 source-label groups),
+    /// then migrates through [`VersionedGraph::rebalance_sharded`]: one
+    /// compaction, a snapshot set sliced by the new assignment, and a
+    /// manifest flip as the single commit point. Readers keep answering
+    /// from pinned epochs throughout and never observe a mixed assignment;
+    /// the published epoch always bumps, which invalidates every
+    /// epoch-keyed cache (plan cache, answer cache, shard gauges).
+    ///
+    /// Answers are bit-identical before and after: the assignment only
+    /// decides which file/log a triple lives in, never its ids or
+    /// adjacency order (the rebalance differential proves this through a
+    /// crash cycle). Run it from a maintenance thread — writers stall for
+    /// the compaction, like [`Self::checkpoint`].
+    pub fn rebalance(&self) -> Result<RebalanceReport> {
+        let Some(DurableLayout::Sharded { dir }) = &self.durable else {
+            return Err(SgqError::Storage(
+                "service has no sharded deployment (build it via ShardedDeployment::service)"
+                    .into(),
+            ));
+        };
+        let old = self.sharded_partitioner()?;
+        let snapshot = self.versioned.snapshot();
+        let weights = kgraph::shard::bucket_weights(&snapshot);
+        let new = old.rebalanced(&weights)?;
+        let max_before = Self::max_shard_edges(&snapshot, &old);
+        let published = self.versioned.rebalance_sharded(dir, new.clone())?;
+        let max_after = Self::max_shard_edges(&published, &new);
+        let moved_buckets = match (old.assignment(), new.assignment()) {
+            (Some(a), Some(b)) => a.iter().zip(b).filter(|(x, y)| x != y).count(),
+            // The hash-routed layout has no table; count buckets leaving
+            // their hash-implied shard. Exact whenever the shard count
+            // divides the bucket count (every power of two up to
+            // MAX_SHARDS), an approximation otherwise.
+            _ => new
+                .assignment()
+                .map(|table| {
+                    table
+                        .iter()
+                        .enumerate()
+                        .filter(|&(bucket, &shard)| bucket % new.shards() != usize::from(shard))
+                        .count()
+                })
+                .unwrap_or(0),
+        };
+        self.rebalances.inc();
+        self.registry
+            .gauge(
+                "sgq_rebalance_epoch",
+                "epoch published by the most recent shard rebalance",
+            )
+            .set(published.epoch() as i64);
+        Ok(RebalanceReport {
+            epoch: published.epoch(),
+            shard_count: new.shards(),
+            moved_buckets,
+            graph_edges: published.edge_count() as u64,
+            max_shard_edges_before: max_before,
+            max_shard_edges_after: max_after,
+        })
+    }
+}
+
+/// What [`LiveQueryService::rebalance`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebalanceReport {
+    /// The epoch the rebalanced layout published at.
+    pub epoch: u64,
+    /// Shards in the layout (unchanged by a rebalance).
+    pub shard_count: usize,
+    /// Source-label buckets whose owning shard changed.
+    pub moved_buckets: usize,
+    /// Live edges at the published epoch.
+    pub graph_edges: u64,
+    /// Heaviest shard's edge count under the old assignment.
+    pub max_shard_edges_before: u64,
+    /// Heaviest shard's edge count under the new assignment.
+    pub max_shard_edges_after: u64,
+}
+
+impl RebalanceReport {
+    /// Skew under the old assignment: heaviest shard ÷ ideal share.
+    pub fn skew_before(&self) -> f64 {
+        Self::skew(
+            self.max_shard_edges_before,
+            self.shard_count,
+            self.graph_edges,
+        )
+    }
+
+    /// Skew under the new assignment.
+    pub fn skew_after(&self) -> f64 {
+        Self::skew(
+            self.max_shard_edges_after,
+            self.shard_count,
+            self.graph_edges,
+        )
+    }
+
+    fn skew(max: u64, shards: usize, edges: u64) -> f64 {
+        if edges == 0 {
+            return 1.0;
+        }
+        (max * shards as u64) as f64 / edges as f64
     }
 }
 
@@ -818,7 +967,8 @@ impl ShardedDeployment {
         serde_json::to_writer(std::io::BufWriter::new(library_file), &library)
             .map_err(|e| SgqError::Storage(format!("write {LIBRARY_FILE}: {e}")))?;
         kgraph::io::shard::save_sharded(&graph, &partitioner, 0, &dir)?;
-        let (versioned, recovery) = VersionedGraph::recover_sharded(graph, 0, &dir, partitioner)?;
+        let (versioned, recovery) =
+            VersionedGraph::recover_sharded(graph, 0, &dir, partitioner.clone())?;
         Ok(Self {
             dir,
             space,
@@ -846,7 +996,7 @@ impl ShardedDeployment {
                 .map_err(|e| SgqError::Storage(format!("parse {}: {e}", library_path.display())))?;
         let (base, partitioner, epoch) = kgraph::io::shard::load_sharded(&dir)?;
         let (versioned, recovery) =
-            VersionedGraph::recover_sharded(base, epoch, &dir, partitioner)?;
+            VersionedGraph::recover_sharded(base, epoch, &dir, partitioner.clone())?;
         Ok(Self {
             dir,
             space,
@@ -868,7 +1018,6 @@ impl ShardedDeployment {
             config,
             Some(DurableLayout::Sharded {
                 dir: self.dir.clone(),
-                partitioner: self.partitioner,
             }),
         );
         // The sharded loader recomposes per-shard slices without a single
@@ -892,9 +1041,13 @@ impl ShardedDeployment {
         &self.library
     }
 
-    /// The layout's partitioner.
+    /// The layout's **current** partitioner: the one the attached shard
+    /// logs route by, which a [`LiveQueryService::rebalance`] may have
+    /// swapped since this deployment was opened.
     pub fn partitioner(&self) -> Partitioner {
-        self.partitioner
+        self.versioned
+            .sharded_partitioner()
+            .unwrap_or_else(|| self.partitioner.clone())
     }
 
     /// Number of shards in the layout.

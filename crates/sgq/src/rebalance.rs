@@ -1,0 +1,138 @@
+//! Skew-driven rebalance controller.
+//!
+//! [`Rebalancer`] closes the loop between the `shard_skew()` gauge and
+//! [`crate::LiveQueryService::rebalance`]: the caller feeds it one skew
+//! observation per control tick, and it fires once the skew has stayed
+//! above the threshold for a **sustained window of observations**. The
+//! window is counted in observations, not wall-clock time, so the
+//! controller is a pure deterministic state machine: the same observation
+//! sequence always produces the same fire pattern, regardless of how fast
+//! the ticks arrive. (This also keeps the module inside the workspace's
+//! determinism contract — no clock reads.)
+//!
+//! A transient spike — one hot epoch between two compactions — therefore
+//! never triggers a migration; only skew that survives `window`
+//! consecutive looks does. After firing, the streak resets: the next
+//! epoch's gauges (recomputed under the new assignment) must independently
+//! re-earn a migration, which prevents flapping when the workload is
+//! genuinely unbalanceable (e.g. one source label owning most edges —
+//! a single bucket cannot be split).
+
+use crate::config::RebalanceConfig;
+
+/// The threshold-and-window state machine (see module docs). Drive it
+/// from a maintenance thread:
+///
+/// ```ignore
+/// let mut rb = Rebalancer::new(RebalanceConfig { skew_threshold: 1.5, window: 3 });
+/// loop {
+///     let stats = service.stats();
+///     if rb.observe(stats.shard_skew()) {
+///         service.rebalance()?;
+///     }
+///     // sleep until the next control tick …
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rebalancer {
+    config: RebalanceConfig,
+    /// Consecutive observations at or above the threshold.
+    streak: u32,
+}
+
+impl Rebalancer {
+    /// A controller that fires after `config.window` consecutive
+    /// observations at or above `config.skew_threshold`.
+    pub fn new(config: RebalanceConfig) -> Self {
+        Self { config, streak: 0 }
+    }
+
+    /// Feeds one skew observation; returns `true` when the sustained-skew
+    /// condition is met and a rebalance should run now. Firing (or any
+    /// below-threshold observation) resets the streak.
+    pub fn observe(&mut self, skew: f64) -> bool {
+        // NaN compares false, breaking the streak — a gauge that cannot be
+        // computed must never trigger a migration.
+        if skew >= self.config.skew_threshold {
+            self.streak += 1;
+        } else {
+            self.streak = 0;
+        }
+        if self.streak >= self.config.window.max(1) {
+            self.streak = 0;
+            return true;
+        }
+        false
+    }
+
+    /// Consecutive above-threshold observations seen so far.
+    pub fn streak(&self) -> u32 {
+        self.streak
+    }
+
+    /// The thresholds this controller runs with.
+    pub fn config(&self) -> &RebalanceConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(threshold: f64, window: u32) -> Rebalancer {
+        Rebalancer::new(RebalanceConfig {
+            skew_threshold: threshold,
+            window,
+        })
+    }
+
+    #[test]
+    fn fires_only_after_a_sustained_window() {
+        let mut rb = controller(1.5, 3);
+        assert!(!rb.observe(2.0));
+        assert!(!rb.observe(2.0));
+        assert!(rb.observe(2.0), "third consecutive look fires");
+        assert_eq!(rb.streak(), 0, "firing resets the streak");
+        assert!(!rb.observe(2.0), "must re-earn the window");
+    }
+
+    #[test]
+    fn a_dip_resets_the_streak() {
+        let mut rb = controller(1.5, 3);
+        assert!(!rb.observe(2.0));
+        assert!(!rb.observe(1.2), "below threshold");
+        assert!(!rb.observe(2.0));
+        assert!(!rb.observe(2.0));
+        assert!(rb.observe(2.0));
+    }
+
+    #[test]
+    fn boundary_and_degenerate_inputs() {
+        // Exactly at the threshold counts as skewed.
+        let mut rb = controller(1.5, 1);
+        assert!(rb.observe(1.5));
+        // A window of 0 behaves like 1, not fire-on-anything.
+        let mut rb = controller(1.5, 0);
+        assert!(!rb.observe(1.0));
+        assert!(rb.observe(1.5));
+        // NaN never extends a streak.
+        let mut rb = controller(1.5, 2);
+        assert!(!rb.observe(2.0));
+        assert!(!rb.observe(f64::NAN));
+        assert_eq!(rb.streak(), 0);
+    }
+
+    #[test]
+    fn determinism_same_sequence_same_fires() {
+        let seq = [1.0, 2.0, 2.0, 1.4, 2.0, 2.0, 2.0, 2.0, 9.0];
+        let run = |mut rb: Rebalancer| seq.map(|s| rb.observe(s));
+        let a = run(controller(1.5, 2));
+        let b = run(controller(1.5, 2));
+        assert_eq!(a, b);
+        assert_eq!(
+            a,
+            [false, false, true, false, false, true, false, true, false]
+        );
+    }
+}

@@ -31,6 +31,21 @@
 //!   to the time they actually have, and *flagged* as such;
 //! * everything is observable through [`SchedStats`].
 //!
+//! ## The semantic answer cache
+//!
+//! In front of all of that sits an **epoch-keyed answer cache**
+//! ([`cache`]): a bounded LRU of `Arc`-shared certified top-k results,
+//! keyed by query signature and configuration family and stamped with the
+//! epoch they were computed against. A request whose answer is cached for
+//! the *current* epoch resolves at submit time — it never enters the
+//! admission queue and never touches the engine. Requests may carry their
+//! own `(k, τ)` via [`QueryParams`]; a request **dominated** by a cached
+//! entry (smaller `k`, larger `τ`, same structure) is answered by trimming
+//! the cached certified result, provably bit-identical to a from-scratch
+//! run (`tests/cache_differential.rs`). Entries invalidate by epoch stamp
+//! exactly like the plan cache, so an answer computed before a commit,
+//! compaction or recovery can never escape afterwards.
+//!
 //! ## Response contract
 //!
 //! Every submitted request is resolved, exactly once, with one of:
@@ -64,6 +79,10 @@
 //! clients get the same never-silently-wrong guarantee as in-process
 //! callers (see `crates/server/README.md`).
 
+pub mod cache;
+
+pub use cache::QueryParams;
+
 use crate::answer::{QueryResult, QueryStats};
 use crate::config::{SchedConfig, SgqConfig};
 use crate::engine::PreparedQuery;
@@ -74,6 +93,7 @@ use crate::runtime::WorkerPool;
 use crate::service::QueryService;
 use crate::timebound::{estimate_ns, TimeBoundConfig};
 use crate::trace::{tick_sampled, QueryTrace, TraceSink};
+use cache::{family_fingerprint, tuned_fingerprint, AnswerCache, AnswerLookup};
 use kgraph::GraphView;
 use obs::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
 use rustc_hash::FxHashMap;
@@ -223,6 +243,12 @@ pub trait SchedBackend: Sync {
     /// Compiles a query for repeated execution.
     fn prepare(&self, query: &QueryGraph) -> Result<Self::Prepared>;
 
+    /// Compiles a query under an explicit effective configuration (the
+    /// backend's configuration with the batch's per-request `k` / `τ`
+    /// substituted in). With `config == self.config()` this must behave
+    /// exactly like [`SchedBackend::prepare`].
+    fn prepare_tuned(&self, query: &QueryGraph, config: &SgqConfig) -> Result<Self::Prepared>;
+
     /// The epoch a prepared query is pinned to.
     fn prepared_epoch(&self, prepared: &Self::Prepared) -> u64;
 
@@ -266,6 +292,10 @@ where
         QueryService::prepare(self, query)
     }
 
+    fn prepare_tuned(&self, query: &QueryGraph, config: &SgqConfig) -> Result<PreparedQuery> {
+        QueryService::prepare_with(self, query, config)
+    }
+
     fn prepared_epoch(&self, _prepared: &PreparedQuery) -> u64 {
         0
     }
@@ -304,6 +334,10 @@ impl<'a> SchedBackend for LiveQueryService<'a> {
 
     fn prepare(&self, query: &QueryGraph) -> Result<Self::Prepared> {
         LiveQueryService::prepare(self, query)
+    }
+
+    fn prepare_tuned(&self, query: &QueryGraph, config: &SgqConfig) -> Result<Self::Prepared> {
+        LiveQueryService::prepare_with(self, query, config)
     }
 
     fn prepared_epoch(&self, prepared: &Self::Prepared) -> u64 {
@@ -358,29 +392,11 @@ pub fn query_signature(query: &QueryGraph) -> u64 {
 
 /// Fingerprint of the engine configuration a batch executes under; part of
 /// the batch key so requests against different configurations never merge.
+/// Composed as the `(k, τ)`-free `cache::family_fingerprint` extended
+/// with the effective `(k, τ)` — the answer cache keys by the family part
+/// alone and resolves `k` by dominance at equal `τ`.
 pub fn config_fingerprint(config: &SgqConfig) -> u64 {
-    let mut h = rustc_hash::FxHasher::default();
-    config.k.hash(&mut h);
-    config.tau.to_bits().hash(&mut h);
-    config.n_hat.hash(&mut h);
-    match config.pivot {
-        crate::config::PivotStrategy::MinCost => 0u64.hash(&mut h),
-        crate::config::PivotStrategy::Random { seed } => {
-            1u64.hash(&mut h);
-            seed.hash(&mut h);
-        }
-        crate::config::PivotStrategy::Forced { node } => {
-            2u64.hash(&mut h);
-            node.hash(&mut h);
-        }
-    }
-    config.batch.hash(&mut h);
-    config.max_matches_per_subquery.hash(&mut h);
-    match config.scan {
-        crate::config::ScanMode::Kernel => 0u64.hash(&mut h),
-        crate::config::ScanMode::ScalarReference => 1u64.hash(&mut h),
-    }
-    h.finish()
+    tuned_fingerprint(family_fingerprint(config), config.k, config.tau)
 }
 
 // ---------------------------------------------------------------------------
@@ -450,6 +466,10 @@ pub(crate) struct BatchRequest {
     sig: u64,
     epoch: u64,
     config_tag: u64,
+    /// Effective top-k of this request (engine default or per-request).
+    k: usize,
+    /// Effective τ threshold of this request.
+    tau: f64,
     priority: Priority,
     deadline: Instant,
     ticket: Arc<TicketState>,
@@ -461,6 +481,9 @@ pub(crate) struct Batch {
     sig: u64,
     epoch: u64,
     config_tag: u64,
+    /// Effective `(k, τ)` shared by every member (part of the merge key).
+    k: usize,
+    tau: f64,
     /// Most urgent member class.
     priority: Priority,
     /// Earliest member deadline — the EDF sort key.
@@ -518,6 +541,10 @@ impl Batcher {
                 && b.sig == req.sig
                 && b.epoch == req.epoch
                 && b.config_tag == req.config_tag
+                // The tag hashes (k, τ) already; the exact comparison makes
+                // a tag collision unable to merge different parameters.
+                && b.k == req.k
+                && b.tau.to_bits() == req.tau.to_bits()
                 && *b.query == *req.query
         }) {
             batch.deadline = batch.deadline.min(req.deadline);
@@ -532,6 +559,8 @@ impl Batcher {
             sig: req.sig,
             epoch: req.epoch,
             config_tag: req.config_tag,
+            k: req.k,
+            tau: req.tau,
             priority: req.priority,
             deadline: req.deadline,
             members: vec![req],
@@ -628,6 +657,20 @@ pub struct SchedStats {
     pub plan_cache_hits: u64,
     /// Batch executions that had to prepare (cold signature or new epoch).
     pub plan_cache_misses: u64,
+    /// Requests answered verbatim from the semantic answer cache (same
+    /// `(k, τ)`, same epoch) — resolved at submit time, engine untouched.
+    pub answer_cache_hits: u64,
+    /// Requests answered by trimming a dominating cached entry
+    /// (`k ≤ k_cached`, `τ = τ_cached`, same structure and epoch).
+    pub answer_cache_dominance_hits: u64,
+    /// Cache probes that found an entry stamped with another epoch (the
+    /// entry is evicted — stale answers never escape).
+    pub answer_cache_stale: u64,
+    /// Cache probes that found no usable entry (stale probes count here
+    /// too — they proceed to execution like any miss).
+    pub answer_cache_misses: u64,
+    /// Entries resident in the answer cache at snapshot time.
+    pub answer_cache_entries: u64,
     /// Admission-queue depth at snapshot time.
     pub queue_depth: u64,
     /// High-water admission-queue depth.
@@ -656,6 +699,20 @@ impl SchedStats {
     pub fn latency(&self, priority: Priority) -> PriorityLatency {
         self.per_priority[priority.rank()]
     }
+
+    /// Requests served from the answer cache, verbatim or trimmed.
+    pub fn answer_cache_served(&self) -> u64 {
+        self.answer_cache_hits + self.answer_cache_dominance_hits
+    }
+
+    /// Fraction of submitted requests served from the answer cache.
+    pub fn answer_cache_hit_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.answer_cache_served() as f64 / self.submitted as f64
+        }
+    }
 }
 
 /// Scheduler counters, registered in the scheduler's own
@@ -676,6 +733,11 @@ struct SchedCounters {
     batched_requests: Counter,
     plan_cache_hits: Counter,
     plan_cache_misses: Counter,
+    answer_hits: Counter,
+    answer_dominance_hits: Counter,
+    answer_stale: Counter,
+    answer_misses: Counter,
+    answer_entries: Gauge,
     queue_depth: Gauge,
     max_queue_depth: Gauge,
     /// Submit-to-resolution latency per priority class, indexed by
@@ -739,6 +801,26 @@ impl SchedCounters {
                 "sgq_sched_plan_cache_misses_total",
                 "batch executions that had to prepare",
             ),
+            answer_hits: registry.counter(
+                "sgq_sched_answer_cache_hits_total",
+                "requests answered verbatim from the semantic answer cache",
+            ),
+            answer_dominance_hits: registry.counter(
+                "sgq_sched_answer_cache_dominance_hits_total",
+                "requests answered by trimming a dominating cached entry",
+            ),
+            answer_stale: registry.counter(
+                "sgq_sched_answer_cache_stale_total",
+                "answer-cache probes that evicted an entry from another epoch",
+            ),
+            answer_misses: registry.counter(
+                "sgq_sched_answer_cache_misses_total",
+                "answer-cache probes that found no usable entry",
+            ),
+            answer_entries: registry.gauge(
+                "sgq_sched_answer_cache_entries",
+                "entries resident in the semantic answer cache",
+            ),
             queue_depth: registry.gauge(
                 "sgq_sched_queue_depth",
                 "admission-queue depth at scrape time",
@@ -776,6 +858,13 @@ impl SchedCounters {
                 p99_us: h.p99(),
             };
         }
+        // Answer-cache hit counters are read before `exact`: a hit
+        // increments `exact` first and its hit counter second, so this
+        // order keeps `answer_cache_served() <= exact` in every snapshot.
+        let answer_cache_hits = self.answer_hits.get();
+        let answer_cache_dominance_hits = self.answer_dominance_hits.get();
+        let answer_cache_stale = self.answer_stale.get();
+        let answer_cache_misses = self.answer_misses.get();
         let exact = self.exact.get();
         let degraded = self.degraded.get();
         let shed_queue_full = self.shed_queue_full.get();
@@ -798,6 +887,11 @@ impl SchedCounters {
             batched_requests: self.batched_requests.get(),
             plan_cache_hits: self.plan_cache_hits.get(),
             plan_cache_misses: self.plan_cache_misses.get(),
+            answer_cache_hits,
+            answer_cache_dominance_hits,
+            answer_cache_stale,
+            answer_cache_misses,
+            answer_cache_entries: self.answer_entries.get() as u64,
             // queue_depth is a live gauge, filled from the admission queue
             // by SchedHandle::stats.
             queue_depth: 0,
@@ -834,6 +928,14 @@ impl SchedCounters {
 /// epoch — the scheduler stamps at grouping time).
 struct Pending {
     query: Arc<QueryGraph>,
+    /// Signature computed once at submission (it already keyed the
+    /// answer-cache probe there) and reused at grouping time.
+    sig: u64,
+    /// Effective top-k for this request (the backend default unless the
+    /// caller tuned it via [`QueryParams`]).
+    k: usize,
+    /// Effective pss threshold for this request.
+    tau: f64,
     priority: Priority,
     deadline: Instant,
     ticket: Arc<TicketState>,
@@ -845,10 +947,15 @@ struct SchedState {
     inflight: usize,
 }
 
-/// A cached prepared query, valid while its epoch matches the backend's.
+/// A cached prepared query, valid while its epoch matches the backend's
+/// and its tuned-config tag matches the batch's.
 struct CachedPlan<P> {
     query: Arc<QueryGraph>,
     epoch: u64,
+    /// Tuned-config fingerprint the plan was prepared under. One plan per
+    /// query shape: a request with different (k, τ) replaces it rather
+    /// than sharing it — mixed-parameter plans must never cross-serve.
+    tag: u64,
     prepared: Arc<P>,
 }
 
@@ -881,12 +988,16 @@ struct Shared<B: SchedBackend> {
     trace_tick: AtomicU64,
     plans: Mutex<FxHashMap<u64, CachedPlan<B::Prepared>>>,
     costs: Mutex<FxHashMap<u64, CostProfile>>,
+    /// The semantic answer cache (see module docs). Locked on its own —
+    /// never while `state`, `plans`, or `costs` is held.
+    answers: Mutex<AnswerCache>,
 }
 
 impl<B: SchedBackend> Shared<B> {
     fn new(config: SchedConfig) -> Self {
         let registry = Arc::new(MetricsRegistry::default());
         let stats = SchedCounters::new(&registry);
+        let answers = Mutex::new(AnswerCache::new(config.answer_cache_capacity));
         Self {
             config,
             state: Mutex::new(SchedState {
@@ -901,7 +1012,88 @@ impl<B: SchedBackend> Shared<B> {
             trace_tick: AtomicU64::new(0),
             plans: Mutex::new(FxHashMap::default()),
             costs: Mutex::new(FxHashMap::default()),
+            answers,
         }
+    }
+
+    /// Probes the answer cache for `query` at the backend's current epoch.
+    /// `Some` is a finished outcome (verbatim or dominance-trimmed hit,
+    /// the `bool` saying which) the caller fans out without touching the
+    /// engine; `None` means miss (or a stale entry, now evicted) and the
+    /// request takes the normal path. Miss/stale counters are recorded
+    /// here; the caller records the hit counters *after* `record_served`
+    /// so snapshots never show more cache-served answers than exacts.
+    ///
+    /// Called from `submit` *without* the state lock held — the cache has
+    /// its own lock and the epoch read is a plain atomic load on both
+    /// backends, so a hit costs two uncontended lock acquisitions total.
+    fn serve_from_cache(
+        &self,
+        backend: &B,
+        query: &QueryGraph,
+        sig: u64,
+        k: usize,
+        tau: f64,
+    ) -> Option<(SchedOutcome, bool)> {
+        if self.config.answer_cache_capacity == 0 {
+            return None;
+        }
+        // Out-of-contract parameters never touch the cache: the engine
+        // rejects them at validation, and the dominance order is only
+        // meaningful for finite τ ∈ [0, 1] and k ≥ 1.
+        if k == 0 || !tau.is_finite() || !(0.0..=1.0).contains(&tau) {
+            return None;
+        }
+        let family = family_fingerprint(backend.config());
+        let epoch = backend.current_epoch();
+        let lookup = {
+            let mut answers = self.answers.lock().unwrap();
+            let lookup = answers.lookup((family, sig), query, epoch, k, tau);
+            self.stats.answer_entries.set(answers.len() as i64);
+            lookup
+        };
+        match lookup {
+            AnswerLookup::Hit(result) => Some((SchedOutcome::Exact((*result).clone()), false)),
+            AnswerLookup::Trimmed(result) => Some((SchedOutcome::Exact(result), true)),
+            AnswerLookup::Stale => {
+                // A stale probe is also a miss: the request goes on to the
+                // engine like any other.
+                self.stats.answer_stale.inc();
+                self.stats.answer_misses.inc();
+                None
+            }
+            AnswerLookup::Miss => {
+                self.stats.answer_misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Stores one exact batch result in the answer cache, stamped with the
+    /// epoch the *prepared plan* answered from — the only epoch at which
+    /// this answer is provably the direct path's answer.
+    fn fill_answer(
+        &self,
+        backend: &B,
+        batch: &Batch,
+        result: &QueryResult,
+        prepared: &B::Prepared,
+    ) {
+        if self.config.answer_cache_capacity == 0 {
+            return;
+        }
+        let family = family_fingerprint(backend.config());
+        let epoch = backend.prepared_epoch(prepared);
+        let mut answers = self.answers.lock().unwrap();
+        answers.insert(
+            (family, batch.sig),
+            &batch.query,
+            epoch,
+            batch.k,
+            batch.tau,
+            Arc::new(result.clone()),
+        );
+        self.stats.answer_entries.set(answers.len() as i64);
     }
 
     fn resolve_shed(&self, ticket: &TicketState, reason: ShedReason) {
@@ -1009,14 +1201,26 @@ impl<B: SchedBackend> Shared<B> {
         {
             let plans = self.plans.lock().unwrap();
             if let Some(entry) = plans.get(&batch.sig) {
-                if entry.epoch == batch.epoch && *entry.query == *batch.query {
+                if entry.epoch == batch.epoch
+                    && entry.tag == batch.config_tag
+                    && *entry.query == *batch.query
+                {
                     self.stats.plan_cache_hits.inc();
                     return Ok(Arc::clone(&entry.prepared));
                 }
             }
         }
         self.stats.plan_cache_misses.inc();
-        let prepare = || match catch_unwind(AssertUnwindSafe(|| backend.prepare(&batch.query))) {
+        // Prepare under the batch's effective (k, τ): the backend's config
+        // with the tuned parameters substituted. For untuned requests this
+        // IS the backend config, and `prepare_tuned` is contractually
+        // identical to `prepare` there.
+        let mut tuned_config = backend.config().clone();
+        tuned_config.k = batch.k;
+        tuned_config.tau = batch.tau;
+        let prepare = || match catch_unwind(AssertUnwindSafe(|| {
+            backend.prepare_tuned(&batch.query, &tuned_config)
+        })) {
             Ok(result) => result.map(Arc::new),
             Err(_) => Err(SgqError::Scheduler(
                 "query preparation panicked inside the scheduler".into(),
@@ -1052,6 +1256,7 @@ impl<B: SchedBackend> Shared<B> {
                 CachedPlan {
                     query: Arc::clone(&batch.query),
                     epoch: batch.epoch,
+                    tag: batch.config_tag,
                     prepared: Arc::clone(&prepared),
                 },
             );
@@ -1063,6 +1268,7 @@ impl<B: SchedBackend> Shared<B> {
 /// Client handle passed to the closure of [`BatchScheduler::serve`].
 /// `&self` methods — share it freely across client threads.
 pub struct SchedHandle<'s, B: SchedBackend> {
+    backend: &'s B,
     shared: &'s Shared<B>,
 }
 
@@ -1072,12 +1278,33 @@ impl<B: SchedBackend> SchedHandle<'_, B> {
     /// exact answer, a flagged degradation, an explicit shed, or the
     /// engine's error.
     pub fn submit(&self, query: &QueryGraph, within: Duration, priority: Priority) -> Ticket {
+        self.submit_with(query, QueryParams::default(), within, priority)
+    }
+
+    /// [`SchedHandle::submit`] with per-request (k, τ) overrides. `None`
+    /// fields fall back to the backend engine's configured values, so
+    /// `QueryParams::default()` is exactly `submit`.
+    ///
+    /// The answer cache is probed here, on the client thread, before
+    /// admission: a hit resolves the ticket immediately with the cached
+    /// (or dominance-trimmed) certified answer and the request never
+    /// enters the queue — it counts as `submitted` and `exact` but not as
+    /// `admitted` or `batched_requests`.
+    pub fn submit_with(
+        &self,
+        query: &QueryGraph,
+        params: QueryParams,
+        within: Duration,
+        priority: Priority,
+    ) -> Ticket {
         let state = Arc::new(TicketState::new());
         let ticket = Ticket {
             state: Arc::clone(&state),
         };
         let shared = self.shared;
         shared.stats.submitted.inc();
+        let (k, tau) = params.resolve(self.backend.config());
+        let sig = query_signature(query);
         // A huge `within` ("no deadline, ever") must read as slack, not
         // panic on Instant overflow; a year out is beyond any plausible
         // prediction, so such requests always take the exact path.
@@ -1085,14 +1312,46 @@ impl<B: SchedBackend> SchedHandle<'_, B> {
             .submitted
             .checked_add(within)
             .unwrap_or_else(|| state.submitted + Duration::from_secs(365 * 24 * 3600));
+        // Drain is checked before the cache probe: once the scheduler is
+        // shutting down, every submission sheds with `Shutdown`,
+        // cache-warm or not — a drained scheduler serving some requests
+        // from cache would make shutdown behaviour data-dependent.
+        if shared.state.lock().unwrap().draining {
+            shared.resolve_shed(&state, ShedReason::Shutdown);
+            return ticket;
+        }
+        // Only requests with at least the shed margin of slack are served
+        // from cache: tighter deadlines belong to admission control, and
+        // their shed/unmeetable outcomes must not depend on cache warmth —
+        // a zero-deadline request sheds whether or not its answer is warm.
+        let cacheable = within > shared.config.shed_margin;
+        if let Some((outcome, dominance)) = cacheable
+            .then(|| shared.serve_from_cache(self.backend, query, sig, k, tau))
+            .flatten()
+        {
+            shared
+                .stats
+                .record_served(priority, state.submitted.elapsed(), false);
+            if dominance {
+                shared.stats.answer_dominance_hits.inc();
+            } else {
+                shared.stats.answer_hits.inc();
+            }
+            state.resolve(outcome);
+            return ticket;
+        }
         let pending = Pending {
             query: Arc::new(query.clone()),
+            sig,
+            k,
+            tau,
             priority,
             deadline,
             ticket: state,
         };
         let mut st = shared.state.lock().unwrap();
         if st.draining {
+            // Re-check: drain may have begun while the cache was probed.
             drop(st);
             shared.resolve_shed(&pending.ticket, ShedReason::Shutdown);
             return ticket;
@@ -1140,6 +1399,17 @@ impl<B: SchedBackend> SchedHandle<'_, B> {
         priority: Priority,
     ) -> SchedResponse {
         self.submit(query, within, priority).wait()
+    }
+
+    /// [`SchedHandle::query_within`] with per-request (k, τ) overrides.
+    pub fn query_within_with(
+        &self,
+        query: &QueryGraph,
+        params: QueryParams,
+        within: Duration,
+        priority: Priority,
+    ) -> SchedResponse {
+        self.submit_with(query, params, within, priority).wait()
     }
 
     /// Snapshot of the scheduler counters.
@@ -1202,7 +1472,10 @@ impl BatchScheduler {
         Ok(std::thread::scope(|ts| {
             ts.spawn(|| scheduler_main(backend, &shared));
             let _drain = DrainGuard(&shared);
-            f(&SchedHandle { shared: &shared })
+            f(&SchedHandle {
+                backend,
+                shared: &shared,
+            })
         }))
     }
 }
@@ -1215,7 +1488,11 @@ fn scheduler_main<B: SchedBackend>(backend: &B, shared: &Shared<B>) {
     } else {
         shared.config.max_inflight
     };
-    let config_tag = config_fingerprint(backend.config());
+    // The config *family* (everything but k and τ) is fixed for the
+    // backend's lifetime; each request's tag combines it with the
+    // request's effective (k, τ), so tuned and untuned requests of one
+    // shape never share a batch or a plan.
+    let family = family_fingerprint(backend.config());
     let mut batcher = Batcher::new(shared.config.max_batch);
 
     backend.pool().scope(|scope| {
@@ -1247,10 +1524,12 @@ fn scheduler_main<B: SchedBackend>(backend: &B, shared: &Shared<B>) {
                     continue;
                 }
                 batcher.offer(BatchRequest {
-                    sig: query_signature(&p.query),
+                    sig: p.sig,
                     query: p.query,
                     epoch,
-                    config_tag,
+                    config_tag: tuned_fingerprint(family, p.k, p.tau),
+                    k: p.k,
+                    tau: p.tau,
                     priority: p.priority,
                     deadline: p.deadline,
                     ticket: p.ticket,
@@ -1383,6 +1662,11 @@ fn run_batch<B: SchedBackend>(backend: &B, shared: &Shared<B>, mut batch: Batch)
             };
             (outcome, None)
         };
+        // Fill the answer cache *before* fan-out: a client woken by its
+        // ticket can resubmit the same query and find the answer warm.
+        if let SchedOutcome::Exact(result) = &outcome {
+            shared.fill_answer(backend, &batch, result, &prepared);
+        }
         let fan_t = trace.as_ref().map(|_| Instant::now());
         for m in &exact_members {
             shared.resolve_served(m, outcome.clone());
@@ -1532,7 +1816,13 @@ mod tests {
             },
         );
         let direct = service.query(&product_query()).unwrap();
-        let stats = BatchScheduler::serve(&service, sched_config(), |handle| {
+        // Answer cache off: this test asserts the *batching* counters, and
+        // cache hits would keep repeats out of the queue entirely.
+        let config = SchedConfig {
+            answer_cache_capacity: 0,
+            ..SchedConfig::default()
+        };
+        let stats = BatchScheduler::serve(&service, config, |handle| {
             let tickets: Vec<Ticket> = (0..32)
                 .map(|_| handle.submit(&product_query(), Duration::from_secs(10), Priority::Normal))
                 .collect();
@@ -1586,16 +1876,80 @@ mod tests {
         assert_eq!(stats.exact + stats.degraded, 0);
     }
 
+    /// A backend that never executes anything — for tests that exercise
+    /// pure admission-queue mechanics without a scheduler thread.
+    struct NullBackend {
+        config: SgqConfig,
+        pool: Arc<WorkerPool>,
+    }
+
+    impl NullBackend {
+        fn new() -> Self {
+            Self {
+                config: SgqConfig::default(),
+                pool: Arc::new(WorkerPool::new(1)),
+            }
+        }
+    }
+
+    impl SchedBackend for NullBackend {
+        type Prepared = ();
+
+        fn current_epoch(&self) -> u64 {
+            0
+        }
+
+        fn config(&self) -> &SgqConfig {
+            &self.config
+        }
+
+        fn prepare(&self, _query: &QueryGraph) -> Result<()> {
+            Err(SgqError::Scheduler("null backend".into()))
+        }
+
+        fn prepare_tuned(&self, _query: &QueryGraph, _config: &SgqConfig) -> Result<()> {
+            Err(SgqError::Scheduler("null backend".into()))
+        }
+
+        fn prepared_epoch(&self, _prepared: &()) -> u64 {
+            0
+        }
+
+        fn execute(&self, _prepared: &()) -> Result<QueryResult> {
+            Err(SgqError::Scheduler("null backend".into()))
+        }
+
+        fn execute_traced(&self, _prepared: &()) -> Result<(QueryResult, QueryTrace)> {
+            Err(SgqError::Scheduler("null backend".into()))
+        }
+
+        fn execute_time_bounded(
+            &self,
+            _prepared: &(),
+            _tb: &TimeBoundConfig,
+        ) -> Result<QueryResult> {
+            Err(SgqError::Scheduler("null backend".into()))
+        }
+
+        fn pool(&self) -> &WorkerPool {
+            &self.pool
+        }
+    }
+
     /// Victim selection at queue overflow, deterministically: no scheduler
     /// thread runs, so the admission queue is drained by nobody and every
     /// overflow decision is observable.
     #[test]
     fn queue_overflow_sheds_lowest_priority_first() {
-        let shared = Shared::<QueryService<'static>>::new(SchedConfig {
+        let backend = NullBackend::new();
+        let shared = Shared::<NullBackend>::new(SchedConfig {
             queue_capacity: 2,
             ..SchedConfig::default()
         });
-        let handle = SchedHandle { shared: &shared };
+        let handle = SchedHandle {
+            backend: &backend,
+            shared: &shared,
+        };
         let q = product_query();
         let within = Duration::from_secs(5);
 
@@ -1754,7 +2108,14 @@ mod tests {
                 ..SgqConfig::default()
             },
         );
-        let (stats, snapshot) = BatchScheduler::serve(&service, sched_config(), |handle| {
+        // Answer cache off: this test is about traced *batch executions* —
+        // with the cache on, repeats never execute, and the single batch's
+        // trace push would race the client's sink check.
+        let config = SchedConfig {
+            answer_cache_capacity: 0,
+            ..SchedConfig::default()
+        };
+        let (stats, snapshot) = BatchScheduler::serve(&service, config, |handle| {
             for _ in 0..8 {
                 let r = handle.query_within(
                     &product_query(),
@@ -1816,7 +2177,13 @@ mod tests {
             },
         );
         let q = product_query();
-        let stats = BatchScheduler::serve(&service, sched_config(), |handle| {
+        // Answer cache off: this test asserts exact *plan-cache* hit/miss
+        // counts, and answer-cache hits would bypass planning altogether.
+        let config = SchedConfig {
+            answer_cache_capacity: 0,
+            ..SchedConfig::default()
+        };
+        let stats = BatchScheduler::serve(&service, config, |handle| {
             let within = Duration::from_secs(10);
             // Two sequential rounds at epoch 0: prepare once, then hit.
             let r1 = handle.query_within(&q, within, Priority::Normal);
@@ -1853,6 +2220,153 @@ mod tests {
         assert_eq!(stats.plan_cache_misses, 2, "exactly one miss per epoch");
         assert_eq!(stats.plan_cache_hits, 2);
         assert_eq!(stats.exact, 4);
+    }
+
+    /// Sequential repeats of one query: the first miss executes and fills
+    /// the answer cache, every later submission is served from it without
+    /// entering the queue — and the served answer is the direct path's.
+    #[test]
+    fn answer_cache_serves_repeats_without_execution() {
+        let (g, space, lib) = fixture();
+        let service = QueryService::build(
+            &g,
+            &space,
+            &lib,
+            SgqConfig {
+                k: 5,
+                tau: 0.0,
+                workers: 2,
+                ..SgqConfig::default()
+            },
+        );
+        let direct = service.query(&product_query()).unwrap();
+        let stats = BatchScheduler::serve(&service, sched_config(), |handle| {
+            for _ in 0..8 {
+                let r = handle.query_within(
+                    &product_query(),
+                    Duration::from_secs(10),
+                    Priority::Normal,
+                );
+                match r.outcome {
+                    SchedOutcome::Exact(res) => assert_eq!(res.matches, direct.matches),
+                    other => panic!("expected exact, got {other:?}"),
+                }
+            }
+            handle.stats()
+        })
+        .unwrap();
+        assert_eq!(stats.submitted, 8);
+        assert_eq!(stats.exact, 8);
+        assert_eq!(
+            stats.answer_cache_misses, 1,
+            "only the cold submission misses"
+        );
+        assert_eq!(
+            stats.answer_cache_hits, 7,
+            "warm repeats are served from cache"
+        );
+        assert_eq!(stats.answer_cache_dominance_hits, 0);
+        assert_eq!(
+            stats.batches, 1,
+            "only the cold submission reaches the engine"
+        );
+        assert_eq!(stats.batched_requests, 1);
+        assert_eq!(stats.admitted, 1, "cache hits never enter the queue");
+        assert_eq!(stats.answer_cache_entries, 1);
+    }
+
+    /// Dominance serving: a cached (k=5, τ=0) answer serves a later k=1
+    /// request of the same query by trimming — counted separately, and the
+    /// trimmed answer equals the from-scratch k=1 prefix.
+    #[test]
+    fn answer_cache_serves_dominated_requests_by_trimming() {
+        let (g, space, lib) = fixture();
+        let service = QueryService::build(
+            &g,
+            &space,
+            &lib,
+            SgqConfig {
+                k: 5,
+                tau: 0.0,
+                workers: 2,
+                ..SgqConfig::default()
+            },
+        );
+        let direct = service.query(&product_query()).unwrap();
+        assert!(direct.matches.len() >= 2, "fixture yields multiple matches");
+        let stats = BatchScheduler::serve(&service, sched_config(), |handle| {
+            let warm =
+                handle.query_within(&product_query(), Duration::from_secs(10), Priority::Normal);
+            assert!(matches!(warm.outcome, SchedOutcome::Exact(_)));
+            let trimmed = handle.query_within_with(
+                &product_query(),
+                QueryParams {
+                    k: Some(1),
+                    tau: None,
+                },
+                Duration::from_secs(10),
+                Priority::Normal,
+            );
+            match trimmed.outcome {
+                SchedOutcome::Exact(res) => {
+                    assert_eq!(res.matches.len(), 1);
+                    assert_eq!(res.matches[0], direct.matches[0]);
+                }
+                other => panic!("expected trimmed exact, got {other:?}"),
+            }
+            handle.stats()
+        })
+        .unwrap();
+        assert_eq!(stats.answer_cache_dominance_hits, 1);
+        assert_eq!(stats.answer_cache_hits, 0);
+        assert_eq!(stats.batches, 1, "the dominated request never executes");
+        assert_eq!(stats.exact, 2);
+    }
+
+    /// Epoch invalidation: a commit between two submissions of one query
+    /// makes the cached answer stale — it is evicted, counted, and the
+    /// fresh execution answers from the new epoch.
+    #[test]
+    fn answer_cache_never_serves_stale_epochs() {
+        let (g, space, lib) = fixture();
+        let versioned = Arc::new(kgraph::VersionedGraph::new(g));
+        let service = LiveQueryService::new(
+            Arc::clone(&versioned),
+            &space,
+            &lib,
+            SgqConfig {
+                k: 5,
+                tau: 0.0,
+                workers: 2,
+                ..SgqConfig::default()
+            },
+        );
+        let q = product_query();
+        let stats = BatchScheduler::serve(&service, sched_config(), |handle| {
+            let within = Duration::from_secs(10);
+            let r1 = handle.query_within(&q, within, Priority::Normal);
+            assert_eq!(r1.outcome.result().unwrap().matches.len(), 2);
+
+            versioned.insert_triple(
+                ("Lamando", "Automobile"),
+                "assembly",
+                ("Germany", "Country"),
+            );
+            versioned.commit();
+
+            let r2 = handle.query_within(&q, within, Priority::Normal);
+            assert_eq!(
+                r2.outcome.result().unwrap().matches.len(),
+                3,
+                "the post-commit answer must come from the new epoch, not the cache"
+            );
+            handle.stats()
+        })
+        .unwrap();
+        assert_eq!(stats.answer_cache_stale, 1, "the commit staled the entry");
+        assert_eq!(stats.answer_cache_hits, 0);
+        assert_eq!(stats.answer_cache_misses, 2, "a stale probe is also a miss");
+        assert_eq!(stats.batches, 2, "both submissions executed");
     }
 
     #[test]
@@ -1938,6 +2452,8 @@ mod tests {
             sig,
             epoch,
             config_tag,
+            k: 10,
+            tau: 0.8,
             priority,
             deadline,
             ticket: Arc::new(TicketState::new()),

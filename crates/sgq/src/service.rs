@@ -390,6 +390,12 @@ impl<'a, G: GraphView + Clone> QueryService<'a, G> {
         self.engine.prepare(query)
     }
 
+    /// [`QueryService::prepare`] under an explicit configuration — the
+    /// scheduler's per-request (k, τ) override path.
+    pub fn prepare_with(&self, query: &QueryGraph, config: &SgqConfig) -> Result<PreparedQuery> {
+        self.engine.prepare_with(query, config)
+    }
+
     /// Exact top-k query (SGQ). When [`SgqConfig::trace_sample_every`] is
     /// non-zero, every N-th call is invisibly traced: its [`QueryTrace`]
     /// lands in the service's [`TraceSink`] and phase histograms, while the

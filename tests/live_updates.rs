@@ -280,3 +280,166 @@ fn refresh_racing_checkpoint_keeps_epochs_monotonic() {
     }
     assert_eq!(service.stats().errors, 0);
 }
+
+/// The answer cache across the durable lifecycle: a warm cache must be
+/// invalidated by `commit()`, by `compact()`, and by crash/recovery — at
+/// every boundary each scheduled response equals the live direct path at
+/// the *new* epoch, never a stale entry, and the stale counter records
+/// the invalidations. After the boundary the cache re-warms and serves
+/// again.
+#[test]
+fn answer_cache_never_serves_stale_epochs_across_the_durable_lifecycle() {
+    use sgq::sched::{BatchScheduler, Priority, SchedOutcome};
+    use sgq::{LiveDeployment, QueryGraph, SchedConfig};
+    use std::time::Duration;
+
+    struct TestDir(std::path::PathBuf);
+    impl Drop for TestDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+    let dir =
+        TestDir(std::env::temp_dir().join(format!("sgq_cache_lifecycle_{}", std::process::id())));
+    let _ = std::fs::remove_dir_all(&dir.0);
+    let deploy_dir = dir.0.join("kg");
+
+    let ds = DatasetSpec::tiny().build();
+    let space = ds.oracle_space();
+    let queries: Vec<QueryGraph> = produced_workload(&ds)
+        .into_iter()
+        .map(|q| q.graph)
+        .collect();
+
+    let deployment = LiveDeployment::create(
+        &deploy_dir,
+        ds.graph.clone(),
+        space.clone(),
+        ds.library.clone(),
+    )
+    .expect("create deployment");
+    {
+        let service = deployment.service(config());
+        let v = Arc::clone(deployment.versioned());
+        BatchScheduler::serve(&service, SchedConfig::default(), |handle| {
+            let scheduled = |q: &QueryGraph| match handle
+                .query_within(q, Duration::from_secs(30), Priority::Normal)
+                .outcome
+            {
+                SchedOutcome::Exact(r) => r.matches,
+                other => panic!("slack deadline must stay exact, got {other:?}"),
+            };
+            // Warm, then prove warmth.
+            let pre: Vec<_> = queries.iter().map(&scheduled).collect();
+            let warm = handle.stats();
+            for q in &queries {
+                scheduled(q);
+            }
+            let served = handle.stats();
+            assert_eq!(
+                served.answer_cache_served() - warm.answer_cache_served(),
+                queries.len() as u64
+            );
+
+            // Boundary 1: commit. Tombstone an edge a current top match
+            // traverses, so at least one answer provably changes.
+            let victim = pre
+                .iter()
+                .find_map(|ms| {
+                    ms.first()
+                        .and_then(|m| m.parts.first())
+                        .and_then(|p| p.edges.first())
+                        .copied()
+                })
+                .expect("workload must produce at least one matched path");
+            assert!(v.delete_edge(victim), "victim edge is live");
+            v.commit();
+            service.refresh();
+            let post_commit: Vec<_> = queries
+                .iter()
+                .map(|q| service.query(q).expect("direct live path").matches)
+                .collect();
+            assert_ne!(pre, post_commit, "the tombstone must move an answer");
+            for (idx, q) in queries.iter().enumerate() {
+                assert_eq!(
+                    scheduled(q),
+                    post_commit[idx],
+                    "post-commit response must reflect the new epoch (query {idx})"
+                );
+            }
+            let after_commit = handle.stats();
+            assert!(
+                after_commit.answer_cache_stale > served.answer_cache_stale,
+                "the commit must invalidate warm entries: {after_commit:?}"
+            );
+
+            // Re-warm, then boundary 2: compact. Compaction drops the
+            // tombstone and renumbers edge ids, so the old entries are
+            // bit-stale even though the logical answers are unchanged —
+            // the reference is the direct live path at the compacted epoch.
+            for q in &queries {
+                scheduled(q);
+            }
+            let rewarmed = handle.stats();
+            assert!(rewarmed.answer_cache_served() > after_commit.answer_cache_served());
+            v.compact();
+            service.refresh();
+            let post_compact: Vec<_> = queries
+                .iter()
+                .map(|q| service.query(q).expect("compacted direct path").matches)
+                .collect();
+            for (idx, q) in queries.iter().enumerate() {
+                assert_eq!(
+                    scheduled(q),
+                    post_compact[idx],
+                    "post-compaction response must reflect the renumbered epoch \
+                     (query {idx})"
+                );
+            }
+            let after_compact = handle.stats();
+            assert!(
+                after_compact.answer_cache_stale > rewarmed.answer_cache_stale,
+                "the compaction epoch must invalidate warm entries: {after_compact:?}"
+            );
+        })
+        .expect("valid scheduler config");
+    }
+    drop(deployment); // crash
+
+    // Boundary 3: recovery. A fresh process opens the deployment; its
+    // scheduler starts cold (nothing can be stale), re-warms, and serves —
+    // every response equals the recovered direct path.
+    let deployment = LiveDeployment::open(&deploy_dir).expect("recover");
+    let service = deployment.service(config());
+    let recovered: Vec<_> = queries
+        .iter()
+        .map(|q| service.query(q).expect("recovered direct path").matches)
+        .collect();
+    BatchScheduler::serve(&service, SchedConfig::default(), |handle| {
+        for _pass in 0..2 {
+            for (idx, q) in queries.iter().enumerate() {
+                match handle
+                    .query_within(q, Duration::from_secs(30), Priority::Normal)
+                    .outcome
+                {
+                    SchedOutcome::Exact(r) => assert_eq!(
+                        r.matches, recovered[idx],
+                        "post-recovery response diverged (query {idx})"
+                    ),
+                    other => panic!("slack deadline must stay exact, got {other:?}"),
+                }
+            }
+        }
+        let stats = handle.stats();
+        assert_eq!(
+            stats.answer_cache_stale, 0,
+            "a cold cache has no stale entries"
+        );
+        assert_eq!(
+            stats.answer_cache_served(),
+            queries.len() as u64,
+            "the second post-recovery pass is cache-served: {stats:?}"
+        );
+    })
+    .expect("valid scheduler config");
+}
